@@ -1,0 +1,89 @@
+// Ablation: activation bit width vs accuracy.
+//
+// The paper's accuracy argument (§I, §III-B): 2-bit activations instead of
+// 1-bit raise quantized AlexNet's ImageNet top-1 from 41.8% to 51.03%,
+// at a modest hardware cost. ImageNet training is out of scope (DESIGN.md
+// substitution table); this bench reproduces the *ordering and shape* of
+// that claim with the same STE training algorithm on synthetic
+// classification tasks, and pairs each accuracy with the hardware cost of
+// the corresponding VGG-like design from the resource model.
+#include <iostream>
+
+#include "bench_util.h"
+#include "fpga/resource_model.h"
+#include "train/qat.h"
+#include "train/qat_cnn.h"
+
+int main() {
+  using namespace qnn;
+  bench::heading("Activation bit-width ablation",
+                 "STE-trained QNNs on synthetic 8-class cluster tasks "
+                 "(3 seeds averaged); accuracy via the integer-threshold "
+                 "reference executor on the exported model.");
+
+  Table t({"act bits", "accuracy (mean)", "accuracy (min..max)",
+           "VGG32 LUT", "VGG32 FF", "VGG32 BRAM Kbit"});
+  const std::uint64_t data_seeds[] = {7, 19, 31};
+  double prev_mean = 0.0;
+  for (int bits : {1, 2, 3, 4}) {
+    double sum = 0.0;
+    double lo = 1.0;
+    double hi = 0.0;
+    for (std::uint64_t seed : data_seeds) {
+      const auto all = make_cluster_task(8, 12, 150, 45.0, seed);
+      const auto [train, test] = split_dataset(all, 0.7);
+      QatConfig cfg;
+      cfg.act_bits = bits;
+      cfg.epochs = 50;
+      cfg.seed = 11 + seed;
+      const double acc =
+          train_and_export(train, test, cfg).exported_accuracy;
+      sum += acc;
+      lo = std::min(lo, acc);
+      hi = std::max(hi, acc);
+    }
+    const double mean = sum / 3.0;
+    const NetworkResources r =
+        estimate_resources(expand(models::vgg_like(32, 10, bits)));
+    t.add_row({Table::integer(bits), Table::num(100.0 * mean, 1) + "%",
+               Table::num(100.0 * lo, 1) + ".." + Table::num(100.0 * hi, 1),
+               Table::integer(static_cast<std::int64_t>(r.luts)),
+               Table::integer(static_cast<std::int64_t>(r.ffs)),
+               Table::integer(static_cast<std::int64_t>(r.bram_kbits()))});
+    if (bits == 2) {
+      std::cout << "1-bit -> 2-bit accuracy gain: +"
+                << Table::num(100.0 * (mean - prev_mean), 1)
+                << " points (paper, AlexNet/ImageNet: 41.8% -> 51.03%)\n\n";
+    }
+    prev_mean = mean;
+  }
+  t.print(std::cout);
+  std::cout << "\nReading: the 1->2 bit step buys the large accuracy jump; "
+               "further bits\ngive diminishing returns at growing fabric "
+               "cost — the paper's chosen\noperating point (1-bit weights, "
+               "2-bit activations) sits at the knee.\n";
+
+  bench::heading("Convolutional counterpart",
+                 "The same STE algorithm on a CNN (conv-pool-conv-pool + "
+                 "classifier) over 12x12 stripe-pattern images, 2 seeds.");
+  Table c({"act bits", "CNN accuracy (mean)", "exported == trained"});
+  for (int bits : {1, 2, 3}) {
+    double sum = 0.0;
+    bool exact = true;
+    for (std::uint64_t seed : {7ull, 23ull}) {
+      const auto all = make_pattern_task(4, 12, 12, 1, 60, seed);
+      const auto [train, test] = split_dataset(all, 0.75);
+      QatCnnConfig cfg;
+      cfg.act_bits = bits;
+      cfg.epochs = 20;
+      cfg.seed = 3 + seed;
+      const auto r = train_and_export_cnn(train, test, train.image, cfg);
+      sum += r.exported_accuracy;
+      exact &= std::abs(r.exported_accuracy - r.train_accuracy) < 1e-9;
+    }
+    c.add_row({Table::integer(bits), Table::num(100.0 * sum / 2.0, 1) + "%",
+               exact ? "yes" : "NO"});
+  }
+  c.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation: multi-DFE scale-out (§III-B6).
+//
+// "Since our architecture comprises independent kernels and the Maxeler
+// platform allows data to directly flow from DFE to DFE, the workload can
+// be divided into multiple DFEs with very small performance degradation."
+// This bench forces 1..N-way splits of the paper networks (by shrinking
+// the per-DFE fill budget) and reports every cut's link bandwidth against
+// the MaxRing capacity.
+#include <iostream>
+
+#include "bench_util.h"
+#include "partition/partitioner.h"
+#include "sim/cycle_model.h"
+
+int main() {
+  using namespace qnn;
+  bench::heading("Multi-DFE scale-out ablation (§III-B6)",
+                 "Forced splits via shrinking per-DFE fill; link rate per "
+                 "cut vs the multi-Gbps MaxRing.");
+
+  for (const auto& name : {"resnet18", "alexnet"}) {
+    const NetworkSpec spec = std::string(name) == "resnet18"
+                                 ? models::resnet18(224, 1000, 2)
+                                 : models::alexnet(224, 1000, 2);
+    const Pipeline p = expand(spec);
+    std::cout << spec.name << ":\n";
+    Table t({"fill", "DFEs", "peak util", "worst cut Mbps", "capacity Mbps",
+             "slowdown"});
+    for (double fill : {0.85, 0.60, 0.40, 0.25, 0.15}) {
+      PartitionConfig cfg;
+      cfg.fill = fill;
+      PartitionResult r;
+      try {
+        r = partition_optimal(p, cfg);
+      } catch (const Error&) {
+        t.add_row({Table::num(fill, 2), "-", "-", "-", "-",
+                   "infeasible (kernel > device budget)"});
+        continue;
+      }
+      double worst = 0.0;
+      for (const auto& c : r.cuts) worst = std::max(worst, c.required_mbps);
+      t.add_row({Table::num(fill, 2), Table::integer(r.num_dfes()),
+                 Table::num(r.max_utilization(), 2), Table::num(worst, 1),
+                 Table::num(cfg.link_gbps * 1000.0, 0),
+                 Table::num(r.link_slowdown, 4)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Reading: even aggressive splits keep every cut far below "
+               "link capacity\n(slowdown 1.0000) — the paper's 'almost "
+               "without a performance drop'.\nThe paper's own example: a "
+               "2-bit stream at one value per 105 MHz clock\nneeds 210 "
+               "Mbps.\n";
+
+  bench::heading("Cycle-simulated validation",
+                 "The same cuts replayed inside the cycle simulator with "
+                 "MaxRing serialization (38 bits per 105 MHz clock).");
+  Table s({"network", "solo clocks/img", "partitioned clocks/img", "delta"});
+  for (const auto& name : {"resnet18", "alexnet"}) {
+    const NetworkSpec spec = std::string(name) == "resnet18"
+                                 ? models::resnet18(224, 1000, 2)
+                                 : models::alexnet(224, 1000, 2);
+    const Pipeline p = expand(spec);
+    const SimConfig base;
+    const std::uint64_t solo = simulate(p, base, 2).steady_interval;
+    SimConfig cut = base;
+    for (const auto& c : partition_optimal(p).cuts) {
+      cut.cut_after_nodes.push_back(c.after_node);
+    }
+    const std::uint64_t split = simulate(p, cut, 2).steady_interval;
+    s.add_row({spec.name,
+               Table::integer(static_cast<std::int64_t>(solo)),
+               Table::integer(static_cast<std::int64_t>(split)),
+               Table::num(100.0 * (static_cast<double>(split) / solo - 1.0),
+                          2) +
+                   "%"});
+  }
+  s.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: depth-first vs width-first feature-map scan (§III-B1b).
+//
+// The paper's buffer-size argument: for an H x W x I input and K x K
+// window, a depth-first scan buffers I*(W_p*(K-1) + K) values while a
+// width-first scan needs W_p*H_p*(I-1) + H_p*(K-1) + K — per height unit,
+// Theta(I*K) vs Theta(I*W + K). Since W >> K, depth-first wins by an order
+// of magnitude on real layers. This bench evaluates both formulas on every
+// convolution of the three paper networks.
+#include <iostream>
+
+#include "bench_util.h"
+#include "dataflow/width_first_scanner.h"
+#include "dataflow/window_scanner.h"
+
+namespace {
+
+// Both scan orders are real, tested implementations (window_scanner.h and
+// width_first_scanner.h produce identical windows); the buffer sizes below
+// are what those implementations actually retain.
+std::int64_t depth_first_values(const qnn::Node& n) {
+  return qnn::WindowScanner(n.in, n.k, n.stride, n.pad)
+      .paper_buffer_values();
+}
+
+std::int64_t width_first_values(const qnn::Node& n) {
+  return qnn::WidthFirstScanner(n.in, n.k, n.stride, n.pad).buffer_values();
+}
+
+}  // namespace
+
+int main() {
+  using namespace qnn;
+  bench::heading("Depth-first vs width-first scan buffers (§III-B1b)",
+                 "Buffered values per convolution kernel under the two scan "
+                 "orders; the streaming engine implements depth-first.");
+
+  for (const auto& w : bench::paper_workloads()) {
+    const Pipeline p = expand(w.spec);
+    Table t({"conv", "window", "depth-first", "width-first", "ratio"});
+    std::int64_t df_total = 0;
+    std::int64_t wf_total = 0;
+    for (const auto& n : p.nodes) {
+      if (n.kind != NodeKind::Conv || n.in.c < 2 || n.k < 2) continue;
+      const std::int64_t df = depth_first_values(n);
+      const std::int64_t wf = width_first_values(n);
+      df_total += df;
+      wf_total += wf;
+      t.add_row({n.name,
+                 std::to_string(n.k) + "x" + std::to_string(n.k) + "x" +
+                     std::to_string(n.in.c),
+                 Table::integer(df), Table::integer(wf),
+                 Table::num(static_cast<double>(wf) / df, 1) + "x"});
+    }
+    std::cout << w.label << ":\n";
+    t.print(std::cout);
+    std::cout << "total buffered values: depth-first " << df_total
+              << " vs width-first " << wf_total << " ("
+              << Table::num(static_cast<double>(wf_total) / df_total, 1)
+              << "x more)\n\n";
+  }
+  std::cout << "Reading: depth-first scan is why all images are streamed "
+               "pixel by pixel\nand not channel by channel (§III-B1b).\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: what do skip connections actually cost? (§III-B5, §IV-B2)
+//
+// The paper makes two statements that pull in different directions:
+//  * §III-B5: per block, a skip connection needs one adder and one delay
+//    buffer, and "the overhead ... is negligible";
+//  * §IV-B2: ResNet-18 needs ~75% more LUTs than AlexNet, attributed to
+//    the skip connections and depth, forcing a three-DFE split.
+// This bench quantifies both views: per-block cost, whole-network cost
+// (vs an identical conv ladder without skip infrastructure), and the
+// runtime cost (which the streaming architecture absorbs entirely).
+#include <iostream>
+
+#include "bench_util.h"
+#include "fpga/resource_model.h"
+#include "perfmodel/fpga_estimate.h"
+
+int main() {
+  using namespace qnn;
+  bench::heading("Skip-connection ablation",
+                 "resnet18 vs an identical conv ladder with the skip "
+                 "infrastructure removed (projections, adders, buffers).");
+
+  const Pipeline with = expand(models::resnet18(224, 1000, 2));
+  const Pipeline without = expand(models::resnet18_noskip(224, 1000, 2));
+  const NetworkResources rw = estimate_resources(with);
+  const NetworkResources ro = estimate_resources(without);
+  const auto fw = estimate_fpga(with);
+  const auto fo = estimate_fpga(without);
+
+  Table t({"metric", "with skips", "without", "overhead"});
+  auto pct = [](double a, double b) {
+    return "+" + Table::num(100.0 * (a / b - 1.0), 1) + "%";
+  };
+  t.add_row({"LUT", Table::integer(static_cast<std::int64_t>(rw.luts)),
+             Table::integer(static_cast<std::int64_t>(ro.luts)),
+             pct(rw.luts, ro.luts)});
+  t.add_row({"FF", Table::integer(static_cast<std::int64_t>(rw.ffs)),
+             Table::integer(static_cast<std::int64_t>(ro.ffs)),
+             pct(rw.ffs, ro.ffs)});
+  t.add_row({"BRAM Kbit",
+             Table::integer(static_cast<std::int64_t>(rw.bram_kbits())),
+             Table::integer(static_cast<std::int64_t>(ro.bram_kbits())),
+             pct(rw.bram_kbits(), ro.bram_kbits())});
+  t.add_row({"runtime ms", Table::num(1e3 * fw.seconds_per_image, 2),
+             Table::num(1e3 * fo.seconds_per_image, 2),
+             pct(fw.seconds_per_image, fo.seconds_per_image)});
+  t.add_row({"DFEs", Table::integer(fw.num_dfes),
+             Table::integer(fo.num_dfes), "-"});
+  t.print(std::cout);
+
+  bench::heading("Per-block skip cost (§III-B5)",
+                 "One adder + one 16-bit delay buffer per residual block; "
+                 "the buffer equals one conv line buffer and never stalls "
+                 "(validated by the cycle simulator, see test_sim).");
+  Table b({"block (Add node)", "channels", "buffer bits", "LUT", "FF"});
+  for (const auto& n : rw.nodes) {
+    if (n.kind != NodeKind::Add) continue;
+    b.add_row({n.name, "-", Table::integer(n.skip_buffer_bits),
+               Table::integer(static_cast<std::int64_t>(n.luts)),
+               Table::integer(static_cast<std::int64_t>(n.ffs))});
+  }
+  b.print(std::cout);
+  std::cout << "\nReading: each block's adder+buffer is small next to its "
+               "two convolutions\n(the paper's 'negligible'), but 8 blocks "
+               "of 16-bit plumbing explain ResNet's\nLUT surplus over "
+               "AlexNet (the paper's three-DFE split).\n";
+  return 0;
+}

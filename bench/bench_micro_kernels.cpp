@@ -1,0 +1,172 @@
+// Microbenchmarks (google-benchmark) of the hot computational primitives:
+// the XNOR-popcount datapath vs a scalar reference, the folded threshold
+// activation vs the float BatchNorm + quantizer path, the window scanner,
+// the SPSC stream, and a small end-to-end streaming inference.
+#include <benchmark/benchmark.h>
+
+#include "core/bitplanes.h"
+#include "dataflow/engine.h"
+#include "dataflow/window_scanner.h"
+#include "models/zoo.h"
+#include "nn/reference.h"
+#include "quant/threshold.h"
+
+namespace qnn {
+namespace {
+
+void BM_Pm1DotPacked(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  Rng rng(1);
+  BitVector a(n);
+  BitVector b(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    a.set(i, rng.next_bool());
+    b.set(i, rng.next_bool());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.pm1_dot(b));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Pm1DotPacked)->Arg(576)->Arg(4608)->Arg(9216);
+
+void BM_Pm1DotScalarReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::int8_t> w(n);
+  std::vector<std::int32_t> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = rng.next_bool() ? 1 : -1;
+    x[i] = static_cast<std::int32_t>(rng.next_below(4));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference_pm1_dot(w, x));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Pm1DotScalarReference)->Arg(576)->Arg(4608)->Arg(9216);
+
+void BM_BitPlaneDot2Bit(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  Rng rng(2);
+  BitVector w(n);
+  BitPlaneWindow win(n, 2);
+  for (std::int64_t i = 0; i < n; ++i) {
+    w.set(i, rng.next_bool());
+    win.set(i, static_cast<std::uint32_t>(rng.next_below(4)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(win.dot(w));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BitPlaneDot2Bit)->Arg(576)->Arg(4608)->Arg(9216);
+
+void BM_ThresholdEval(benchmark::State& state) {
+  BnParams bn;
+  bn.gamma = 1.2f;
+  bn.mu = 40.0f;
+  bn.inv_sigma = 0.01f;
+  bn.beta = 2.0f;
+  const ActQuantizer q(static_cast<int>(state.range(0)), 1.0);
+  const auto t = ThresholdActivation::fold(bn, q);
+  std::int32_t a = -5000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.eval_binary_search(a));
+    a = a < 5000 ? a + 7 : -5000;
+  }
+}
+BENCHMARK(BM_ThresholdEval)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_FloatBnActPath(benchmark::State& state) {
+  BnParams bn;
+  bn.gamma = 1.2f;
+  bn.mu = 40.0f;
+  bn.inv_sigma = 0.01f;
+  bn.beta = 2.0f;
+  const ActQuantizer q(static_cast<int>(state.range(0)), 1.0);
+  std::int32_t a = -5000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.code(bn.apply(a)));
+    a = a < 5000 ? a + 7 : -5000;
+  }
+}
+BENCHMARK(BM_FloatBnActPath)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_WindowScanner(benchmark::State& state) {
+  const Shape in{32, 32, 64};
+  Rng rng(3);
+  IntTensor img(in);
+  for (std::int64_t i = 0; i < img.size(); ++i) {
+    img[i] = static_cast<std::int32_t>(rng.next_below(4));
+  }
+  std::vector<std::int32_t> window(
+      static_cast<std::size_t>(3 * 3 * in.c));
+  for (auto _ : state) {
+    WindowScanner s(in, 3, 1, 1);
+    std::int64_t next = 0;
+    while (!s.done()) {
+      const std::int32_t v = s.next_is_padding() ? 0 : img[next++];
+      const auto completed = s.advance(v);
+      if (completed) {
+        s.window(*completed, window);
+        benchmark::DoNotOptimize(window.data());
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * img.size());
+}
+BENCHMARK(BM_WindowScanner);
+
+void BM_StreamThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Stream s(1024, 16, "bench");
+    const std::int64_t n = 1 << 18;
+    state.ResumeTiming();
+    std::thread consumer([&] {
+      std::int32_t v;
+      while (s.pop(v)) benchmark::DoNotOptimize(v);
+    });
+    for (std::int32_t i = 0; i < n; ++i) s.push(i);
+    s.close();
+    consumer.join();
+    state.SetItemsProcessed(state.items_processed() + n);
+  }
+}
+BENCHMARK(BM_StreamThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_StreamingEngineTiny(benchmark::State& state) {
+  const Pipeline p = expand(models::tiny(12, 4, 2));
+  const NetworkParams params = NetworkParams::random(p, 99);
+  StreamEngine engine(p, params);
+  Rng rng(4);
+  IntTensor img(p.input);
+  for (std::int64_t i = 0; i < img.size(); ++i) {
+    img[i] = static_cast<std::int32_t>(rng.next_below(256));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_one(img));
+  }
+}
+BENCHMARK(BM_StreamingEngineTiny)->Unit(benchmark::kMillisecond);
+
+void BM_ReferenceExecutorTiny(benchmark::State& state) {
+  const Pipeline p = expand(models::tiny(12, 4, 2));
+  const NetworkParams params = NetworkParams::random(p, 99);
+  const ReferenceExecutor exec(p, params);
+  Rng rng(4);
+  IntTensor img(p.input);
+  for (std::int64_t i = 0; i < img.size(); ++i) {
+    img[i] = static_cast<std::int32_t>(rng.next_below(256));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.run(img));
+  }
+}
+BENCHMARK(BM_ReferenceExecutorTiny)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace qnn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Table III: comparison of ResNet-18 and AlexNet on the DFE platform —
+// LUT, BRAM (Kbit), FF and runtime — plus the §IV-B2 depth-penalty
+// analysis (ResNet-18 costs +17.5% on the DFE vs +42.5% on the GPU).
+#include <iostream>
+
+#include "bench_util.h"
+#include "fpga/resource_model.h"
+#include "perfmodel/fpga_estimate.h"
+#include "perfmodel/gpu_model.h"
+
+int main() {
+  using namespace qnn;
+  bench::heading("Table III — ResNet-18 vs AlexNet on the DFE",
+                 "Resources from the calibrated model; runtime from the "
+                 "cycle simulator @105 MHz.");
+
+  const Pipeline alex = expand(models::alexnet(224, 1000, 2));
+  const Pipeline res = expand(models::resnet18(224, 1000, 2));
+  const NetworkResources ra = estimate_resources(alex);
+  const NetworkResources rr = estimate_resources(res);
+  const auto fa = estimate_fpga(alex);
+  const auto fr = estimate_fpga(res);
+
+  Table t({"metric", "AlexNet", "ResNet-18", "paper AlexNet",
+           "paper ResNet-18"});
+  t.add_row({"LUT", Table::integer(static_cast<std::int64_t>(ra.luts)),
+             Table::integer(static_cast<std::int64_t>(rr.luts)), "343295",
+             "596081"});
+  t.add_row({"BRAM (Kbit)",
+             Table::integer(static_cast<std::int64_t>(ra.bram_kbits())),
+             Table::integer(static_cast<std::int64_t>(rr.bram_kbits())),
+             "34600", "30854"});
+  t.add_row({"FF", Table::integer(static_cast<std::int64_t>(ra.ffs)),
+             Table::integer(static_cast<std::int64_t>(rr.ffs)), "664767",
+             "1175373"});
+  t.add_row({"Run time (ms)", Table::num(1e3 * fa.seconds_per_image, 1),
+             Table::num(1e3 * fr.seconds_per_image, 1), "13.7", "16.1"});
+  t.add_row({"DFEs", Table::integer(fa.num_dfes),
+             Table::integer(fr.num_dfes), "3", "3"});
+  t.print(std::cout);
+
+  bench::heading("Depth penalty (§IV-B2)",
+                 "Streaming overlaps layers; the GPU executes them "
+                 "sequentially.");
+  const double dfe_penalty =
+      100.0 * (fr.seconds_per_image / fa.seconds_per_image - 1.0);
+  const auto ga = estimate_gpu(alex, tesla_p100());
+  const auto gr = estimate_gpu(res, tesla_p100());
+  const double gpu_penalty =
+      100.0 * (gr.seconds_per_image / ga.seconds_per_image - 1.0);
+  Table d({"platform", "ResNet-18 vs AlexNet", "paper"});
+  d.add_row({"DFE (streaming)", "+" + Table::num(dfe_penalty, 1) + "%",
+             "+17.5%"});
+  d.add_row({"GPU (layer-sequential)", "+" + Table::num(gpu_penalty, 1) + "%",
+             "+42.5%"});
+  d.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Table IV: comparison with FINN (Umuroglu et al. [29]) on the 32x32
+// VGG-like network. FINN's published numbers (Zynq-7000 fabric, 1-bit
+// activations, inputs resident on chip) are literature constants; our side
+// comes from the calibrated models. The paper's reading: FINN is faster and
+// lower power, this architecture trades that for 2-bit accuracy (+4.1%)
+// and scalability to large inputs and multi-FPGA systems.
+#include <iostream>
+
+#include "bench_util.h"
+#include "fpga/resource_model.h"
+#include "perfmodel/fpga_estimate.h"
+
+int main() {
+  using namespace qnn;
+  bench::heading("Table IV — comparison with FINN at 32x32",
+                 "FINN column: published values from Umuroglu et al. "
+                 "(different FPGA vendor; trends only, as in the paper).");
+
+  const Pipeline p = expand(models::vgg_like(32, 10, 2));
+  const auto dfe = estimate_fpga(p);
+  const auto res = estimate_resources(p);
+
+  Table a({"metric", "FINN (paper)", "this work (model)", "paper DFE"});
+  a.add_row({"Time (ms)", "0.0456", Table::num(1e3 * dfe.seconds_per_image, 2),
+             "0.8"});
+  a.add_row({"Power (W)", "3.6", Table::num(dfe.power_w, 1), "12"});
+  a.add_row({"Accuracy", "80.1% (1-bit act)", "2-bit activations",
+             "84.2%"});
+  a.print(std::cout);
+  std::cout << "\n(The +4.1% accuracy gap is a training-time property of "
+               "2-bit vs 1-bit activations;\nsee bench_ablation_actbits for "
+               "the reproduced ordering.)\n";
+
+  Table b({"resource", "FINN (paper)", "this work (model)", "paper DFE"});
+  b.add_row({"LUT", "46253",
+             Table::integer(static_cast<std::int64_t>(res.luts)), "133887"});
+  b.add_row({"BRAM (Kbit)", "6696",
+             Table::integer(static_cast<std::int64_t>(res.bram_kbits())),
+             "11020"});
+  b.add_row({"FF", "-",
+             Table::integer(static_cast<std::int64_t>(res.ffs)), "278501"});
+  std::cout << "\n";
+  b.print(std::cout);
+
+  bench::heading("Topology cross-check: padded VGG-like vs exact FINN CNV",
+                 "The paper's VGG-like network is 'based on' FINN's CNV; "
+                 "both lowered through this stack for comparison.");
+  const Pipeline cnv = expand(models::finn_cnv(10, 2));
+  const auto cnv_res = estimate_resources(cnv);
+  const auto cnv_dfe = estimate_fpga(cnv);
+  Table c({"network", "LUT", "FF", "BRAM Kbit", "DFE ms"});
+  c.add_row({"VGG-like (padded, paper)",
+             Table::integer(static_cast<std::int64_t>(res.luts)),
+             Table::integer(static_cast<std::int64_t>(res.ffs)),
+             Table::integer(static_cast<std::int64_t>(res.bram_kbits())),
+             Table::num(1e3 * dfe.seconds_per_image)});
+  c.add_row({"FINN CNV (unpadded)",
+             Table::integer(static_cast<std::int64_t>(cnv_res.luts)),
+             Table::integer(static_cast<std::int64_t>(cnv_res.ffs)),
+             Table::integer(static_cast<std::int64_t>(cnv_res.bram_kbits())),
+             Table::num(1e3 * cnv_dfe.seconds_per_image)});
+  c.print(std::cout);
+  return 0;
+}

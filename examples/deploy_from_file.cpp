@@ -1,0 +1,49 @@
+// The paper's full deployment flow, end to end (§III-B):
+//   1. train a quantized CNN (host side, straight-through estimator),
+//   2. store weights + normalization parameters on the CPU side (a file),
+//   3. "configure the DFEs": load, lower, partition, estimate,
+//   4. stream images for inference.
+#include <cstdio>
+#include <iostream>
+
+#include "host/session.h"
+#include "nn/serialize.h"
+#include "train/qat_cnn.h"
+
+int main() {
+  using namespace qnn;
+
+  // 1. Train on a synthetic stripe-pattern task.
+  const auto all = make_pattern_task(/*classes=*/4, 12, 12, 1,
+                                     /*samples_per_class=*/60, /*seed=*/7);
+  const auto [train, test] = split_dataset(all, 0.75);
+  QatCnnConfig cfg;
+  cfg.act_bits = 2;
+  cfg.epochs = 20;
+  cfg.seed = 3;
+  QatCnn cnn(train.image, train.classes, cfg);
+  const double loss = cnn.fit(train);
+  std::cout << "trained: final loss " << loss << ", accuracy "
+            << 100.0 * cnn.evaluate(test) << "% on held-out patterns\n\n";
+
+  // 2. Store on the "CPU side".
+  const std::string path = "/tmp/qnn_deployed_model.qnn";
+  const auto [pipeline, params] = cnn.export_network();
+  save_network(path, cnn.export_spec(), params);
+  std::cout << "saved network to " << path << "\n\n";
+
+  // 3. Configure the DFE platform from the stored file.
+  DfeSession session = DfeSession::load(path);
+  std::cout << session.report() << "\n";
+
+  // 4. Stream the held-out images for inference.
+  int correct = 0;
+  for (int i = 0; i < test.size(); ++i) {
+    correct += session.classify(test.images[static_cast<std::size_t>(i)]) ==
+               test.labels[static_cast<std::size_t>(i)];
+  }
+  std::cout << "deployed accuracy: " << 100.0 * correct / test.size()
+            << "% over " << test.size() << " streamed images\n";
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Partition explorer: a small CLI over the multi-DFE planner (§III-B6).
+//
+//   partition_explorer [model] [input_size] [fill]
+//     model      resnet18 | alexnet | vgg          (default resnet18)
+//     input_size pixels per side                   (default 224 / 32)
+//     fill       max per-DFE utilization in (0,1]  (default 0.85)
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "io/table.h"
+#include "models/zoo.h"
+#include "partition/partitioner.h"
+
+int main(int argc, char** argv) {
+  using namespace qnn;
+  const std::string model = argc > 1 ? argv[1] : "resnet18";
+  const int default_size = model == "vgg" ? 32 : 224;
+  const int size = argc > 2 ? std::atoi(argv[2]) : default_size;
+  const double fill = argc > 3 ? std::atof(argv[3]) : 0.85;
+
+  NetworkSpec spec;
+  if (model == "resnet18") {
+    spec = models::resnet18(size, 1000, 2);
+  } else if (model == "alexnet") {
+    spec = models::alexnet(size, 1000, 2);
+  } else if (model == "vgg") {
+    spec = models::vgg_like(size, 10, 2);
+  } else {
+    std::cerr << "unknown model '" << model
+              << "' (use resnet18 | alexnet | vgg)\n";
+    return 2;
+  }
+
+  const Pipeline pipeline = expand(spec);
+  PartitionConfig cfg;
+  cfg.fill = fill;
+  PartitionResult plan;
+  try {
+    plan = partition_optimal(pipeline, cfg);
+  } catch (const Error& e) {
+    std::cerr << "partitioning failed: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::cout << spec.name << " on " << plan.num_dfes()
+            << " DFE(s), fill budget " << fill << ", throughput "
+            << Table::num(plan.images_per_second, 1) << " fps, link slowdown "
+            << Table::num(plan.link_slowdown, 4) << "\n\n";
+
+  Table t({"DFE", "kernels", "LUT", "FF", "BRAM", "util"});
+  for (std::size_t k = 0; k < plan.dfes.size(); ++k) {
+    const auto& d = plan.dfes[k];
+    t.add_row({Table::integer(static_cast<std::int64_t>(k)),
+               pipeline.node(d.first_node).name + " .. " +
+                   pipeline.node(d.last_node).name,
+               Table::integer(static_cast<std::int64_t>(d.luts)),
+               Table::integer(static_cast<std::int64_t>(d.ffs)),
+               Table::integer(d.bram_blocks), Table::num(d.utilization, 2)});
+  }
+  t.print(std::cout);
+
+  if (!plan.cuts.empty()) {
+    std::cout << "\nMaxRing links:\n";
+    for (const auto& cut : plan.cuts) {
+      std::cout << "  after " << pipeline.node(cut.after_node).name << ": "
+                << Table::num(cut.required_mbps, 1) << " Mbps ("
+                << cut.streams.size() << " stream(s), "
+                << (cut.feasible ? "feasible" : "OVERSUBSCRIBED") << ")\n";
+      for (const auto& s : cut.streams) {
+        std::cout << "      " << s.name << ": " << s.values_per_image
+                  << " x " << s.bits << "b per image\n";
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Full-size ResNet-18 for 224x224 classification (Table I), the paper's
+// headline network: reports the multi-DFE partitioning, cycle-accurate
+// timing, resources, power and energy — then actually streams an image
+// through the threaded engine and checks it against the reference.
+#include <iostream>
+
+#include "dataflow/engine.h"
+#include "io/synthetic.h"
+#include "io/table.h"
+#include "models/zoo.h"
+#include "nn/reference.h"
+#include "perfmodel/fpga_estimate.h"
+
+int main() {
+  using namespace qnn;
+  const Pipeline pipeline = expand(models::resnet18(224, 1000, 2));
+  std::cout << "ResNet-18 (Table I): " << pipeline.size() << " kernels, "
+            << pipeline.total_weight_bits() / 8 / 1024
+            << " KiB of binarized weights\n\n";
+
+  const FpgaRunEstimate est = estimate_fpga(pipeline);
+  std::cout << "DFE estimate @105 MHz:\n"
+            << "  clocks/picture : " << est.clocks_per_image
+            << "  (paper: ~1.85e6)\n"
+            << "  runtime        : " << Table::num(1e3 * est.seconds_per_image)
+            << " ms  (paper: 16.1 ms)\n"
+            << "  throughput     : " << Table::num(est.images_per_second, 1)
+            << " fps\n"
+            << "  DFEs           : " << est.num_dfes << "  (paper: 3)\n"
+            << "  system power   : " << Table::num(est.power_w, 1) << " W\n"
+            << "  energy/image   : "
+            << Table::num(1e3 * est.energy_per_image_j, 1) << " mJ\n\n";
+
+  Table t({"DFE", "kernels", "LUT", "FF", "BRAM blocks", "utilization"});
+  for (std::size_t k = 0; k < est.partition.dfes.size(); ++k) {
+    const auto& d = est.partition.dfes[k];
+    t.add_row({Table::integer(static_cast<std::int64_t>(k)),
+               pipeline.node(d.first_node).name + " .. " +
+                   pipeline.node(d.last_node).name,
+               Table::integer(static_cast<std::int64_t>(d.luts)),
+               Table::integer(static_cast<std::int64_t>(d.ffs)),
+               Table::integer(d.bram_blocks), Table::num(d.utilization, 2)});
+  }
+  t.print(std::cout);
+  for (const auto& cut : est.partition.cuts) {
+    std::cout << "MaxRing cut after " << pipeline.node(cut.after_node).name
+              << ": " << Table::num(cut.required_mbps, 1)
+              << " Mbps over " << cut.streams.size() << " stream(s)\n";
+  }
+
+  std::cout << "\nstreaming one synthetic 224x224 image through the "
+               "threaded engine...\n";
+  const NetworkParams params = NetworkParams::random(pipeline, 2024);
+  Rng rng(5);
+  const IntTensor image = synthetic_image(224, 224, 3, rng);
+  StreamEngine engine(pipeline, params);
+  const IntTensor logits = engine.run_one(image);
+  const ReferenceExecutor reference(pipeline, params);
+  const bool ok = logits == reference.run(image);
+  std::cout << "bit-exact vs reference executor: " << (ok ? "yes" : "NO")
+            << "; top-1 class = " << ReferenceExecutor::argmax(logits)
+            << " of 1000\n";
+  return ok ? 0 : 1;
+}

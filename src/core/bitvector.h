@@ -1,0 +1,102 @@
+// Packed bit vector: the storage format of binarized (+-1) filter weights.
+//
+// One BitVector holds the K*K*I sign bits of a single filter — exactly one
+// weight-cache entry in the hardware design (§III-B1a). Bit value 1 encodes
+// weight +1, bit value 0 encodes weight -1. Unused tail bits in the last
+// word are kept zero as a class invariant so popcount-based reductions can
+// run whole words.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bitops.h"
+#include "core/error.h"
+
+namespace qnn {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::int64_t bits)
+      : bits_(bits), words_(static_cast<std::size_t>(words_for_bits(bits))) {
+    QNN_CHECK(bits >= 0, "negative bit count");
+  }
+
+  [[nodiscard]] std::int64_t bits() const { return bits_; }
+  [[nodiscard]] std::int64_t words() const {
+    return static_cast<std::int64_t>(words_.size());
+  }
+  [[nodiscard]] bool empty() const { return bits_ == 0; }
+
+  void set(std::int64_t i, bool value) {
+    QNN_DCHECK(i >= 0 && i < bits_, "bit index out of range");
+    const Word mask = Word{1} << (i % kWordBits);
+    auto& w = words_[static_cast<std::size_t>(i / kWordBits)];
+    if (value) {
+      w |= mask;
+    } else {
+      w &= ~mask;
+    }
+  }
+
+  [[nodiscard]] bool get(std::int64_t i) const {
+    QNN_DCHECK(i >= 0 && i < bits_, "bit index out of range");
+    return (words_[static_cast<std::size_t>(i / kWordBits)] >>
+            (i % kWordBits)) &
+           1U;
+  }
+
+  [[nodiscard]] Word word(std::int64_t wi) const {
+    QNN_DCHECK(wi >= 0 && wi < words(), "word index out of range");
+    return words_[static_cast<std::size_t>(wi)];
+  }
+
+  Word& word(std::int64_t wi) {
+    QNN_DCHECK(wi >= 0 && wi < words(), "word index out of range");
+    return words_[static_cast<std::size_t>(wi)];
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] int count() const {
+    int total = 0;
+    for (Word w : words_) total += qnn::popcount(w);
+    return total;
+  }
+
+  /// popcount(*this & other); both operands must have equal length.
+  [[nodiscard]] int and_popcount(const BitVector& other) const {
+    QNN_DCHECK(bits_ == other.bits_, "length mismatch in and_popcount");
+    int total = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      total += qnn::popcount(words_[i] & other.words_[i]);
+    }
+    return total;
+  }
+
+  /// +-1 dot product with `other` (both encode +-1 as sign bits):
+  /// 2*popcount(xnor) - n, the BNN multiply-accumulate (§III-B1).
+  [[nodiscard]] int pm1_dot(const BitVector& other) const {
+    QNN_DCHECK(bits_ == other.bits_, "length mismatch in pm1_dot");
+    int agreements = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      agreements += qnn::popcount(~(words_[i] ^ other.words_[i]));
+    }
+    // Full-word xnor counts tail bits as agreements (both zero); subtract.
+    const int tail =
+        static_cast<int>(words() * kWordBits - bits_);
+    agreements -= tail;
+    return 2 * agreements - static_cast<int>(bits_);
+  }
+
+  /// Zero all bits, keeping the length.
+  void clear() { words_.assign(words_.size(), 0); }
+
+  friend bool operator==(const BitVector&, const BitVector&) = default;
+
+ private:
+  std::int64_t bits_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace qnn

@@ -1,0 +1,20 @@
+#include "core/error.h"
+
+namespace qnn::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::string what = "QNN_CHECK failed: ";
+  what += expr;
+  what += " at ";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  if (!msg.empty()) {
+    what += " — ";
+    what += msg;
+  }
+  throw Error(what);
+}
+
+}  // namespace qnn::detail

@@ -1,0 +1,42 @@
+// Error handling for the qnn library.
+//
+// All precondition violations throw qnn::Error with a message that carries
+// the failing expression and location. Hot inner loops use QNN_DCHECK, which
+// compiles out in NDEBUG builds; public API boundaries use QNN_CHECK, which
+// is always active.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qnn {
+
+/// Exception type thrown on any library precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace qnn
+
+/// Always-on precondition check. `msg` may use stream-free string concat.
+#define QNN_CHECK(expr, msg)                                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::qnn::detail::throw_check_failure(#expr, __FILE__, __LINE__, msg); \
+    }                                                                     \
+  } while (false)
+
+/// Debug-only check for hot paths; disappears in NDEBUG builds.
+#ifdef NDEBUG
+#define QNN_DCHECK(expr, msg) \
+  do {                        \
+  } while (false)
+#else
+#define QNN_DCHECK(expr, msg) QNN_CHECK(expr, msg)
+#endif

@@ -1,0 +1,54 @@
+// Minimal fork-join parallel loop used by the reference executor and the
+// workload generators. Data decomposition over an index range with static
+// chunking — the "traditional" model the paper contrasts with functional
+// decomposition (§II); we use it only on the host/golden side.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qnn {
+
+/// Invoke fn(begin, end) over disjoint chunks of [0, n) on up to
+/// `max_threads` threads (0 = hardware concurrency). Exceptions from worker
+/// threads are rethrown on the calling thread (first one wins).
+inline void parallel_for(std::int64_t n,
+                         const std::function<void(std::int64_t, std::int64_t)>& fn,
+                         unsigned max_threads = 0) {
+  if (n <= 0) return;
+  unsigned hw = max_threads != 0 ? max_threads
+                                 : std::max(1u, std::thread::hardware_concurrency());
+  const std::int64_t threads =
+      std::min<std::int64_t>(static_cast<std::int64_t>(hw), n);
+  if (threads <= 1) {
+    fn(0, n);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  std::exception_ptr error;
+  std::mutex error_mu;
+  const std::int64_t chunk = (n + threads - 1) / threads;
+  for (std::int64_t t = 0; t < threads; ++t) {
+    const std::int64_t begin = t * chunk;
+    const std::int64_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace qnn

@@ -1,0 +1,79 @@
+// Deterministic pseudo-random generation for reproducible experiments.
+//
+// Every experiment in the benchmark harness seeds its own Rng so results are
+// bit-identical across runs and platforms (we avoid std::default_random_engine
+// whose streams are implementation-defined).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace qnn {
+
+/// xoshiro256** by Blackman & Vigna, seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n) for n >= 1, by rejection-free multiply-shift.
+  std::uint64_t next_below(std::uint64_t n) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() {
+    return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box–Muller (one value per call; simple & portable).
+  float next_gaussian() {
+    // Avoid log(0) by nudging u away from zero.
+    const double u = next_double() + 1e-12;
+    const double v = next_double();
+    const double r = std::sqrt(-2.0 * std::log(u));
+    return static_cast<float>(r * std::cos(6.283185307179586 * v));
+  }
+
+  bool next_bool() { return (next_u64() >> 63) != 0; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace qnn

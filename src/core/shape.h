@@ -1,0 +1,78 @@
+// Tensor shapes for feature maps and filter banks.
+//
+// Feature maps are stored and streamed HWC (channel fastest), matching the
+// paper's depth-first scan (§III-B1b): all images are streamed to the engine
+// pixel by pixel, with the channel index varying fastest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/error.h"
+
+namespace qnn {
+
+/// Shape of a feature map: height x width x channels, HWC order.
+struct Shape {
+  int h = 0;
+  int w = 0;
+  int c = 0;
+
+  [[nodiscard]] std::int64_t elems() const {
+    return static_cast<std::int64_t>(h) * w * c;
+  }
+  [[nodiscard]] bool valid() const { return h > 0 && w > 0 && c > 0; }
+
+  /// Flat index of element (y, x, ch) in depth-first (HWC) order.
+  [[nodiscard]] std::int64_t index(int y, int x, int ch) const {
+    QNN_DCHECK(y >= 0 && y < h && x >= 0 && x < w && ch >= 0 && ch < c,
+               "index out of range");
+    return (static_cast<std::int64_t>(y) * w + x) * c + ch;
+  }
+
+  friend bool operator==(const Shape&, const Shape&) = default;
+
+  [[nodiscard]] std::string str() const {
+    return std::to_string(h) + "x" + std::to_string(w) + "x" +
+           std::to_string(c);
+  }
+};
+
+/// Shape of a convolution filter bank: `out_c` filters of k x k x in_c each.
+struct FilterShape {
+  int out_c = 0;
+  int k = 0;
+  int in_c = 0;
+
+  /// Number of weights in one filter (one weight-cache entry, §III-B1a).
+  [[nodiscard]] std::int64_t weights_per_filter() const {
+    return static_cast<std::int64_t>(k) * k * in_c;
+  }
+  /// Total number of weights in the bank.
+  [[nodiscard]] std::int64_t total_weights() const {
+    return weights_per_filter() * out_c;
+  }
+  [[nodiscard]] bool valid() const { return out_c > 0 && k > 0 && in_c > 0; }
+
+  friend bool operator==(const FilterShape&, const FilterShape&) = default;
+};
+
+/// Output spatial extent of a (possibly strided, padded) sliding window.
+/// Matches the standard conv/pool arithmetic: floor((n + 2p - k)/s) + 1.
+[[nodiscard]] constexpr int conv_out_extent(int n, int k, int stride,
+                                            int pad) {
+  return (n + 2 * pad - k) / stride + 1;
+}
+
+/// Shape produced by a k x k window op with the given stride and padding.
+[[nodiscard]] inline Shape conv_out_shape(const Shape& in, int out_c, int k,
+                                          int stride, int pad) {
+  QNN_CHECK(in.valid(), "input shape invalid: " + in.str());
+  QNN_CHECK(k >= 1 && stride >= 1 && pad >= 0, "bad window parameters");
+  QNN_CHECK(in.h + 2 * pad >= k && in.w + 2 * pad >= k,
+            "window larger than padded input");
+  return Shape{conv_out_extent(in.h, k, stride, pad),
+               conv_out_extent(in.w, k, stride, pad), out_c};
+}
+
+}  // namespace qnn

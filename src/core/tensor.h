@@ -1,0 +1,55 @@
+// Dense HWC tensor used for feature maps, activations codes and float data.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/shape.h"
+
+namespace qnn {
+
+/// Dense tensor in HWC (depth-first) layout. T is typically std::int32_t for
+/// integer activations / pre-activation sums, or float for training.
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape, T fill = T{})
+      : shape_(shape), data_(static_cast<std::size_t>(shape.elems()), fill) {
+    QNN_CHECK(shape.valid(), "tensor shape invalid: " + shape.str());
+  }
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t size() const { return shape_.elems(); }
+
+  [[nodiscard]] T& at(int y, int x, int c) {
+    return data_[static_cast<std::size_t>(shape_.index(y, x, c))];
+  }
+  [[nodiscard]] const T& at(int y, int x, int c) const {
+    return data_[static_cast<std::size_t>(shape_.index(y, x, c))];
+  }
+
+  /// Flat access in depth-first stream order (the order pixels enter a DFE).
+  [[nodiscard]] T& operator[](std::int64_t i) {
+    QNN_DCHECK(i >= 0 && i < size(), "flat index out of range");
+    return data_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] const T& operator[](std::int64_t i) const {
+    QNN_DCHECK(i >= 0 && i < size(), "flat index out of range");
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  [[nodiscard]] std::span<T> flat() { return data_; }
+  [[nodiscard]] std::span<const T> flat() const { return data_; }
+
+  friend bool operator==(const Tensor&, const Tensor&) = default;
+
+ private:
+  Shape shape_;
+  std::vector<T> data_;
+};
+
+using IntTensor = Tensor<std::int32_t>;
+using FloatTensor = Tensor<float>;
+
+}  // namespace qnn

@@ -1,0 +1,224 @@
+#include "dataflow/engine.h"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace qnn {
+
+Stream& StreamEngine::make_stream(std::size_t capacity, int bits,
+                                  std::string name) {
+  streams_.push_back(
+      std::make_unique<Stream>(capacity, bits, std::move(name)));
+  streams_.back()->set_abort(&abort_);
+  return *streams_.back();
+}
+
+StreamEngine::StreamEngine(const Pipeline& pipeline,
+                           const NetworkParams& params, EngineOptions options)
+    : pipeline_(pipeline), params_(params), options_(options) {
+  pipeline_.validate();
+
+  // Input port streams of every node, filled as edges are created.
+  std::vector<Stream*> main_in(static_cast<std::size_t>(pipeline.size()),
+                               nullptr);
+  std::vector<Stream*> skip_in(static_cast<std::size_t>(pipeline.size()),
+                               nullptr);
+
+  // Wire the output of producer `p` (-1 = pipeline input) to its consumers,
+  // inserting a fork kernel when the stream fans out. The skip-path FIFO is
+  // sized to hold a full feature map plus slack: functionally it subsumes
+  // the delay-compensation buffer of §III-B5 for any consumer lag.
+  auto wire = [&](int p, const Shape& shape, int bits, Stream*& direct_out) {
+    std::vector<int> consumers;
+    for (int j = 0; j < pipeline.size(); ++j) {
+      const Node& n = pipeline.node(j);
+      if (n.main_from == p) consumers.push_back(j);
+      if (n.skip_from == p && p >= 0) consumers.push_back(j);
+    }
+    const std::string pname =
+        p < 0 ? "input" : pipeline.node(p).name;
+    auto capacity_for = [&](int consumer) -> std::size_t {
+      const Node& n = pipeline.node(consumer);
+      if (n.kind == NodeKind::Add && n.skip_from == p &&
+          !(n.main_from == p)) {
+        return static_cast<std::size_t>(shape.elems()) + options_.skip_slack;
+      }
+      return options_.fifo_capacity;
+    };
+    auto attach = [&](int consumer, Stream& s) {
+      const Node& n = pipeline.node(consumer);
+      if (n.main_from == p && main_in[static_cast<std::size_t>(consumer)] ==
+                                  nullptr) {
+        main_in[static_cast<std::size_t>(consumer)] = &s;
+      } else {
+        QNN_CHECK(n.skip_from == p, "edge wiring inconsistency");
+        skip_in[static_cast<std::size_t>(consumer)] = &s;
+      }
+    };
+
+    if (consumers.empty()) {
+      // Only the final node has no consumers; its stream is the output.
+      direct_out = &make_stream(options_.fifo_capacity, bits,
+                                pname + "->output");
+      return;
+    }
+    if (consumers.size() == 1) {
+      Stream& s =
+          make_stream(capacity_for(consumers[0]), bits,
+                      pname + "->" + pipeline.node(consumers[0]).name);
+      attach(consumers[0], s);
+      direct_out = &s;
+      return;
+    }
+    // Fan-out: producer -> fork -> one stream per consumer.
+    Stream& trunk =
+        make_stream(options_.fifo_capacity, bits, pname + "->fork");
+    std::vector<Stream*> branches;
+    branches.reserve(consumers.size());
+    for (int consumer : consumers) {
+      Stream& s = make_stream(capacity_for(consumer), bits,
+                              pname + "=>" + pipeline.node(consumer).name);
+      attach(consumer, s);
+      branches.push_back(&s);
+    }
+    kernels_.push_back(std::make_unique<ForkKernel>("fork_" + pname, trunk,
+                                                    std::move(branches)));
+    direct_out = &trunk;
+  };
+
+  wire(-1, pipeline.input, pipeline.input_bits, input_stream_);
+
+  std::vector<Stream*> node_out(static_cast<std::size_t>(pipeline.size()),
+                                nullptr);
+  for (int i = 0; i < pipeline.size(); ++i) {
+    const Node& n = pipeline.node(i);
+    wire(i, n.out, n.out_bits, node_out[static_cast<std::size_t>(i)]);
+  }
+  output_stream_ = node_out[static_cast<std::size_t>(pipeline.size() - 1)];
+  QNN_CHECK(output_stream_ != nullptr, "output stream not wired");
+
+  for (int i = 0; i < pipeline.size(); ++i) {
+    const Node& n = pipeline.node(i);
+    Stream* in = main_in[static_cast<std::size_t>(i)];
+    Stream* out = node_out[static_cast<std::size_t>(i)];
+    QNN_CHECK(in != nullptr && out != nullptr,
+              "node " + n.name + " not fully wired");
+    switch (n.kind) {
+      case NodeKind::Conv:
+        kernels_.push_back(std::make_unique<ConvKernel>(
+            n, params.conv(n).weights, *in, *out));
+        break;
+      case NodeKind::MaxPool:
+      case NodeKind::AvgPool:
+        kernels_.push_back(std::make_unique<PoolKernel>(n, *in, *out));
+        break;
+      case NodeKind::BnAct:
+        kernels_.push_back(std::make_unique<BnActKernel>(
+            n, params.bnact(n).thresholds, *in, *out));
+        break;
+      case NodeKind::Add: {
+        Stream* skip = skip_in[static_cast<std::size_t>(i)];
+        QNN_CHECK(skip != nullptr, "add node " + n.name + " missing skip");
+        kernels_.push_back(
+            std::make_unique<AddKernel>(n, *in, *skip, *out));
+        break;
+      }
+    }
+  }
+}
+
+StreamEngine::~StreamEngine() = default;
+
+std::vector<IntTensor> StreamEngine::run(std::span<const IntTensor> images,
+                                         RunStats* stats) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const IntTensor& img : images) {
+    QNN_CHECK(img.shape() == pipeline_.input,
+              "image shape " + img.shape().str() + " != network input " +
+                  pipeline_.input.str());
+  }
+
+  // The engine is reusable: each run starts from pristine streams.
+  abort_.store(false, std::memory_order_relaxed);
+  for (auto& s : streams_) s->reset();
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto guard = [&](const auto& fn) {
+    try {
+      fn();
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+      }
+      abort_.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kernels_.size() + 1);
+  for (auto& k : kernels_) {
+    threads.emplace_back([&, kernel = k.get()] { guard([&] { kernel->run(); }); });
+  }
+  // Feeder: stream each image pixel by pixel, depth first (§III-B1b).
+  threads.emplace_back([&] {
+    guard([&] {
+      for (const IntTensor& img : images) {
+        for (std::int64_t i = 0; i < img.size(); ++i) {
+          input_stream_->push(img[i]);
+        }
+      }
+      input_stream_->close();
+    });
+  });
+
+  // Collector (this thread): one output tensor per image.
+  std::vector<IntTensor> outputs;
+  guard([&] {
+    const Shape out_shape = pipeline_.output_shape();
+    outputs.reserve(images.size());
+    for (std::size_t n = 0; n < images.size(); ++n) {
+      IntTensor out(out_shape);
+      for (std::int64_t i = 0; i < out.size(); ++i) {
+        std::int32_t v;
+        QNN_CHECK(output_stream_->pop(v), "output stream ended early");
+        out[i] = v;
+      }
+      outputs.push_back(std::move(out));
+    }
+    std::int32_t extra;
+    QNN_CHECK(!output_stream_->pop(extra), "trailing values on output");
+  });
+
+  for (auto& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+  if (stats != nullptr) {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - t0;
+    stats->wall_seconds = elapsed.count();
+    stats->images_per_second =
+        elapsed.count() > 0.0
+            ? static_cast<double>(images.size()) / elapsed.count()
+            : 0.0;
+  }
+  return outputs;
+}
+
+IntTensor StreamEngine::run_one(const IntTensor& image) {
+  auto out = run(std::span<const IntTensor>(&image, 1));
+  return std::move(out.front());
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+StreamEngine::stream_traffic() const {
+  std::vector<std::pair<std::string, std::uint64_t>> traffic;
+  traffic.reserve(streams_.size());
+  for (const auto& s : streams_) {
+    traffic.emplace_back(s->name(), s->pushed());
+  }
+  return traffic;
+}
+
+}  // namespace qnn

@@ -1,0 +1,77 @@
+// Threaded streaming engine: the software analog of the DFE manager.
+//
+// Builds one Kernel (thread) per pipeline node, wires them with bounded
+// Streams, inserts forks where a stream fans out (skip connections), feeds
+// images in depth-first pixel order and collects the output stream. All
+// layers compute concurrently once the pipeline fills — the paper's
+// computation-overlap property (§III-B) realized with host threads.
+//
+// The engine is the *functional* model (bit-exact against the reference
+// executor); timing comes from the cycle simulator in sim/.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/tensor.h"
+#include "dataflow/kernels.h"
+
+namespace qnn {
+
+struct EngineOptions {
+  /// FIFO capacity (values) of regular kernel-to-kernel streams.
+  std::size_t fifo_capacity = 4096;
+  /// Extra slack added to skip-connection FIFOs beyond the full feature
+  /// map they may need to hold while the regular path lags.
+  std::size_t skip_slack = 64;
+};
+
+class StreamEngine {
+ public:
+  StreamEngine(const Pipeline& pipeline, const NetworkParams& params,
+               EngineOptions options = {});
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// Host-side wall-clock statistics of a run() call.
+  struct RunStats {
+    double wall_seconds = 0.0;
+    double images_per_second = 0.0;
+  };
+
+  /// Stream a batch of images through the pipeline; returns one output
+  /// tensor per image. Kernels run concurrently for the whole batch.
+  /// Optionally reports wall-clock throughput of the software engine.
+  [[nodiscard]] std::vector<IntTensor> run(std::span<const IntTensor> images,
+                                           RunStats* stats = nullptr);
+
+  [[nodiscard]] IntTensor run_one(const IntTensor& image);
+
+  [[nodiscard]] int kernel_count() const {
+    return static_cast<int>(kernels_.size());
+  }
+  [[nodiscard]] int stream_count() const {
+    return static_cast<int>(streams_.size());
+  }
+  /// Values carried by every stream during the last run() (name, count).
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  stream_traffic() const;
+
+ private:
+  Stream& make_stream(std::size_t capacity, int bits, std::string name);
+
+  const Pipeline& pipeline_;
+  const NetworkParams& params_;
+  EngineOptions options_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::vector<std::unique_ptr<Kernel>> kernels_;
+  Stream* input_stream_ = nullptr;
+  Stream* output_stream_ = nullptr;
+  std::atomic<bool> abort_{false};
+};
+
+}  // namespace qnn

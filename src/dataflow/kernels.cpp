@@ -1,0 +1,188 @@
+#include "dataflow/kernels.h"
+
+#include <algorithm>
+
+namespace qnn {
+namespace {
+
+/// Pops the first value of an image; false means the stream ended cleanly.
+bool pop_first(Stream& in, std::int32_t& v) { return in.pop(v); }
+
+/// Pops a mid-image value; a closed stream here is a protocol violation.
+std::int32_t pop_required(Stream& in, const std::string& who) {
+  std::int32_t v;
+  QNN_CHECK(in.pop(v), who + ": input stream closed mid-image");
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- ConvKernel
+
+ConvKernel::ConvKernel(const Node& node, const FilterBank& weights,
+                       Stream& in, Stream& out)
+    : Kernel(node.name),
+      node_(node),
+      weights_(weights),
+      in_(in),
+      out_(out),
+      scanner_(node.in, node.k, node.stride, node.pad, /*pad_value=*/0),
+      window_buf_(static_cast<std::size_t>(scanner_.window_values())),
+      planes_(scanner_.window_values(), node.in_bits) {
+  QNN_CHECK(node.kind == NodeKind::Conv, "ConvKernel needs a Conv node");
+  QNN_CHECK(weights.shape() == node.filter_shape(),
+            "weight bank does not match node geometry");
+}
+
+bool ConvKernel::process_image() {
+  scanner_.reset();
+  bool started = false;
+  std::int32_t first = 0;
+  while (!scanner_.done()) {
+    std::int32_t v = 0;
+    if (!scanner_.next_is_padding()) {
+      if (!started) {
+        if (!pop_first(in_, first)) return false;  // clean end of stream
+        started = true;
+        v = first;
+      } else {
+        v = pop_required(in_, name());
+      }
+    }
+    const auto completed = scanner_.advance(v);
+    if (completed) {
+      scanner_.window(*completed, window_buf_);
+      planes_.fill(window_buf_);
+      // "One output pixel per clock cycle, until all the filters are
+      // applied at this position" (§III-B1): emit all O responses.
+      for (int o = 0; o < node_.out.c; ++o) {
+        out_.push(planes_.dot(weights_.filter(o)));
+      }
+    }
+  }
+  return true;
+}
+
+void ConvKernel::run() {
+  while (process_image()) {
+  }
+  out_.close();
+}
+
+// ---------------------------------------------------------------- PoolKernel
+
+PoolKernel::PoolKernel(const Node& node, Stream& in, Stream& out)
+    : Kernel(node.name),
+      node_(node),
+      in_(in),
+      out_(out),
+      scanner_(node.in, node.k, node.stride, node.pad, /*pad_value=*/0),
+      window_buf_(static_cast<std::size_t>(scanner_.window_values())) {
+  QNN_CHECK(node.kind == NodeKind::MaxPool || node.kind == NodeKind::AvgPool,
+            "PoolKernel needs a pooling node");
+}
+
+bool PoolKernel::process_image() {
+  scanner_.reset();
+  bool started = false;
+  const bool is_max = node_.kind == NodeKind::MaxPool;
+  const int c = node_.in.c;
+  const int kk = node_.k * node_.k;
+  while (!scanner_.done()) {
+    std::int32_t v = 0;
+    if (!scanner_.next_is_padding()) {
+      if (!started) {
+        if (!pop_first(in_, v)) return false;
+        started = true;
+      } else {
+        v = pop_required(in_, name());
+      }
+    }
+    const auto completed = scanner_.advance(v);
+    if (completed) {
+      scanner_.window(*completed, window_buf_);
+      // Window layout is (dy, dx, ci); reduce per channel. Padded entries
+      // hold code 0, the lowest level — identity for max and sum alike.
+      for (int ci = 0; ci < c; ++ci) {
+        std::int32_t best = 0;
+        std::int64_t sum = 0;
+        for (int t = 0; t < kk; ++t) {
+          const std::int32_t x =
+              window_buf_[static_cast<std::size_t>(t) * c + ci];
+          best = std::max(best, x);
+          sum += x;
+        }
+        out_.push(is_max ? best : static_cast<std::int32_t>(sum));
+      }
+    }
+  }
+  return true;
+}
+
+void PoolKernel::run() {
+  while (process_image()) {
+  }
+  out_.close();
+}
+
+// --------------------------------------------------------------- BnActKernel
+
+BnActKernel::BnActKernel(const Node& node, const ThresholdLayer& thresholds,
+                         Stream& in, Stream& out)
+    : Kernel(node.name), node_(node), thresholds_(thresholds), in_(in),
+      out_(out) {
+  QNN_CHECK(node.kind == NodeKind::BnAct, "BnActKernel needs a BnAct node");
+  QNN_CHECK(thresholds.channels() == node.in.c,
+            "threshold bank channel count mismatch");
+}
+
+void BnActKernel::run() {
+  const int c = node_.in.c;
+  int ch = 0;
+  std::int32_t v;
+  while (in_.pop(v)) {
+    // The hardware path: binary search over the 2^n ranges (§III-B3).
+    out_.push(thresholds_.at(ch).eval_binary_search(v));
+    ch = ch + 1 == c ? 0 : ch + 1;
+  }
+  out_.close();
+}
+
+// ----------------------------------------------------------------- AddKernel
+
+AddKernel::AddKernel(const Node& node, Stream& in_main, Stream& in_skip,
+                     Stream& out)
+    : Kernel(node.name), node_(node), main_(in_main), skip_(in_skip),
+      out_(out) {
+  QNN_CHECK(node.kind == NodeKind::Add, "AddKernel needs an Add node");
+}
+
+void AddKernel::run() {
+  std::int32_t a;
+  while (main_.pop(a)) {
+    std::int32_t b;
+    QNN_CHECK(skip_.pop(b), name() + ": skip stream ended before main");
+    out_.push(a + b);
+  }
+  // Both paths must end together: a leftover skip value is a protocol bug.
+  std::int32_t leftover;
+  QNN_CHECK(!skip_.pop(leftover), name() + ": main stream ended before skip");
+  out_.close();
+}
+
+// ---------------------------------------------------------------- ForkKernel
+
+ForkKernel::ForkKernel(std::string name, Stream& in, std::vector<Stream*> outs)
+    : Kernel(std::move(name)), in_(in), outs_(std::move(outs)) {
+  QNN_CHECK(outs_.size() >= 2, "fork needs at least two consumers");
+}
+
+void ForkKernel::run() {
+  std::int32_t v;
+  while (in_.pop(v)) {
+    for (Stream* out : outs_) out->push(v);
+  }
+  for (Stream* out : outs_) out->close();
+}
+
+}  // namespace qnn

@@ -1,0 +1,122 @@
+// Streaming kernels: the functional decomposition units of §III-B.
+//
+// Each kernel is an independent thread of execution connected to its
+// neighbours only through Streams; it is triggered by input availability and
+// output buffer space (dataflow firing rule, §II-B). One kernel corresponds
+// to one pipeline Node; forks are inserted by the engine wherever a stream
+// fans out (residual skip connections).
+//
+// All kernels process an unbounded sequence of images and terminate when
+// their input stream is closed at an image boundary.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bitplanes.h"
+#include "dataflow/stream.h"
+#include "dataflow/window_scanner.h"
+#include "nn/params.h"
+#include "nn/pipeline.h"
+
+namespace qnn {
+
+class Kernel {
+ public:
+  explicit Kernel(std::string name) : name_(std::move(name)) {}
+  virtual ~Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Process the whole stream; returns when inputs are closed and drained.
+  virtual void run() = 0;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// XNOR-popcount convolution kernel (Figure 3). Consumes depth-first
+/// activation codes, injects padding locally, and on each completed window
+/// emits all O filter responses for that position. Weights live in the
+/// kernel as a packed FilterBank — the on-chip weight cache of §III-B1a.
+class ConvKernel final : public Kernel {
+ public:
+  ConvKernel(const Node& node, const FilterBank& weights, Stream& in,
+             Stream& out);
+  void run() override;
+
+ private:
+  bool process_image();
+
+  const Node& node_;
+  const FilterBank& weights_;
+  Stream& in_;
+  Stream& out_;
+  WindowScanner scanner_;
+  std::vector<std::int32_t> window_buf_;
+  BitPlaneWindow planes_;
+};
+
+/// Max / average (window-sum) pooling kernel. Parameterless; emits each
+/// output as soon as its window completes (§III-B2).
+class PoolKernel final : public Kernel {
+ public:
+  PoolKernel(const Node& node, Stream& in, Stream& out);
+  void run() override;
+
+ private:
+  bool process_image();
+
+  const Node& node_;
+  Stream& in_;
+  Stream& out_;
+  WindowScanner scanner_;
+  std::vector<std::int32_t> window_buf_;
+};
+
+/// Folded BatchNorm + n-bit activation kernel (§III-B3): per-channel
+/// threshold staircase evaluated by binary search.
+class BnActKernel final : public Kernel {
+ public:
+  BnActKernel(const Node& node, const ThresholdLayer& thresholds, Stream& in,
+              Stream& out);
+  void run() override;
+
+ private:
+  const Node& node_;
+  const ThresholdLayer& thresholds_;
+  Stream& in_;
+  Stream& out_;
+};
+
+/// Skip-connection adder (§III-B5, Figure 2): sums the regular path with
+/// the buffered 16-bit skip path. The skip stream's FIFO capacity plays the
+/// role of the delay-compensation buffer.
+class AddKernel final : public Kernel {
+ public:
+  AddKernel(const Node& node, Stream& in_main, Stream& in_skip, Stream& out);
+  void run() override;
+
+ private:
+  const Node& node_;
+  Stream& main_;
+  Stream& skip_;
+  Stream& out_;
+};
+
+/// Stream fan-out: replicates one stream to several consumers. Inserted by
+/// the engine where a node output feeds both the regular and skip paths.
+class ForkKernel final : public Kernel {
+ public:
+  ForkKernel(std::string name, Stream& in, std::vector<Stream*> outs);
+  void run() override;
+
+ private:
+  Stream& in_;
+  std::vector<Stream*> outs_;
+};
+
+}  // namespace qnn

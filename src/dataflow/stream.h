@@ -1,0 +1,136 @@
+// Bounded single-producer / single-consumer stream.
+//
+// Models the on-chip FIFOs that connect DFE kernels: "data are transferred
+// using configurable routing resources, buffered on-chip memory, and
+// flip-flops" (§II-B). Each stream carries one value per transaction in
+// depth-first order; the declared bit width is metadata used by the link
+// bandwidth model and the resource estimator, while the functional payload
+// is a full int32.
+//
+// The implementation is a lock-free ring buffer (acquire/release indices)
+// with a short spin followed by a cooperative yield, since a streaming
+// pipeline keeps every kernel thread mostly busy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/error.h"
+
+namespace qnn {
+
+class Stream {
+ public:
+  Stream(std::size_t capacity, int bits, std::string name)
+      : capacity_(capacity),
+        ring_(round_up_pow2(capacity + 1)),
+        mask_(ring_ - 1),
+        bits_(bits),
+        name_(std::move(name)),
+        buf_(ring_) {
+    QNN_CHECK(capacity >= 1, "stream capacity must be positive");
+    QNN_CHECK(bits >= 1 && bits <= 32, "stream width out of range");
+  }
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Attach an engine-wide abort flag; blocked push/pop calls throw once it
+  /// is raised, so a failing kernel cannot deadlock the rest of the pipe.
+  void set_abort(const std::atomic<bool>* flag) { abort_ = flag; }
+
+  /// Blocking push. Must only be called by the single producer thread.
+  /// Blocks while exactly `capacity` values are in flight — the FIFO depth
+  /// is honored precisely so capacity doubles as a buffer-size model.
+  void push(std::int32_t v) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    while (((head - tail_.load(std::memory_order_acquire)) & mask_) >=
+           capacity_) {
+      check_abort();
+      backoff();
+    }
+    buf_[head] = v;
+    head_.store(next, std::memory_order_release);
+    ++pushed_;
+  }
+
+  /// Blocking pop. Returns false iff the stream is closed and drained.
+  bool pop(std::int32_t& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    while (tail == head_.load(std::memory_order_acquire)) {
+      if (closed_.load(std::memory_order_acquire) &&
+          tail == head_.load(std::memory_order_acquire)) {
+        return false;
+      }
+      check_abort();
+      backoff();
+    }
+    v = buf_[tail];
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer signals end of data; pending values remain poppable.
+  void close() { closed_.store(true, std::memory_order_release); }
+
+  /// Reset to the freshly constructed state. Only valid while no producer
+  /// or consumer threads are active (the engine calls this between runs).
+  void reset() {
+    QNN_CHECK(head_.load() == tail_.load(),
+              "resetting stream '" + name_ + "' with values in flight");
+    head_.store(0);
+    tail_.store(0);
+    closed_.store(false);
+    pushed_ = 0;
+  }
+
+  [[nodiscard]] bool closed() const {
+    return closed_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] int bits() const { return bits_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// Total values pushed over the stream's lifetime (producer thread view).
+  [[nodiscard]] std::uint64_t pushed() const { return pushed_; }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  void check_abort() const {
+    if (abort_ != nullptr && abort_->load(std::memory_order_relaxed)) {
+      throw Error("stream '" + name_ + "' aborted");
+    }
+  }
+
+  static void backoff() {
+    // A short spin covers the common case (both threads active); yielding
+    // keeps oversubscribed pipelines (70+ kernels) from burning cores.
+    for (int i = 0; i < 64; ++i) {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#endif
+    }
+    std::this_thread::yield();
+  }
+
+  const std::size_t capacity_;
+  const std::size_t ring_;
+  const std::size_t mask_;
+  const int bits_;
+  const std::string name_;
+  std::vector<std::int32_t> buf_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::atomic<bool> closed_{false};
+  const std::atomic<bool>* abort_ = nullptr;
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace qnn

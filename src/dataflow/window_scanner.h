@@ -1,0 +1,158 @@
+// Shift-register window extraction over a depth-first pixel stream.
+//
+// Implements the input side of the convolution kernel in Figure 3: pixels
+// arrive one channel value per transaction in depth-first order (channel
+// fastest, then x, then y); padding positions are injected locally by the
+// kernel ("the kernel stops the input stream and inputs padding values into
+// the buffer instead", §III-B1). As soon as the bottom-right value of a
+// window is present, the window is complete and an output position can be
+// computed.
+//
+// The scanner retains exactly the last K rows of the padded map — the
+// depth-first scan of §III-B1b whose buffer cost is
+//     I * (W_padded * (K - 1) + K)
+// values, versus Theta(I*W_padded + K) per *width* unit for a width-first
+// scan (see fpga/resource_model.h for the accounting used in Fig 6).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/shape.h"
+
+namespace qnn {
+
+class WindowScanner {
+ public:
+  WindowScanner(Shape in, int k, int stride, int pad,
+                std::int32_t pad_value = 0)
+      : in_(in),
+        k_(k),
+        stride_(stride),
+        pad_(pad),
+        pad_value_(pad_value),
+        hp_(in.h + 2 * pad),
+        wp_(in.w + 2 * pad),
+        out_h_(conv_out_extent(in.h, k, stride, pad)),
+        out_w_(conv_out_extent(in.w, k, stride, pad)),
+        ring_(static_cast<std::size_t>(k) * wp_ * in.c) {
+    QNN_CHECK(in.valid() && k >= 1 && stride >= 1 && pad >= 0,
+              "invalid scanner geometry");
+    QNN_CHECK(hp_ >= k && wp_ >= k, "window larger than padded input");
+  }
+
+  /// All padded positions consumed and no further windows will complete.
+  [[nodiscard]] bool done() const { return y_ >= hp_; }
+
+  /// True when the next value to enter the buffer is a padding value the
+  /// kernel must inject itself (the input stream is halted meanwhile).
+  [[nodiscard]] bool next_is_padding() const {
+    QNN_DCHECK(!done(), "scanner exhausted");
+    return y_ < pad_ || y_ >= pad_ + in_.h || x_ < pad_ || x_ >= pad_ + in_.w;
+  }
+
+  struct Completed {
+    int oy;
+    int ox;
+  };
+
+  /// Advance the scan by one value: a real stream value when
+  /// !next_is_padding(), ignored otherwise (the pad value is injected).
+  /// Returns the output position whose window just completed, if any.
+  std::optional<Completed> advance(std::int32_t v) {
+    QNN_DCHECK(!done(), "advance past end of scan");
+    const std::int32_t stored = next_is_padding() ? pad_value_ : v;
+    ring_[ring_index(y_, x_, c_)] = stored;
+
+    std::optional<Completed> completed;
+    if (c_ == in_.c - 1) {
+      // Pixel (y_, x_) is now complete; is it the bottom-right corner of a
+      // window? Corner rows are oy*stride + k - 1, columns ox*stride + k-1.
+      const int ry = y_ - (k_ - 1);
+      const int rx = x_ - (k_ - 1);
+      if (ry >= 0 && rx >= 0 && ry % stride_ == 0 && rx % stride_ == 0) {
+        const int oy = ry / stride_;
+        const int ox = rx / stride_;
+        if (oy < out_h_ && ox < out_w_) completed = Completed{oy, ox};
+      }
+    }
+    // Advance the depth-first cursor.
+    if (++c_ == in_.c) {
+      c_ = 0;
+      if (++x_ == wp_) {
+        x_ = 0;
+        ++y_;
+      }
+    }
+    return completed;
+  }
+
+  /// Extract the window of output position (oy, ox) — only valid for the
+  /// position just reported by advance(). Depth-first layout (dy, dx, ci),
+  /// matching the weight-cache entry layout of FilterBank.
+  void window(const Completed& at, std::span<std::int32_t> out) const {
+    QNN_DCHECK(static_cast<std::int64_t>(out.size()) == window_values(),
+               "window span size mismatch");
+    std::size_t w = 0;
+    for (int dy = 0; dy < k_; ++dy) {
+      const int py = at.oy * stride_ + dy;
+      for (int dx = 0; dx < k_; ++dx) {
+        const int px = at.ox * stride_ + dx;
+        for (int ci = 0; ci < in_.c; ++ci) {
+          out[w++] = ring_[ring_index(py, px, ci)];
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::int64_t window_values() const {
+    return static_cast<std::int64_t>(k_) * k_ * in_.c;
+  }
+  [[nodiscard]] int out_h() const { return out_h_; }
+  [[nodiscard]] int out_w() const { return out_w_; }
+
+  /// Total padded positions scanned per image (pad injections included).
+  [[nodiscard]] std::int64_t padded_values() const {
+    return static_cast<std::int64_t>(hp_) * wp_ * in_.c;
+  }
+  /// Padding values injected locally per image.
+  [[nodiscard]] std::int64_t padding_values() const {
+    return padded_values() - in_.elems();
+  }
+
+  /// The paper's depth-first buffer size (§III-B1b) on the padded map:
+  /// I*(W_p*(K-1) + K) values retained.
+  [[nodiscard]] std::int64_t paper_buffer_values() const {
+    return static_cast<std::int64_t>(in_.c) *
+           (static_cast<std::int64_t>(wp_) * (k_ - 1) + k_);
+  }
+
+  /// Reset for the next image.
+  void reset() {
+    y_ = x_ = c_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t ring_index(int y, int x, int c) const {
+    return static_cast<std::size_t>((y % k_) * wp_ + x) *
+               static_cast<std::size_t>(in_.c) +
+           static_cast<std::size_t>(c);
+  }
+
+  Shape in_;
+  int k_;
+  int stride_;
+  int pad_;
+  std::int32_t pad_value_;
+  int hp_;
+  int wp_;
+  int out_h_;
+  int out_w_;
+  std::vector<std::int32_t> ring_;
+  int y_ = 0;
+  int x_ = 0;
+  int c_ = 0;
+};
+
+}  // namespace qnn

@@ -1,0 +1,74 @@
+// FPGA device and board database (Table II of the paper, §IV-B4).
+#pragma once
+
+#include <string>
+
+namespace qnn {
+
+/// Block RAM geometry of the Stratix V M20K: 20 Kbit blocks whose widest
+/// port configuration is 512 x 40 — the paper's "minimal depth of a BRAM is
+/// 512" (§III-B1a), the root of the >= 25% weight-cache waste.
+struct BramGeometry {
+  int block_bits = 20480;
+  int min_depth = 512;
+  int max_width = 40;
+};
+
+struct FpgaDevice {
+  std::string name;
+  std::int64_t luts = 0;       // ALM-equivalent LUT count
+  std::int64_t ffs = 0;        // flip-flops
+  int bram_blocks = 0;         // M20K blocks
+  BramGeometry bram{};
+  double clock_hz = 105e6;     // achievable fabric clock for this design
+
+  [[nodiscard]] std::int64_t bram_kbits() const {
+    return static_cast<std::int64_t>(bram_blocks) * bram.block_bits / 1000;
+  }
+};
+
+/// DFE board: one FPGA plus host link and measured board power envelope.
+struct DfeBoard {
+  std::string name;
+  FpgaDevice fpga;
+  double idle_power_w = 0.0;     // board power with the fabric configured
+  double max_power_w = 0.0;      // board power at full utilization
+  double maxring_gbps = 0.0;     // DFE-to-DFE link rate
+};
+
+/// Intel Stratix V 5SGSD8 (Table IIb): 262400 ALMs, 2567 M20K, 1050K FFs.
+[[nodiscard]] inline FpgaDevice stratix_v_5sgsd8() {
+  FpgaDevice d;
+  d.name = "Stratix V 5SGSD8";
+  d.luts = 262400;
+  d.ffs = 1050000;
+  d.bram_blocks = 2567;
+  d.clock_hz = 105e6;
+  return d;
+}
+
+/// Stratix 10 projection used in §IV-B4: ~5x the clock, ~2.7x the fabric.
+[[nodiscard]] inline FpgaDevice stratix_10_projection() {
+  FpgaDevice d;
+  d.name = "Stratix 10 (projection)";
+  d.luts = 702720;
+  d.ffs = 2810880;
+  d.bram_blocks = 11721;
+  d.clock_hz = 105e6 * 5;
+  return d;
+}
+
+/// Maxeler MAX4 (Maia) DFE: Stratix V fabric. The board power envelope is
+/// anchored to the paper's measurements: ~12 W for a mostly full VGG-like
+/// design (Table IVa) and "at least 15x" below GPUs for all VGG workloads.
+[[nodiscard]] inline DfeBoard max4_maia() {
+  DfeBoard b;
+  b.name = "MAX4 Maia DFE";
+  b.fpga = stratix_v_5sgsd8();
+  b.idle_power_w = 7.5;
+  b.max_power_w = 16.0;
+  b.maxring_gbps = 4.0;  // "up to several Gbps" (§III-B6)
+  return b;
+}
+
+}  // namespace qnn

@@ -1,0 +1,188 @@
+#include "fpga/resource_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qnn {
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Depth-first line buffer of a window kernel (§III-B1b), in bits.
+std::int64_t line_buffer_bits(const Node& n) {
+  const std::int64_t wp = n.in.w + 2 * n.pad;
+  return static_cast<std::int64_t>(n.in.c) * (wp * (n.k - 1) + n.k) *
+         n.in_bits;
+}
+
+std::int64_t pixel_bits(const Shape& s, int bits) {
+  return static_cast<std::int64_t>(s.c) * bits;
+}
+
+int fifo_blocks(const Node& n, const ResourceCosts& c,
+                const BramGeometry& g) {
+  const std::int64_t bits =
+      static_cast<std::int64_t>(c.stream_fifo_depth_pixels) *
+      pixel_bits(n.out, n.out_bits);
+  return static_cast<int>(ceil_div(bits, g.block_bits));
+}
+
+}  // namespace
+
+int weight_cache_blocks(const FilterShape& f, const BramGeometry& g) {
+  QNN_CHECK(f.valid(), "invalid filter shape");
+  // One cache address holds one filter: the entry is K*K*I bits wide, and
+  // the cache holds O entries. Blocks tile width-first at the widest port
+  // configuration; depth is quantized to the 512-entry minimum.
+  const std::int64_t width_blocks =
+      ceil_div(f.weights_per_filter(), g.max_width);
+  const std::int64_t depth_blocks = ceil_div(f.out_c, g.min_depth);
+  return static_cast<int>(width_blocks * depth_blocks);
+}
+
+double weight_cache_waste(const FilterShape& f, const BramGeometry& g) {
+  const double allocated =
+      static_cast<double>(weight_cache_blocks(f, g)) * g.block_bits;
+  return 1.0 - static_cast<double>(f.total_weights()) / allocated;
+}
+
+NetworkResources estimate_resources(const Pipeline& pipeline,
+                                    const ResourceCosts& costs,
+                                    const BramGeometry& geometry) {
+  pipeline.validate();
+  NetworkResources net;
+  net.nodes.reserve(static_cast<std::size_t>(pipeline.size()));
+
+  for (int i = 0; i < pipeline.size(); ++i) {
+    const Node& n = pipeline.node(i);
+    NodeResources r;
+    r.name = n.name;
+    r.kind = n.kind;
+
+    const std::int64_t in_px = pixel_bits(n.in, n.in_bits);
+    const std::int64_t out_px = pixel_bits(n.out, n.out_bits);
+
+    switch (n.kind) {
+      case NodeKind::Conv: {
+        const std::int64_t window_bits =
+            static_cast<std::int64_t>(n.k) * n.k * n.in.c * n.in_bits;
+        const std::int64_t dp =
+            std::min<std::int64_t>(window_bits, costs.datapath_bits);
+        r.line_buffer_bits = line_buffer_bits(n);
+        r.luts = static_cast<double>(dp) * costs.lut_per_datapath_bit +
+                 static_cast<double>(r.line_buffer_bits) *
+                     costs.lut_per_linebuffer_bit +
+                 static_cast<double>(in_px + out_px) *
+                     costs.lut_per_stream_bit +
+                 costs.lut_kernel_overhead;
+        r.ffs = static_cast<double>(r.line_buffer_bits) *
+                    costs.ff_per_linebuffer_bit +
+                static_cast<double>(dp) * costs.ff_per_datapath_bit +
+                static_cast<double>(in_px + out_px) *
+                    costs.ff_per_stream_bit +
+                costs.ff_kernel_overhead;
+        const FilterShape f = n.filter_shape();
+        if (f.total_weights() > costs.weight_cache_capacity_bits) {
+          // Host-streamed bank (FMem cannot hold it): a double-buffered
+          // 64-filter staging window stays on chip so streaming overlaps
+          // with the application of the previous batch.
+          r.weights_streamed = true;
+          const std::int64_t staging =
+              2 * std::min<std::int64_t>(64, f.out_c) *
+              f.weights_per_filter();
+          r.bram_blocks +=
+              static_cast<int>(ceil_div(staging, geometry.block_bits));
+        } else {
+          r.weight_bits = f.total_weights();
+          r.bram_blocks += weight_cache_blocks(f, geometry);
+        }
+        break;
+      }
+      case NodeKind::MaxPool:
+      case NodeKind::AvgPool: {
+        r.line_buffer_bits = line_buffer_bits(n);
+        r.luts = static_cast<double>(n.in.c) * n.in_bits *
+                     costs.lut_per_pool_channel_bit +
+                 static_cast<double>(r.line_buffer_bits) *
+                     costs.lut_per_linebuffer_bit +
+                 static_cast<double>(in_px + out_px) *
+                     costs.lut_per_stream_bit +
+                 costs.lut_kernel_overhead;
+        r.ffs = static_cast<double>(r.line_buffer_bits) *
+                    costs.ff_per_linebuffer_bit +
+                static_cast<double>(in_px + out_px) *
+                    costs.ff_per_stream_bit +
+                costs.ff_kernel_overhead;
+        break;
+      }
+      case NodeKind::BnAct: {
+        // One n-level comparator + 2^n -> 1 mux per channel (§III-B3),
+        // sized by the pre-activation width it compares against.
+        r.luts = static_cast<double>(n.in.c) * n.in_bits *
+                     costs.lut_per_threshold_channel_bit +
+                 static_cast<double>(in_px + out_px) *
+                     costs.lut_per_stream_bit +
+                 costs.lut_kernel_overhead;
+        r.ffs = static_cast<double>(in_px + out_px) *
+                    costs.ff_per_stream_bit +
+                costs.ff_kernel_overhead;
+        // Folded parameter cache: one 64-bit word per channel (§III-B1a).
+        r.bram_blocks += static_cast<int>(
+            ceil_div(64, geometry.max_width) *
+            ceil_div(n.in.c, geometry.min_depth));
+        break;
+      }
+      case NodeKind::Add: {
+        // Skip-connection infrastructure (§III-B5): one adder per channel
+        // plus the delay-compensation buffer — one convolution line
+        // buffer's worth of 16-bit values — realized in registers with
+        // its access muxing.
+        const std::int64_t wp = n.in.w + 2;
+        r.skip_buffer_bits =
+            static_cast<std::int64_t>(n.in.c) * (wp * 2 + 3) * 16;
+        r.luts = static_cast<double>(n.in.c) * n.out_bits *
+                     costs.lut_per_adder_bit +
+                 static_cast<double>(r.skip_buffer_bits) *
+                     costs.lut_per_skipbuffer_bit +
+                 static_cast<double>(in_px + out_px) *
+                     costs.lut_per_stream_bit +
+                 costs.lut_kernel_overhead;
+        r.ffs = static_cast<double>(r.skip_buffer_bits) *
+                    costs.ff_per_skipbuffer_bit +
+                static_cast<double>(in_px + out_px) *
+                    costs.ff_per_stream_bit +
+                costs.ff_kernel_overhead;
+        break;
+      }
+    }
+    r.bram_blocks += fifo_blocks(n, costs, geometry);
+
+    net.luts += r.luts;
+    net.ffs += r.ffs;
+    net.bram_blocks += r.bram_blocks;
+    net.nodes.push_back(std::move(r));
+  }
+  return net;
+}
+
+int NetworkResources::devices_needed(const FpgaDevice& dev,
+                                     double fill) const {
+  QNN_CHECK(fill > 0.0 && fill <= 1.0, "fill factor out of range");
+  const double by_lut = luts / (fill * static_cast<double>(dev.luts));
+  const double by_ff = ffs / (fill * static_cast<double>(dev.ffs));
+  const double by_bram = static_cast<double>(bram_blocks) /
+                         (fill * static_cast<double>(dev.bram_blocks));
+  const double need = std::max({by_lut, by_ff, by_bram, 1.0});
+  return static_cast<int>(std::ceil(need - 1e-9));
+}
+
+double NetworkResources::utilization(const FpgaDevice& dev) const {
+  return std::max({luts / static_cast<double>(dev.luts),
+                   ffs / static_cast<double>(dev.ffs),
+                   static_cast<double>(bram_blocks) /
+                       static_cast<double>(dev.bram_blocks)});
+}
+
+}  // namespace qnn

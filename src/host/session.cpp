@@ -1,0 +1,109 @@
+#include "host/session.h"
+
+#include <sstream>
+
+#include "io/table.h"
+#include "nn/serialize.h"
+#include "nn/summary.h"
+
+namespace qnn {
+
+struct DfeSession::State {
+  SessionConfig config;
+  NetworkSpec spec;
+  Pipeline pipeline;
+  NetworkParams params;
+  FpgaRunEstimate estimate;
+  std::unique_ptr<StreamEngine> engine;  // references pipeline & params
+};
+
+DfeSession::DfeSession(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+DfeSession::DfeSession(DfeSession&&) noexcept = default;
+DfeSession& DfeSession::operator=(DfeSession&&) noexcept = default;
+DfeSession::~DfeSession() = default;
+
+DfeSession DfeSession::compile(const NetworkSpec& spec, NetworkParams params,
+                               SessionConfig config) {
+  auto state = std::make_unique<State>();
+  state->config = config;
+  state->spec = spec;
+  state->pipeline = expand(spec);
+  state->params = std::move(params);
+  QNN_CHECK(static_cast<int>(state->params.convs.size()) ==
+                state->pipeline.num_conv_params,
+            "parameters do not match the network (conv banks)");
+  QNN_CHECK(static_cast<int>(state->params.bnacts.size()) ==
+                state->pipeline.num_bnact_params,
+            "parameters do not match the network (bnact banks)");
+  state->estimate =
+      estimate_fpga(state->pipeline, config.sim, config.partition,
+                    config.board, /*run_cycle_sim=*/!config.fast_estimate);
+  state->engine = std::make_unique<StreamEngine>(
+      state->pipeline, state->params, config.engine);
+  return DfeSession(std::move(state));
+}
+
+DfeSession DfeSession::load(const std::string& path, SessionConfig config) {
+  LoadedNetwork net = load_network(path);
+  return compile(net.spec, std::move(net.params), config);
+}
+
+IntTensor DfeSession::infer(const IntTensor& image) {
+  return state_->engine->run_one(image);
+}
+
+std::vector<IntTensor> DfeSession::infer_batch(
+    std::span<const IntTensor> images) {
+  return state_->engine->run(images);
+}
+
+int DfeSession::classify(const IntTensor& image) {
+  const IntTensor logits = infer(image);
+  int best = 0;
+  for (std::int64_t i = 1; i < logits.size(); ++i) {
+    if (logits[i] > logits[best]) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+const NetworkSpec& DfeSession::spec() const { return state_->spec; }
+const Pipeline& DfeSession::pipeline() const { return state_->pipeline; }
+const NetworkParams& DfeSession::params() const { return state_->params; }
+const PartitionResult& DfeSession::placement() const {
+  return state_->estimate.partition;
+}
+const FpgaRunEstimate& DfeSession::estimate() const {
+  return state_->estimate;
+}
+
+std::string DfeSession::report() const {
+  const State& s = *state_;
+  std::ostringstream os;
+  os << summarize(s.pipeline) << "\n";
+  os << "placement: " << s.estimate.num_dfes << " DFE(s) on "
+     << s.config.board.name << "\n";
+  Table t({"DFE", "kernels", "utilization"});
+  for (std::size_t k = 0; k < s.estimate.partition.dfes.size(); ++k) {
+    const auto& d = s.estimate.partition.dfes[k];
+    t.add_row({Table::integer(static_cast<std::int64_t>(k)),
+               s.pipeline.node(d.first_node).name + " .. " +
+                   s.pipeline.node(d.last_node).name,
+               Table::num(d.utilization, 2)});
+  }
+  t.print(os);
+  for (const auto& cut : s.estimate.partition.cuts) {
+    os << "  link after " << s.pipeline.node(cut.after_node).name << ": "
+       << Table::num(cut.required_mbps, 1) << " Mbps\n";
+  }
+  os << "timing: " << s.estimate.clocks_per_image << " clocks/image, "
+     << Table::num(1e3 * s.estimate.seconds_per_image, 2) << " ms ("
+     << Table::num(s.estimate.images_per_second, 1) << " fps @ "
+     << Table::num(s.config.sim.clock_hz / 1e6, 0) << " MHz)\n";
+  os << "power:  " << Table::num(s.estimate.power_w, 1) << " W, energy "
+     << Table::num(1e3 * s.estimate.energy_per_image_j, 1)
+     << " mJ per image\n";
+  return os.str();
+}
+
+}  // namespace qnn

@@ -1,0 +1,78 @@
+// Host-side deployment session: the CPU application flow of §II-B/§III-B.
+//
+// On the Maxeler platform the host program compiles kernels to a bitstream
+// (MaxCompiler), configures the DFEs, loads weights and normalization
+// parameters once, and then streams images for inference. DfeSession is
+// the software analog of that lifecycle:
+//
+//   auto session = DfeSession::compile(spec, params);   // or ::load(file)
+//   int label = session.classify(image);                // streaming engine
+//   std::cout << session.report();                      // placement, timing,
+//                                                       // power, energy
+//
+// Inference runs on the threaded streaming engine (bit-exact functional
+// model); placement, timing, power and energy come from the partitioner,
+// cycle simulator and calibrated hardware models.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dataflow/engine.h"
+#include "perfmodel/fpga_estimate.h"
+
+namespace qnn {
+
+struct SessionConfig {
+  SimConfig sim{};
+  PartitionConfig partition{};
+  DfeBoard board = max4_maia();
+  EngineOptions engine{};
+  /// Skip the cycle simulation at compile time (use the analytic clock
+  /// model); useful when constructing many sessions in sweeps.
+  bool fast_estimate = false;
+};
+
+class DfeSession {
+ public:
+  /// Lower, partition and estimate a network ("place and route").
+  [[nodiscard]] static DfeSession compile(const NetworkSpec& spec,
+                                          NetworkParams params,
+                                          SessionConfig config = {});
+
+  /// Load a serialized network (nn/serialize.h) and compile it.
+  [[nodiscard]] static DfeSession load(const std::string& path,
+                                       SessionConfig config = {});
+
+  DfeSession(DfeSession&&) noexcept;
+  DfeSession& operator=(DfeSession&&) noexcept;
+  ~DfeSession();
+
+  /// Stream one image; returns the logits tensor.
+  [[nodiscard]] IntTensor infer(const IntTensor& image);
+  /// Stream a batch (kernels stay busy across images).
+  [[nodiscard]] std::vector<IntTensor> infer_batch(
+      std::span<const IntTensor> images);
+  /// Top-1 class of one image.
+  [[nodiscard]] int classify(const IntTensor& image);
+
+  [[nodiscard]] const NetworkSpec& spec() const;
+  [[nodiscard]] const Pipeline& pipeline() const;
+  [[nodiscard]] const NetworkParams& params() const;
+  /// DFE placement (segments + MaxRing cuts).
+  [[nodiscard]] const PartitionResult& placement() const;
+  /// Modeled runtime/power/energy on the DFE platform.
+  [[nodiscard]] const FpgaRunEstimate& estimate() const;
+
+  /// Human-readable deployment report: summary, placement, timing, power.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  struct State;
+  explicit DfeSession(std::unique_ptr<State> state);
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace qnn

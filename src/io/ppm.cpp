@@ -1,0 +1,78 @@
+#include "io/ppm.h"
+
+#include <fstream>
+#include <vector>
+
+namespace qnn {
+
+void write_ppm(const std::string& path, const IntTensor& image) {
+  const Shape& s = image.shape();
+  QNN_CHECK(s.c == 3, "PPM requires 3 channels, got " + s.str());
+  std::ofstream out(path, std::ios::binary);
+  QNN_CHECK(out.good(), "cannot open " + path + " for writing");
+  out << "P6\n" << s.w << " " << s.h << "\n255\n";
+  std::vector<unsigned char> row(static_cast<std::size_t>(s.w) * 3);
+  for (int y = 0; y < s.h; ++y) {
+    for (int x = 0; x < s.w; ++x) {
+      for (int c = 0; c < 3; ++c) {
+        const std::int32_t v = image.at(y, x, c);
+        QNN_CHECK(v >= 0 && v <= 255, "pixel out of 8-bit range");
+        row[static_cast<std::size_t>(x) * 3 + static_cast<std::size_t>(c)] =
+            static_cast<unsigned char>(v);
+      }
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  QNN_CHECK(out.good(), "write to " + path + " failed");
+}
+
+IntTensor read_ppm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  QNN_CHECK(in.good(), "cannot open " + path);
+  std::string magic;
+  in >> magic;
+  QNN_CHECK(magic == "P6", path + " is not a binary PPM (P6)");
+  // Skip whitespace and comment lines between header tokens.
+  auto next_int = [&]() -> int {
+    while (true) {
+      int ch = in.peek();
+      if (ch == '#') {
+        std::string comment;
+        std::getline(in, comment);
+      } else if (std::isspace(ch)) {
+        in.get();
+      } else {
+        break;
+      }
+    }
+    int value = 0;
+    in >> value;
+    QNN_CHECK(in.good(), "truncated PPM header in " + path);
+    return value;
+  };
+  const int w = next_int();
+  const int h = next_int();
+  const int maxval = next_int();
+  QNN_CHECK(w > 0 && h > 0, "bad PPM dimensions");
+  QNN_CHECK(maxval == 255, "only 8-bit PPM supported");
+  in.get();  // single whitespace after maxval
+
+  IntTensor image(Shape{h, w, 3});
+  std::vector<unsigned char> row(static_cast<std::size_t>(w) * 3);
+  for (int y = 0; y < h; ++y) {
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size()));
+    QNN_CHECK(in.gcount() == static_cast<std::streamsize>(row.size()),
+              "truncated PPM payload in " + path);
+    for (int x = 0; x < w; ++x) {
+      for (int c = 0; c < 3; ++c) {
+        image.at(y, x, c) = row[static_cast<std::size_t>(x) * 3 +
+                                static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace qnn

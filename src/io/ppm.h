@@ -1,0 +1,16 @@
+// Minimal binary PPM (P6) image I/O for 8-bit RGB tensors.
+#pragma once
+
+#include <string>
+
+#include "core/tensor.h"
+
+namespace qnn {
+
+/// Write an HxWx3 tensor of 8-bit codes as a binary PPM file.
+void write_ppm(const std::string& path, const IntTensor& image);
+
+/// Read a binary PPM file into an HxWx3 tensor of 8-bit codes.
+[[nodiscard]] IntTensor read_ppm(const std::string& path);
+
+}  // namespace qnn

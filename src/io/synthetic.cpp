@@ -1,0 +1,109 @@
+#include "io/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qnn {
+
+IntTensor synthetic_pattern_image(int h, int w, int c, int pattern_class,
+                                  Rng& rng) {
+  QNN_CHECK(pattern_class >= 0, "negative pattern class");
+  IntTensor t(Shape{h, w, c});
+  const int period = pattern_class + 2;
+  const bool diagonal = pattern_class % 2 == 1;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int phase = diagonal ? (x + y) : (pattern_class % 4 < 2 ? x : y);
+      const int base = (phase / period) % 2 == 0 ? 200 : 55;
+      for (int ch = 0; ch < c; ++ch) {
+        const int noise = static_cast<int>(rng.next_below(41)) - 20;
+        t.at(y, x, ch) = std::clamp(base + noise, 0, 255);
+      }
+    }
+  }
+  return t;
+}
+
+std::vector<IntTensor> synthetic_batch(int n, int h, int w, int c,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<IntTensor> batch;
+  batch.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    batch.push_back(synthetic_image(h, w, c, rng));
+  }
+  return batch;
+}
+
+LabeledDataset make_cluster_task(int classes, int dim, int samples_per_class,
+                                 double spread, std::uint64_t seed) {
+  QNN_CHECK(classes >= 2 && dim >= 1 && samples_per_class >= 1,
+            "bad cluster task parameters");
+  Rng rng(seed);
+  LabeledDataset ds;
+  ds.classes = classes;
+  ds.dim = dim;
+
+  // Class centers drawn on the 8-bit scale, kept away from the borders so
+  // the quantization to codes does not clip cluster structure.
+  std::vector<std::vector<float>> centers(
+      static_cast<std::size_t>(classes));
+  for (auto& center : centers) {
+    center.resize(static_cast<std::size_t>(dim));
+    for (auto& v : center) v = 48.0f + 160.0f * rng.next_float();
+  }
+
+  for (int k = 0; k < classes; ++k) {
+    for (int s = 0; s < samples_per_class; ++s) {
+      std::vector<float> x(static_cast<std::size_t>(dim));
+      IntTensor img(Shape{1, 1, dim});
+      for (int d = 0; d < dim; ++d) {
+        const float v =
+            centers[static_cast<std::size_t>(k)][static_cast<std::size_t>(d)] +
+            static_cast<float>(spread) * rng.next_gaussian();
+        const float clipped = std::clamp(v, 0.0f, 255.0f);
+        const auto code = static_cast<std::int32_t>(std::lround(clipped));
+        x[static_cast<std::size_t>(d)] = static_cast<float>(code);
+        img.at(0, 0, d) = code;
+      }
+      ds.features.push_back(std::move(x));
+      ds.images.push_back(std::move(img));
+      ds.labels.push_back(k);
+    }
+  }
+  // Deterministic shuffle so batches are class-mixed.
+  for (int i = ds.size() - 1; i > 0; --i) {
+    const int j = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(i) + 1));
+    std::swap(ds.features[static_cast<std::size_t>(i)],
+              ds.features[static_cast<std::size_t>(j)]);
+    std::swap(ds.images[static_cast<std::size_t>(i)],
+              ds.images[static_cast<std::size_t>(j)]);
+    std::swap(ds.labels[static_cast<std::size_t>(i)],
+              ds.labels[static_cast<std::size_t>(j)]);
+  }
+  return ds;
+}
+
+std::pair<LabeledDataset, LabeledDataset> split_dataset(
+    const LabeledDataset& data, double train_fraction) {
+  QNN_CHECK(train_fraction > 0.0 && train_fraction < 1.0,
+            "train fraction must be in (0, 1)");
+  const int n = data.size();
+  const int cut = std::max(
+      1, static_cast<int>(std::ceil(train_fraction * n)));
+  QNN_CHECK(cut < n, "split leaves an empty test set");
+  LabeledDataset train;
+  LabeledDataset test;
+  train.classes = test.classes = data.classes;
+  train.dim = test.dim = data.dim;
+  for (int i = 0; i < n; ++i) {
+    LabeledDataset& dst = i < cut ? train : test;
+    dst.features.push_back(data.features[static_cast<std::size_t>(i)]);
+    dst.images.push_back(data.images[static_cast<std::size_t>(i)]);
+    dst.labels.push_back(data.labels[static_cast<std::size_t>(i)]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace qnn

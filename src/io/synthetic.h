@@ -1,0 +1,66 @@
+// Deterministic synthetic inputs.
+//
+// The paper evaluates on CIFAR-10 (32x32), STL-10 (96x96, resized 144x144)
+// and ImageNet (224x224). Streaming-inference timing and resource usage are
+// input-data independent, so correctly shaped synthetic images exercise the
+// identical code paths (DESIGN.md substitution table). For the training
+// ablation, labeled Gaussian-cluster tasks provide a classification problem
+// learnable by a small quantized network.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace qnn {
+
+/// Uniformly random 8-bit image of the given geometry.
+[[nodiscard]] inline IntTensor synthetic_image(int h, int w, int c,
+                                               Rng& rng) {
+  IntTensor t(Shape{h, w, c});
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<std::int32_t>(rng.next_below(256));
+  }
+  return t;
+}
+
+/// Structured image: class-dependent stripe pattern plus noise. Class k
+/// paints stripes with period (k + 2) along a k-dependent orientation.
+[[nodiscard]] IntTensor synthetic_pattern_image(int h, int w, int c,
+                                                int pattern_class, Rng& rng);
+
+/// A batch of random images sharing one geometry.
+[[nodiscard]] std::vector<IntTensor> synthetic_batch(int n, int h, int w,
+                                                     int c,
+                                                     std::uint64_t seed);
+
+/// Labeled feature-vector classification task: `classes` Gaussian clusters
+/// in `dim` dimensions, quantized to 8-bit codes so the task can be fed to
+/// the integer inference pipeline unchanged.
+struct LabeledDataset {
+  int classes = 0;
+  int dim = 0;
+  std::vector<std::vector<float>> features;    // float view for training
+  std::vector<IntTensor> images;               // 1 x 1 x dim 8-bit codes
+  std::vector<int> labels;
+
+  [[nodiscard]] int size() const {
+    return static_cast<int>(labels.size());
+  }
+};
+
+/// Build a cluster task; `spread` controls difficulty (larger = harder).
+[[nodiscard]] LabeledDataset make_cluster_task(int classes, int dim,
+                                               int samples_per_class,
+                                               double spread,
+                                               std::uint64_t seed);
+
+/// Deterministic train/test split: the first ceil(frac * n) samples (the
+/// dataset is already shuffled) become the training set.
+[[nodiscard]] std::pair<LabeledDataset, LabeledDataset> split_dataset(
+    const LabeledDataset& data, double train_fraction);
+
+}  // namespace qnn

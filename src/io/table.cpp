@@ -1,0 +1,78 @@
+#include "io/table.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace qnn {
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  QNN_CHECK(!columns_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  QNN_CHECK(cells.size() == columns_.size(),
+            "row has " + std::to_string(cells.size()) + " cells, table has " +
+                std::to_string(columns_.size()) + " columns");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::integer(std::int64_t v) { return std::to_string(v); }
+
+const std::string& Table::cell(int row, int col) const {
+  QNN_CHECK(row >= 0 && row < rows() && col >= 0 && col < columns(),
+            "cell index out of range");
+  return rows_[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::left
+         << std::setw(static_cast<int>(width[c])) << cells[c];
+    }
+    os << "\n";
+  };
+  line(columns_);
+  std::string rule;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    rule += std::string(width[c], '-') + (c + 1 < columns_.size() ? "  " : "");
+  }
+  os << rule << "\n";
+  for (const auto& row : rows_) line(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto csv_line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : ",") << cells[c];
+    }
+    os << "\n";
+  };
+  csv_line(columns_);
+  for (const auto& row : rows_) csv_line(row);
+}
+
+bool Table::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  print_csv(out);
+  return out.good();
+}
+
+}  // namespace qnn

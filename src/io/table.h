@@ -1,0 +1,41 @@
+// Result-table formatting for the benchmark harness: every bench prints
+// the rows/series of the paper table or figure it regenerates, in an
+// aligned text table, and can also emit CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qnn {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Add one row; the cell count must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+  [[nodiscard]] static std::string integer(std::int64_t v);
+
+  /// Aligned human-readable rendering.
+  void print(std::ostream& os) const;
+  /// Comma-separated rendering (header + rows).
+  void print_csv(std::ostream& os) const;
+  /// Write the CSV form to a file; returns false if the file cannot open.
+  bool save_csv(const std::string& path) const;
+
+  [[nodiscard]] int rows() const { return static_cast<int>(rows_.size()); }
+  [[nodiscard]] int columns() const {
+    return static_cast<int>(columns_.size());
+  }
+  [[nodiscard]] const std::string& cell(int row, int col) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qnn

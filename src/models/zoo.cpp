@@ -1,0 +1,163 @@
+#include "models/zoo.h"
+
+#include "core/error.h"
+
+namespace qnn::models {
+namespace {
+
+/// Spatial extent after a k/stride/pad window op.
+int after(int n, int k, int stride, int pad) {
+  return conv_out_extent(n, k, stride, pad);
+}
+
+}  // namespace
+
+NetworkSpec resnet18(int input_size, int classes, int act_bits) {
+  QNN_CHECK(input_size >= 32, "ResNet-18 needs inputs of at least 32x32");
+  NetworkSpec net;
+  net.name = "resnet18_" + std::to_string(input_size);
+  net.input = Shape{input_size, input_size, 3};
+  net.input_bits = 8;
+  net.act_bits = act_bits;
+  net.conv(64, 7, 2, 3);
+  net.max_pool(3, 2, 1);
+  net.residual(64, 1).residual(64, 1);
+  net.residual(128, 2).residual(128, 1);
+  net.residual(256, 2).residual(256, 1);
+  net.residual(512, 2).residual(512, 1);
+  net.avg_pool_global();
+  net.dense(classes, /*bn_act=*/false);
+  return net;
+}
+
+NetworkSpec resnet34(int input_size, int classes, int act_bits) {
+  QNN_CHECK(input_size >= 32, "ResNet-34 needs inputs of at least 32x32");
+  NetworkSpec net;
+  net.name = "resnet34_" + std::to_string(input_size);
+  net.input = Shape{input_size, input_size, 3};
+  net.input_bits = 8;
+  net.act_bits = act_bits;
+  net.conv(64, 7, 2, 3);
+  net.max_pool(3, 2, 1);
+  const struct {
+    int c;
+    int blocks;
+  } stages[] = {{64, 3}, {128, 4}, {256, 6}, {512, 3}};
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (int b = 0; b < stages[s].blocks; ++b) {
+      net.residual(stages[s].c, s > 0 && b == 0 ? 2 : 1);
+    }
+  }
+  net.avg_pool_global();
+  net.dense(classes, /*bn_act=*/false);
+  return net;
+}
+
+NetworkSpec resnet18_noskip(int input_size, int classes, int act_bits) {
+  NetworkSpec net;
+  net.name = "resnet18_noskip_" + std::to_string(input_size);
+  net.input = Shape{input_size, input_size, 3};
+  net.input_bits = 8;
+  net.act_bits = act_bits;
+  net.conv(64, 7, 2, 3);
+  net.max_pool(3, 2, 1);
+  // Same convolution ladder as resnet18(), skip infrastructure removed.
+  const struct {
+    int c;
+    int stride;
+  } stages[] = {{64, 1},  {64, 1},  {128, 2}, {128, 1},
+                {256, 2}, {256, 1}, {512, 2}, {512, 1}};
+  for (const auto& s : stages) {
+    net.conv(s.c, 3, s.stride, 1);
+    net.conv(s.c, 3, 1, 1);
+  }
+  net.avg_pool_global();
+  net.dense(classes, /*bn_act=*/false);
+  return net;
+}
+
+NetworkSpec alexnet(int input_size, int classes, int act_bits) {
+  QNN_CHECK(input_size >= 63, "AlexNet needs inputs of at least 63x63");
+  NetworkSpec net;
+  net.name = "alexnet_" + std::to_string(input_size);
+  net.input = Shape{input_size, input_size, 3};
+  net.input_bits = 8;
+  net.act_bits = act_bits;
+  net.conv(96, 11, 4, 2);  // stride 4: the ~13x first-layer speedup, §III-B1
+  net.max_pool(3, 2);
+  net.conv(256, 5, 1, 2);
+  net.max_pool(3, 2);
+  net.conv(384, 3, 1, 1);
+  net.conv(384, 3, 1, 1);
+  net.conv(256, 3, 1, 1);
+  net.max_pool(3, 2);
+  net.dense(4096);
+  net.dense(4096);
+  net.dense(classes, /*bn_act=*/false);
+  return net;
+}
+
+NetworkSpec vgg_like(int input_size, int classes, int act_bits) {
+  QNN_CHECK(input_size >= 16, "VGG-like needs inputs of at least 16x16");
+  NetworkSpec net;
+  net.name = "vgg_like_" + std::to_string(input_size);
+  net.input = Shape{input_size, input_size, 3};
+  net.input_bits = 8;
+  net.act_bits = act_bits;
+  int spatial = input_size;
+  for (int filters : {64, 128, 256}) {
+    net.conv(filters, 3, 1, 1);
+    net.conv(filters, 3, 1, 1);
+    net.max_pool(2, 2);
+    spatial = after(spatial, 2, 2, 0);
+  }
+  // Larger inputs keep pooling down to a <=4x4 map so the first FC layer's
+  // weight storage is input-size independent (DESIGN.md: this is what keeps
+  // the Fig 6 resource growth small).
+  while (spatial > 4) {
+    net.max_pool(2, 2);
+    spatial = after(spatial, 2, 2, 0);
+  }
+  net.dense(512);
+  net.dense(512);
+  net.dense(classes, /*bn_act=*/false);
+  return net;
+}
+
+NetworkSpec finn_cnv(int classes, int act_bits) {
+  NetworkSpec net;
+  net.name = "finn_cnv";
+  net.input = Shape{32, 32, 3};
+  net.input_bits = 8;
+  net.act_bits = act_bits;
+  net.conv(64, 3);   // 30x30 (valid convolutions, as in FINN)
+  net.conv(64, 3);   // 28x28
+  net.max_pool(2, 2);  // 14x14
+  net.conv(128, 3);  // 12x12
+  net.conv(128, 3);  // 10x10
+  net.max_pool(2, 2);  // 5x5
+  net.conv(256, 3);  // 3x3
+  net.conv(256, 3);  // 1x1
+  net.dense(512);
+  net.dense(512);
+  net.dense(classes, /*bn_act=*/false);
+  return net;
+}
+
+NetworkSpec tiny(int input_size, int classes, int act_bits) {
+  QNN_CHECK(input_size >= 8, "tiny network needs inputs of at least 8x8");
+  NetworkSpec net;
+  net.name = "tiny_" + std::to_string(input_size);
+  net.input = Shape{input_size, input_size, 3};
+  net.input_bits = 8;
+  net.act_bits = act_bits;
+  net.conv(8, 3, 1, 1);
+  net.max_pool(2, 2);
+  net.residual(8, 1);
+  net.residual(16, 2);
+  net.avg_pool_global();
+  net.dense(classes, /*bn_act=*/false);
+  return net;
+}
+
+}  // namespace qnn::models

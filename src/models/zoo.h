@@ -1,0 +1,57 @@
+// The three network architectures evaluated in the paper (§IV):
+//
+//  * ResNet-18 (Table I)  — 224x224 ImageNet classification, skip
+//    connections carried as 16-bit streams.
+//  * AlexNet              — five convolutions + three fully connected
+//    layers, lowered to the all-convolutional form of §III-B4.
+//  * VGG-like CNN         — the FINN-style topology ("three blocks of two
+//    convolutions and one pooling layer, and three FC layers at the end"),
+//    used for 32x32 .. 224x224 inputs in the scalability studies.
+//
+// All builders are parameterized by input size and activation bit width so
+// the benchmark harness can sweep them (Figs 5-8).
+#pragma once
+
+#include "nn/network.h"
+
+namespace qnn::models {
+
+/// ResNet-18 exactly as in Table I of the paper.
+[[nodiscard]] NetworkSpec resnet18(int input_size = 224, int classes = 1000,
+                                   int act_bits = 2);
+
+/// ResNet-34 (basic blocks, stage depths 3-4-6-3): the paper's §IV-B4
+/// outlook — next-generation FPGAs "fit even bigger networks onto a
+/// single FPGA" — needs a bigger network to project with.
+[[nodiscard]] NetworkSpec resnet34(int input_size = 224, int classes = 1000,
+                                   int act_bits = 2);
+
+/// ResNet-18 with plain (non-residual) stacked convolutions — the skip
+/// connection ablation network (§III-B5 / bench_ablation_skip).
+[[nodiscard]] NetworkSpec resnet18_noskip(int input_size = 224,
+                                          int classes = 1000,
+                                          int act_bits = 2);
+
+/// Quantized AlexNet (original filter counts: 96-256-384-384-256 + 3 FC).
+[[nodiscard]] NetworkSpec alexnet(int input_size = 224, int classes = 1000,
+                                  int act_bits = 2);
+
+/// VGG-like CNN after Umuroglu et al. [29]: 3 x (conv, conv, pool) with
+/// 64/128/256 filters, then three FC layers (512, 512, classes). For inputs
+/// larger than 32x32 extra 2x2 poolings keep the final spatial extent <= 4
+/// so FC cost stays input-size independent (see DESIGN.md).
+[[nodiscard]] NetworkSpec vgg_like(int input_size = 32, int classes = 10,
+                                   int act_bits = 2);
+
+/// The exact FINN CNV topology from Umuroglu et al. [29]: *unpadded* 3x3
+/// convolutions (64-64-pool-128-128-pool-256-256) followed by dense
+/// 512-512-classes, fixed to 32x32 inputs. Used by the Table IV comparison
+/// next to the paper's padded VGG-like variant.
+[[nodiscard]] NetworkSpec finn_cnv(int classes = 10, int act_bits = 2);
+
+/// Small network exercising every primitive node kind; used by tests and
+/// the quickstart example. Input is `input_size` x `input_size` x 3.
+[[nodiscard]] NetworkSpec tiny(int input_size = 12, int classes = 4,
+                               int act_bits = 2);
+
+}  // namespace qnn::models

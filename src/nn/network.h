@@ -1,0 +1,91 @@
+// High-level network description: the user-facing builder API.
+//
+// Mirrors the paper's observation that "since each layer is represented in
+// the DFE Manager by a single function call, the building of the network is
+// similar to the process of building in high level frameworks" (§III-B):
+// a NetworkSpec is a sequence of block declarations which expand() lowers
+// into the primitive streaming pipeline (see pipeline.h).
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/shape.h"
+
+namespace qnn {
+
+/// Convolution block; if `bn_act` is set, a folded BatchNorm + n-bit
+/// activation follows the convolution (the common case).
+struct ConvBlockSpec {
+  int out_c = 0;
+  int k = 3;
+  int stride = 1;
+  int pad = 0;
+  bool bn_act = true;
+};
+
+enum class PoolKind { Max, Avg };
+
+struct PoolBlockSpec {
+  PoolKind kind = PoolKind::Max;
+  int k = 2;
+  int stride = 2;
+  int pad = 0;
+  bool global = false;  // pool the whole remaining spatial extent
+};
+
+/// One ResNet basic block: two 3x3 convolutions plus a skip connection
+/// carried as 16-bit non-quantized accumulator values (§III-B5). A stride
+/// of 2 downsamples; the skip path then uses a 1x1 strided projection
+/// convolution (standard ResNet option B; the paper does not detail its
+/// downsampling shortcut, see DESIGN.md).
+struct ResidualBlockSpec {
+  int out_c = 0;
+  int stride = 1;
+};
+
+/// Fully connected layer, lowered to a convolution whose kernel covers the
+/// entire remaining spatial extent (the all-convolutional trick of §III-B4).
+struct DenseBlockSpec {
+  int units = 0;
+  bool bn_act = true;
+};
+
+using BlockSpec =
+    std::variant<ConvBlockSpec, PoolBlockSpec, ResidualBlockSpec,
+                 DenseBlockSpec>;
+
+/// Whole-network specification. Build with the fluent helpers, then lower
+/// with expand() (pipeline.h) to obtain shapes, parameters, and kernels.
+struct NetworkSpec {
+  std::string name = "net";
+  Shape input{};       // H x W x C image
+  int input_bits = 8;  // image pixels are 8-bit unsigned
+  int act_bits = 2;    // activation code width (the paper's choice: 2)
+  std::vector<BlockSpec> blocks;
+
+  NetworkSpec& conv(int out_c, int k, int stride = 1, int pad = 0,
+                    bool bn_act = true) {
+    blocks.push_back(ConvBlockSpec{out_c, k, stride, pad, bn_act});
+    return *this;
+  }
+  NetworkSpec& max_pool(int k, int stride, int pad = 0) {
+    blocks.push_back(PoolBlockSpec{PoolKind::Max, k, stride, pad, false});
+    return *this;
+  }
+  NetworkSpec& avg_pool_global() {
+    blocks.push_back(PoolBlockSpec{PoolKind::Avg, 0, 1, 0, true});
+    return *this;
+  }
+  NetworkSpec& residual(int out_c, int stride = 1) {
+    blocks.push_back(ResidualBlockSpec{out_c, stride});
+    return *this;
+  }
+  NetworkSpec& dense(int units, bool bn_act = true) {
+    blocks.push_back(DenseBlockSpec{units, bn_act});
+    return *this;
+  }
+};
+
+}  // namespace qnn

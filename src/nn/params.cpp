@@ -1,0 +1,96 @@
+#include "nn/params.h"
+
+#include <cmath>
+
+namespace qnn {
+namespace {
+
+/// Rough standard deviation of the values carried on node i's output
+/// stream under random +-1 weights and spread activation codes. Only used
+/// to scale generated BatchNorm parameters so codes are non-degenerate.
+double estimate_sigma(const Pipeline& p, int i) {
+  if (i < 0) {
+    const double m = static_cast<double>((1 << p.input_bits) - 1);
+    return m / std::sqrt(12.0);  // uniform code spread
+  }
+  const Node& n = p.node(i);
+  switch (n.kind) {
+    case NodeKind::Conv: {
+      const double window =
+          static_cast<double>(n.k) * n.k * n.in.c;
+      const double m = static_cast<double>((1 << n.in_bits) - 1);
+      // Sum of `window` independent terms (+-1 weight times code in
+      // [0, m]): variance per term ~ E[code^2] ~ m^2 / 3.
+      return std::sqrt(window) * m / std::sqrt(3.0);
+    }
+    case NodeKind::Add: {
+      const double a = estimate_sigma(p, n.main_from);
+      const double b = estimate_sigma(p, n.skip_from);
+      return std::sqrt(a * a + b * b);
+    }
+    case NodeKind::MaxPool:
+      return estimate_sigma(p, n.main_from);
+    case NodeKind::AvgPool: {
+      // Window sum of codes.
+      return estimate_sigma(p, n.main_from) * n.k;
+    }
+    case NodeKind::BnAct: {
+      const double m = static_cast<double>((1 << n.out_bits) - 1);
+      return m / std::sqrt(12.0);
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+NetworkParams NetworkParams::random(const Pipeline& pipeline,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  NetworkParams params;
+  params.convs.reserve(static_cast<std::size_t>(pipeline.num_conv_params));
+  params.bnacts.reserve(static_cast<std::size_t>(pipeline.num_bnact_params));
+
+  for (int i = 0; i < pipeline.size(); ++i) {
+    const Node& n = pipeline.node(i);
+    if (n.kind == NodeKind::Conv) {
+      params.convs.push_back(
+          ConvParams{FilterBank::random(n.filter_shape(), rng)});
+    } else if (n.kind == NodeKind::BnAct) {
+      const double sigma = std::max(1.0, estimate_sigma(pipeline, n.main_from));
+      const int levels = 1 << (pipeline.act_bits);
+      // Thresholds at alpha*d (alpha = 1..levels-1) should straddle the
+      // normalized distribution ~N(beta, gamma): put them on [~0, ~4]
+      // around beta ~ 2.
+      const double d = 4.0 / levels;
+      BnLayerParams bn(n.in.c);
+      for (int c = 0; c < n.in.c; ++c) {
+        BnParams& q = bn.at(c);
+        q.gamma = 0.7f + 0.6f * rng.next_float();
+        q.inv_sigma = static_cast<float>(1.0 / sigma);
+        q.mu = static_cast<float>(sigma * 0.6 * (rng.next_double() - 0.5));
+        q.beta = static_cast<float>(2.0 + 0.5 * (rng.next_double() - 0.5));
+      }
+      BnActParams bp;
+      bp.quantizer = ActQuantizer(pipeline.act_bits, d);
+      bp.bn = std::move(bn);
+      bp.thresholds = ThresholdLayer::fold(bp.bn, bp.quantizer);
+      params.bnacts.push_back(std::move(bp));
+    }
+  }
+  QNN_CHECK(static_cast<int>(params.convs.size()) ==
+                pipeline.num_conv_params,
+            "conv parameter count mismatch");
+  QNN_CHECK(static_cast<int>(params.bnacts.size()) ==
+                pipeline.num_bnact_params,
+            "bnact parameter count mismatch");
+  return params;
+}
+
+void NetworkParams::refold() {
+  for (auto& b : bnacts) {
+    b.thresholds = ThresholdLayer::fold(b.bn, b.quantizer);
+  }
+}
+
+}  // namespace qnn

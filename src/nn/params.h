@@ -1,0 +1,59 @@
+// Network parameters: packed binarized weights and folded thresholds.
+//
+// Matches the deployment flow of §III-B: float weights and BatchNorm
+// parameters are produced on the host (by training or, for performance
+// experiments, by a seeded generator), then binarized/folded once before
+// inference starts and loaded into the per-layer caches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/pipeline.h"
+#include "quant/binarize.h"
+#include "quant/threshold.h"
+
+namespace qnn {
+
+struct ConvParams {
+  FilterBank weights;
+};
+
+struct BnActParams {
+  BnLayerParams bn;          // unfolded source parameters (float, host side)
+  ActQuantizer quantizer;    // uniform n-bit activation
+  ThresholdLayer thresholds; // folded hardware form
+};
+
+/// All parameters of one lowered network, indexed by Node::param.
+struct NetworkParams {
+  std::vector<ConvParams> convs;
+  std::vector<BnActParams> bnacts;
+
+  /// Deterministic, distribution-shaped random parameters: weights are
+  /// uniform sign bits; BatchNorm parameters are scaled so that activation
+  /// codes of every layer are non-degenerate (codes spread over all levels).
+  /// Used by every performance experiment — dataflow timing and resource
+  /// usage are weight-value independent (DESIGN.md substitution table).
+  static NetworkParams random(const Pipeline& pipeline, std::uint64_t seed);
+
+  /// Fold/refresh thresholds from the float bn parameters.
+  void refold();
+
+  [[nodiscard]] const ConvParams& conv(const Node& n) const {
+    QNN_DCHECK(n.kind == NodeKind::Conv, "node is not a convolution");
+    QNN_DCHECK(n.param >= 0 &&
+                   n.param < static_cast<int>(convs.size()),
+               "conv param index out of range");
+    return convs[static_cast<std::size_t>(n.param)];
+  }
+  [[nodiscard]] const BnActParams& bnact(const Node& n) const {
+    QNN_DCHECK(n.kind == NodeKind::BnAct, "node is not a bnact");
+    QNN_DCHECK(n.param >= 0 &&
+                   n.param < static_cast<int>(bnacts.size()),
+               "bnact param index out of range");
+    return bnacts[static_cast<std::size_t>(n.param)];
+  }
+};
+
+}  // namespace qnn

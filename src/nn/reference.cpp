@@ -1,0 +1,164 @@
+#include "nn/reference.h"
+
+#include <algorithm>
+
+#include "core/parallel.h"
+
+namespace qnn {
+
+ReferenceExecutor::ReferenceExecutor(const Pipeline& pipeline,
+                                     const NetworkParams& params,
+                                     BnActMode mode)
+    : pipeline_(pipeline), params_(params), mode_(mode) {
+  pipeline_.validate();
+  QNN_CHECK(static_cast<int>(params.convs.size()) ==
+                pipeline.num_conv_params,
+            "parameter bank does not match pipeline (convs)");
+  QNN_CHECK(static_cast<int>(params.bnacts.size()) ==
+                pipeline.num_bnact_params,
+            "parameter bank does not match pipeline (bnacts)");
+}
+
+IntTensor ReferenceExecutor::eval_conv(const Node& n,
+                                       const IntTensor& in) const {
+  const FilterBank& fb = params_.conv(n).weights;
+  IntTensor out(n.out);
+  parallel_for(n.out.h, [&](std::int64_t y0, std::int64_t y1) {
+    for (int oy = static_cast<int>(y0); oy < static_cast<int>(y1); ++oy) {
+      for (int ox = 0; ox < n.out.w; ++ox) {
+        for (int o = 0; o < n.out.c; ++o) {
+          std::int64_t acc = 0;
+          for (int dy = 0; dy < n.k; ++dy) {
+            const int iy = oy * n.stride + dy - n.pad;
+            if (iy < 0 || iy >= n.in.h) continue;  // pad code 0: no effect
+            for (int dx = 0; dx < n.k; ++dx) {
+              const int ix = ox * n.stride + dx - n.pad;
+              if (ix < 0 || ix >= n.in.w) continue;
+              for (int ci = 0; ci < n.in.c; ++ci) {
+                acc += static_cast<std::int64_t>(
+                           fb.signed_weight(o, dy, dx, ci)) *
+                       in.at(iy, ix, ci);
+              }
+            }
+          }
+          out.at(oy, ox, o) = static_cast<std::int32_t>(acc);
+        }
+      }
+    }
+  });
+  return out;
+}
+
+IntTensor ReferenceExecutor::eval_pool(const Node& n,
+                                       const IntTensor& in) const {
+  IntTensor out(n.out);
+  const bool is_max = n.kind == NodeKind::MaxPool;
+  for (int oy = 0; oy < n.out.h; ++oy) {
+    for (int ox = 0; ox < n.out.w; ++ox) {
+      for (int c = 0; c < n.out.c; ++c) {
+        // Codes are unsigned, and padded positions hold the lowest code
+        // (the analog of the paper's -1 padding), so 0 is a correct
+        // identity for max and sum alike.
+        std::int32_t best = 0;
+        std::int64_t sum = 0;
+        for (int dy = 0; dy < n.k; ++dy) {
+          const int iy = oy * n.stride + dy - n.pad;
+          if (iy < 0 || iy >= n.in.h) continue;
+          for (int dx = 0; dx < n.k; ++dx) {
+            const int ix = ox * n.stride + dx - n.pad;
+            if (ix < 0 || ix >= n.in.w) continue;
+            const std::int32_t v = in.at(iy, ix, c);
+            QNN_DCHECK(v >= 0, "pooling expects unsigned activation codes");
+            best = std::max(best, v);
+            sum += v;
+          }
+        }
+        out.at(oy, ox, c) =
+            is_max ? best : static_cast<std::int32_t>(sum);
+      }
+    }
+  }
+  return out;
+}
+
+IntTensor ReferenceExecutor::eval_bnact(const Node& n,
+                                        const IntTensor& in) const {
+  const BnActParams& bp = params_.bnact(n);
+  QNN_CHECK(bp.thresholds.channels() == n.in.c,
+            "threshold bank channel mismatch");
+  IntTensor out(n.out);
+  for (int y = 0; y < n.in.h; ++y) {
+    for (int x = 0; x < n.in.w; ++x) {
+      for (int c = 0; c < n.in.c; ++c) {
+        const std::int32_t a = in.at(y, x, c);
+        std::int32_t code;
+        if (mode_ == BnActMode::Threshold) {
+          code = bp.thresholds.at(c).eval(a);
+        } else {
+          code = bp.quantizer.code(bp.bn.at(c).apply(a));
+        }
+        out.at(y, x, c) = code;
+      }
+    }
+  }
+  return out;
+}
+
+IntTensor ReferenceExecutor::eval_node(const Node& n, const IntTensor& main,
+                                       const IntTensor* skip) const {
+  switch (n.kind) {
+    case NodeKind::Conv:
+      return eval_conv(n, main);
+    case NodeKind::MaxPool:
+    case NodeKind::AvgPool:
+      return eval_pool(n, main);
+    case NodeKind::BnAct:
+      return eval_bnact(n, main);
+    case NodeKind::Add: {
+      QNN_CHECK(skip != nullptr, "Add node without skip operand");
+      QNN_CHECK(skip->shape() == main.shape(), "Add operand shape mismatch");
+      IntTensor out(n.out);
+      for (std::int64_t i = 0; i < out.size(); ++i) {
+        out[i] = main[i] + (*skip)[i];
+      }
+      return out;
+    }
+  }
+  throw Error("unreachable node kind");
+}
+
+std::vector<IntTensor> ReferenceExecutor::run_all(
+    const IntTensor& input) const {
+  QNN_CHECK(input.shape() == pipeline_.input,
+            "input shape " + input.shape().str() + " != network input " +
+                pipeline_.input.str());
+  std::vector<IntTensor> outputs;
+  outputs.reserve(static_cast<std::size_t>(pipeline_.size()));
+  for (int i = 0; i < pipeline_.size(); ++i) {
+    const Node& n = pipeline_.node(i);
+    const IntTensor& main =
+        n.main_from < 0 ? input
+                        : outputs[static_cast<std::size_t>(n.main_from)];
+    const IntTensor* skip =
+        n.skip_from < 0 ? nullptr
+                        : &outputs[static_cast<std::size_t>(n.skip_from)];
+    outputs.push_back(eval_node(n, main, skip));
+  }
+  return outputs;
+}
+
+IntTensor ReferenceExecutor::run(const IntTensor& input) const {
+  auto all = run_all(input);
+  return std::move(all.back());
+}
+
+int ReferenceExecutor::argmax(const IntTensor& logits) {
+  QNN_CHECK(logits.size() > 0, "empty logits");
+  int best = 0;
+  for (std::int64_t i = 1; i < logits.size(); ++i) {
+    if (logits[i] > logits[best]) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+}  // namespace qnn

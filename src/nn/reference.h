@@ -1,0 +1,52 @@
+// Golden reference executor for lowered pipelines.
+//
+// Executes a Pipeline layer-by-layer with plain integer loops, independent
+// of the packed XNOR-popcount datapath and of the streaming engine; both are
+// tested for bit-exact agreement against this executor.
+//
+// Two BnAct modes:
+//   * Threshold — the folded integer-threshold staircase (the hardware path)
+//   * FloatPath — float BatchNorm followed by the uniform quantizer
+// Agreement between the two modes validates the threshold folding itself.
+#pragma once
+
+#include <vector>
+
+#include "core/tensor.h"
+#include "nn/params.h"
+#include "nn/pipeline.h"
+
+namespace qnn {
+
+enum class BnActMode { Threshold, FloatPath };
+
+class ReferenceExecutor {
+ public:
+  ReferenceExecutor(const Pipeline& pipeline, const NetworkParams& params,
+                    BnActMode mode = BnActMode::Threshold);
+
+  /// Run the full pipeline; returns the final node's output tensor.
+  [[nodiscard]] IntTensor run(const IntTensor& input) const;
+
+  /// Run and keep every node's output (kernel-level test oracle).
+  [[nodiscard]] std::vector<IntTensor> run_all(const IntTensor& input) const;
+
+  /// Index of the maximum logit, lowest index wins ties.
+  [[nodiscard]] static int argmax(const IntTensor& logits);
+
+ private:
+  [[nodiscard]] IntTensor eval_node(const Node& n, const IntTensor& main,
+                                    const IntTensor* skip) const;
+  [[nodiscard]] IntTensor eval_conv(const Node& n,
+                                    const IntTensor& in) const;
+  [[nodiscard]] IntTensor eval_pool(const Node& n,
+                                    const IntTensor& in) const;
+  [[nodiscard]] IntTensor eval_bnact(const Node& n,
+                                     const IntTensor& in) const;
+
+  const Pipeline& pipeline_;
+  const NetworkParams& params_;
+  BnActMode mode_;
+};
+
+}  // namespace qnn

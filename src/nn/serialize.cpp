@@ -1,0 +1,297 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace qnn {
+namespace {
+
+constexpr char kMagic[4] = {'Q', 'N', 'N', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+// Block tags.
+enum : std::uint32_t {
+  kTagConv = 1,
+  kTagPool = 2,
+  kTagResidual = 3,
+  kTagDense = 4,
+};
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path) : out_(path, std::ios::binary) {
+    QNN_CHECK(out_.good(), "cannot open " + path + " for writing");
+  }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i32(std::int32_t v) { raw(&v, sizeof v); }
+  void f32(float v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  void raw(const void* data, std::size_t n) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(n));
+  }
+  void finish() { QNN_CHECK(out_.good(), "write failed"); }
+
+ private:
+  std::ofstream out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path) : in_(path, std::ios::binary) {
+    QNN_CHECK(in_.good(), "cannot open " + path);
+  }
+  std::uint32_t u32() { return get<std::uint32_t>(); }
+  std::uint64_t u64() { return get<std::uint64_t>(); }
+  std::int32_t i32() { return get<std::int32_t>(); }
+  float f32() { return get<float>(); }
+  double f64() { return get<double>(); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    QNN_CHECK(n <= (1u << 20), "unreasonable string length in file");
+    std::string s(n, '\0');
+    raw(s.data(), n);
+    return s;
+  }
+  void raw(void* data, std::size_t n) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    QNN_CHECK(in_.gcount() == static_cast<std::streamsize>(n),
+              "truncated network file");
+  }
+
+ private:
+  template <typename T>
+  T get() {
+    T v{};
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::ifstream in_;
+};
+
+void write_spec(Writer& w, const NetworkSpec& spec) {
+  w.str(spec.name);
+  w.i32(spec.input.h);
+  w.i32(spec.input.w);
+  w.i32(spec.input.c);
+  w.i32(spec.input_bits);
+  w.i32(spec.act_bits);
+  w.u32(static_cast<std::uint32_t>(spec.blocks.size()));
+  for (const BlockSpec& b : spec.blocks) {
+    std::visit(
+        [&w](const auto& blk) {
+          using T = std::decay_t<decltype(blk)>;
+          if constexpr (std::is_same_v<T, ConvBlockSpec>) {
+            w.u32(kTagConv);
+            w.i32(blk.out_c);
+            w.i32(blk.k);
+            w.i32(blk.stride);
+            w.i32(blk.pad);
+            w.u32(blk.bn_act ? 1 : 0);
+          } else if constexpr (std::is_same_v<T, PoolBlockSpec>) {
+            w.u32(kTagPool);
+            w.u32(blk.kind == PoolKind::Max ? 0 : 1);
+            w.i32(blk.k);
+            w.i32(blk.stride);
+            w.i32(blk.pad);
+            w.u32(blk.global ? 1 : 0);
+          } else if constexpr (std::is_same_v<T, ResidualBlockSpec>) {
+            w.u32(kTagResidual);
+            w.i32(blk.out_c);
+            w.i32(blk.stride);
+          } else {
+            static_assert(std::is_same_v<T, DenseBlockSpec>);
+            w.u32(kTagDense);
+            w.i32(blk.units);
+            w.u32(blk.bn_act ? 1 : 0);
+          }
+        },
+        b);
+  }
+}
+
+NetworkSpec read_spec(Reader& r) {
+  NetworkSpec spec;
+  spec.name = r.str();
+  spec.input.h = r.i32();
+  spec.input.w = r.i32();
+  spec.input.c = r.i32();
+  spec.input_bits = r.i32();
+  spec.act_bits = r.i32();
+  const std::uint32_t blocks = r.u32();
+  QNN_CHECK(blocks <= 4096, "unreasonable block count");
+  for (std::uint32_t i = 0; i < blocks; ++i) {
+    switch (r.u32()) {
+      case kTagConv: {
+        ConvBlockSpec b;
+        b.out_c = r.i32();
+        b.k = r.i32();
+        b.stride = r.i32();
+        b.pad = r.i32();
+        b.bn_act = r.u32() != 0;
+        spec.blocks.emplace_back(b);
+        break;
+      }
+      case kTagPool: {
+        PoolBlockSpec b;
+        b.kind = r.u32() == 0 ? PoolKind::Max : PoolKind::Avg;
+        b.k = r.i32();
+        b.stride = r.i32();
+        b.pad = r.i32();
+        b.global = r.u32() != 0;
+        spec.blocks.emplace_back(b);
+        break;
+      }
+      case kTagResidual: {
+        ResidualBlockSpec b;
+        b.out_c = r.i32();
+        b.stride = r.i32();
+        spec.blocks.emplace_back(b);
+        break;
+      }
+      case kTagDense: {
+        DenseBlockSpec b;
+        b.units = r.i32();
+        b.bn_act = r.u32() != 0;
+        spec.blocks.emplace_back(b);
+        break;
+      }
+      default:
+        throw Error("unknown block tag in network file");
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+void save_network(const std::string& path, const NetworkSpec& spec,
+                  const NetworkParams& params) {
+  // Validate coherence before touching the disk.
+  const Pipeline pipeline = expand(spec);
+  QNN_CHECK(static_cast<int>(params.convs.size()) ==
+                pipeline.num_conv_params,
+            "params do not match spec (conv banks)");
+  QNN_CHECK(static_cast<int>(params.bnacts.size()) ==
+                pipeline.num_bnact_params,
+            "params do not match spec (bnact banks)");
+
+  Writer w(path);
+  w.raw(kMagic, sizeof kMagic);
+  w.u32(kVersion);
+  write_spec(w, spec);
+
+  w.u32(static_cast<std::uint32_t>(params.convs.size()));
+  for (const ConvParams& c : params.convs) {
+    const FilterShape& f = c.weights.shape();
+    w.i32(f.out_c);
+    w.i32(f.k);
+    w.i32(f.in_c);
+    for (int o = 0; o < f.out_c; ++o) {
+      const BitVector& filter = c.weights.filter(o);
+      for (std::int64_t word = 0; word < filter.words(); ++word) {
+        w.u64(filter.word(word));
+      }
+    }
+  }
+
+  w.u32(static_cast<std::uint32_t>(params.bnacts.size()));
+  for (const BnActParams& b : params.bnacts) {
+    w.i32(b.bn.channels());
+    w.i32(b.quantizer.bits());
+    w.f64(b.quantizer.range_size());
+    for (int c = 0; c < b.bn.channels(); ++c) {
+      const BnParams& p = b.bn.at(c);
+      w.f32(p.gamma);
+      w.f32(p.mu);
+      w.f32(p.inv_sigma);
+      w.f32(p.beta);
+    }
+  }
+  w.finish();
+}
+
+LoadedNetwork load_network(const std::string& path) {
+  Reader r(path);
+  char magic[4];
+  r.raw(magic, sizeof magic);
+  QNN_CHECK(std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+            path + " is not a QNN network file");
+  const std::uint32_t version = r.u32();
+  QNN_CHECK(version == kVersion,
+            "unsupported network file version " + std::to_string(version));
+
+  LoadedNetwork net;
+  net.spec = read_spec(r);
+  net.pipeline = expand(net.spec);  // validates shapes and edges
+
+  const std::uint32_t convs = r.u32();
+  QNN_CHECK(static_cast<int>(convs) == net.pipeline.num_conv_params,
+            "conv bank count does not match the stored spec");
+  for (std::uint32_t i = 0; i < convs; ++i) {
+    FilterShape f;
+    f.out_c = r.i32();
+    f.k = r.i32();
+    f.in_c = r.i32();
+    QNN_CHECK(f.valid(), "invalid filter shape in file");
+    FilterBank bank(f);
+    for (int o = 0; o < f.out_c; ++o) {
+      BitVector& filter = bank.filter(o);
+      for (std::int64_t word = 0; word < filter.words(); ++word) {
+        filter.word(word) = r.u64();
+      }
+      // Enforce the tail-bits-zero invariant against corrupt input.
+      if (filter.bits() % kWordBits != 0) {
+        const Word tail_mask =
+            low_mask(static_cast<int>(filter.bits() % kWordBits));
+        QNN_CHECK((filter.word(filter.words() - 1) & ~tail_mask) == 0,
+                  "corrupt filter tail bits in file");
+      }
+    }
+    net.params.convs.push_back(ConvParams{std::move(bank)});
+  }
+
+  const std::uint32_t bnacts = r.u32();
+  QNN_CHECK(static_cast<int>(bnacts) == net.pipeline.num_bnact_params,
+            "bnact bank count does not match the stored spec");
+  for (std::uint32_t i = 0; i < bnacts; ++i) {
+    const int channels = r.i32();
+    QNN_CHECK(channels > 0, "invalid bnact channel count in file");
+    const int bits = r.i32();
+    const double d = r.f64();
+    BnActParams b;
+    b.quantizer = ActQuantizer(bits, d);
+    BnLayerParams bn(channels);
+    for (int c = 0; c < channels; ++c) {
+      BnParams& p = bn.at(c);
+      p.gamma = r.f32();
+      p.mu = r.f32();
+      p.inv_sigma = r.f32();
+      p.beta = r.f32();
+    }
+    b.bn = std::move(bn);
+    net.params.bnacts.push_back(std::move(b));
+  }
+  // Single source of truth for folding: rebuild thresholds on load.
+  net.params.refold();
+
+  // Final cross-check: every bank matches its node's geometry.
+  for (int i = 0; i < net.pipeline.size(); ++i) {
+    const Node& n = net.pipeline.node(i);
+    if (n.kind == NodeKind::Conv) {
+      QNN_CHECK(net.params.conv(n).weights.shape() == n.filter_shape(),
+                "stored conv bank does not match node " + n.name);
+    } else if (n.kind == NodeKind::BnAct) {
+      QNN_CHECK(net.params.bnact(n).bn.channels() == n.in.c,
+                "stored bnact bank does not match node " + n.name);
+    }
+  }
+  return net;
+}
+
+}  // namespace qnn

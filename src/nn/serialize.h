@@ -1,0 +1,39 @@
+// Network serialization: the host-side parameter store of §III-B.
+//
+// "All the pre-trained weights and normalization parameters are stored on
+// the CPU side ... loaded into their dedicated caches only once, before
+// inference of images starts." This module persists a NetworkSpec together
+// with its NetworkParams (packed sign weights + float BatchNorm parameters
+// + quantizer) in a versioned little-endian binary container, and rebuilds
+// the folded integer thresholds on load so the stored form stays minimal
+// and the fold logic has a single source of truth.
+//
+// Format (QNNM, version 1):
+//   magic "QNNM" | u32 version
+//   spec:   name | input shape | input_bits | act_bits | blocks
+//   params: conv banks (filter shape + packed words)
+//           bnact banks (channels, quantizer bits + range, per-channel
+//                        gamma/mu/inv_sigma/beta)
+#pragma once
+
+#include <string>
+
+#include "nn/params.h"
+#include "nn/pipeline.h"
+
+namespace qnn {
+
+struct LoadedNetwork {
+  NetworkSpec spec;
+  Pipeline pipeline;   // expand(spec), validated
+  NetworkParams params;  // thresholds already folded
+};
+
+/// Persist a network description and its parameters.
+void save_network(const std::string& path, const NetworkSpec& spec,
+                  const NetworkParams& params);
+
+/// Load, validate and refold. Throws qnn::Error on malformed input.
+[[nodiscard]] LoadedNetwork load_network(const std::string& path);
+
+}  // namespace qnn

@@ -1,0 +1,53 @@
+#include "nn/summary.h"
+
+#include <sstream>
+
+#include "io/table.h"
+
+namespace qnn {
+
+std::string summarize(const Pipeline& pipeline) {
+  pipeline.validate();
+  Table t({"#", "kernel", "in", "out", "bits", "window", "weights",
+           "skip from"});
+  std::int64_t total_weights = 0;
+  for (int i = 0; i < pipeline.size(); ++i) {
+    const Node& n = pipeline.node(i);
+    std::string window = "-";
+    std::string weights = "-";
+    if (n.is_window_op()) {
+      window = std::to_string(n.k) + "x" + std::to_string(n.k) + " s" +
+               std::to_string(n.stride) + " p" + std::to_string(n.pad);
+    }
+    if (n.kind == NodeKind::Conv) {
+      const std::int64_t w = n.filter_shape().total_weights();
+      total_weights += w;
+      weights = std::to_string(w);
+    }
+    t.add_row({std::to_string(i), n.name, n.in.str(), n.out.str(),
+               std::to_string(n.in_bits) + "->" + std::to_string(n.out_bits),
+               window, weights,
+               n.skip_from >= 0
+                   ? pipeline.node(n.skip_from).name
+                   : "-"});
+  }
+  std::ostringstream os;
+  os << pipeline.name << " (input " << pipeline.input.str() << " @ "
+     << pipeline.input_bits << "-bit, activations " << pipeline.act_bits
+     << "-bit)\n";
+  t.print(os);
+  os << "total: " << pipeline.size() << " kernels, " << total_weights
+     << " binarized weight bits ("
+     << (total_weights + 8 * 1024 - 1) / (8 * 1024) << " KiB)\n";
+  return os.str();
+}
+
+std::string digest(const Pipeline& pipeline) {
+  std::ostringstream os;
+  os << pipeline.name << ": " << pipeline.size() << " kernels, "
+     << pipeline.total_weight_bits() << " weight bits, "
+     << pipeline.input.str() << " -> " << pipeline.output_shape().str();
+  return os.str();
+}
+
+}  // namespace qnn

@@ -1,0 +1,17 @@
+// Human-readable pipeline summaries (the "model.summary()" of the stack).
+#pragma once
+
+#include <string>
+
+#include "nn/pipeline.h"
+
+namespace qnn {
+
+/// Multi-line table: one row per kernel with shapes, stream widths, window
+/// geometry and parameter counts, followed by totals.
+[[nodiscard]] std::string summarize(const Pipeline& pipeline);
+
+/// One-line digest: "<name>: N kernels, M weight bits, HxWxC -> H'xW'xC'".
+[[nodiscard]] std::string digest(const Pipeline& pipeline);
+
+}  // namespace qnn

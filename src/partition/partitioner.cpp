@@ -1,0 +1,189 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace qnn {
+namespace {
+
+struct SegmentSums {
+  std::vector<double> luts;   // prefix sums, size n+1
+  std::vector<double> ffs;
+  std::vector<std::int64_t> bram;
+};
+
+SegmentSums prefix_sums(const NetworkResources& res) {
+  SegmentSums s;
+  const std::size_t n = res.nodes.size();
+  s.luts.assign(n + 1, 0.0);
+  s.ffs.assign(n + 1, 0.0);
+  s.bram.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.luts[i + 1] = s.luts[i] + res.nodes[i].luts;
+    s.ffs[i + 1] = s.ffs[i] + res.nodes[i].ffs;
+    s.bram[i + 1] = s.bram[i] + res.nodes[i].bram_blocks;
+  }
+  return s;
+}
+
+/// Binding-resource utilization of nodes [i, j] on one device.
+double segment_utilization(const SegmentSums& s, int i, int j,
+                           const FpgaDevice& dev) {
+  const double lut = (s.luts[static_cast<std::size_t>(j + 1)] -
+                      s.luts[static_cast<std::size_t>(i)]) /
+                     static_cast<double>(dev.luts);
+  const double ff = (s.ffs[static_cast<std::size_t>(j + 1)] -
+                     s.ffs[static_cast<std::size_t>(i)]) /
+                    static_cast<double>(dev.ffs);
+  const double bram =
+      static_cast<double>(s.bram[static_cast<std::size_t>(j + 1)] -
+                          s.bram[static_cast<std::size_t>(i)]) /
+      static_cast<double>(dev.bram_blocks);
+  return std::max({lut, ff, bram});
+}
+
+SimConfig sim_config_for(const PartitionConfig& cfg) {
+  SimConfig sc;
+  sc.datapath_bits = cfg.costs.datapath_bits;
+  sc.weight_cache_capacity_bits = cfg.costs.weight_cache_capacity_bits;
+  sc.clock_hz = cfg.clock_hz;
+  return sc;
+}
+
+PartitionResult assemble(const Pipeline& pipeline,
+                         const PartitionConfig& cfg, const SegmentSums& sums,
+                         const std::vector<std::pair<int, int>>& segments) {
+  PartitionResult result;
+  const double fps =
+      cfg.clock_hz /
+      static_cast<double>(
+          analytic_bottleneck_cycles(pipeline, sim_config_for(cfg)));
+  result.images_per_second = fps;
+
+  for (const auto& [first, last] : segments) {
+    DfeAssignment a;
+    a.first_node = first;
+    a.last_node = last;
+    a.luts = sums.luts[static_cast<std::size_t>(last + 1)] -
+             sums.luts[static_cast<std::size_t>(first)];
+    a.ffs = sums.ffs[static_cast<std::size_t>(last + 1)] -
+            sums.ffs[static_cast<std::size_t>(first)];
+    a.bram_blocks =
+        static_cast<int>(sums.bram[static_cast<std::size_t>(last + 1)] -
+                         sums.bram[static_cast<std::size_t>(first)]);
+    a.utilization = segment_utilization(sums, first, last, cfg.device);
+    result.dfes.push_back(a);
+  }
+
+  const double capacity_mbps = cfg.link_gbps * 1000.0;
+  for (std::size_t k = 0; k + 1 < segments.size(); ++k) {
+    CutInfo cut;
+    cut.after_node = segments[k].second;
+    cut.streams = crossing_streams(pipeline, cut.after_node);
+    for (const auto& s : cut.streams) {
+      cut.required_mbps += s.mbps(fps);
+    }
+    cut.feasible = cut.required_mbps <= capacity_mbps;
+    result.link_slowdown =
+        std::max(result.link_slowdown, cut.required_mbps / capacity_mbps);
+    result.cuts.push_back(std::move(cut));
+  }
+  result.link_slowdown = std::max(result.link_slowdown, 1.0);
+  return result;
+}
+
+}  // namespace
+
+double PartitionResult::max_utilization() const {
+  double best = 0.0;
+  for (const auto& d : dfes) best = std::max(best, d.utilization);
+  return best;
+}
+
+std::vector<CrossingStream> crossing_streams(const Pipeline& pipeline,
+                                             int after_node) {
+  QNN_CHECK(after_node >= 0 && after_node + 1 < pipeline.size(),
+            "cut position out of range");
+  std::vector<CrossingStream> out;
+  for (int j = after_node + 1; j < pipeline.size(); ++j) {
+    const Node& n = pipeline.node(j);
+    for (int src : {n.main_from, n.skip_from}) {
+      if (src < 0 || src > after_node) continue;
+      const Node& producer = pipeline.node(src);
+      out.push_back(CrossingStream{producer.name + "->" + n.name,
+                                   producer.out.elems(),
+                                   producer.out_bits});
+    }
+  }
+  return out;
+}
+
+PartitionResult partition(const Pipeline& pipeline,
+                          const PartitionConfig& config) {
+  pipeline.validate();
+  const NetworkResources res = estimate_resources(pipeline, config.costs);
+  const SegmentSums sums = prefix_sums(res);
+
+  std::vector<std::pair<int, int>> segments;
+  int first = 0;
+  for (int j = 0; j < pipeline.size(); ++j) {
+    if (segment_utilization(sums, first, j, config.device) > config.fill) {
+      QNN_CHECK(j > first, "kernel " + pipeline.node(j).name +
+                               " alone exceeds one device");
+      segments.emplace_back(first, j - 1);
+      first = j;
+    }
+  }
+  segments.emplace_back(first, pipeline.size() - 1);
+  QNN_CHECK(static_cast<int>(segments.size()) <= config.max_dfes,
+            "network needs more DFEs than the node provides");
+  return assemble(pipeline, config, sums, segments);
+}
+
+PartitionResult partition_optimal(const Pipeline& pipeline,
+                                  const PartitionConfig& config) {
+  pipeline.validate();
+  const NetworkResources res = estimate_resources(pipeline, config.costs);
+  const SegmentSums sums = prefix_sums(res);
+  const int n = pipeline.size();
+
+  struct Best {
+    int dfes = std::numeric_limits<int>::max();
+    double peak = std::numeric_limits<double>::infinity();
+    int cut = -1;  // first node of the final segment
+  };
+  // best[j]: optimal plan for nodes [0, j-1].
+  std::vector<Best> best(static_cast<std::size_t>(n) + 1);
+  best[0] = Best{0, 0.0, -1};
+  for (int j = 1; j <= n; ++j) {
+    for (int i = j - 1; i >= 0; --i) {
+      const double util = segment_utilization(sums, i, j - 1, config.device);
+      if (util > config.fill) break;  // longer segments only grow
+      const Best& prev = best[static_cast<std::size_t>(i)];
+      if (prev.dfes == std::numeric_limits<int>::max()) continue;
+      const int dfes = prev.dfes + 1;
+      const double peak = std::max(prev.peak, util);
+      Best& cur = best[static_cast<std::size_t>(j)];
+      if (dfes < cur.dfes || (dfes == cur.dfes && peak < cur.peak)) {
+        cur = Best{dfes, peak, i};
+      }
+    }
+  }
+  const Best& final = best[static_cast<std::size_t>(n)];
+  QNN_CHECK(final.dfes != std::numeric_limits<int>::max(),
+            "no feasible partition: some kernel exceeds one device");
+  QNN_CHECK(final.dfes <= config.max_dfes,
+            "network needs more DFEs than the node provides");
+
+  std::vector<std::pair<int, int>> segments;
+  int j = n;
+  while (j > 0) {
+    const int i = best[static_cast<std::size_t>(j)].cut;
+    segments.emplace_back(i, j - 1);
+    j = i;
+  }
+  std::reverse(segments.begin(), segments.end());
+  return assemble(pipeline, config, sums, segments);
+}
+
+}  // namespace qnn

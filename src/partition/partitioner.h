@@ -1,0 +1,101 @@
+// Multi-DFE partitioning (§III-B6).
+//
+// The kernel chain is cut into contiguous segments, one per DFE, connected
+// in the daisy-chain (MaxRing) order of the Maxeler MPC-X node. A cut is
+// legal anywhere: activation streams and 16-bit skip streams alike cross
+// the link, serialized value by value (the paper's link arithmetic: one
+// 2-bit value per 105 MHz clock needs 210 Mbps, far below the multi-Gbps
+// MaxRing), so splitting costs almost nothing as long as every crossing
+// stream's aggregate rate stays below link capacity.
+//
+// Two planners are provided:
+//  * partition()          — greedy first-fit in chain order
+//  * partition_optimal()  — DP over contiguous segments minimizing the DFE
+//                           count, tie-broken by the peak utilization
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/resource_model.h"
+#include "sim/cycle_model.h"
+
+namespace qnn {
+
+struct PartitionConfig {
+  FpgaDevice device = stratix_v_5sgsd8();
+  ResourceCosts costs{};
+  /// Maximum fraction of each resource class usable per DFE (place-and-
+  /// route headroom).
+  double fill = 0.85;
+  /// DFEs available in the node (MPC-X: 8 MAX4 DFEs).
+  int max_dfes = 8;
+  /// DFE-to-DFE link rate ("can be set to rates of up to several Gbps").
+  double link_gbps = 4.0;
+  /// Fabric clock used to convert cycles to seconds.
+  double clock_hz = 105e6;
+};
+
+/// One crossing stream at a cut.
+struct CrossingStream {
+  std::string name;
+  std::int64_t values_per_image = 0;
+  int bits = 0;
+
+  [[nodiscard]] double mbps(double images_per_second) const {
+    return static_cast<double>(values_per_image) * bits *
+           images_per_second / 1e6;
+  }
+};
+
+/// The link between DFE k and DFE k+1.
+struct CutInfo {
+  int after_node = -1;  // cut lies between after_node and after_node + 1
+  std::vector<CrossingStream> streams;
+  double required_mbps = 0.0;
+  bool feasible = true;
+};
+
+struct DfeAssignment {
+  int first_node = 0;
+  int last_node = 0;  // inclusive
+  double luts = 0.0;
+  double ffs = 0.0;
+  int bram_blocks = 0;
+  double utilization = 0.0;  // binding resource fraction of the device
+};
+
+struct PartitionResult {
+  std::vector<DfeAssignment> dfes;
+  std::vector<CutInfo> cuts;  // size = dfes.size() - 1
+  double images_per_second = 0.0;
+  /// Slowdown from link serialization: 1.0 when every cut is feasible,
+  /// otherwise the worst required/capacity ratio.
+  double link_slowdown = 1.0;
+
+  [[nodiscard]] int num_dfes() const {
+    return static_cast<int>(dfes.size());
+  }
+  [[nodiscard]] bool feasible() const {
+    for (const auto& c : cuts) {
+      if (!c.feasible) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] double max_utilization() const;
+};
+
+/// Streams crossing a cut placed after `after_node`, with per-image volume.
+[[nodiscard]] std::vector<CrossingStream> crossing_streams(
+    const Pipeline& pipeline, int after_node);
+
+/// Greedy first-fit chain partition.
+[[nodiscard]] PartitionResult partition(const Pipeline& pipeline,
+                                        const PartitionConfig& config = {});
+
+/// Optimal chain partition: fewest DFEs, then lowest peak utilization.
+[[nodiscard]] PartitionResult partition_optimal(
+    const Pipeline& pipeline, const PartitionConfig& config = {});
+
+}  // namespace qnn

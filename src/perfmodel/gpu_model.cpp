@@ -1,0 +1,90 @@
+#include "perfmodel/gpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qnn {
+
+double GpuSpec::efficiency(int batch) const {
+  QNN_CHECK(batch >= 1, "batch must be positive");
+  // Rises from the batch-1 value toward the large-batch ceiling; the
+  // square root keeps the knee in the 16-64 range, as observed for cuDNN.
+  return peak_efficiency -
+         (peak_efficiency - batch1_efficiency) / std::sqrt(batch);
+}
+
+GpuSpec tesla_p100() {
+  GpuSpec g;
+  g.name = "Tesla P100";
+  g.cuda_cores = 3584;
+  g.core_clock_ghz = 1.480;
+  g.fp32_tflops = 10.6;
+  g.mem_bw_gbps = 549.0;  // 12 GB HBM2 variant
+  g.tdp_w = 250.0;
+  g.idle_w = 31.0;
+  return g;
+}
+
+GpuSpec gtx1080() {
+  GpuSpec g;
+  g.name = "GTX 1080";
+  g.cuda_cores = 2560;
+  g.core_clock_ghz = 1.733;
+  g.fp32_tflops = 8.87;
+  g.mem_bw_gbps = 320.0;
+  g.tdp_w = 180.0;
+  g.idle_w = 10.0;
+  return g;
+}
+
+GpuRunEstimate estimate_gpu(const Pipeline& pipeline, const GpuSpec& gpu,
+                            int batch) {
+  pipeline.validate();
+  QNN_CHECK(batch >= 1, "batch must be positive");
+  GpuRunEstimate est;
+  const double peak_flops =
+      gpu.fp32_tflops * 1e12 * gpu.efficiency(batch);
+  const double bw = gpu.mem_bw_gbps * 1e9 * gpu.mem_efficiency;
+
+  double total = 0.0;
+  for (int i = 0; i < pipeline.size(); ++i) {
+    const Node& n = pipeline.node(i);
+    // cuDNN launches one kernel per convolution and pooling layer; the
+    // element-wise BatchNorm/activation/add work is folded into the
+    // neighbouring layer's traffic (negligible next to conv cost).
+    if (n.kind == NodeKind::BnAct || n.kind == NodeKind::Add) continue;
+
+    GpuLayerTime layer;
+    layer.name = n.name;
+    double weight_bytes = 0.0;
+    if (n.kind == NodeKind::Conv) {
+      const double macs = static_cast<double>(n.out.elems()) * n.k * n.k *
+                          n.in.c;
+      layer.flops = 2.0 * macs;
+      weight_bytes =
+          static_cast<double>(n.filter_shape().total_weights()) * 4.0;
+    }
+    // float32 activations in and out, per image.
+    const double act_bytes =
+        4.0 * static_cast<double>(n.in.elems() + n.out.elems());
+    layer.bytes = weight_bytes + act_bytes * batch;
+
+    const double compute_s = layer.flops * batch / peak_flops;
+    const double memory_s = layer.bytes / bw;
+    const double body = std::max(compute_s, memory_s);
+    layer.bound = compute_s >= memory_s ? GpuBound::Compute
+                                        : GpuBound::Memory;
+    if (gpu.launch_overhead_s > body) layer.bound = GpuBound::Launch;
+    layer.seconds = gpu.launch_overhead_s + body;
+    total += layer.seconds;
+    ++est.launches;
+    est.layers.push_back(std::move(layer));
+  }
+
+  est.seconds_per_image = total / batch;
+  est.power_w = gpu.inference_power_w();
+  est.energy_per_image_j = est.power_w * est.seconds_per_image;
+  return est;
+}
+
+}  // namespace qnn

@@ -1,0 +1,65 @@
+// Inference-time batch normalization parameters (per channel).
+//
+// Using the paper's notation (§III-B3): for neuron k with pre-activation a_k
+// and parameters Theta_k = (gamma_k, mu_k, i_k, B_k),
+//
+//   BatchNorm(a_k, Theta_k) = gamma_k * (a_k - mu_k) * i_k + B_k
+//
+// where i_k is the reciprocal of the running standard deviation.
+#pragma once
+
+#include <vector>
+
+#include "core/error.h"
+
+namespace qnn {
+
+struct BnParams {
+  float gamma = 1.0f;
+  float mu = 0.0f;
+  float inv_sigma = 1.0f;  // i_k
+  float beta = 0.0f;       // B_k
+
+  /// Affine slope s = gamma * i. BatchNorm(a) = s*a + intercept().
+  [[nodiscard]] double slope() const {
+    return static_cast<double>(gamma) * inv_sigma;
+  }
+  [[nodiscard]] double intercept() const {
+    return static_cast<double>(beta) -
+           static_cast<double>(gamma) * mu * inv_sigma;
+  }
+  [[nodiscard]] double apply(double a) const {
+    return slope() * a + intercept();
+  }
+};
+
+/// Per-output-channel BatchNorm parameter bank for one layer. The hardware
+/// stores 2*O folded parameters (§III-B1a); this holds the unfolded source.
+class BnLayerParams {
+ public:
+  BnLayerParams() = default;
+  explicit BnLayerParams(int channels) : params_(channels) {
+    QNN_CHECK(channels > 0, "channel count must be positive");
+  }
+  explicit BnLayerParams(std::vector<BnParams> params)
+      : params_(std::move(params)) {
+    QNN_CHECK(!params_.empty(), "empty BatchNorm bank");
+  }
+
+  [[nodiscard]] int channels() const {
+    return static_cast<int>(params_.size());
+  }
+  [[nodiscard]] BnParams& at(int c) {
+    QNN_DCHECK(c >= 0 && c < channels(), "channel out of range");
+    return params_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] const BnParams& at(int c) const {
+    QNN_DCHECK(c >= 0 && c < channels(), "channel out of range");
+    return params_[static_cast<std::size_t>(c)];
+  }
+
+ private:
+  std::vector<BnParams> params_;
+};
+
+}  // namespace qnn

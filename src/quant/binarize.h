@@ -1,0 +1,123 @@
+// Weight binarization: 32-bit float weights -> packed 1-bit sign weights.
+//
+// As in §III-B1a, all weights arrive as 32-bit floats and are transformed on
+// load into a 1-bit representation with the Sign function. One weight-cache
+// entry holds the K*K*I bits of a single filter, laid out depth-first
+// (dy, dx, ci with ci fastest) to match the depth-first feature-map scan, and
+// the cache has O entries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bitvector.h"
+#include "core/rng.h"
+#include "core/shape.h"
+
+namespace qnn {
+
+/// Dense float filter bank, layout [o][dy][dx][ci] (ci fastest).
+class WeightTensor {
+ public:
+  WeightTensor() = default;
+  explicit WeightTensor(FilterShape shape, float fill = 0.0f)
+      : shape_(shape),
+        data_(static_cast<std::size_t>(shape.total_weights()), fill) {
+    QNN_CHECK(shape.valid(), "invalid filter shape");
+  }
+
+  [[nodiscard]] const FilterShape& shape() const { return shape_; }
+
+  [[nodiscard]] float& at(int o, int dy, int dx, int ci) {
+    return data_[flat(o, dy, dx, ci)];
+  }
+  [[nodiscard]] float at(int o, int dy, int dx, int ci) const {
+    return data_[flat(o, dy, dx, ci)];
+  }
+
+  [[nodiscard]] std::vector<float>& raw() { return data_; }
+  [[nodiscard]] const std::vector<float>& raw() const { return data_; }
+
+ private:
+  [[nodiscard]] std::size_t flat(int o, int dy, int dx, int ci) const {
+    QNN_DCHECK(o >= 0 && o < shape_.out_c && dy >= 0 && dy < shape_.k &&
+                   dx >= 0 && dx < shape_.k && ci >= 0 && ci < shape_.in_c,
+               "weight index out of range");
+    return static_cast<std::size_t>(
+        ((static_cast<std::int64_t>(o) * shape_.k + dy) * shape_.k + dx) *
+            shape_.in_c +
+        ci);
+  }
+
+  FilterShape shape_;
+  std::vector<float> data_;
+};
+
+/// Binarized filter bank: O packed sign-bit vectors of K*K*I bits each.
+class FilterBank {
+ public:
+  FilterBank() = default;
+  explicit FilterBank(FilterShape shape) : shape_(shape) {
+    QNN_CHECK(shape.valid(), "invalid filter shape");
+    filters_.assign(static_cast<std::size_t>(shape.out_c),
+                    BitVector(shape.weights_per_filter()));
+  }
+
+  /// Sign-binarize a float bank: w >= 0 maps to +1 (bit 1), w < 0 to -1.
+  static FilterBank binarize(const WeightTensor& w) {
+    FilterBank fb(w.shape());
+    const auto& s = w.shape();
+    for (int o = 0; o < s.out_c; ++o) {
+      std::int64_t i = 0;
+      for (int dy = 0; dy < s.k; ++dy) {
+        for (int dx = 0; dx < s.k; ++dx) {
+          for (int ci = 0; ci < s.in_c; ++ci, ++i) {
+            fb.filter(o).set(i, w.at(o, dy, dx, ci) >= 0.0f);
+          }
+        }
+      }
+    }
+    return fb;
+  }
+
+  /// Deterministic random bank for performance experiments (weight values do
+  /// not affect dataflow timing; see DESIGN.md substitution table).
+  static FilterBank random(FilterShape shape, Rng& rng) {
+    FilterBank fb(shape);
+    for (int o = 0; o < shape.out_c; ++o) {
+      auto& f = fb.filter(o);
+      for (std::int64_t w = 0; w < f.words(); ++w) {
+        f.word(w) = rng.next_u64();
+      }
+      // Restore the tail-bits-zero invariant of BitVector.
+      const std::int64_t nbits = f.bits();
+      if (nbits % kWordBits != 0) {
+        f.word(f.words() - 1) &= low_mask(static_cast<int>(nbits % kWordBits));
+      }
+    }
+    return fb;
+  }
+
+  [[nodiscard]] const FilterShape& shape() const { return shape_; }
+  [[nodiscard]] BitVector& filter(int o) {
+    QNN_DCHECK(o >= 0 && o < shape_.out_c, "filter index out of range");
+    return filters_[static_cast<std::size_t>(o)];
+  }
+  [[nodiscard]] const BitVector& filter(int o) const {
+    QNN_DCHECK(o >= 0 && o < shape_.out_c, "filter index out of range");
+    return filters_[static_cast<std::size_t>(o)];
+  }
+
+  /// Signed weight value (+1/-1) at (o, dy, dx, ci) — test/reference access.
+  [[nodiscard]] int signed_weight(int o, int dy, int dx, int ci) const {
+    const std::int64_t i =
+        (static_cast<std::int64_t>(dy) * shape_.k + dx) * shape_.in_c + ci;
+    return filter(o).get(i) ? +1 : -1;
+  }
+
+ private:
+  FilterShape shape_;
+  std::vector<BitVector> filters_;
+};
+
+}  // namespace qnn

@@ -1,0 +1,55 @@
+// Uniform n-bit activation quantizer (§III-B3).
+//
+// The quantizer divides the normalized-value axis into 2^n equally sized
+// ranges of width d with endpoints at alpha*d (alpha = 1 .. 2^n - 1) and
+// maps each range to one unsigned output code:
+//
+//   code(y) = clamp(floor(y / d), 0, 2^n - 1)
+//
+// Negative normalized values land in code 0, so the quantizer subsumes the
+// rectifying behaviour of a BNN sign activation (code 0 plays the role the
+// paper's -1 plays in pure binary networks).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/error.h"
+
+namespace qnn {
+
+class ActQuantizer {
+ public:
+  ActQuantizer() = default;
+  ActQuantizer(int bits, double range_size)
+      : bits_(bits), d_(range_size) {
+    QNN_CHECK(bits >= 1 && bits <= 8, "activation bits out of range [1,8]");
+    QNN_CHECK(range_size > 0.0, "range size d must be positive");
+  }
+
+  [[nodiscard]] int bits() const { return bits_; }
+  [[nodiscard]] double range_size() const { return d_; }
+  [[nodiscard]] int levels() const { return 1 << bits_; }
+  [[nodiscard]] std::int32_t max_code() const { return levels() - 1; }
+
+  /// Quantize a normalized (post-BatchNorm) value to an unsigned code.
+  [[nodiscard]] std::int32_t code(double y) const {
+    if (y < d_) return 0;  // covers all negative values too
+    const double q = std::floor(y / d_);
+    if (q >= static_cast<double>(max_code())) return max_code();
+    return static_cast<std::int32_t>(q);
+  }
+
+  /// Representative (midpoint) value of a code, used by the float reference
+  /// path and by training to de-quantize.
+  [[nodiscard]] double midpoint(std::int32_t c) const {
+    QNN_DCHECK(c >= 0 && c <= max_code(), "code out of range");
+    return (static_cast<double>(c) + 0.5) * d_;
+  }
+
+ private:
+  int bits_ = 2;
+  double d_ = 1.0;
+};
+
+}  // namespace qnn

@@ -1,0 +1,424 @@
+#include "train/qat.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/reference.h"
+
+namespace qnn {
+namespace {
+
+constexpr float kBnEps = 1e-5f;
+
+float sign_pm1(float w) { return w >= 0.0f ? 1.0f : -1.0f; }
+
+}  // namespace
+
+struct QatMlp::BatchCache {
+  int batch = 0;
+  // Per layer: input activations, pre-activations, normalized values and
+  // quantized output codes, plus the batch statistics used.
+  std::vector<std::vector<float>> x;      // [layer][batch*in]
+  std::vector<std::vector<float>> a;      // [layer][batch*out]
+  std::vector<std::vector<float>> xhat;   // [layer][batch*out]
+  std::vector<std::vector<float>> y;      // [layer][batch*out]
+  std::vector<std::vector<float>> mean;   // [layer][out]
+  std::vector<std::vector<float>> var;    // [layer][out]
+  std::vector<float> logits;              // [batch*classes]
+};
+
+QatMlp::QatMlp(int input_dim, int classes, QatConfig config)
+    : config_(std::move(config)), input_dim_(input_dim), classes_(classes),
+      rng_(config_.seed) {
+  QNN_CHECK(input_dim >= 1 && classes >= 2, "bad network dimensions");
+  QNN_CHECK(config_.act_bits >= 1 && config_.act_bits <= 8,
+            "activation bits out of range");
+  int in = input_dim;
+  for (int h : config_.hidden) {
+    QNN_CHECK(h >= 1, "hidden width must be positive");
+    DenseLayer layer;
+    layer.in = in;
+    layer.out = h;
+    layer.has_bn = true;
+    layer.w.resize(static_cast<std::size_t>(in) * h);
+    layer.vw.assign(layer.w.size(), 0.0f);
+    for (auto& w : layer.w) w = 2.0f * rng_.next_float() - 1.0f;
+    layer.gamma.assign(static_cast<std::size_t>(h), 1.0f);
+    layer.beta.assign(static_cast<std::size_t>(h),
+                      static_cast<float>(2.0));  // center of the code range
+    layer.vgamma.assign(static_cast<std::size_t>(h), 0.0f);
+    layer.vbeta.assign(static_cast<std::size_t>(h), 0.0f);
+    layer.run_mean.assign(static_cast<std::size_t>(h), 0.0f);
+    layer.run_var.assign(static_cast<std::size_t>(h), 1.0f);
+    layers_.push_back(std::move(layer));
+    in = h;
+  }
+  DenseLayer out_layer;
+  out_layer.in = in;
+  out_layer.out = classes;
+  out_layer.has_bn = false;
+  out_layer.w.resize(static_cast<std::size_t>(in) * classes);
+  out_layer.vw.assign(out_layer.w.size(), 0.0f);
+  for (auto& w : out_layer.w) w = 2.0f * rng_.next_float() - 1.0f;
+  layers_.push_back(std::move(out_layer));
+}
+
+void QatMlp::forward(const std::vector<const std::vector<float>*>& batch,
+                     BatchCache& cache, bool training) const {
+  const int n = static_cast<int>(batch.size());
+  const std::size_t num_layers = layers_.size();
+  cache.batch = n;
+  cache.x.assign(num_layers, {});
+  cache.a.assign(num_layers, {});
+  cache.xhat.assign(num_layers, {});
+  cache.y.assign(num_layers, {});
+  cache.mean.assign(num_layers, {});
+  cache.var.assign(num_layers, {});
+
+  std::vector<float> cur(static_cast<std::size_t>(n) * input_dim_);
+  for (int b = 0; b < n; ++b) {
+    QNN_CHECK(static_cast<int>(batch[static_cast<std::size_t>(b)]->size()) ==
+                  input_dim_,
+              "feature dimension mismatch");
+    std::copy(batch[static_cast<std::size_t>(b)]->begin(),
+              batch[static_cast<std::size_t>(b)]->end(),
+              cur.begin() + static_cast<std::ptrdiff_t>(b) * input_dim_);
+  }
+
+  const double d = act_range();
+  const int max_code = (1 << config_.act_bits) - 1;
+
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    const DenseLayer& layer = layers_[l];
+    cache.x[l] = cur;
+    std::vector<float> a(static_cast<std::size_t>(n) * layer.out, 0.0f);
+    for (int b = 0; b < n; ++b) {
+      const float* xb = cur.data() + static_cast<std::ptrdiff_t>(b) * layer.in;
+      float* ab = a.data() + static_cast<std::ptrdiff_t>(b) * layer.out;
+      for (int j = 0; j < layer.out; ++j) {
+        const float* wj =
+            layer.w.data() + static_cast<std::ptrdiff_t>(j) * layer.in;
+        float acc = 0.0f;
+        for (int i = 0; i < layer.in; ++i) acc += sign_pm1(wj[i]) * xb[i];
+        ab[j] = acc;
+      }
+    }
+    cache.a[l] = a;
+
+    if (!layer.has_bn) {
+      cache.logits = std::move(a);
+      break;
+    }
+
+    // Batch normalization: batch statistics while training, running
+    // statistics for deployment-style evaluation.
+    std::vector<float> mean(static_cast<std::size_t>(layer.out), 0.0f);
+    std::vector<float> var(static_cast<std::size_t>(layer.out), 0.0f);
+    if (training) {
+      for (int j = 0; j < layer.out; ++j) {
+        double m = 0.0;
+        for (int b = 0; b < n; ++b) {
+          m += a[static_cast<std::size_t>(b) * layer.out + j];
+        }
+        m /= n;
+        double v = 0.0;
+        for (int b = 0; b < n; ++b) {
+          const double dlt =
+              a[static_cast<std::size_t>(b) * layer.out + j] - m;
+          v += dlt * dlt;
+        }
+        v /= n;
+        mean[static_cast<std::size_t>(j)] = static_cast<float>(m);
+        var[static_cast<std::size_t>(j)] = static_cast<float>(v);
+      }
+    } else {
+      mean = layer.run_mean;
+      var = layer.run_var;
+    }
+    cache.mean[l] = mean;
+    cache.var[l] = var;
+
+    std::vector<float> xhat(a.size());
+    std::vector<float> y(a.size());
+    std::vector<float> codes(a.size());
+    for (int b = 0; b < n; ++b) {
+      for (int j = 0; j < layer.out; ++j) {
+        const std::size_t idx = static_cast<std::size_t>(b) * layer.out +
+                                static_cast<std::size_t>(j);
+        const float inv_sigma =
+            1.0f / std::sqrt(var[static_cast<std::size_t>(j)] + kBnEps);
+        xhat[idx] = (a[idx] - mean[static_cast<std::size_t>(j)]) * inv_sigma;
+        y[idx] = layer.gamma[static_cast<std::size_t>(j)] * xhat[idx] +
+                 layer.beta[static_cast<std::size_t>(j)];
+        // The exact inference quantizer (quant/quantizer.h semantics).
+        double q = std::floor(static_cast<double>(y[idx]) / d);
+        q = std::clamp(q, 0.0, static_cast<double>(max_code));
+        codes[idx] = static_cast<float>(q);
+      }
+    }
+    cache.xhat[l] = std::move(xhat);
+    cache.y[l] = std::move(y);
+    cur = std::move(codes);
+  }
+}
+
+double QatMlp::backward_and_step(const std::vector<int>& labels,
+                                 BatchCache& cache) {
+  const int n = cache.batch;
+  const DenseLayer& out_layer = layers_.back();
+  const float tau = 1.0f / std::sqrt(static_cast<float>(out_layer.in));
+
+  // Softmax cross-entropy on temperature-scaled logits.
+  double loss = 0.0;
+  std::vector<float> dA(cache.logits.size());
+  for (int b = 0; b < n; ++b) {
+    const float* zb =
+        cache.logits.data() + static_cast<std::ptrdiff_t>(b) * classes_;
+    float zmax = -1e30f;
+    for (int k = 0; k < classes_; ++k) zmax = std::max(zmax, zb[k] * tau);
+    double denom = 0.0;
+    for (int k = 0; k < classes_; ++k) {
+      denom += std::exp(static_cast<double>(zb[k] * tau - zmax));
+    }
+    const int label = labels[static_cast<std::size_t>(b)];
+    for (int k = 0; k < classes_; ++k) {
+      const double p =
+          std::exp(static_cast<double>(zb[k] * tau - zmax)) / denom;
+      dA[static_cast<std::size_t>(b) * classes_ + static_cast<std::size_t>(k)] =
+          static_cast<float>((p - (k == label ? 1.0 : 0.0)) * tau / n);
+      if (k == label) loss += -std::log(std::max(p, 1e-12));
+    }
+  }
+  loss /= n;
+
+  const double d = act_range();
+  const int levels = 1 << config_.act_bits;
+  const float lr = static_cast<float>(config_.lr);
+  const float mom = static_cast<float>(config_.momentum);
+
+  // Walk layers from the output back to the input.
+  for (int l = static_cast<int>(layers_.size()) - 1; l >= 0; --l) {
+    DenseLayer& layer = layers_[static_cast<std::size_t>(l)];
+    const std::vector<float>& x = cache.x[static_cast<std::size_t>(l)];
+
+    // Gradient w.r.t. this layer's input and weights. STE through the
+    // sign binarization: dW flows to the shadow float weight, dX uses the
+    // binarized value.
+    std::vector<float> dX(static_cast<std::size_t>(n) * layer.in, 0.0f);
+    std::vector<float> dW(layer.w.size(), 0.0f);
+    for (int b = 0; b < n; ++b) {
+      const float* dab = dA.data() + static_cast<std::ptrdiff_t>(b) * layer.out;
+      const float* xb = x.data() + static_cast<std::ptrdiff_t>(b) * layer.in;
+      float* dxb = dX.data() + static_cast<std::ptrdiff_t>(b) * layer.in;
+      for (int j = 0; j < layer.out; ++j) {
+        const std::size_t row = static_cast<std::size_t>(j) * layer.in;
+        const float g = dab[j];
+        for (int i = 0; i < layer.in; ++i) {
+          dW[row + static_cast<std::size_t>(i)] += g * xb[i];
+          dxb[i] += g * sign_pm1(layer.w[row + static_cast<std::size_t>(i)]);
+        }
+      }
+    }
+    // SGD with momentum; shadow weights stay clipped to [-1, 1]
+    // (BinaryConnect), keeping the sign function's STE region bounded.
+    for (std::size_t widx = 0; widx < layer.w.size(); ++widx) {
+      layer.vw[widx] = mom * layer.vw[widx] - lr * dW[widx];
+      layer.w[widx] =
+          std::clamp(layer.w[widx] + layer.vw[widx], -1.0f, 1.0f);
+    }
+
+    if (l == 0) break;
+
+    // Propagate through the previous layer's activation quantizer (STE
+    // with saturation mask) and its BatchNorm.
+    DenseLayer& prev = layers_[static_cast<std::size_t>(l - 1)];
+    const std::vector<float>& y = cache.y[static_cast<std::size_t>(l - 1)];
+    const std::vector<float>& xhat =
+        cache.xhat[static_cast<std::size_t>(l - 1)];
+    const std::vector<float>& var =
+        cache.var[static_cast<std::size_t>(l - 1)];
+
+    std::vector<float> dY(dX.size());
+    for (std::size_t i = 0; i < dX.size(); ++i) {
+      const double r = static_cast<double>(y[i]) / d;
+      const bool in_range = r >= 0.0 && r < static_cast<double>(levels);
+      dY[i] = in_range ? static_cast<float>(dX[i] / d) : 0.0f;
+    }
+
+    // BatchNorm backward (batch statistics), producing dA for prev layer.
+    std::vector<float> next_dA(dY.size());
+    for (int j = 0; j < prev.out; ++j) {
+      const float inv_sigma =
+          1.0f / std::sqrt(var[static_cast<std::size_t>(j)] + kBnEps);
+      double sum_dy = 0.0;
+      double sum_dy_xhat = 0.0;
+      for (int b = 0; b < n; ++b) {
+        const std::size_t idx = static_cast<std::size_t>(b) * prev.out +
+                                static_cast<std::size_t>(j);
+        sum_dy += dY[idx];
+        sum_dy_xhat += static_cast<double>(dY[idx]) * xhat[idx];
+      }
+      const float gamma = prev.gamma[static_cast<std::size_t>(j)];
+      for (int b = 0; b < n; ++b) {
+        const std::size_t idx = static_cast<std::size_t>(b) * prev.out +
+                                static_cast<std::size_t>(j);
+        const double term = n * static_cast<double>(dY[idx]) - sum_dy -
+                            static_cast<double>(xhat[idx]) * sum_dy_xhat;
+        next_dA[idx] =
+            static_cast<float>(gamma * inv_sigma * term / n);
+      }
+      // Parameter updates for gamma/beta with momentum.
+      prev.vgamma[static_cast<std::size_t>(j)] =
+          mom * prev.vgamma[static_cast<std::size_t>(j)] -
+          lr * static_cast<float>(sum_dy_xhat);
+      prev.vbeta[static_cast<std::size_t>(j)] =
+          mom * prev.vbeta[static_cast<std::size_t>(j)] -
+          lr * static_cast<float>(sum_dy);
+      prev.gamma[static_cast<std::size_t>(j)] +=
+          prev.vgamma[static_cast<std::size_t>(j)];
+      prev.beta[static_cast<std::size_t>(j)] +=
+          prev.vbeta[static_cast<std::size_t>(j)];
+    }
+    dA = std::move(next_dA);
+  }
+  return loss;
+}
+
+double QatMlp::train_epoch(const LabeledDataset& data) {
+  QNN_CHECK(data.dim == input_dim_, "dataset dimension mismatch");
+  QNN_CHECK(data.classes <= classes_, "dataset has too many classes");
+  const int n = data.size();
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[rng_.next_below(static_cast<std::uint64_t>(i) + 1)]);
+  }
+
+  double total_loss = 0.0;
+  int batches = 0;
+  BatchCache cache;
+  for (int start = 0; start < n; start += config_.batch_size) {
+    const int end = std::min(n, start + config_.batch_size);
+    std::vector<const std::vector<float>*> batch;
+    std::vector<int> labels;
+    for (int i = start; i < end; ++i) {
+      const int idx = order[static_cast<std::size_t>(i)];
+      batch.push_back(&data.features[static_cast<std::size_t>(idx)]);
+      labels.push_back(data.labels[static_cast<std::size_t>(idx)]);
+    }
+    forward(batch, cache, /*training=*/true);
+    // Update running statistics from the batch statistics just computed.
+    const auto m = static_cast<float>(config_.bn_momentum);
+    for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
+      DenseLayer& layer = layers_[l];
+      for (int j = 0; j < layer.out; ++j) {
+        layer.run_mean[static_cast<std::size_t>(j)] =
+            (1.0f - m) * layer.run_mean[static_cast<std::size_t>(j)] +
+            m * cache.mean[l][static_cast<std::size_t>(j)];
+        layer.run_var[static_cast<std::size_t>(j)] =
+            (1.0f - m) * layer.run_var[static_cast<std::size_t>(j)] +
+            m * cache.var[l][static_cast<std::size_t>(j)];
+      }
+    }
+    total_loss += backward_and_step(labels, cache);
+    ++batches;
+  }
+  return total_loss / std::max(1, batches);
+}
+
+double QatMlp::fit(const LabeledDataset& data) {
+  double loss = 0.0;
+  for (int e = 0; e < config_.epochs; ++e) loss = train_epoch(data);
+  return loss;
+}
+
+double QatMlp::evaluate(const LabeledDataset& data) const {
+  QNN_CHECK(data.dim == input_dim_, "dataset dimension mismatch");
+  BatchCache cache;
+  int correct = 0;
+  for (int i = 0; i < data.size(); ++i) {
+    std::vector<const std::vector<float>*> one{
+        &data.features[static_cast<std::size_t>(i)]};
+    forward(one, cache, /*training=*/false);
+    int best = 0;
+    for (int k = 1; k < classes_; ++k) {
+      if (cache.logits[static_cast<std::size_t>(k)] >
+          cache.logits[static_cast<std::size_t>(best)]) {
+        best = k;
+      }
+    }
+    correct += best == data.labels[static_cast<std::size_t>(i)];
+  }
+  return static_cast<double>(correct) / data.size();
+}
+
+std::pair<Pipeline, NetworkParams> QatMlp::export_network() const {
+  NetworkSpec spec;
+  spec.name = "qat_mlp";
+  spec.input = Shape{1, 1, input_dim_};
+  spec.input_bits = 8;
+  spec.act_bits = config_.act_bits;
+  for (int h : config_.hidden) spec.dense(h);
+  spec.dense(classes_, /*bn_act=*/false);
+  Pipeline pipeline = expand(spec);
+
+  NetworkParams params;
+  for (const DenseLayer& layer : layers_) {
+    WeightTensor w(FilterShape{layer.out, 1, layer.in});
+    for (int o = 0; o < layer.out; ++o) {
+      for (int i = 0; i < layer.in; ++i) {
+        w.at(o, 0, 0, i) =
+            layer.w[static_cast<std::size_t>(o) * layer.in +
+                    static_cast<std::size_t>(i)];
+      }
+    }
+    params.convs.push_back(ConvParams{FilterBank::binarize(w)});
+    if (!layer.has_bn) continue;
+    BnLayerParams bn(layer.out);
+    for (int j = 0; j < layer.out; ++j) {
+      BnParams& p = bn.at(j);
+      p.gamma = layer.gamma[static_cast<std::size_t>(j)];
+      p.mu = layer.run_mean[static_cast<std::size_t>(j)];
+      p.inv_sigma = 1.0f / std::sqrt(
+                               layer.run_var[static_cast<std::size_t>(j)] +
+                               kBnEps);
+      p.beta = layer.beta[static_cast<std::size_t>(j)];
+    }
+    BnActParams bp;
+    bp.quantizer = ActQuantizer(config_.act_bits, act_range());
+    bp.bn = std::move(bn);
+    bp.thresholds = ThresholdLayer::fold(bp.bn, bp.quantizer);
+    params.bnacts.push_back(std::move(bp));
+  }
+  QNN_CHECK(static_cast<int>(params.convs.size()) ==
+                pipeline.num_conv_params,
+            "export conv count mismatch");
+  QNN_CHECK(static_cast<int>(params.bnacts.size()) ==
+                pipeline.num_bnact_params,
+            "export bnact count mismatch");
+  return {std::move(pipeline), std::move(params)};
+}
+
+QatResult train_and_export(const LabeledDataset& train_set,
+                           const LabeledDataset& test_set,
+                           const QatConfig& config) {
+  QatMlp mlp(train_set.dim, train_set.classes, config);
+  QatResult result;
+  result.final_loss = mlp.fit(train_set);
+  result.train_accuracy = mlp.evaluate(test_set);
+
+  const auto [pipeline, params] = mlp.export_network();
+  const ReferenceExecutor exec(pipeline, params);
+  int correct = 0;
+  for (int i = 0; i < test_set.size(); ++i) {
+    const IntTensor logits =
+        exec.run(test_set.images[static_cast<std::size_t>(i)]);
+    correct += ReferenceExecutor::argmax(logits) ==
+               test_set.labels[static_cast<std::size_t>(i)];
+  }
+  result.exported_accuracy = static_cast<double>(correct) / test_set.size();
+  return result;
+}
+
+}  // namespace qnn

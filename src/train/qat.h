@@ -1,0 +1,105 @@
+// Quantization-aware training (QAT) with the straight-through estimator.
+//
+// The paper trains its QNNs with Hubara et al.'s method [18]: binarized
+// (+-1) weights and uniform n-bit activations in the forward pass, with
+// gradients passed "straight through" the non-differentiable quantizers.
+// ImageNet-scale training is out of scope (DESIGN.md substitution table);
+// this module provides the same algorithm at laptop scale so that
+//
+//  * the 1-bit vs 2-bit activation accuracy ordering — the basis of the
+//    paper's 41.8% -> 51.03% AlexNet claim — can be reproduced on
+//    synthetic tasks (bench_ablation_actbits), and
+//  * a genuinely trained model can be exported, threshold-folded and run
+//    bit-exactly on the streaming engine (examples/train_quantized).
+//
+// The training-time forward pass is the exact integer semantics of the
+// inference stack: a = sign(W) . codes, then BatchNorm, then the uniform
+// quantizer of quant/quantizer.h — so an exported model's float-path
+// reference executor agrees with the training forward by construction.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "io/synthetic.h"
+#include "nn/params.h"
+#include "nn/pipeline.h"
+
+namespace qnn {
+
+struct QatConfig {
+  std::vector<int> hidden{32, 32};
+  int act_bits = 2;
+  int epochs = 40;
+  int batch_size = 32;
+  double lr = 0.02;
+  double momentum = 0.9;
+  double bn_momentum = 0.1;  // running-stat update rate
+  std::uint64_t seed = 1;
+};
+
+/// A small fully connected QNN trained with STE; exportable to the
+/// streaming inference stack.
+class QatMlp {
+ public:
+  QatMlp(int input_dim, int classes, QatConfig config);
+
+  /// One SGD pass over the dataset; returns mean cross-entropy loss.
+  double train_epoch(const LabeledDataset& data);
+
+  /// Run `config.epochs` passes; returns the final epoch's mean loss.
+  double fit(const LabeledDataset& data);
+
+  /// Classification accuracy using the training-time forward pass.
+  [[nodiscard]] double evaluate(const LabeledDataset& data) const;
+
+  /// Lower to the inference representation: packed sign weights + folded
+  /// thresholds, ready for ReferenceExecutor / StreamEngine.
+  [[nodiscard]] std::pair<Pipeline, NetworkParams> export_network() const;
+
+  [[nodiscard]] const QatConfig& config() const { return config_; }
+
+ private:
+  struct DenseLayer {
+    int in = 0;
+    int out = 0;
+    std::vector<float> w;          // shadow float weights, clipped to [-1,1]
+    std::vector<float> vw;         // momentum buffer
+    // BatchNorm (hidden layers only).
+    std::vector<float> gamma, beta, vgamma, vbeta;
+    std::vector<float> run_mean, run_var;
+    bool has_bn = false;
+  };
+
+  struct BatchCache;  // forward intermediates for one minibatch
+
+  void forward(const std::vector<const std::vector<float>*>& x,
+               BatchCache& cache, bool training) const;
+  double backward_and_step(const std::vector<int>& labels,
+                           BatchCache& cache);
+
+  [[nodiscard]] double act_range() const {
+    return 4.0 / (1 << config_.act_bits);  // matches NetworkParams::random
+  }
+
+  QatConfig config_;
+  int input_dim_;
+  int classes_;
+  std::vector<DenseLayer> layers_;  // hidden... + output (no bn on output)
+  mutable Rng rng_;
+};
+
+/// Convenience: train a QatMlp and report exported-model accuracy computed
+/// with the golden ReferenceExecutor (integer thresholds). Used by the
+/// activation-bits ablation bench.
+struct QatResult {
+  double train_accuracy = 0.0;       // training-forward accuracy
+  double exported_accuracy = 0.0;    // ReferenceExecutor accuracy
+  double final_loss = 0.0;
+};
+[[nodiscard]] QatResult train_and_export(const LabeledDataset& train_set,
+                                         const LabeledDataset& test_set,
+                                         const QatConfig& config);
+
+}  // namespace qnn

@@ -1,0 +1,644 @@
+#include "train/qat_cnn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "io/synthetic.h"
+#include "nn/reference.h"
+
+namespace qnn {
+namespace {
+
+constexpr float kBnEps = 1e-5f;
+
+float sign_pm1(float w) { return w >= 0.0f ? 1.0f : -1.0f; }
+
+std::size_t at(const Shape& s, int y, int x, int c) {
+  return static_cast<std::size_t>((static_cast<std::int64_t>(y) * s.w + x) *
+                                      s.c +
+                                  c);
+}
+
+std::size_t wat(const FilterShape& f, int o, int dy, int dx, int ci) {
+  return static_cast<std::size_t>(
+      ((static_cast<std::int64_t>(o) * f.k + dy) * f.k + dx) * f.in_c + ci);
+}
+
+using Maps = std::vector<std::vector<float>>;  // [batch][elems]
+
+}  // namespace
+
+ImageDataset make_pattern_task(int classes, int h, int w, int c,
+                               int samples_per_class, std::uint64_t seed) {
+  QNN_CHECK(classes >= 2 && samples_per_class >= 1, "bad task parameters");
+  Rng rng(seed);
+  ImageDataset ds;
+  ds.classes = classes;
+  ds.image = Shape{h, w, c};
+  for (int k = 0; k < classes; ++k) {
+    for (int s = 0; s < samples_per_class; ++s) {
+      ds.images.push_back(synthetic_pattern_image(h, w, c, k, rng));
+      ds.labels.push_back(k);
+    }
+  }
+  for (int i = ds.size() - 1; i > 0; --i) {
+    const int j = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(i) + 1));
+    std::swap(ds.images[static_cast<std::size_t>(i)],
+              ds.images[static_cast<std::size_t>(j)]);
+    std::swap(ds.labels[static_cast<std::size_t>(i)],
+              ds.labels[static_cast<std::size_t>(j)]);
+  }
+  return ds;
+}
+
+std::pair<ImageDataset, ImageDataset> split_dataset(const ImageDataset& data,
+                                                    double train_fraction) {
+  QNN_CHECK(train_fraction > 0.0 && train_fraction < 1.0,
+            "train fraction must be in (0, 1)");
+  const int cut =
+      std::max(1, static_cast<int>(std::ceil(train_fraction * data.size())));
+  QNN_CHECK(cut < data.size(), "split leaves an empty test set");
+  ImageDataset train;
+  ImageDataset test;
+  train.classes = test.classes = data.classes;
+  train.image = test.image = data.image;
+  for (int i = 0; i < data.size(); ++i) {
+    ImageDataset& dst = i < cut ? train : test;
+    dst.images.push_back(data.images[static_cast<std::size_t>(i)]);
+    dst.labels.push_back(data.labels[static_cast<std::size_t>(i)]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+struct QatCnn::Cache {
+  int batch = 0;
+  std::vector<Maps> x;        // [stage] input maps
+  std::vector<Maps> a;        // conv stages: pre-activations
+  std::vector<Maps> xhat;     // conv stages: normalized
+  std::vector<Maps> y;        // conv stages: scaled+shifted
+  std::vector<std::vector<float>> mean;  // [stage][channels]
+  std::vector<std::vector<float>> var;
+  std::vector<std::vector<std::vector<std::size_t>>> argmax;  // pool stages
+  Maps logits;  // [batch][classes]
+};
+
+QatCnn::QatCnn(Shape input, int classes, QatCnnConfig config)
+    : config_(std::move(config)), input_(input), classes_(classes),
+      rng_(config_.seed) {
+  QNN_CHECK(input.valid() && classes >= 2, "bad network dimensions");
+  QNN_CHECK(config_.act_bits >= 1 && config_.act_bits <= 8,
+            "activation bits out of range");
+  Shape cur = input;
+  for (const auto& st : config_.stages) {
+    Stage stage;
+    if (st.kind == QatCnnConfig::Stage::Conv) {
+      QNN_CHECK(st.out_c >= 1, "conv stage needs output channels");
+      stage.is_conv = true;
+      ConvLayer& c = stage.conv;
+      c.in = cur;
+      c.out = conv_out_shape(cur, st.out_c, st.k, st.stride, st.pad);
+      c.k = st.k;
+      c.stride = st.stride;
+      c.pad = st.pad;
+      c.w.resize(static_cast<std::size_t>(
+          FilterShape{st.out_c, st.k, cur.c}.total_weights()));
+      c.vw.assign(c.w.size(), 0.0f);
+      for (auto& w : c.w) w = 2.0f * rng_.next_float() - 1.0f;
+      c.gamma.assign(static_cast<std::size_t>(st.out_c), 1.0f);
+      c.beta.assign(static_cast<std::size_t>(st.out_c), 2.0f);
+      c.vgamma.assign(static_cast<std::size_t>(st.out_c), 0.0f);
+      c.vbeta.assign(static_cast<std::size_t>(st.out_c), 0.0f);
+      c.run_mean.assign(static_cast<std::size_t>(st.out_c), 0.0f);
+      c.run_var.assign(static_cast<std::size_t>(st.out_c), 1.0f);
+      cur = c.out;
+    } else {
+      stage.is_conv = false;
+      PoolLayer& p = stage.pool;
+      p.in = cur;
+      p.out = conv_out_shape(cur, cur.c, st.k, st.stride, 0);
+      p.k = st.k;
+      p.stride = st.stride;
+      cur = p.out;
+    }
+    stages_.push_back(std::move(stage));
+  }
+  // Final classifier: a full-spatial conv without BatchNorm.
+  QNN_CHECK(cur.h == cur.w, "classifier needs a square final map");
+  Stage cls;
+  cls.is_conv = true;
+  ConvLayer& c = cls.conv;
+  c.in = cur;
+  c.out = Shape{1, 1, classes};
+  c.k = cur.h;
+  c.stride = 1;
+  c.pad = 0;
+  c.has_bn = false;
+  c.w.resize(static_cast<std::size_t>(
+      FilterShape{classes, cur.h, cur.c}.total_weights()));
+  c.vw.assign(c.w.size(), 0.0f);
+  for (auto& w : c.w) w = 2.0f * rng_.next_float() - 1.0f;
+  stages_.push_back(std::move(cls));
+}
+
+void QatCnn::forward(const std::vector<const IntTensor*>& batch,
+                     Cache& cache, bool training) const {
+  const int n = static_cast<int>(batch.size());
+  const std::size_t num = stages_.size();
+  cache.batch = n;
+  cache.x.assign(num, {});
+  cache.a.assign(num, {});
+  cache.xhat.assign(num, {});
+  cache.y.assign(num, {});
+  cache.mean.assign(num, {});
+  cache.var.assign(num, {});
+  cache.argmax.assign(num, {});
+
+  Maps cur(static_cast<std::size_t>(n));
+  for (int b = 0; b < n; ++b) {
+    const IntTensor& img = *batch[static_cast<std::size_t>(b)];
+    QNN_CHECK(img.shape() == input_, "image shape mismatch");
+    auto& m = cur[static_cast<std::size_t>(b)];
+    m.resize(static_cast<std::size_t>(img.size()));
+    for (std::int64_t i = 0; i < img.size(); ++i) {
+      m[static_cast<std::size_t>(i)] = static_cast<float>(img[i]);
+    }
+  }
+
+  const double d = act_range();
+  const int max_code = (1 << config_.act_bits) - 1;
+
+  for (std::size_t l = 0; l < num; ++l) {
+    const Stage& stage = stages_[l];
+    cache.x[l] = cur;
+    if (!stage.is_conv) {
+      const PoolLayer& p = stage.pool;
+      Maps out(static_cast<std::size_t>(n));
+      auto& arg = cache.argmax[l];
+      arg.assign(static_cast<std::size_t>(n), {});
+      for (int b = 0; b < n; ++b) {
+        auto& om = out[static_cast<std::size_t>(b)];
+        om.resize(static_cast<std::size_t>(p.out.elems()));
+        auto& am = arg[static_cast<std::size_t>(b)];
+        am.resize(om.size());
+        const auto& im = cur[static_cast<std::size_t>(b)];
+        for (int oy = 0; oy < p.out.h; ++oy) {
+          for (int ox = 0; ox < p.out.w; ++ox) {
+            for (int c = 0; c < p.out.c; ++c) {
+              float best = -1e30f;
+              std::size_t best_idx = 0;
+              for (int dy = 0; dy < p.k; ++dy) {
+                for (int dx = 0; dx < p.k; ++dx) {
+                  const int iy = oy * p.stride + dy;
+                  const int ix = ox * p.stride + dx;
+                  if (iy >= p.in.h || ix >= p.in.w) continue;
+                  const std::size_t idx = at(p.in, iy, ix, c);
+                  if (im[idx] > best) {
+                    best = im[idx];
+                    best_idx = idx;
+                  }
+                }
+              }
+              const std::size_t oi = at(p.out, oy, ox, c);
+              om[oi] = best;
+              am[oi] = best_idx;
+            }
+          }
+        }
+      }
+      cur = std::move(out);
+      continue;
+    }
+
+    const ConvLayer& c = stage.conv;
+    const FilterShape f{c.out.c, c.k, c.in.c};
+    Maps a(static_cast<std::size_t>(n));
+    for (int b = 0; b < n; ++b) {
+      const auto& im = cur[static_cast<std::size_t>(b)];
+      auto& am = a[static_cast<std::size_t>(b)];
+      am.assign(static_cast<std::size_t>(c.out.elems()), 0.0f);
+      for (int oy = 0; oy < c.out.h; ++oy) {
+        for (int ox = 0; ox < c.out.w; ++ox) {
+          for (int o = 0; o < c.out.c; ++o) {
+            float acc = 0.0f;
+            for (int dy = 0; dy < c.k; ++dy) {
+              const int iy = oy * c.stride + dy - c.pad;
+              if (iy < 0 || iy >= c.in.h) continue;
+              for (int dx = 0; dx < c.k; ++dx) {
+                const int ix = ox * c.stride + dx - c.pad;
+                if (ix < 0 || ix >= c.in.w) continue;
+                for (int ci = 0; ci < c.in.c; ++ci) {
+                  acc += sign_pm1(c.w[wat(f, o, dy, dx, ci)]) *
+                         im[at(c.in, iy, ix, ci)];
+                }
+              }
+            }
+            am[at(c.out, oy, ox, o)] = acc;
+          }
+        }
+      }
+    }
+    cache.a[l] = a;
+
+    if (!c.has_bn) {
+      cache.logits = std::move(a);
+      break;
+    }
+
+    // BatchNorm over batch and spatial positions, per channel.
+    std::vector<float> mean(static_cast<std::size_t>(c.out.c), 0.0f);
+    std::vector<float> var(static_cast<std::size_t>(c.out.c), 0.0f);
+    const double count =
+        static_cast<double>(n) * c.out.h * c.out.w;
+    if (training) {
+      for (int ch = 0; ch < c.out.c; ++ch) {
+        double m = 0.0;
+        for (int b = 0; b < n; ++b) {
+          const auto& am = a[static_cast<std::size_t>(b)];
+          for (int yy = 0; yy < c.out.h; ++yy) {
+            for (int xx = 0; xx < c.out.w; ++xx) {
+              m += am[at(c.out, yy, xx, ch)];
+            }
+          }
+        }
+        m /= count;
+        double v = 0.0;
+        for (int b = 0; b < n; ++b) {
+          const auto& am = a[static_cast<std::size_t>(b)];
+          for (int yy = 0; yy < c.out.h; ++yy) {
+            for (int xx = 0; xx < c.out.w; ++xx) {
+              const double dlt = am[at(c.out, yy, xx, ch)] - m;
+              v += dlt * dlt;
+            }
+          }
+        }
+        v /= count;
+        mean[static_cast<std::size_t>(ch)] = static_cast<float>(m);
+        var[static_cast<std::size_t>(ch)] = static_cast<float>(v);
+      }
+    } else {
+      mean = c.run_mean;
+      var = c.run_var;
+    }
+    cache.mean[l] = mean;
+    cache.var[l] = var;
+
+    Maps xhat(static_cast<std::size_t>(n));
+    Maps y(static_cast<std::size_t>(n));
+    Maps codes(static_cast<std::size_t>(n));
+    for (int b = 0; b < n; ++b) {
+      const auto& am = a[static_cast<std::size_t>(b)];
+      auto& xm = xhat[static_cast<std::size_t>(b)];
+      auto& ym = y[static_cast<std::size_t>(b)];
+      auto& cm = codes[static_cast<std::size_t>(b)];
+      xm.resize(am.size());
+      ym.resize(am.size());
+      cm.resize(am.size());
+      for (int yy = 0; yy < c.out.h; ++yy) {
+        for (int xx = 0; xx < c.out.w; ++xx) {
+          for (int ch = 0; ch < c.out.c; ++ch) {
+            const std::size_t i = at(c.out, yy, xx, ch);
+            const float inv =
+                1.0f /
+                std::sqrt(var[static_cast<std::size_t>(ch)] + kBnEps);
+            xm[i] = (am[i] - mean[static_cast<std::size_t>(ch)]) * inv;
+            ym[i] = c.gamma[static_cast<std::size_t>(ch)] * xm[i] +
+                    c.beta[static_cast<std::size_t>(ch)];
+            double q = std::floor(static_cast<double>(ym[i]) / d);
+            cm[i] = static_cast<float>(
+                std::clamp(q, 0.0, static_cast<double>(max_code)));
+          }
+        }
+      }
+    }
+    cache.xhat[l] = std::move(xhat);
+    cache.y[l] = std::move(y);
+    cur = std::move(codes);
+  }
+}
+
+double QatCnn::backward_and_step(const std::vector<int>& labels,
+                                 Cache& cache) {
+  const int n = cache.batch;
+  const ConvLayer& cls = stages_.back().conv;
+  const float tau =
+      1.0f / std::sqrt(static_cast<float>(cls.k) * cls.k * cls.in.c);
+
+  double loss = 0.0;
+  Maps dA(static_cast<std::size_t>(n));
+  for (int b = 0; b < n; ++b) {
+    const auto& z = cache.logits[static_cast<std::size_t>(b)];
+    auto& g = dA[static_cast<std::size_t>(b)];
+    g.resize(z.size());
+    float zmax = -1e30f;
+    for (float v : z) zmax = std::max(zmax, v * tau);
+    double denom = 0.0;
+    for (float v : z) denom += std::exp(static_cast<double>(v * tau - zmax));
+    const int label = labels[static_cast<std::size_t>(b)];
+    for (int k = 0; k < classes_; ++k) {
+      const double p =
+          std::exp(static_cast<double>(z[static_cast<std::size_t>(k)] * tau -
+                                       zmax)) /
+          denom;
+      g[static_cast<std::size_t>(k)] =
+          static_cast<float>((p - (k == label ? 1.0 : 0.0)) * tau / n);
+      if (k == label) loss += -std::log(std::max(p, 1e-12));
+    }
+  }
+  loss /= n;
+
+  const double d = act_range();
+  const int levels = 1 << config_.act_bits;
+  const float lr = static_cast<float>(config_.lr);
+  const float mom = static_cast<float>(config_.momentum);
+
+  for (int l = static_cast<int>(stages_.size()) - 1; l >= 0; --l) {
+    Stage& stage = stages_[static_cast<std::size_t>(l)];
+    if (!stage.is_conv) {
+      // Max-pool backward: route each gradient to its argmax source.
+      const PoolLayer& p = stage.pool;
+      Maps dX(static_cast<std::size_t>(n));
+      for (int b = 0; b < n; ++b) {
+        auto& dxm = dX[static_cast<std::size_t>(b)];
+        dxm.assign(static_cast<std::size_t>(p.in.elems()), 0.0f);
+        const auto& dam = dA[static_cast<std::size_t>(b)];
+        const auto& arg =
+            cache.argmax[static_cast<std::size_t>(l)]
+                        [static_cast<std::size_t>(b)];
+        for (std::size_t i = 0; i < dam.size(); ++i) {
+          dxm[arg[i]] += dam[i];
+        }
+      }
+      dA = std::move(dX);
+      continue;
+    }
+
+    ConvLayer& c = stage.conv;
+    const FilterShape f{c.out.c, c.k, c.in.c};
+    const Maps& x = cache.x[static_cast<std::size_t>(l)];
+
+    // For stages with BatchNorm + activation, the incoming gradient is
+    // w.r.t. the output *codes*; pull it back through the quantizer (STE
+    // with saturation mask) and BatchNorm to the pre-activations, updating
+    // gamma/beta along the way.
+    if (c.has_bn) {
+      const Maps& y = cache.y[static_cast<std::size_t>(l)];
+      const Maps& xhat = cache.xhat[static_cast<std::size_t>(l)];
+      const auto& var = cache.var[static_cast<std::size_t>(l)];
+
+      Maps dY(static_cast<std::size_t>(n));
+      for (int b = 0; b < n; ++b) {
+        const auto& dcm = dA[static_cast<std::size_t>(b)];
+        const auto& ym = y[static_cast<std::size_t>(b)];
+        auto& dym = dY[static_cast<std::size_t>(b)];
+        dym.resize(dcm.size());
+        for (std::size_t i = 0; i < dcm.size(); ++i) {
+          const double r = static_cast<double>(ym[i]) / d;
+          const bool in_range = r >= 0.0 && r < static_cast<double>(levels);
+          dym[i] = in_range ? static_cast<float>(dcm[i] / d) : 0.0f;
+        }
+      }
+
+      const double count = static_cast<double>(n) * c.out.h * c.out.w;
+      Maps da(static_cast<std::size_t>(n));
+      for (int b = 0; b < n; ++b) {
+        da[static_cast<std::size_t>(b)].assign(
+            static_cast<std::size_t>(c.out.elems()), 0.0f);
+      }
+      for (int ch = 0; ch < c.out.c; ++ch) {
+        const float inv =
+            1.0f / std::sqrt(var[static_cast<std::size_t>(ch)] + kBnEps);
+        double sum_dy = 0.0;
+        double sum_dy_xhat = 0.0;
+        for (int b = 0; b < n; ++b) {
+          const auto& dym = dY[static_cast<std::size_t>(b)];
+          const auto& xm = xhat[static_cast<std::size_t>(b)];
+          for (int yy = 0; yy < c.out.h; ++yy) {
+            for (int xx = 0; xx < c.out.w; ++xx) {
+              const std::size_t i = at(c.out, yy, xx, ch);
+              sum_dy += dym[i];
+              sum_dy_xhat += static_cast<double>(dym[i]) * xm[i];
+            }
+          }
+        }
+        const float gamma = c.gamma[static_cast<std::size_t>(ch)];
+        for (int b = 0; b < n; ++b) {
+          const auto& dym = dY[static_cast<std::size_t>(b)];
+          const auto& xm = xhat[static_cast<std::size_t>(b)];
+          auto& dm = da[static_cast<std::size_t>(b)];
+          for (int yy = 0; yy < c.out.h; ++yy) {
+            for (int xx = 0; xx < c.out.w; ++xx) {
+              const std::size_t i = at(c.out, yy, xx, ch);
+              const double term = count * static_cast<double>(dym[i]) -
+                                  sum_dy -
+                                  static_cast<double>(xm[i]) * sum_dy_xhat;
+              dm[i] = static_cast<float>(gamma * inv * term / count);
+            }
+          }
+        }
+        c.vgamma[static_cast<std::size_t>(ch)] =
+            mom * c.vgamma[static_cast<std::size_t>(ch)] -
+            lr * static_cast<float>(sum_dy_xhat);
+        c.vbeta[static_cast<std::size_t>(ch)] =
+            mom * c.vbeta[static_cast<std::size_t>(ch)] -
+            lr * static_cast<float>(sum_dy);
+        c.gamma[static_cast<std::size_t>(ch)] +=
+            c.vgamma[static_cast<std::size_t>(ch)];
+        c.beta[static_cast<std::size_t>(ch)] +=
+            c.vbeta[static_cast<std::size_t>(ch)];
+      }
+      dA = std::move(da);
+    }
+
+    // Conv backward: dW (STE through sign) and dX.
+    std::vector<float> dW(c.w.size(), 0.0f);
+    Maps dX(static_cast<std::size_t>(n));
+    for (int b = 0; b < n; ++b) {
+      auto& dxm = dX[static_cast<std::size_t>(b)];
+      dxm.assign(static_cast<std::size_t>(c.in.elems()), 0.0f);
+      const auto& dam = dA[static_cast<std::size_t>(b)];
+      const auto& xm = x[static_cast<std::size_t>(b)];
+      for (int oy = 0; oy < c.out.h; ++oy) {
+        for (int ox = 0; ox < c.out.w; ++ox) {
+          for (int o = 0; o < c.out.c; ++o) {
+            const float g = dam[at(c.out, oy, ox, o)];
+            if (g == 0.0f) continue;
+            for (int dy = 0; dy < c.k; ++dy) {
+              const int iy = oy * c.stride + dy - c.pad;
+              if (iy < 0 || iy >= c.in.h) continue;
+              for (int dx = 0; dx < c.k; ++dx) {
+                const int ix = ox * c.stride + dx - c.pad;
+                if (ix < 0 || ix >= c.in.w) continue;
+                for (int ci = 0; ci < c.in.c; ++ci) {
+                  const std::size_t wi = wat(f, o, dy, dx, ci);
+                  const std::size_t xi = at(c.in, iy, ix, ci);
+                  dW[wi] += g * xm[xi];
+                  dxm[xi] += g * sign_pm1(c.w[wi]);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    for (std::size_t wi = 0; wi < c.w.size(); ++wi) {
+      c.vw[wi] = mom * c.vw[wi] - lr * dW[wi];
+      c.w[wi] = std::clamp(c.w[wi] + c.vw[wi], -1.0f, 1.0f);
+    }
+    if (l == 0) break;
+    dA = std::move(dX);
+  }
+  return loss;
+}
+
+double QatCnn::train_epoch(const ImageDataset& data) {
+  QNN_CHECK(data.image == input_, "dataset image shape mismatch");
+  const int n = data.size();
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[rng_.next_below(static_cast<std::uint64_t>(i) + 1)]);
+  }
+
+  double total = 0.0;
+  int batches = 0;
+  Cache cache;
+  for (int start = 0; start < n; start += config_.batch_size) {
+    const int end = std::min(n, start + config_.batch_size);
+    std::vector<const IntTensor*> batch;
+    std::vector<int> labels;
+    for (int i = start; i < end; ++i) {
+      const int idx = order[static_cast<std::size_t>(i)];
+      batch.push_back(&data.images[static_cast<std::size_t>(idx)]);
+      labels.push_back(data.labels[static_cast<std::size_t>(idx)]);
+    }
+    forward(batch, cache, /*training=*/true);
+    const auto m = static_cast<float>(config_.bn_momentum);
+    for (std::size_t l = 0; l < stages_.size(); ++l) {
+      if (!stages_[l].is_conv || !stages_[l].conv.has_bn) continue;
+      ConvLayer& c = stages_[l].conv;
+      for (int ch = 0; ch < c.out.c; ++ch) {
+        c.run_mean[static_cast<std::size_t>(ch)] =
+            (1.0f - m) * c.run_mean[static_cast<std::size_t>(ch)] +
+            m * cache.mean[l][static_cast<std::size_t>(ch)];
+        c.run_var[static_cast<std::size_t>(ch)] =
+            (1.0f - m) * c.run_var[static_cast<std::size_t>(ch)] +
+            m * cache.var[l][static_cast<std::size_t>(ch)];
+      }
+    }
+    total += backward_and_step(labels, cache);
+    ++batches;
+  }
+  return total / std::max(1, batches);
+}
+
+double QatCnn::fit(const ImageDataset& data) {
+  double loss = 0.0;
+  for (int e = 0; e < config_.epochs; ++e) loss = train_epoch(data);
+  return loss;
+}
+
+double QatCnn::evaluate(const ImageDataset& data) const {
+  QNN_CHECK(data.image == input_, "dataset image shape mismatch");
+  Cache cache;
+  int correct = 0;
+  for (int i = 0; i < data.size(); ++i) {
+    std::vector<const IntTensor*> one{
+        &data.images[static_cast<std::size_t>(i)]};
+    forward(one, cache, /*training=*/false);
+    const auto& z = cache.logits[0];
+    int best = 0;
+    for (int k = 1; k < classes_; ++k) {
+      if (z[static_cast<std::size_t>(k)] >
+          z[static_cast<std::size_t>(best)]) {
+        best = k;
+      }
+    }
+    correct += best == data.labels[static_cast<std::size_t>(i)];
+  }
+  return static_cast<double>(correct) / data.size();
+}
+
+NetworkSpec QatCnn::export_spec() const {
+  NetworkSpec spec;
+  spec.name = "qat_cnn";
+  spec.input = input_;
+  spec.input_bits = 8;
+  spec.act_bits = config_.act_bits;
+  for (const auto& st : config_.stages) {
+    if (st.kind == QatCnnConfig::Stage::Conv) {
+      spec.conv(st.out_c, st.k, st.stride, st.pad);
+    } else {
+      spec.max_pool(st.k, st.stride);
+    }
+  }
+  spec.dense(classes_, /*bn_act=*/false);
+  return spec;
+}
+
+std::pair<Pipeline, NetworkParams> QatCnn::export_network() const {
+  Pipeline pipeline = expand(export_spec());
+  NetworkParams params;
+  for (const Stage& stage : stages_) {
+    if (!stage.is_conv) continue;
+    const ConvLayer& c = stage.conv;
+    const FilterShape f{c.out.c, c.k, c.in.c};
+    WeightTensor w(f);
+    for (int o = 0; o < f.out_c; ++o) {
+      for (int dy = 0; dy < f.k; ++dy) {
+        for (int dx = 0; dx < f.k; ++dx) {
+          for (int ci = 0; ci < f.in_c; ++ci) {
+            w.at(o, dy, dx, ci) = c.w[wat(f, o, dy, dx, ci)];
+          }
+        }
+      }
+    }
+    params.convs.push_back(ConvParams{FilterBank::binarize(w)});
+    if (!c.has_bn) continue;
+    BnLayerParams bn(c.out.c);
+    for (int ch = 0; ch < c.out.c; ++ch) {
+      BnParams& p = bn.at(ch);
+      p.gamma = c.gamma[static_cast<std::size_t>(ch)];
+      p.mu = c.run_mean[static_cast<std::size_t>(ch)];
+      p.inv_sigma =
+          1.0f /
+          std::sqrt(c.run_var[static_cast<std::size_t>(ch)] + kBnEps);
+      p.beta = c.beta[static_cast<std::size_t>(ch)];
+    }
+    BnActParams bp;
+    bp.quantizer = ActQuantizer(config_.act_bits, act_range());
+    bp.bn = std::move(bn);
+    bp.thresholds = ThresholdLayer::fold(bp.bn, bp.quantizer);
+    params.bnacts.push_back(std::move(bp));
+  }
+  QNN_CHECK(static_cast<int>(params.convs.size()) ==
+                pipeline.num_conv_params,
+            "cnn export conv count mismatch");
+  QNN_CHECK(static_cast<int>(params.bnacts.size()) ==
+                pipeline.num_bnact_params,
+            "cnn export bnact count mismatch");
+  return {std::move(pipeline), std::move(params)};
+}
+
+QatCnnResult train_and_export_cnn(const ImageDataset& train,
+                                  const ImageDataset& test, Shape input,
+                                  const QatCnnConfig& config) {
+  QatCnn cnn(input, train.classes, config);
+  QatCnnResult result;
+  result.final_loss = cnn.fit(train);
+  result.train_accuracy = cnn.evaluate(test);
+  const auto [pipeline, params] = cnn.export_network();
+  const ReferenceExecutor exec(pipeline, params);
+  int correct = 0;
+  for (int i = 0; i < test.size(); ++i) {
+    const IntTensor logits =
+        exec.run(test.images[static_cast<std::size_t>(i)]);
+    correct += ReferenceExecutor::argmax(logits) ==
+               test.labels[static_cast<std::size_t>(i)];
+  }
+  result.exported_accuracy = static_cast<double>(correct) / test.size();
+  return result;
+}
+
+}  // namespace qnn

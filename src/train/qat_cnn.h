@@ -1,0 +1,133 @@
+// Convolutional quantization-aware training.
+//
+// Extends the STE trainer of train/qat.h to the full layer vocabulary the
+// paper's networks use: binarized convolutions with folded BatchNorm +
+// n-bit activations, max pooling, and a final dense classifier. Training
+// forward semantics are the exact integer semantics of the inference
+// stack, so the exported model is bit-exact on the reference executor and
+// the streaming engine.
+//
+// Used for the image-domain side of the activation-bits ablation and as
+// the "train a real CNN, deploy it on the dataflow engine" example.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/tensor.h"
+#include "nn/params.h"
+#include "nn/pipeline.h"
+
+namespace qnn {
+
+/// Labeled image classification task.
+struct ImageDataset {
+  int classes = 0;
+  Shape image{};
+  std::vector<IntTensor> images;  // 8-bit codes
+  std::vector<int> labels;
+
+  [[nodiscard]] int size() const {
+    return static_cast<int>(labels.size());
+  }
+};
+
+/// Stripe/checker pattern task built on synthetic_pattern_image: class k
+/// determines stripe period and orientation; noise controls difficulty.
+[[nodiscard]] ImageDataset make_pattern_task(int classes, int h, int w,
+                                             int c, int samples_per_class,
+                                             std::uint64_t seed);
+
+[[nodiscard]] std::pair<ImageDataset, ImageDataset> split_dataset(
+    const ImageDataset& data, double train_fraction);
+
+struct QatCnnConfig {
+  /// Trainable stage sequence; pools carry no parameters.
+  struct Stage {
+    enum Kind { Conv, MaxPool } kind = Conv;
+    int out_c = 0;   // Conv only
+    int k = 3;
+    int stride = 1;
+    int pad = 1;
+  };
+  static Stage conv(int out_c, int k = 3, int stride = 1, int pad = 1) {
+    return Stage{Stage::Conv, out_c, k, stride, pad};
+  }
+  static Stage pool(int k = 2, int stride = 2) {
+    return Stage{Stage::MaxPool, 0, k, stride, 0};
+  }
+
+  std::vector<Stage> stages{conv(8), pool(), conv(16), pool()};
+  int act_bits = 2;
+  int epochs = 30;
+  int batch_size = 16;
+  double lr = 0.01;
+  double momentum = 0.9;
+  double bn_momentum = 0.1;
+  std::uint64_t seed = 1;
+};
+
+class QatCnn {
+ public:
+  QatCnn(Shape input, int classes, QatCnnConfig config);
+
+  double train_epoch(const ImageDataset& data);
+  double fit(const ImageDataset& data);
+  [[nodiscard]] double evaluate(const ImageDataset& data) const;
+
+  /// Lower to the streaming inference representation.
+  [[nodiscard]] std::pair<Pipeline, NetworkParams> export_network() const;
+  /// The NetworkSpec the export corresponds to (for serialization).
+  [[nodiscard]] NetworkSpec export_spec() const;
+
+  [[nodiscard]] const QatCnnConfig& config() const { return config_; }
+
+ private:
+  struct ConvLayer {
+    Shape in{}, out{};
+    int k = 1, stride = 1, pad = 0;
+    bool has_bn = true;  // false only for the final classifier
+    std::vector<float> w;   // [out_c][k][k][in_c], clipped to [-1,1]
+    std::vector<float> vw;
+    std::vector<float> gamma, beta, vgamma, vbeta;
+    std::vector<float> run_mean, run_var;
+  };
+  struct PoolLayer {
+    Shape in{}, out{};
+    int k = 2, stride = 2;
+  };
+  struct Stage {
+    bool is_conv = true;
+    ConvLayer conv;
+    PoolLayer pool;
+  };
+  struct Cache;
+
+  void forward(const std::vector<const IntTensor*>& batch, Cache& cache,
+               bool training) const;
+  double backward_and_step(const std::vector<int>& labels, Cache& cache);
+
+  [[nodiscard]] double act_range() const {
+    return 4.0 / (1 << config_.act_bits);
+  }
+
+  QatCnnConfig config_;
+  Shape input_{};
+  int classes_;
+  std::vector<Stage> stages_;  // convs & pools; last stage = classifier conv
+  mutable Rng rng_;
+};
+
+/// Train, export, and measure exported accuracy with the golden executor.
+struct QatCnnResult {
+  double train_accuracy = 0.0;
+  double exported_accuracy = 0.0;
+  double final_loss = 0.0;
+};
+[[nodiscard]] QatCnnResult train_and_export_cnn(const ImageDataset& train,
+                                                const ImageDataset& test,
+                                                Shape input,
+                                                const QatCnnConfig& config);
+
+}  // namespace qnn

@@ -1,0 +1,87 @@
+#include "quant/binarize.h"
+
+#include <gtest/gtest.h>
+
+namespace qnn {
+namespace {
+
+TEST(WeightTensor, LayoutIsDepthFirstWithinFilter) {
+  WeightTensor w(FilterShape{2, 2, 3});
+  float v = 0.0f;
+  for (int o = 0; o < 2; ++o) {
+    for (int dy = 0; dy < 2; ++dy) {
+      for (int dx = 0; dx < 2; ++dx) {
+        for (int ci = 0; ci < 3; ++ci) w.at(o, dy, dx, ci) = v++;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < w.raw().size(); ++i) {
+    EXPECT_EQ(w.raw()[i], static_cast<float>(i));
+  }
+}
+
+TEST(FilterBank, BinarizeSignConvention) {
+  WeightTensor w(FilterShape{1, 1, 4});
+  w.at(0, 0, 0, 0) = 0.5f;
+  w.at(0, 0, 0, 1) = -0.5f;
+  w.at(0, 0, 0, 2) = 0.0f;  // zero binarizes to +1
+  w.at(0, 0, 0, 3) = -1e-9f;
+  const FilterBank fb = FilterBank::binarize(w);
+  EXPECT_EQ(fb.signed_weight(0, 0, 0, 0), +1);
+  EXPECT_EQ(fb.signed_weight(0, 0, 0, 1), -1);
+  EXPECT_EQ(fb.signed_weight(0, 0, 0, 2), +1);
+  EXPECT_EQ(fb.signed_weight(0, 0, 0, 3), -1);
+}
+
+TEST(FilterBank, PackedBitsMatchSignedWeights) {
+  Rng rng(11);
+  const FilterShape shape{4, 3, 5};
+  WeightTensor w(shape);
+  for (auto& x : w.raw()) x = rng.next_gaussian();
+  const FilterBank fb = FilterBank::binarize(w);
+  for (int o = 0; o < shape.out_c; ++o) {
+    std::int64_t i = 0;
+    for (int dy = 0; dy < shape.k; ++dy) {
+      for (int dx = 0; dx < shape.k; ++dx) {
+        for (int ci = 0; ci < shape.in_c; ++ci, ++i) {
+          const int expect = w.at(o, dy, dx, ci) >= 0.0f ? +1 : -1;
+          EXPECT_EQ(fb.signed_weight(o, dy, dx, ci), expect);
+          EXPECT_EQ(fb.filter(o).get(i), expect == +1);
+        }
+      }
+    }
+  }
+}
+
+TEST(FilterBank, RandomBankKeepsTailInvariant) {
+  Rng rng(13);
+  // 3*3*5 = 45 bits: the final word has a 19-bit tail that must stay zero
+  // or popcount-based dots would be wrong.
+  const FilterBank fb = FilterBank::random(FilterShape{8, 3, 5}, rng);
+  for (int o = 0; o < 8; ++o) {
+    const BitVector& f = fb.filter(o);
+    int manual = 0;
+    for (std::int64_t i = 0; i < f.bits(); ++i) manual += f.get(i);
+    EXPECT_EQ(f.count(), manual) << "tail bits leaked into popcount";
+  }
+}
+
+TEST(FilterBank, RandomBankIsDeterministic) {
+  Rng a(21);
+  Rng b(21);
+  const FilterBank fa = FilterBank::random(FilterShape{3, 3, 8}, a);
+  const FilterBank fb = FilterBank::random(FilterShape{3, 3, 8}, b);
+  for (int o = 0; o < 3; ++o) {
+    EXPECT_EQ(fa.filter(o), fb.filter(o));
+  }
+}
+
+TEST(FilterBank, FilterSizeMatchesWeightCacheEntry) {
+  const FilterShape shape{64, 3, 128};
+  FilterBank fb(shape);
+  // One cache address stores all K*K*I weights of one filter (§III-B1a).
+  EXPECT_EQ(fb.filter(0).bits(), 3 * 3 * 128);
+}
+
+}  // namespace
+}  // namespace qnn

@@ -1,0 +1,88 @@
+#include "core/bitplanes.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.h"
+
+namespace qnn {
+namespace {
+
+TEST(BitPlaneWindow, SetGetRoundTrip) {
+  BitPlaneWindow w(10, 2);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    w.set(i, static_cast<std::uint32_t>(i % 4));
+  }
+  for (std::int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(w.get(i), static_cast<std::uint32_t>(i % 4));
+  }
+}
+
+TEST(BitPlaneWindow, FillFromSpan) {
+  BitPlaneWindow w(5, 3);
+  const std::vector<std::int32_t> codes{0, 7, 3, 5, 1};
+  w.fill(codes);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    EXPECT_EQ(w.get(static_cast<std::int64_t>(i)),
+              static_cast<std::uint32_t>(codes[i]));
+  }
+}
+
+/// Property: the packed bit-plane dot equals the scalar signed dot for
+/// random weights and codes, across bit widths (the 2-bit activations of
+/// the paper and the 8-bit first layer alike).
+class BitPlaneDotProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitPlaneDotProperty, MatchesScalarReference) {
+  const int bits = GetParam();
+  Rng rng(1234 + static_cast<std::uint64_t>(bits));
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::int64_t n = 1 + static_cast<std::int64_t>(rng.next_below(200));
+    BitVector w(n);
+    std::vector<std::int8_t> w_pm1(static_cast<std::size_t>(n));
+    std::vector<std::int32_t> codes(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      const bool bit = rng.next_bool();
+      w.set(i, bit);
+      w_pm1[static_cast<std::size_t>(i)] = bit ? 1 : -1;
+      codes[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
+          rng.next_below(std::uint64_t{1} << bits));
+    }
+    BitPlaneWindow win(n, bits);
+    win.fill(codes);
+    EXPECT_EQ(win.dot(w), reference_pm1_dot(w_pm1, codes))
+        << "bits=" << bits << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitPlaneDotProperty,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(BitPlaneWindow, AllZeroCodesGiveZeroDot) {
+  BitPlaneWindow w(64, 2);
+  BitVector weights(64);
+  for (std::int64_t i = 0; i < 64; ++i) weights.set(i, i % 2 == 0);
+  EXPECT_EQ(w.dot(weights), 0);  // code 0 contributes nothing (pad rule)
+}
+
+TEST(BitPlaneWindow, MaxCodesAllPlusWeights) {
+  const std::int64_t n = 30;
+  BitPlaneWindow w(n, 2);
+  BitVector weights(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    w.set(i, 3);
+    weights.set(i, true);
+  }
+  EXPECT_EQ(w.dot(weights), 3 * n);
+}
+
+TEST(BitPlaneWindow, ClearResetsToZero) {
+  BitPlaneWindow w(16, 2);
+  for (std::int64_t i = 0; i < 16; ++i) w.set(i, 3);
+  w.clear();
+  for (std::int64_t i = 0; i < 16; ++i) EXPECT_EQ(w.get(i), 0u);
+}
+
+}  // namespace
+}  // namespace qnn

@@ -1,0 +1,78 @@
+#include "core/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace qnn {
+namespace {
+
+TEST(BitVector, SetGetRoundTrip) {
+  BitVector v(130);
+  EXPECT_EQ(v.bits(), 130);
+  EXPECT_EQ(v.words(), 3);
+  for (std::int64_t i = 0; i < v.bits(); ++i) EXPECT_FALSE(v.get(i));
+  v.set(0, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.count(), 3);
+  v.set(64, false);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.count(), 2);
+}
+
+TEST(BitVector, AndPopcount) {
+  BitVector a(100);
+  BitVector b(100);
+  for (std::int64_t i = 0; i < 100; i += 2) a.set(i, true);   // 50 even bits
+  for (std::int64_t i = 0; i < 100; i += 4) b.set(i, true);   // 25 bits
+  EXPECT_EQ(a.and_popcount(b), 25);
+  EXPECT_EQ(b.and_popcount(a), 25);
+  EXPECT_EQ(a.and_popcount(a), 50);
+}
+
+TEST(BitVector, Pm1DotAgainstScalarReference) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::int64_t n = 1 + static_cast<std::int64_t>(rng.next_below(300));
+    BitVector a(n);
+    BitVector b(n);
+    int expect = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const bool ab = rng.next_bool();
+      const bool bb = rng.next_bool();
+      a.set(i, ab);
+      b.set(i, bb);
+      expect += (ab ? 1 : -1) * (bb ? 1 : -1);
+    }
+    EXPECT_EQ(a.pm1_dot(b), expect) << "n=" << n;
+  }
+}
+
+TEST(BitVector, Pm1DotSelfIsLength) {
+  BitVector v(77);
+  for (std::int64_t i = 0; i < 77; i += 3) v.set(i, true);
+  EXPECT_EQ(v.pm1_dot(v), 77);
+}
+
+TEST(BitVector, ClearZeroes) {
+  BitVector v(65);
+  v.set(3, true);
+  v.set(64, true);
+  v.clear();
+  EXPECT_EQ(v.count(), 0);
+  EXPECT_EQ(v.bits(), 65);
+}
+
+TEST(BitVector, EmptyVector) {
+  BitVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.count(), 0);
+}
+
+}  // namespace
+}  // namespace qnn

@@ -1,0 +1,168 @@
+#include "dataflow/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+#include "nn/reference.h"
+#include "test_util.h"
+
+namespace qnn {
+namespace {
+
+/// The central correctness claim: the threaded streaming engine is
+/// bit-exact against the golden layer-by-layer reference executor.
+void expect_engine_matches_reference(const NetworkSpec& spec,
+                                     std::uint64_t seed, int images) {
+  const Pipeline p = expand(spec);
+  const NetworkParams params = NetworkParams::random(p, seed);
+  const ReferenceExecutor ref(p, params);
+  StreamEngine engine(p, params);
+  Rng rng(seed ^ 0xabcdef);
+  std::vector<IntTensor> batch;
+  batch.reserve(static_cast<std::size_t>(images));
+  for (int i = 0; i < images; ++i) {
+    batch.push_back(
+        testutil::random_codes(spec.input, spec.input_bits, rng));
+  }
+  const auto outs = engine.run(batch);
+  ASSERT_EQ(outs.size(), batch.size());
+  for (int i = 0; i < images; ++i) {
+    EXPECT_EQ(outs[static_cast<std::size_t>(i)],
+              ref.run(batch[static_cast<std::size_t>(i)]))
+        << spec.name << " image " << i;
+  }
+}
+
+TEST(Engine, SingleConvMatchesReference) {
+  NetworkSpec spec;
+  spec.name = "conv_only";
+  spec.input = Shape{6, 6, 3};
+  spec.conv(4, 3, 1, 1, false);
+  expect_engine_matches_reference(spec, 11, 3);
+}
+
+TEST(Engine, ConvBnActPoolChain) {
+  NetworkSpec spec;
+  spec.name = "chain";
+  spec.input = Shape{8, 8, 3};
+  spec.conv(8, 3, 1, 1).max_pool(2, 2).conv(4, 3, 1, 0).dense(5, false);
+  expect_engine_matches_reference(spec, 12, 3);
+}
+
+TEST(Engine, StridedAndUnpaddedConvs) {
+  NetworkSpec spec;
+  spec.name = "strided";
+  spec.input = Shape{11, 11, 2};
+  spec.conv(6, 5, 2, 0).conv(4, 3, 1, 1).dense(3, false);
+  expect_engine_matches_reference(spec, 13, 2);
+}
+
+TEST(Engine, ResidualIdentity) {
+  NetworkSpec spec;
+  spec.name = "res_id";
+  spec.input = Shape{8, 8, 3};
+  spec.conv(4, 3, 1, 1);
+  spec.residual(4, 1);
+  spec.avg_pool_global();
+  spec.dense(3, false);
+  expect_engine_matches_reference(spec, 14, 3);
+}
+
+TEST(Engine, ResidualDownsampleProjection) {
+  NetworkSpec spec;
+  spec.name = "res_down";
+  spec.input = Shape{12, 12, 3};
+  spec.conv(4, 3, 1, 1);
+  spec.residual(8, 2);
+  spec.residual(8, 1);
+  spec.avg_pool_global();
+  spec.dense(4, false);
+  expect_engine_matches_reference(spec, 15, 2);
+}
+
+TEST(Engine, TinyModelEndToEnd) {
+  expect_engine_matches_reference(models::tiny(12, 4, 2), 16, 4);
+}
+
+TEST(Engine, TinyModelOneBitActivations) {
+  expect_engine_matches_reference(models::tiny(12, 4, 1), 17, 2);
+}
+
+TEST(Engine, TinyModelThreeBitActivations) {
+  expect_engine_matches_reference(models::tiny(12, 4, 3), 18, 2);
+}
+
+TEST(Engine, VggLike16MatchesReference) {
+  expect_engine_matches_reference(models::vgg_like(16, 10, 2), 19, 2);
+}
+
+TEST(Engine, RunOneReturnsSameAsBatch) {
+  const NetworkSpec spec = models::tiny(12, 4, 2);
+  const Pipeline p = expand(spec);
+  const NetworkParams params = NetworkParams::random(p, 20);
+  StreamEngine engine(p, params);
+  Rng rng(21);
+  const IntTensor img = testutil::random_image(12, 12, 3, rng);
+  const IntTensor a = engine.run_one(img);
+  const IntTensor b = engine.run_one(img);  // engine is reusable
+  EXPECT_EQ(a, b);
+}
+
+TEST(Engine, StreamTrafficAccountsEveryEdge) {
+  const NetworkSpec spec = models::tiny(12, 4, 2);
+  const Pipeline p = expand(spec);
+  const NetworkParams params = NetworkParams::random(p, 22);
+  StreamEngine engine(p, params);
+  Rng rng(23);
+  (void)engine.run_one(testutil::random_image(12, 12, 3, rng));
+  std::uint64_t total = 0;
+  for (const auto& [name, pushed] : engine.stream_traffic()) {
+    total += pushed;
+  }
+  // At minimum the input and output streams carried a full map each.
+  EXPECT_GT(total, static_cast<std::uint64_t>(p.input.elems()));
+}
+
+TEST(Engine, RunStatsReportWallClockThroughput) {
+  const Pipeline p = expand(models::tiny(12, 4, 2));
+  const NetworkParams params = NetworkParams::random(p, 26);
+  StreamEngine engine(p, params);
+  Rng rng(27);
+  std::vector<IntTensor> batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back(testutil::random_image(12, 12, 3, rng));
+  }
+  StreamEngine::RunStats stats;
+  const auto out = engine.run(batch, &stats);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GT(stats.images_per_second, 0.0);
+  EXPECT_NEAR(stats.images_per_second * stats.wall_seconds, 4.0, 1e-6);
+}
+
+TEST(Engine, FinnCnvUnpaddedTopologyMatchesReference) {
+  expect_engine_matches_reference(models::finn_cnv(10, 2), 28, 1);
+}
+
+TEST(Engine, RejectsWrongImageShape) {
+  const NetworkSpec spec = models::tiny(12, 4, 2);
+  const Pipeline p = expand(spec);
+  const NetworkParams params = NetworkParams::random(p, 24);
+  StreamEngine engine(p, params);
+  EXPECT_THROW((void)engine.run_one(IntTensor(Shape{8, 8, 3})), Error);
+}
+
+TEST(Engine, KernelAndStreamCountsMatchTopology) {
+  const Pipeline p = expand(models::tiny(12, 4, 2));
+  const NetworkParams params = NetworkParams::random(p, 25);
+  StreamEngine engine(p, params);
+  // One kernel per node plus one fork per fan-out point.
+  int forks = 0;
+  for (int i = 0; i < p.size(); ++i) {
+    if (p.consumers(i).size() > 1) ++forks;
+  }
+  EXPECT_EQ(engine.kernel_count(), p.size() + forks);
+}
+
+}  // namespace
+}  // namespace qnn

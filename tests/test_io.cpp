@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "io/ppm.h"
+#include "io/synthetic.h"
+#include "io/table.h"
+
+namespace qnn {
+namespace {
+
+TEST(Synthetic, ImagesHave8BitRange) {
+  Rng rng(1);
+  const IntTensor img = synthetic_image(8, 9, 3, rng);
+  EXPECT_EQ(img.shape(), (Shape{8, 9, 3}));
+  for (std::int64_t i = 0; i < img.size(); ++i) {
+    EXPECT_GE(img[i], 0);
+    EXPECT_LE(img[i], 255);
+  }
+}
+
+TEST(Synthetic, BatchIsDeterministicPerSeed) {
+  const auto a = synthetic_batch(3, 4, 4, 3, 42);
+  const auto b = synthetic_batch(3, 4, 4, 3, 42);
+  const auto c = synthetic_batch(3, 4, 4, 3, 43);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a[2], b[2]);
+  EXPECT_NE(a[0], c[0]);
+}
+
+TEST(Synthetic, PatternImagesDifferAcrossClasses) {
+  Rng rng(2);
+  const IntTensor a = synthetic_pattern_image(16, 16, 1, 0, rng);
+  const IntTensor b = synthetic_pattern_image(16, 16, 1, 3, rng);
+  std::int64_t diff = 0;
+  for (std::int64_t i = 0; i < a.size(); ++i) diff += a[i] != b[i];
+  EXPECT_GT(diff, a.size() / 4);
+}
+
+TEST(Synthetic, ClusterTaskShapesAndLabels) {
+  const auto ds = make_cluster_task(4, 8, 25, 10.0, 3);
+  EXPECT_EQ(ds.size(), 100);
+  EXPECT_EQ(ds.classes, 4);
+  EXPECT_EQ(ds.dim, 8);
+  int per_class[4] = {};
+  for (int i = 0; i < ds.size(); ++i) {
+    const int label = ds.labels[static_cast<std::size_t>(i)];
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 4);
+    ++per_class[label];
+    EXPECT_EQ(ds.images[static_cast<std::size_t>(i)].shape(),
+              (Shape{1, 1, 8}));
+    // Float features and integer images agree.
+    for (int d = 0; d < 8; ++d) {
+      EXPECT_EQ(static_cast<std::int32_t>(
+                    ds.features[static_cast<std::size_t>(i)]
+                               [static_cast<std::size_t>(d)]),
+                ds.images[static_cast<std::size_t>(i)].at(0, 0, d));
+    }
+  }
+  for (int k = 0; k < 4; ++k) EXPECT_EQ(per_class[k], 25);
+}
+
+TEST(Synthetic, ClustersAreLearnableStructure) {
+  // Nearest-centroid on the raw features must beat chance by a wide
+  // margin, otherwise the QAT ablation would measure noise.
+  const auto ds = make_cluster_task(4, 8, 50, 12.0, 9);
+  std::vector<std::vector<double>> centroid(
+      4, std::vector<double>(8, 0.0));
+  std::vector<int> count(4, 0);
+  for (int i = 0; i < ds.size(); ++i) {
+    const int k = ds.labels[static_cast<std::size_t>(i)];
+    ++count[static_cast<std::size_t>(k)];
+    for (int d = 0; d < 8; ++d) {
+      centroid[static_cast<std::size_t>(k)][static_cast<std::size_t>(d)] +=
+          ds.features[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)];
+    }
+  }
+  for (int k = 0; k < 4; ++k) {
+    for (auto& v : centroid[static_cast<std::size_t>(k)]) {
+      v /= count[static_cast<std::size_t>(k)];
+    }
+  }
+  int correct = 0;
+  for (int i = 0; i < ds.size(); ++i) {
+    double best = 1e300;
+    int arg = 0;
+    for (int k = 0; k < 4; ++k) {
+      double dist = 0.0;
+      for (int d = 0; d < 8; ++d) {
+        const double delta =
+            ds.features[static_cast<std::size_t>(i)]
+                       [static_cast<std::size_t>(d)] -
+            centroid[static_cast<std::size_t>(k)][static_cast<std::size_t>(d)];
+        dist += delta * delta;
+      }
+      if (dist < best) {
+        best = dist;
+        arg = k;
+      }
+    }
+    correct += arg == ds.labels[static_cast<std::size_t>(i)];
+  }
+  EXPECT_GT(static_cast<double>(correct) / ds.size(), 0.9);
+}
+
+TEST(Synthetic, SplitPreservesSamplesAndDisjointness) {
+  const auto ds = make_cluster_task(3, 4, 30, 8.0, 5);
+  const auto [train, test] = split_dataset(ds, 0.7);
+  EXPECT_EQ(train.size() + test.size(), ds.size());
+  EXPECT_EQ(train.size(), 63);
+  EXPECT_EQ(train.classes, 3);
+  EXPECT_EQ(test.dim, 4);
+  EXPECT_THROW((void)split_dataset(ds, 0.0), Error);
+  EXPECT_THROW((void)split_dataset(ds, 1.0), Error);
+}
+
+TEST(Ppm, RoundTrip) {
+  Rng rng(4);
+  const IntTensor img = synthetic_image(5, 7, 3, rng);
+  const std::string path = "/tmp/qnn_test_roundtrip.ppm";
+  write_ppm(path, img);
+  const IntTensor back = read_ppm(path);
+  EXPECT_EQ(back, img);
+  std::remove(path.c_str());
+}
+
+TEST(Ppm, RejectsNonRgb) {
+  EXPECT_THROW(write_ppm("/tmp/x.ppm", IntTensor(Shape{2, 2, 1})), Error);
+}
+
+TEST(Ppm, RejectsMissingFile) {
+  EXPECT_THROW((void)read_ppm("/tmp/definitely_missing_qnn.ppm"), Error);
+}
+
+TEST(TableTest, AlignedAndCsvRendering) {
+  Table t({"net", "ms", "fps"});
+  t.add_row({"vgg", Table::num(0.635, 3), Table::integer(1574)});
+  t.add_row({"resnet18", Table::num(15.8, 1), Table::integer(63)});
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cell(0, 1), "0.635");
+
+  std::ostringstream pretty;
+  t.print(pretty);
+  EXPECT_NE(pretty.str().find("resnet18"), std::string::npos);
+  EXPECT_NE(pretty.str().find("---"), std::string::npos);
+
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_NE(csv.str().find("net,ms,fps"), std::string::npos);
+  EXPECT_NE(csv.str().find("vgg,0.635,1574"), std::string::npos);
+}
+
+TEST(TableTest, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TableTest, SaveCsv) {
+  Table t({"x"});
+  t.add_row({"1"});
+  const std::string path = "/tmp/qnn_test_table.csv";
+  EXPECT_TRUE(t.save_csv(path));
+  std::remove(path.c_str());
+  EXPECT_FALSE(t.save_csv("/nonexistent_dir_qnn/file.csv"));
+}
+
+}  // namespace
+}  // namespace qnn

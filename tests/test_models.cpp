@@ -1,0 +1,165 @@
+#include "models/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/pipeline.h"
+
+namespace qnn {
+namespace {
+
+TEST(Models, ResNet18ShapesMatchTableI) {
+  const Pipeline p = expand(models::resnet18(224, 1000, 2));
+  // conv1 -> 112x112x64 (Table I).
+  EXPECT_EQ(p.node(0).kind, NodeKind::Conv);
+  EXPECT_EQ(p.node(0).out, (Shape{112, 112, 64}));
+  // maxpool -> 56x56.
+  const Node& pool = p.node(2);
+  EXPECT_EQ(pool.kind, NodeKind::MaxPool);
+  EXPECT_EQ(pool.out, (Shape{56, 56, 64}));
+  // Stage output sizes: 56, 28, 14, 7 with 64/128/256/512 channels.
+  int adds = 0;
+  Shape last_add{};
+  std::vector<Shape> add_shapes;
+  for (const auto& n : p.nodes) {
+    if (n.kind == NodeKind::Add) {
+      ++adds;
+      add_shapes.push_back(n.out);
+      last_add = n.out;
+    }
+  }
+  EXPECT_EQ(adds, 8);  // 2 blocks per stage, 4 stages
+  EXPECT_EQ(add_shapes[0], (Shape{56, 56, 64}));
+  EXPECT_EQ(add_shapes[2], (Shape{28, 28, 128}));
+  EXPECT_EQ(add_shapes[4], (Shape{14, 14, 256}));
+  EXPECT_EQ(last_add, (Shape{7, 7, 512}));
+  // Final classifier.
+  EXPECT_EQ(p.output_shape(), (Shape{1, 1, 1000}));
+}
+
+TEST(Models, ResNet34DeepensEveryStage) {
+  const Pipeline p18 = expand(models::resnet18(224, 1000, 2));
+  const Pipeline p34 = expand(models::resnet34(224, 1000, 2));
+  int adds18 = 0;
+  int adds34 = 0;
+  for (const auto& n : p18.nodes) adds18 += n.kind == NodeKind::Add;
+  for (const auto& n : p34.nodes) adds34 += n.kind == NodeKind::Add;
+  EXPECT_EQ(adds18, 8);
+  EXPECT_EQ(adds34, 16);  // 3 + 4 + 6 + 3 basic blocks
+  EXPECT_EQ(p34.output_shape(), (Shape{1, 1, 1000}));
+  EXPECT_GT(p34.total_weight_bits(), p18.total_weight_bits());
+  // Final stage still lands at 7x7x512 for 224x224 inputs.
+  Shape last_add{};
+  for (const auto& n : p34.nodes) {
+    if (n.kind == NodeKind::Add) last_add = n.out;
+  }
+  EXPECT_EQ(last_add, (Shape{7, 7, 512}));
+}
+
+TEST(Models, ResNet18HasThreeProjections) {
+  const Pipeline p = expand(models::resnet18(224, 1000, 2));
+  int projections = 0;
+  for (const auto& n : p.nodes) {
+    if (n.kind == NodeKind::Conv && n.k == 1 && n.stride == 2) ++projections;
+  }
+  EXPECT_EQ(projections, 3);  // conv3_1, conv4_1, conv5_1 downsample
+}
+
+TEST(Models, ResNetNoskipHasSameConvLadderButNoAdds) {
+  const Pipeline with = expand(models::resnet18(224, 1000, 2));
+  const Pipeline without = expand(models::resnet18_noskip(224, 1000, 2));
+  int adds = 0;
+  for (const auto& n : without.nodes) adds += n.kind == NodeKind::Add;
+  EXPECT_EQ(adds, 0);
+  // Identical 3x3 convolution work (projections are skip infrastructure).
+  auto conv3x3_macs = [](const Pipeline& p) {
+    std::int64_t macs = 0;
+    for (const auto& n : p.nodes) {
+      if (n.kind == NodeKind::Conv && n.k == 3) {
+        macs += n.out.elems() * n.k * n.k * n.in.c;
+      }
+    }
+    return macs;
+  };
+  EXPECT_EQ(conv3x3_macs(with), conv3x3_macs(without));
+  EXPECT_EQ(with.output_shape(), without.output_shape());
+}
+
+TEST(Models, AlexNetShapes) {
+  const Pipeline p = expand(models::alexnet(224, 1000, 2));
+  EXPECT_EQ(p.node(0).out, (Shape{55, 55, 96}));
+  EXPECT_EQ(p.node(0).stride, 4);
+  EXPECT_EQ(p.output_shape(), (Shape{1, 1, 1000}));
+  // Three dense layers lowered to convs with full spatial kernels: the
+  // first spans the 6x6 map left after the last pool.
+  int full_spatial = 0;
+  for (const auto& n : p.nodes) {
+    if (n.kind == NodeKind::Conv && n.k == 6) ++full_spatial;
+  }
+  EXPECT_EQ(full_spatial, 1);
+}
+
+TEST(Models, AlexNetDenseDominatesWeights) {
+  // "Due to lack of big FC layers ... ResNet requires fewer BRAMs than
+  // AlexNet" (§IV-B2): AlexNet's FC weights outweigh its conv weights.
+  const Pipeline p = expand(models::alexnet(224, 1000, 2));
+  std::int64_t conv_bits = 0;
+  std::int64_t fc_bits = 0;
+  for (const auto& n : p.nodes) {
+    if (n.kind != NodeKind::Conv) continue;
+    const std::int64_t bits = n.filter_shape().total_weights();
+    if (n.out.h == 1 && n.out.w == 1) {
+      fc_bits += bits;
+    } else {
+      conv_bits += bits;
+    }
+  }
+  EXPECT_GT(fc_bits, conv_bits * 10);
+  // And ResNet-18 carries fewer weights than AlexNet in total.
+  const Pipeline r = expand(models::resnet18(224, 1000, 2));
+  EXPECT_LT(r.total_weight_bits(), p.total_weight_bits());
+}
+
+class VggInputSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(VggInputSweep, FinalSpatialExtentIsBounded) {
+  const int input = GetParam();
+  const Pipeline p = expand(models::vgg_like(input, 10, 2));
+  // The first dense layer's window never exceeds 4x4 regardless of input
+  // size — the property behind the small resource growth in Fig 6.
+  for (const auto& n : p.nodes) {
+    if (n.kind == NodeKind::Conv && n.out.h == 1 && n.out.w == 1) {
+      EXPECT_LE(n.k, 4) << "input " << input;
+      EXPECT_EQ(n.in.c, 256);
+      break;
+    }
+  }
+  EXPECT_EQ(p.output_shape(), (Shape{1, 1, 10}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VggInputSweep,
+                         ::testing::Values(32, 64, 96, 144, 224));
+
+TEST(Models, VggWeightBitsNearlyInputSizeIndependent) {
+  const auto w32 = expand(models::vgg_like(32, 10, 2)).total_weight_bits();
+  const auto w224 = expand(models::vgg_like(224, 10, 2)).total_weight_bits();
+  // Identical conv stacks; only the first FC kernel extent may differ.
+  EXPECT_LT(std::abs(static_cast<double>(w224 - w32)) /
+                static_cast<double>(w32),
+            0.30);
+}
+
+TEST(Models, TinyCoversEveryNodeKind) {
+  const Pipeline p = expand(models::tiny(12, 4, 2));
+  bool kinds[5] = {};
+  for (const auto& n : p.nodes) kinds[static_cast<int>(n.kind)] = true;
+  for (bool k : kinds) EXPECT_TRUE(k);
+}
+
+TEST(Models, BuildersRejectTooSmallInputs) {
+  EXPECT_THROW(models::resnet18(16), Error);
+  EXPECT_THROW(models::alexnet(32), Error);
+  EXPECT_THROW(models::vgg_like(8), Error);
+}
+
+}  // namespace
+}  // namespace qnn

@@ -1,0 +1,141 @@
+#include "partition/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+
+namespace qnn {
+namespace {
+
+TEST(CrossingStreams, CountsMainAndSkipEdges) {
+  NetworkSpec spec;
+  spec.input = Shape{8, 8, 3};
+  spec.conv(4, 3, 1, 1);
+  spec.residual(4, 1);
+  const Pipeline p = expand(spec);
+  // Cut inside the residual block: both the regular stream and the skip
+  // stream cross the link (§III-B6 applies to both).
+  const Node& add = p.node(p.size() - 1);
+  const int mid = add.main_from;  // cut right before the final conv's add
+  const auto streams = crossing_streams(p, mid - 1);
+  EXPECT_GE(streams.size(), 2u);
+}
+
+TEST(CrossingStreams, ChainCutCrossesExactlyOneStream) {
+  NetworkSpec spec;
+  spec.input = Shape{8, 8, 3};
+  spec.conv(4, 3, 1, 1).conv(4, 3, 1, 1).dense(10, false);
+  const Pipeline p = expand(spec);
+  for (int i = 0; i + 1 < p.size(); ++i) {
+    EXPECT_EQ(crossing_streams(p, i).size(), 1u) << "cut after " << i;
+  }
+}
+
+TEST(CrossingStreams, PaperLinkArithmetic) {
+  // §III-B6: a 2-bit stream at one value per 105 MHz clock needs 210 Mbps.
+  CrossingStream s{"x", 105'000'000, 2};
+  EXPECT_NEAR(s.mbps(1.0), 210.0, 1e-6);
+}
+
+TEST(Partition, VggFitsSingleDfe) {
+  for (int size : {32, 96, 144}) {
+    const auto r = partition_optimal(expand(models::vgg_like(size, 10, 2)));
+    EXPECT_EQ(r.num_dfes(), 1) << size;
+    EXPECT_TRUE(r.feasible());
+    EXPECT_TRUE(r.cuts.empty());
+  }
+}
+
+TEST(Partition, ResNetSplitsAcrossThreeDfes) {
+  // §IV-B2: ResNet-18 is divided into three DFEs.
+  const auto r = partition_optimal(expand(models::resnet18(224, 1000, 2)));
+  EXPECT_EQ(r.num_dfes(), 3);
+  EXPECT_TRUE(r.feasible());
+}
+
+TEST(Partition, AlexNetSplitsAcrossMultipleDfes) {
+  const auto r = partition_optimal(expand(models::alexnet(224, 1000, 2)));
+  EXPECT_GE(r.num_dfes(), 2);
+  EXPECT_LE(r.num_dfes(), 3);  // the paper used three
+  EXPECT_TRUE(r.feasible());
+}
+
+TEST(Partition, LinkNeverThrottlesPaperWorkloads) {
+  // "the workload can be divided into multiple DFEs with very small
+  // performance degradation" — every cut's bandwidth fits the MaxRing.
+  for (const auto& spec : {models::resnet18(224, 1000, 2),
+                           models::alexnet(224, 1000, 2)}) {
+    const auto r = partition_optimal(expand(spec));
+    EXPECT_DOUBLE_EQ(r.link_slowdown, 1.0) << spec.name;
+    for (const auto& c : r.cuts) {
+      EXPECT_LT(c.required_mbps, 1000.0) << spec.name;  // << multi-Gbps
+    }
+  }
+}
+
+TEST(Partition, SegmentsAreContiguousAndCoverPipeline) {
+  const Pipeline p = expand(models::resnet18(224, 1000, 2));
+  for (const auto r : {partition(p), partition_optimal(p)}) {
+    ASSERT_FALSE(r.dfes.empty());
+    EXPECT_EQ(r.dfes.front().first_node, 0);
+    EXPECT_EQ(r.dfes.back().last_node, p.size() - 1);
+    for (std::size_t k = 0; k + 1 < r.dfes.size(); ++k) {
+      EXPECT_EQ(r.dfes[k].last_node + 1, r.dfes[k + 1].first_node);
+      EXPECT_EQ(r.cuts[k].after_node, r.dfes[k].last_node);
+    }
+    for (const auto& d : r.dfes) {
+      EXPECT_LE(d.first_node, d.last_node);
+      EXPECT_LE(d.utilization, 0.85 + 1e-9);
+    }
+  }
+}
+
+TEST(Partition, OptimalNeverWorseThanGreedy) {
+  for (const auto& spec : {models::resnet18(224, 1000, 2),
+                           models::alexnet(224, 1000, 2),
+                           models::vgg_like(144, 10, 2)}) {
+    const Pipeline p = expand(spec);
+    EXPECT_LE(partition_optimal(p).num_dfes(), partition(p).num_dfes())
+        << spec.name;
+  }
+}
+
+TEST(Partition, OptimalBalancesUtilization) {
+  const Pipeline p = expand(models::resnet18(224, 1000, 2));
+  const auto opt = partition_optimal(p);
+  const auto greedy = partition(p);
+  if (opt.num_dfes() == greedy.num_dfes()) {
+    EXPECT_LE(opt.max_utilization(), greedy.max_utilization() + 1e-9);
+  }
+}
+
+TEST(Partition, TightFillForcesMoreDfes) {
+  PartitionConfig loose;
+  PartitionConfig tight;
+  tight.fill = 0.35;
+  const Pipeline p = expand(models::alexnet(224, 1000, 2));
+  EXPECT_GT(partition_optimal(p, tight).num_dfes(),
+            partition_optimal(p, loose).num_dfes() - 1);
+  EXPECT_GE(partition_optimal(p, tight).num_dfes(),
+            partition_optimal(p, loose).num_dfes());
+}
+
+TEST(Partition, RespectsMaxDfes) {
+  PartitionConfig cfg;
+  cfg.fill = 0.10;
+  cfg.max_dfes = 2;
+  EXPECT_THROW(
+      (void)partition_optimal(expand(models::resnet18(224, 1000, 2)), cfg),
+      Error);
+}
+
+TEST(Partition, FpsComesFromBottleneckAnalysis) {
+  const Pipeline p = expand(models::resnet18(224, 1000, 2));
+  const auto r = partition_optimal(p);
+  const double expect =
+      105e6 / static_cast<double>(analytic_bottleneck_cycles(p));
+  EXPECT_NEAR(r.images_per_second, expect, 1e-6);
+}
+
+}  // namespace
+}  // namespace qnn

@@ -1,0 +1,65 @@
+#include "quant/quantizer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace qnn {
+namespace {
+
+TEST(ActQuantizer, TwoBitStaircase) {
+  const ActQuantizer q(2, 1.0);
+  EXPECT_EQ(q.levels(), 4);
+  EXPECT_EQ(q.max_code(), 3);
+  EXPECT_EQ(q.code(-5.0), 0);
+  EXPECT_EQ(q.code(0.0), 0);
+  EXPECT_EQ(q.code(0.999), 0);
+  EXPECT_EQ(q.code(1.0), 1);
+  EXPECT_EQ(q.code(1.5), 1);
+  EXPECT_EQ(q.code(2.0), 2);
+  EXPECT_EQ(q.code(3.0), 3);
+  EXPECT_EQ(q.code(100.0), 3);  // saturates at the top level
+}
+
+TEST(ActQuantizer, OneBitIsThresholdAtD) {
+  const ActQuantizer q(1, 0.5);
+  EXPECT_EQ(q.code(0.49), 0);
+  EXPECT_EQ(q.code(0.5), 1);
+  EXPECT_EQ(q.code(7.0), 1);
+}
+
+TEST(ActQuantizer, RangeSizeScalesEndpoints) {
+  const ActQuantizer q(2, 0.25);
+  EXPECT_EQ(q.code(0.24), 0);
+  EXPECT_EQ(q.code(0.25), 1);
+  EXPECT_EQ(q.code(0.5), 2);
+  EXPECT_EQ(q.code(0.75), 3);
+}
+
+TEST(ActQuantizer, MonotoneNondecreasing) {
+  const ActQuantizer q(3, 0.37);
+  std::int32_t prev = q.code(-10.0);
+  for (double y = -10.0; y < 10.0; y += 0.01) {
+    const std::int32_t c = q.code(y);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_EQ(prev, q.max_code());
+}
+
+TEST(ActQuantizer, MidpointLiesInsideRange) {
+  const ActQuantizer q(2, 2.0);
+  for (std::int32_t c = 0; c <= q.max_code(); ++c) {
+    EXPECT_EQ(q.code(q.midpoint(c)), c);
+  }
+}
+
+TEST(ActQuantizer, RejectsBadConfig) {
+  EXPECT_THROW(ActQuantizer(0, 1.0), Error);
+  EXPECT_THROW(ActQuantizer(9, 1.0), Error);
+  EXPECT_THROW(ActQuantizer(2, 0.0), Error);
+  EXPECT_THROW(ActQuantizer(2, -1.0), Error);
+}
+
+}  // namespace
+}  // namespace qnn

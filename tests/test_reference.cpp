@@ -1,0 +1,196 @@
+#include "nn/reference.h"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+#include "test_util.h"
+
+namespace qnn {
+namespace {
+
+/// Hand-computed 1x1-input convolution: dot of input channels and weights.
+TEST(Reference, ConvSinglePosition) {
+  NetworkSpec spec;
+  spec.input = Shape{1, 1, 3};
+  spec.input_bits = 4;
+  spec.conv(2, 1, 1, 0, /*bn_act=*/false);
+  const Pipeline p = expand(spec);
+  NetworkParams params;
+  WeightTensor w(FilterShape{2, 1, 3});
+  // Filter 0: +1 +1 +1; filter 1: +1 -1 +1.
+  w.at(0, 0, 0, 0) = 1;
+  w.at(0, 0, 0, 1) = 1;
+  w.at(0, 0, 0, 2) = 1;
+  w.at(1, 0, 0, 0) = 1;
+  w.at(1, 0, 0, 1) = -1;
+  w.at(1, 0, 0, 2) = 1;
+  params.convs.push_back(ConvParams{FilterBank::binarize(w)});
+
+  IntTensor in(Shape{1, 1, 3});
+  in.at(0, 0, 0) = 3;
+  in.at(0, 0, 1) = 5;
+  in.at(0, 0, 2) = 7;
+  const ReferenceExecutor exec(p, params);
+  const IntTensor out = exec.run(in);
+  EXPECT_EQ(out.at(0, 0, 0), 15);
+  EXPECT_EQ(out.at(0, 0, 1), 5);
+}
+
+TEST(Reference, ConvPaddingContributesNothing) {
+  // All-(+1) 3x3 filter over a 1x1 input with pad 1: only the center pixel
+  // is real, so the output equals that pixel's value.
+  NetworkSpec spec;
+  spec.input = Shape{1, 1, 1};
+  spec.input_bits = 4;
+  spec.conv(1, 3, 1, 1, false);
+  const Pipeline p = expand(spec);
+  NetworkParams params;
+  WeightTensor w(FilterShape{1, 3, 1});
+  for (auto& x : w.raw()) x = 1.0f;
+  params.convs.push_back(ConvParams{FilterBank::binarize(w)});
+  IntTensor in(Shape{1, 1, 1});
+  in.at(0, 0, 0) = 9;
+  const IntTensor out = ReferenceExecutor(p, params).run(in);
+  EXPECT_EQ(out.at(0, 0, 0), 9);
+}
+
+TEST(Reference, StridedConvPicksCorrectWindows) {
+  NetworkSpec spec;
+  spec.input = Shape{4, 4, 1};
+  spec.input_bits = 4;
+  spec.conv(1, 2, 2, 0, false);
+  const Pipeline p = expand(spec);
+  NetworkParams params;
+  WeightTensor w(FilterShape{1, 2, 1});
+  for (auto& x : w.raw()) x = 1.0f;  // window sum
+  params.convs.push_back(ConvParams{FilterBank::binarize(w)});
+  IntTensor in(Shape{4, 4, 1});
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) in.at(y, x, 0) = y * 4 + x;
+  }
+  const IntTensor out = ReferenceExecutor(p, params).run(in);
+  ASSERT_EQ(out.shape(), (Shape{2, 2, 1}));
+  EXPECT_EQ(out.at(0, 0, 0), 0 + 1 + 4 + 5);
+  EXPECT_EQ(out.at(0, 1, 0), 2 + 3 + 6 + 7);
+  EXPECT_EQ(out.at(1, 0, 0), 8 + 9 + 12 + 13);
+  EXPECT_EQ(out.at(1, 1, 0), 10 + 11 + 14 + 15);
+}
+
+TEST(Reference, MaxPoolBasic) {
+  NetworkSpec spec;
+  spec.input = Shape{4, 4, 2};
+  spec.input_bits = 4;
+  spec.max_pool(2, 2);
+  const Pipeline p = expand(spec);
+  NetworkParams params;
+  Rng rng(3);
+  IntTensor in = testutil::random_codes(Shape{4, 4, 2}, 4, rng);
+  const IntTensor out = ReferenceExecutor(p, params).run(in);
+  for (int oy = 0; oy < 2; ++oy) {
+    for (int ox = 0; ox < 2; ++ox) {
+      for (int c = 0; c < 2; ++c) {
+        std::int32_t expect = 0;
+        for (int dy = 0; dy < 2; ++dy) {
+          for (int dx = 0; dx < 2; ++dx) {
+            expect = std::max(expect, in.at(oy * 2 + dy, ox * 2 + dx, c));
+          }
+        }
+        EXPECT_EQ(out.at(oy, ox, c), expect);
+      }
+    }
+  }
+}
+
+TEST(Reference, GlobalAvgPoolIsWindowSum) {
+  NetworkSpec spec;
+  spec.input = Shape{3, 3, 2};
+  spec.input_bits = 4;
+  spec.avg_pool_global();
+  const Pipeline p = expand(spec);
+  NetworkParams params;
+  Rng rng(4);
+  IntTensor in = testutil::random_codes(Shape{3, 3, 2}, 4, rng);
+  const IntTensor out = ReferenceExecutor(p, params).run(in);
+  for (int c = 0; c < 2; ++c) {
+    std::int32_t expect = 0;
+    for (int y = 0; y < 3; ++y) {
+      for (int x = 0; x < 3; ++x) expect += in.at(y, x, c);
+    }
+    EXPECT_EQ(out.at(0, 0, c), expect);
+  }
+}
+
+TEST(Reference, ThresholdModeMatchesFloatMode) {
+  // End-to-end validation of the §III-B3 folding on a real network.
+  const Pipeline p = expand(models::tiny(12, 4, 2));
+  const NetworkParams params = NetworkParams::random(p, 2024);
+  const ReferenceExecutor hw(p, params, BnActMode::Threshold);
+  const ReferenceExecutor fl(p, params, BnActMode::FloatPath);
+  Rng rng(5);
+  for (int i = 0; i < 5; ++i) {
+    const IntTensor img = testutil::random_image(12, 12, 3, rng);
+    EXPECT_EQ(hw.run(img), fl.run(img)) << "image " << i;
+  }
+}
+
+TEST(Reference, ResidualAddIsElementwise) {
+  NetworkSpec spec;
+  spec.input = Shape{6, 6, 3};
+  spec.conv(4, 3, 1, 1);
+  spec.residual(4, 1);
+  const Pipeline p = expand(spec);
+  const NetworkParams params = NetworkParams::random(p, 7);
+  Rng rng(6);
+  const IntTensor img = testutil::random_image(6, 6, 3, rng);
+  const ReferenceExecutor exec(p, params);
+  const auto all = exec.run_all(img);
+  const Node& add = p.node(p.size() - 1);
+  ASSERT_EQ(add.kind, NodeKind::Add);
+  const IntTensor& main = all[static_cast<std::size_t>(add.main_from)];
+  const IntTensor& skip = all[static_cast<std::size_t>(add.skip_from)];
+  const IntTensor& sum = all.back();
+  for (std::int64_t i = 0; i < sum.size(); ++i) {
+    EXPECT_EQ(sum[i], main[i] + skip[i]);
+  }
+}
+
+TEST(Reference, ActivationCodesAreNonDegenerate) {
+  // The random parameter generator must produce spread codes — otherwise
+  // equivalence tests would pass vacuously on all-zero streams.
+  const Pipeline p = expand(models::tiny(12, 4, 2));
+  const NetworkParams params = NetworkParams::random(p, 99);
+  Rng rng(8);
+  const IntTensor img = testutil::random_image(12, 12, 3, rng);
+  const auto all = ReferenceExecutor(p, params).run_all(img);
+  for (int i = 0; i < p.size(); ++i) {
+    if (p.node(i).kind != NodeKind::BnAct) continue;
+    const IntTensor& t = all[static_cast<std::size_t>(i)];
+    std::int64_t nonzero = 0;
+    std::int64_t saturated = 0;
+    for (std::int64_t j = 0; j < t.size(); ++j) {
+      nonzero += t[j] != 0;
+      saturated += t[j] == 3;
+    }
+    EXPECT_GT(nonzero, t.size() / 10) << p.node(i).name;
+    EXPECT_LT(saturated, t.size() * 9 / 10) << p.node(i).name;
+  }
+}
+
+TEST(Reference, ArgmaxLowestIndexWins) {
+  IntTensor t(Shape{1, 1, 4});
+  t.at(0, 0, 0) = 1;
+  t.at(0, 0, 1) = 5;
+  t.at(0, 0, 2) = 5;
+  t.at(0, 0, 3) = 0;
+  EXPECT_EQ(ReferenceExecutor::argmax(t), 1);
+}
+
+TEST(Reference, RejectsWrongInputShape) {
+  const Pipeline p = expand(models::tiny(12, 4, 2));
+  const NetworkParams params = NetworkParams::random(p, 1);
+  const ReferenceExecutor exec(p, params);
+  EXPECT_THROW(exec.run(IntTensor(Shape{8, 8, 3})), Error);
+}
+
+}  // namespace
+}  // namespace qnn

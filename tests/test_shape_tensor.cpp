@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/shape.h"
+#include "core/tensor.h"
+
+namespace qnn {
+namespace {
+
+TEST(Shape, ElemsAndValidity) {
+  const Shape s{4, 5, 3};
+  EXPECT_EQ(s.elems(), 60);
+  EXPECT_TRUE(s.valid());
+  EXPECT_FALSE((Shape{0, 5, 3}).valid());
+  EXPECT_FALSE((Shape{}).valid());
+}
+
+TEST(Shape, DepthFirstIndexing) {
+  const Shape s{2, 3, 4};
+  // Channel varies fastest, then x, then y (the streaming order).
+  EXPECT_EQ(s.index(0, 0, 0), 0);
+  EXPECT_EQ(s.index(0, 0, 3), 3);
+  EXPECT_EQ(s.index(0, 1, 0), 4);
+  EXPECT_EQ(s.index(1, 0, 0), 12);
+  EXPECT_EQ(s.index(1, 2, 3), 23);
+}
+
+TEST(Shape, ConvOutExtent) {
+  EXPECT_EQ(conv_out_extent(224, 7, 2, 3), 112);  // ResNet conv1
+  EXPECT_EQ(conv_out_extent(112, 3, 2, 1), 56);   // ResNet maxpool
+  EXPECT_EQ(conv_out_extent(224, 11, 4, 2), 55);  // AlexNet conv1
+  EXPECT_EQ(conv_out_extent(32, 3, 1, 1), 32);    // padded same conv
+  EXPECT_EQ(conv_out_extent(32, 2, 2, 0), 16);    // VGG pool
+}
+
+TEST(Shape, ConvOutShape) {
+  const Shape in{224, 224, 3};
+  const Shape out = conv_out_shape(in, 64, 7, 2, 3);
+  EXPECT_EQ(out, (Shape{112, 112, 64}));
+}
+
+TEST(Shape, ConvOutShapeRejectsOversizedWindow) {
+  EXPECT_THROW(conv_out_shape(Shape{4, 4, 1}, 1, 7, 1, 0), Error);
+}
+
+TEST(Tensor, FillAndAccess) {
+  IntTensor t(Shape{2, 2, 2}, 7);
+  EXPECT_EQ(t.size(), 8);
+  for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 7);
+  t.at(1, 0, 1) = -3;
+  EXPECT_EQ(t.at(1, 0, 1), -3);
+  EXPECT_EQ(t[t.shape().index(1, 0, 1)], -3);
+}
+
+TEST(Tensor, FlatOrderIsDepthFirst) {
+  IntTensor t(Shape{2, 2, 3});
+  std::int32_t v = 0;
+  for (int y = 0; y < 2; ++y) {
+    for (int x = 0; x < 2; ++x) {
+      for (int c = 0; c < 3; ++c) t.at(y, x, c) = v++;
+    }
+  }
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t[i], static_cast<std::int32_t>(i));
+  }
+}
+
+TEST(Tensor, EqualityIsValueBased) {
+  IntTensor a(Shape{1, 2, 2}, 1);
+  IntTensor b(Shape{1, 2, 2}, 1);
+  EXPECT_EQ(a, b);
+  b.at(0, 1, 1) = 2;
+  EXPECT_NE(a, b);
+}
+
+TEST(FilterShapeTest, WeightCounts) {
+  const FilterShape f{64, 3, 128};
+  EXPECT_EQ(f.weights_per_filter(), 3 * 3 * 128);
+  EXPECT_EQ(f.total_weights(), 64 * 3 * 3 * 128);
+}
+
+TEST(ErrorTest, CheckMacroThrowsWithContext) {
+  try {
+    QNN_CHECK(1 == 2, "one is not two");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace qnn

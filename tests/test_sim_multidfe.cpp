@@ -1,0 +1,94 @@
+// Multi-DFE cycle simulation (§III-B6): cutting the pipeline across DFEs
+// and serializing the crossing streams over the MaxRing must not change
+// throughput at realistic link rates — validated here inside the cycle
+// simulator, not just by the partitioner's bandwidth arithmetic.
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+#include "partition/partitioner.h"
+#include "sim/cycle_model.h"
+
+namespace qnn {
+namespace {
+
+TEST(SimMultiDfe, PartitionedResNetKeepsItsInterval) {
+  const Pipeline p = expand(models::resnet18(224, 1000, 2));
+  const SimConfig base;
+  const std::uint64_t solo = simulate(p, base, 2).steady_interval;
+
+  // Cut exactly where the optimal partitioner cuts, with the MaxRing's
+  // real per-clock budget (4 Gbps / 105 MHz ~ 38 bits).
+  const PartitionResult plan = partition_optimal(p);
+  ASSERT_EQ(plan.num_dfes(), 3);
+  SimConfig cut = base;
+  for (const auto& c : plan.cuts) cut.cut_after_nodes.push_back(c.after_node);
+  const SimResult r = simulate(p, cut, 2);
+  EXPECT_EQ(r.steady_interval, solo)
+      << "the paper's 'almost without a performance drop'";
+}
+
+TEST(SimMultiDfe, LinkKernelsAppearAndCarryTraffic) {
+  const Pipeline p = expand(models::vgg_like(16, 10, 2));
+  SimConfig cfg;
+  cfg.cut_after_nodes = {3};
+  const SimResult r = simulate(p, cfg, 2);
+  int links = 0;
+  for (const auto& k : r.kernels) {
+    if (k.name.rfind("link_", 0) == 0) {
+      ++links;
+      EXPECT_GT(k.outputs, 0u) << k.name;
+    }
+  }
+  EXPECT_EQ(links, 1);  // one stream crosses a chain cut
+}
+
+TEST(SimMultiDfe, SkipAndMainBothSerializeAcrossResidualCut) {
+  NetworkSpec spec;
+  spec.input = Shape{12, 12, 3};
+  spec.conv(4, 3, 1, 1);
+  spec.residual(4, 1);
+  spec.dense(3, false);
+  const Pipeline p = expand(spec);
+  // Find the Add and cut between its two conv stages: both the regular
+  // stream and the 16-bit skip stream must cross.
+  int add_idx = -1;
+  for (int i = 0; i < p.size(); ++i) {
+    if (p.node(i).kind == NodeKind::Add) add_idx = i;
+  }
+  ASSERT_GT(add_idx, 0);
+  SimConfig cfg;
+  cfg.cut_after_nodes = {add_idx - 2};
+  const SimResult r = simulate(p, cfg, 2);
+  int links = 0;
+  for (const auto& k : r.kernels) links += k.name.rfind("link_", 0) == 0;
+  EXPECT_EQ(links, 2);
+}
+
+TEST(SimMultiDfe, StarvedLinkThrottlesThroughput) {
+  // A deliberately narrow 1-bit/clock link must slow the pipeline: the
+  // bottleneck becomes pixel_bits cycles per crossing pixel.
+  const Pipeline p = expand(models::tiny(12, 4, 2));
+  const std::uint64_t solo = simulate(p, {}, 2).steady_interval;
+  SimConfig narrow;
+  narrow.cut_after_nodes = {1};  // after the first bnact (2-bit codes)
+  narrow.link_bits_per_cycle = 1;
+  const SimResult r = simulate(p, narrow, 2);
+  EXPECT_GT(r.steady_interval, solo);
+  // The crossing stream is 8 channels x 2 bits = 16 cycles per pixel over
+  // a 12x12 map: at least 16 * 144 cycles per image at the link alone.
+  EXPECT_GE(r.steady_interval, 16u * 12 * 12);
+}
+
+TEST(SimMultiDfe, WideLinkIsTransparentOnTiny) {
+  const Pipeline p = expand(models::tiny(12, 4, 2));
+  const std::uint64_t solo = simulate(p, {}, 2).steady_interval;
+  SimConfig cfg;
+  cfg.cut_after_nodes = {1, 3};
+  cfg.link_bits_per_cycle = 1024;  // wider than any pixel
+  const SimResult r = simulate(p, cfg, 2);
+  // Pixel-per-clock links add latency but cannot change the interval.
+  EXPECT_EQ(r.steady_interval, solo);
+}
+
+}  // namespace
+}  // namespace qnn

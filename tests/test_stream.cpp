@@ -1,0 +1,126 @@
+#include "dataflow/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace qnn {
+namespace {
+
+TEST(Stream, FifoOrderSingleThread) {
+  Stream s(16, 8, "t");
+  for (std::int32_t i = 0; i < 10; ++i) s.push(i);
+  s.close();
+  std::int32_t v;
+  for (std::int32_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(s.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(s.pop(v));
+}
+
+TEST(Stream, CloseWithPendingValuesDrains) {
+  Stream s(8, 8, "t");
+  s.push(1);
+  s.push(2);
+  s.close();
+  std::int32_t v;
+  EXPECT_TRUE(s.pop(v));
+  EXPECT_TRUE(s.pop(v));
+  EXPECT_FALSE(s.pop(v));
+  EXPECT_FALSE(s.pop(v));  // stays closed
+}
+
+TEST(Stream, ProducerConsumerLargeVolume) {
+  Stream s(64, 16, "pc");
+  const std::int64_t n = 200000;
+  std::int64_t consumer_sum = 0;
+  std::thread consumer([&] {
+    std::int32_t v;
+    std::int32_t expect = 0;
+    while (s.pop(v)) {
+      ASSERT_EQ(v, expect++);  // order preserved under contention
+      consumer_sum += v;
+    }
+  });
+  for (std::int32_t i = 0; i < n; ++i) s.push(i);
+  s.close();
+  consumer.join();
+  EXPECT_EQ(consumer_sum, n * (n - 1) / 2);
+  EXPECT_EQ(s.pushed(), static_cast<std::uint64_t>(n));
+}
+
+TEST(Stream, BackpressureBlocksProducerUntilPopped) {
+  Stream s(2, 8, "bp");
+  s.push(1);
+  s.push(2);
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    s.push(3);  // must block until a pop frees space
+    third_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_pushed.load());
+  std::int32_t v;
+  ASSERT_TRUE(s.pop(v));
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+}
+
+TEST(Stream, AbortUnblocksBlockedProducer) {
+  std::atomic<bool> abort{false};
+  Stream s(1, 8, "ab");
+  s.set_abort(&abort);
+  s.push(1);
+  std::atomic<bool> threw{false};
+  std::thread producer([&] {
+    try {
+      s.push(2);  // full; blocks until abort fires
+    } catch (const Error&) {
+      threw.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  abort.store(true);
+  producer.join();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(Stream, AbortUnblocksBlockedConsumer) {
+  std::atomic<bool> abort{false};
+  Stream s(4, 8, "ab2");
+  s.set_abort(&abort);
+  std::atomic<bool> threw{false};
+  std::thread consumer([&] {
+    try {
+      std::int32_t v;
+      s.pop(v);  // empty; blocks until abort fires
+    } catch (const Error&) {
+      threw.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  abort.store(true);
+  consumer.join();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(Stream, MetadataAccessors) {
+  Stream s(10, 16, "meta");
+  EXPECT_EQ(s.bits(), 16);
+  EXPECT_EQ(s.name(), "meta");
+  EXPECT_FALSE(s.closed());
+  s.close();
+  EXPECT_TRUE(s.closed());
+}
+
+TEST(Stream, RejectsBadConfig) {
+  EXPECT_THROW(Stream(0, 8, "x"), Error);
+  EXPECT_THROW(Stream(4, 0, "x"), Error);
+  EXPECT_THROW(Stream(4, 64, "x"), Error);
+}
+
+}  // namespace
+}  // namespace qnn

@@ -1,0 +1,56 @@
+#include "nn/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+
+namespace qnn {
+namespace {
+
+TEST(Summary, ContainsEveryKernelAndTotals) {
+  const Pipeline p = expand(models::tiny(12, 4, 2));
+  const std::string s = summarize(p);
+  for (const auto& n : p.nodes) {
+    EXPECT_NE(s.find(n.name), std::string::npos) << n.name;
+  }
+  EXPECT_NE(s.find("total: " + std::to_string(p.size()) + " kernels"),
+            std::string::npos);
+  EXPECT_NE(s.find(std::to_string(p.total_weight_bits())),
+            std::string::npos);
+}
+
+TEST(Summary, ShowsSkipEdges) {
+  const Pipeline p = expand(models::resnet18(64, 100, 2));
+  const std::string s = summarize(p);
+  // Every Add row names its skip producer.
+  for (const auto& n : p.nodes) {
+    if (n.kind != NodeKind::Add) continue;
+    EXPECT_NE(s.find(p.node(n.skip_from).name), std::string::npos);
+  }
+}
+
+TEST(Summary, DigestOneLiner) {
+  const Pipeline p = expand(models::vgg_like(32, 10, 2));
+  const std::string d = digest(p);
+  EXPECT_NE(d.find("vgg_like_32"), std::string::npos);
+  EXPECT_NE(d.find("32x32x3"), std::string::npos);
+  EXPECT_NE(d.find("1x1x10"), std::string::npos);
+  EXPECT_EQ(d.find('\n'), std::string::npos);
+}
+
+TEST(Summary, FinnCnvMatchesPublishedTopology) {
+  const Pipeline p = expand(models::finn_cnv(10, 2));
+  // Unpadded convs: 32 -> 30 -> 28 -> pool 14 -> 12 -> 10 -> pool 5 ->
+  // 3 -> 1, then dense 512/512/10.
+  EXPECT_EQ(p.node(0).out, (Shape{30, 30, 64}));
+  EXPECT_EQ(p.node(0).pad, 0);
+  Shape last_conv{};
+  for (const auto& n : p.nodes) {
+    if (n.kind == NodeKind::Conv && n.out.h > 1) last_conv = n.out;
+  }
+  EXPECT_EQ(last_conv.c, 256);
+  EXPECT_EQ(p.output_shape(), (Shape{1, 1, 10}));
+}
+
+}  // namespace
+}  // namespace qnn

@@ -1,0 +1,156 @@
+#include "quant/threshold.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace qnn {
+namespace {
+
+/// Random BatchNorm parameters spanning positive, negative, large and small
+/// slopes; slope magnitude kept away from zero to avoid float-boundary ties
+/// (exact-boundary behaviour is covered by dedicated tests below).
+BnParams random_bn(Rng& rng) {
+  BnParams bn;
+  bn.gamma = static_cast<float>((rng.next_double() * 3.8 + 0.2) *
+                                (rng.next_bool() ? 1.0 : -1.0));
+  bn.mu = static_cast<float>((rng.next_double() - 0.5) * 40.0);
+  bn.inv_sigma = static_cast<float>(rng.next_double() * 0.9 + 0.1);
+  bn.beta = static_cast<float>((rng.next_double() - 0.5) * 8.0);
+  return bn;
+}
+
+/// Property: the folded integer-threshold staircase equals the float path
+/// (BatchNorm then quantizer) for every integer pre-activation, except
+/// within a numerical hair of a range endpoint.
+class ThresholdFoldProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThresholdFoldProperty, MatchesFloatPath) {
+  const int bits = GetParam();
+  Rng rng(99 + static_cast<std::uint64_t>(bits));
+  for (int trial = 0; trial < 60; ++trial) {
+    const BnParams bn = random_bn(rng);
+    const ActQuantizer q(bits, rng.next_double() * 2.0 + 0.05);
+    const auto t = ThresholdActivation::fold(bn, q);
+    for (std::int32_t a = -300; a <= 300; ++a) {
+      const double y = bn.apply(a);
+      // Skip values within float-rounding distance of an endpoint.
+      const double r = y / q.range_size();
+      if (std::abs(r - std::round(r)) < 1e-9) continue;
+      EXPECT_EQ(t.eval(a), q.code(y))
+          << "bits=" << bits << " trial=" << trial << " a=" << a;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ThresholdFoldProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(Threshold, BinarySearchMatchesDirectEval) {
+  Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    const BnParams bn = random_bn(rng);
+    const ActQuantizer q(2 + static_cast<int>(rng.next_below(3)),
+                         rng.next_double() + 0.05);
+    const auto t = ThresholdActivation::fold(bn, q);
+    for (std::int32_t a = -500; a <= 500; ++a) {
+      ASSERT_EQ(t.eval_binary_search(a), t.eval(a)) << "a=" << a;
+    }
+  }
+}
+
+TEST(Threshold, ExactIntegerEndpoints) {
+  // BatchNorm(a) = a (identity), d = 2: endpoints at a = 2, 4, 6.
+  BnParams bn;  // gamma=1, mu=0, inv_sigma=1, beta=0
+  const ActQuantizer q(2, 2.0);
+  const auto t = ThresholdActivation::fold(bn, q);
+  EXPECT_EQ(t.eval(1), 0);
+  EXPECT_EQ(t.eval(2), 1);  // endpoint belongs to the upper range
+  EXPECT_EQ(t.eval(3), 1);
+  EXPECT_EQ(t.eval(4), 2);
+  EXPECT_EQ(t.eval(6), 3);
+  EXPECT_EQ(t.eval(1000), 3);
+  EXPECT_EQ(t.eval(-1000), 0);
+}
+
+TEST(Threshold, NegativeSlopeFlipsStaircase) {
+  BnParams bn;
+  bn.gamma = -1.0f;  // BatchNorm(a) = -a
+  const ActQuantizer q(2, 2.0);
+  const auto t = ThresholdActivation::fold(bn, q);
+  EXPECT_EQ(t.sign(), -1);
+  EXPECT_EQ(t.eval(-6), 3);
+  EXPECT_EQ(t.eval(-4), 2);
+  EXPECT_EQ(t.eval(-2), 1);
+  EXPECT_EQ(t.eval(0), 0);
+  EXPECT_EQ(t.eval(5), 0);
+}
+
+TEST(Threshold, ZeroSlopeIsConstant) {
+  BnParams bn;
+  bn.gamma = 0.0f;
+  bn.beta = 5.0f;
+  const ActQuantizer q(2, 2.0);
+  const auto t = ThresholdActivation::fold(bn, q);
+  EXPECT_TRUE(t.is_constant());
+  EXPECT_EQ(t.eval(-100), 2);  // code(5.0) with d=2
+  EXPECT_EQ(t.eval(100), 2);
+  EXPECT_EQ(t.eval_binary_search(0), 2);
+}
+
+TEST(Threshold, ThresholdCountIsTwoToTheNMinusOne) {
+  BnParams bn;
+  for (int bits = 1; bits <= 4; ++bits) {
+    const auto t = ThresholdActivation::fold(bn, ActQuantizer(bits, 1.0));
+    EXPECT_EQ(static_cast<int>(t.thresholds().size()), (1 << bits) - 1);
+  }
+}
+
+TEST(Threshold, TwoParamRoundTrip) {
+  // The hardware stores only (tau, Delta) per channel (§III-B1a); rebuilding
+  // from that pair must reproduce the identical staircase.
+  Rng rng(31);
+  for (int trial = 0; trial < 60; ++trial) {
+    const BnParams bn = random_bn(rng);
+    const ActQuantizer q(2, rng.next_double() + 0.1);
+    const auto folded = ThresholdActivation::fold(bn, q);
+    const auto rebuilt =
+        ThresholdActivation::from_two_param(folded.two_param(), q.bits());
+    for (std::int32_t a = -200; a <= 200; ++a) {
+      ASSERT_EQ(rebuilt.eval(a), folded.eval(a)) << "a=" << a;
+    }
+  }
+}
+
+TEST(Threshold, TwoParamMatchesPaperFormulas) {
+  // tau = mu - B/(gamma*i), Delta = d/(gamma*i)  (§III-B3).
+  BnParams bn;
+  bn.gamma = 2.0f;
+  bn.mu = 3.0f;
+  bn.inv_sigma = 0.5f;
+  bn.beta = 4.0f;
+  const ActQuantizer q(2, 1.5);
+  const auto t = ThresholdActivation::fold(bn, q);
+  EXPECT_NEAR(t.two_param().tau, 3.0 - 4.0 / (2.0 * 0.5), 1e-9);
+  EXPECT_NEAR(t.two_param().delta, 1.5 / (2.0 * 0.5), 1e-9);
+}
+
+TEST(Threshold, LayerFoldCoversAllChannels) {
+  Rng rng(5);
+  BnLayerParams bn(6);
+  for (int c = 0; c < 6; ++c) bn.at(c) = random_bn(rng);
+  const ActQuantizer q(2, 0.7);
+  const auto layer = ThresholdLayer::fold(bn, q);
+  EXPECT_EQ(layer.channels(), 6);
+  for (int c = 0; c < 6; ++c) {
+    const auto direct = ThresholdActivation::fold(bn.at(c), q);
+    for (std::int32_t a = -50; a <= 50; ++a) {
+      ASSERT_EQ(layer.at(c).eval(a), direct.eval(a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qnn

@@ -1,0 +1,113 @@
+#include "train/qat.h"
+
+#include <gtest/gtest.h>
+
+#include "dataflow/engine.h"
+#include "nn/reference.h"
+
+namespace qnn {
+namespace {
+
+LabeledDataset easy_task() { return make_cluster_task(3, 8, 80, 12.0, 21); }
+
+TEST(Qat, LossDecreasesOverTraining) {
+  const auto data = easy_task();
+  QatConfig cfg;
+  cfg.epochs = 1;
+  cfg.seed = 5;
+  QatMlp mlp(data.dim, data.classes, cfg);
+  const double first = mlp.train_epoch(data);
+  double last = first;
+  for (int e = 0; e < 20; ++e) last = mlp.train_epoch(data);
+  EXPECT_LT(last, first * 0.5);
+}
+
+TEST(Qat, LearnsEasyTaskWellAboveChance) {
+  const auto all = easy_task();
+  const auto [train, test] = split_dataset(all, 0.75);
+  QatConfig cfg;
+  cfg.epochs = 40;
+  cfg.seed = 6;
+  QatMlp mlp(train.dim, train.classes, cfg);
+  mlp.fit(train);
+  EXPECT_GT(mlp.evaluate(test), 0.85);  // chance is 1/3
+}
+
+TEST(Qat, ExportedModelMatchesTrainingForward) {
+  // The whole point of the QAT forward semantics: after threshold folding,
+  // the integer inference stack classifies exactly like the trained model.
+  const auto all = easy_task();
+  const auto [train, test] = split_dataset(all, 0.75);
+  QatConfig cfg;
+  cfg.epochs = 30;
+  cfg.seed = 7;
+  const QatResult r = train_and_export(train, test, cfg);
+  EXPECT_NEAR(r.exported_accuracy, r.train_accuracy, 0.02);
+  EXPECT_GT(r.exported_accuracy, 0.8);
+}
+
+TEST(Qat, ExportedModelRunsOnStreamingEngine) {
+  const auto all = easy_task();
+  const auto [train, test] = split_dataset(all, 0.75);
+  QatConfig cfg;
+  cfg.epochs = 25;
+  cfg.seed = 8;
+  QatMlp mlp(train.dim, train.classes, cfg);
+  mlp.fit(train);
+  const auto [pipeline, params] = mlp.export_network();
+  const ReferenceExecutor ref(pipeline, params);
+  StreamEngine engine(pipeline, params);
+  for (int i = 0; i < 10; ++i) {
+    const IntTensor& img = test.images[static_cast<std::size_t>(i)];
+    EXPECT_EQ(engine.run_one(img), ref.run(img)) << "sample " << i;
+  }
+}
+
+TEST(Qat, MoreActivationBitsNeverMuchWorse) {
+  // The ordering behind the paper's 41.8% -> 51.03% AlexNet improvement:
+  // on a task hard enough to separate them, 2-bit activations beat 1-bit.
+  const auto all = make_cluster_task(8, 12, 150, 45.0, 7);
+  const auto [train, test] = split_dataset(all, 0.7);
+  QatConfig one;
+  one.act_bits = 1;
+  one.epochs = 50;
+  one.seed = 11;
+  QatConfig two = one;
+  two.act_bits = 2;
+  const double acc1 = train_and_export(train, test, one).exported_accuracy;
+  const double acc2 = train_and_export(train, test, two).exported_accuracy;
+  EXPECT_GT(acc2, acc1 + 0.05);
+}
+
+TEST(Qat, DeterministicGivenSeed) {
+  const auto all = easy_task();
+  const auto [train, test] = split_dataset(all, 0.75);
+  QatConfig cfg;
+  cfg.epochs = 10;
+  cfg.seed = 12;
+  const QatResult a = train_and_export(train, test, cfg);
+  const QatResult b = train_and_export(train, test, cfg);
+  EXPECT_DOUBLE_EQ(a.final_loss, b.final_loss);
+  EXPECT_DOUBLE_EQ(a.exported_accuracy, b.exported_accuracy);
+}
+
+TEST(Qat, RejectsBadConfigs) {
+  EXPECT_THROW(QatMlp(0, 3, QatConfig{}), Error);
+  EXPECT_THROW(QatMlp(8, 1, QatConfig{}), Error);
+  QatConfig bad;
+  bad.act_bits = 0;
+  EXPECT_THROW(QatMlp(8, 3, bad), Error);
+  QatConfig bad_hidden;
+  bad_hidden.hidden = {16, 0};
+  EXPECT_THROW(QatMlp(8, 3, bad_hidden), Error);
+}
+
+TEST(Qat, MismatchedDatasetDimensionThrows) {
+  QatMlp mlp(8, 3, QatConfig{});
+  const auto wrong = make_cluster_task(3, 5, 10, 5.0, 1);
+  EXPECT_THROW((void)mlp.train_epoch(wrong), Error);
+  EXPECT_THROW((void)mlp.evaluate(wrong), Error);
+}
+
+}  // namespace
+}  // namespace qnn

@@ -1,0 +1,137 @@
+#include "train/qat_cnn.h"
+
+#include <gtest/gtest.h>
+
+#include "dataflow/engine.h"
+#include "nn/reference.h"
+#include "nn/serialize.h"
+
+namespace qnn {
+namespace {
+
+ImageDataset easy_patterns() {
+  return make_pattern_task(3, 10, 10, 1, 40, 17);
+}
+
+QatCnnConfig small_config(int bits = 2, int epochs = 15) {
+  QatCnnConfig cfg;
+  cfg.stages = {QatCnnConfig::conv(6, 3, 1, 1), QatCnnConfig::pool(2, 2),
+                QatCnnConfig::conv(8, 3, 1, 1), QatCnnConfig::pool(2, 2)};
+  cfg.act_bits = bits;
+  cfg.epochs = epochs;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(PatternTask, ShapesAndBalance) {
+  const ImageDataset ds = make_pattern_task(4, 8, 9, 2, 10, 1);
+  EXPECT_EQ(ds.size(), 40);
+  EXPECT_EQ(ds.image, (Shape{8, 9, 2}));
+  int per_class[4] = {};
+  for (int i = 0; i < ds.size(); ++i) {
+    ASSERT_EQ(ds.images[static_cast<std::size_t>(i)].shape(), ds.image);
+    ++per_class[ds.labels[static_cast<std::size_t>(i)]];
+  }
+  for (int k = 0; k < 4; ++k) EXPECT_EQ(per_class[k], 10);
+}
+
+TEST(PatternTask, SplitDisjointAndComplete) {
+  const ImageDataset ds = make_pattern_task(3, 8, 8, 1, 20, 2);
+  const auto [train, test] = split_dataset(ds, 0.8);
+  EXPECT_EQ(train.size() + test.size(), ds.size());
+  EXPECT_EQ(train.image, ds.image);
+  EXPECT_THROW((void)split_dataset(ds, 1.5), Error);
+}
+
+TEST(QatCnnTest, LossDecreases) {
+  const ImageDataset data = easy_patterns();
+  QatCnn cnn(data.image, data.classes, small_config(2, 1));
+  const double first = cnn.train_epoch(data);
+  double last = first;
+  for (int e = 0; e < 12; ++e) last = cnn.train_epoch(data);
+  EXPECT_LT(last, first * 0.6);
+}
+
+TEST(QatCnnTest, LearnsPatternsAboveChance) {
+  const auto [train, test] = split_dataset(easy_patterns(), 0.75);
+  QatCnn cnn(train.image, train.classes, small_config(2, 20));
+  cnn.fit(train);
+  EXPECT_GT(cnn.evaluate(test), 0.7);  // chance = 1/3
+}
+
+TEST(QatCnnTest, ExportIsBitExact) {
+  const auto [train, test] = split_dataset(easy_patterns(), 0.75);
+  const QatCnnResult r =
+      train_and_export_cnn(train, test, train.image, small_config(2, 15));
+  EXPECT_NEAR(r.exported_accuracy, r.train_accuracy, 0.02);
+}
+
+TEST(QatCnnTest, ExportedModelStreamsBitExact) {
+  const auto [train, test] = split_dataset(easy_patterns(), 0.75);
+  QatCnn cnn(train.image, train.classes, small_config(2, 12));
+  cnn.fit(train);
+  const auto [pipeline, params] = cnn.export_network();
+  StreamEngine engine(pipeline, params);
+  const ReferenceExecutor ref(pipeline, params);
+  for (int i = 0; i < 8; ++i) {
+    const IntTensor& img = test.images[static_cast<std::size_t>(i)];
+    EXPECT_EQ(engine.run_one(img), ref.run(img)) << i;
+  }
+}
+
+TEST(QatCnnTest, TwoBitBeatsOneBitOnImages) {
+  // The image-domain counterpart of the paper's AlexNet accuracy claim.
+  const auto [train, test] =
+      split_dataset(make_pattern_task(4, 12, 12, 1, 60, 7), 0.75);
+  QatCnnConfig one;
+  one.act_bits = 1;
+  one.epochs = 20;
+  one.seed = 3;
+  QatCnnConfig two = one;
+  two.act_bits = 2;
+  const double a1 =
+      train_and_export_cnn(train, test, train.image, one).exported_accuracy;
+  const double a2 =
+      train_and_export_cnn(train, test, train.image, two).exported_accuracy;
+  EXPECT_GT(a2, a1 + 0.1);
+}
+
+TEST(QatCnnTest, ExportedSpecSerializesAndReloads) {
+  const auto [train, test] = split_dataset(easy_patterns(), 0.75);
+  QatCnn cnn(train.image, train.classes, small_config(2, 10));
+  cnn.fit(train);
+  const auto [pipeline, params] = cnn.export_network();
+  const std::string path = "/tmp/qnn_cnn_roundtrip.qnn";
+  save_network(path, cnn.export_spec(), params);
+  const LoadedNetwork loaded = load_network(path);
+  std::remove(path.c_str());
+  const ReferenceExecutor a(pipeline, params);
+  const ReferenceExecutor b(loaded.pipeline, loaded.params);
+  for (int i = 0; i < 5; ++i) {
+    const IntTensor& img = test.images[static_cast<std::size_t>(i)];
+    EXPECT_EQ(a.run(img), b.run(img));
+  }
+}
+
+TEST(QatCnnTest, DeterministicGivenSeed) {
+  const auto [train, test] = split_dataset(easy_patterns(), 0.75);
+  const QatCnnConfig cfg = small_config(2, 8);
+  const auto a = train_and_export_cnn(train, test, train.image, cfg);
+  const auto b = train_and_export_cnn(train, test, train.image, cfg);
+  EXPECT_DOUBLE_EQ(a.final_loss, b.final_loss);
+  EXPECT_DOUBLE_EQ(a.exported_accuracy, b.exported_accuracy);
+}
+
+TEST(QatCnnTest, RejectsBadInputs) {
+  EXPECT_THROW(QatCnn(Shape{}, 3, QatCnnConfig{}), Error);
+  EXPECT_THROW(QatCnn(Shape{8, 8, 1}, 1, QatCnnConfig{}), Error);
+  QatCnnConfig bad;
+  bad.act_bits = 0;
+  EXPECT_THROW(QatCnn(Shape{8, 8, 1}, 3, bad), Error);
+  QatCnn ok(Shape{8, 8, 1}, 3, small_config());
+  const ImageDataset wrong = make_pattern_task(3, 6, 6, 1, 4, 1);
+  EXPECT_THROW((void)ok.train_epoch(wrong), Error);
+}
+
+}  // namespace
+}  // namespace qnn

@@ -1,0 +1,26 @@
+// Shared helpers for the test suites.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace qnn::testutil {
+
+/// Tensor of unsigned codes uniform in [0, 2^bits).
+inline IntTensor random_codes(const Shape& shape, int bits, Rng& rng) {
+  IntTensor t(shape);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<std::int32_t>(
+        rng.next_below(std::uint64_t{1} << bits));
+  }
+  return t;
+}
+
+/// 8-bit synthetic image.
+inline IntTensor random_image(int h, int w, int c, Rng& rng) {
+  return random_codes(Shape{h, w, c}, 8, rng);
+}
+
+}  // namespace qnn::testutil

@@ -1,0 +1,143 @@
+#include "dataflow/window_scanner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "test_util.h"
+
+namespace qnn {
+namespace {
+
+/// Drive a scanner with a tensor's depth-first stream and collect every
+/// completed window keyed by output position.
+struct ScanResult {
+  std::vector<WindowScanner::Completed> positions;
+  std::vector<std::vector<std::int32_t>> windows;
+  std::int64_t pad_injections = 0;
+  std::int64_t real_values = 0;
+};
+
+ScanResult scan(WindowScanner& s, const IntTensor& in) {
+  ScanResult r;
+  std::int64_t next = 0;
+  while (!s.done()) {
+    std::int32_t v = 0;
+    if (s.next_is_padding()) {
+      ++r.pad_injections;
+    } else {
+      v = in[next++];
+      ++r.real_values;
+    }
+    const auto completed = s.advance(v);
+    if (completed) {
+      std::vector<std::int32_t> w(
+          static_cast<std::size_t>(s.window_values()));
+      s.window(*completed, w);
+      r.positions.push_back(*completed);
+      r.windows.push_back(std::move(w));
+    }
+  }
+  EXPECT_EQ(next, in.size()) << "scanner consumed wrong number of values";
+  return r;
+}
+
+/// Parameterized sweep over (H, W, C, K, stride, pad) geometries: windows
+/// must match a direct gather from the padded tensor, in raster order.
+struct Geometry {
+  int h, w, c, k, stride, pad;
+};
+
+class WindowScannerSweep : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(WindowScannerSweep, WindowsMatchDirectGather) {
+  const Geometry g = GetParam();
+  const Shape in_shape{g.h, g.w, g.c};
+  Rng rng(1000 + static_cast<std::uint64_t>(g.h * 31 + g.k));
+  const IntTensor in = testutil::random_codes(in_shape, 4, rng);
+  WindowScanner s(in_shape, g.k, g.stride, g.pad);
+  const ScanResult r = scan(s, in);
+
+  const int oh = conv_out_extent(g.h, g.k, g.stride, g.pad);
+  const int ow = conv_out_extent(g.w, g.k, g.stride, g.pad);
+  ASSERT_EQ(static_cast<int>(r.positions.size()), oh * ow);
+
+  std::size_t idx = 0;
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox, ++idx) {
+      EXPECT_EQ(r.positions[idx].oy, oy);
+      EXPECT_EQ(r.positions[idx].ox, ox);
+      std::size_t wpos = 0;
+      for (int dy = 0; dy < g.k; ++dy) {
+        for (int dx = 0; dx < g.k; ++dx) {
+          for (int ci = 0; ci < g.c; ++ci, ++wpos) {
+            const int iy = oy * g.stride + dy - g.pad;
+            const int ix = ox * g.stride + dx - g.pad;
+            const std::int32_t expect =
+                (iy < 0 || iy >= g.h || ix < 0 || ix >= g.w)
+                    ? 0
+                    : in.at(iy, ix, ci);
+            ASSERT_EQ(r.windows[idx][wpos], expect)
+                << "window (" << oy << "," << ox << ") offset (" << dy << ","
+                << dx << "," << ci << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, WindowScannerSweep,
+    ::testing::Values(Geometry{5, 5, 1, 3, 1, 0},   // plain valid conv
+                      Geometry{6, 6, 2, 3, 1, 1},   // same-padded
+                      Geometry{8, 8, 3, 3, 2, 1},   // strided + padded
+                      Geometry{9, 7, 2, 2, 2, 0},   // non-square, even k
+                      Geometry{11, 11, 1, 11, 1, 0},// window == input (FC)
+                      Geometry{7, 7, 4, 1, 1, 0},   // 1x1 conv
+                      Geometry{12, 12, 2, 3, 4, 0}, // stride > k
+                      Geometry{10, 10, 1, 7, 2, 3}, // big window, big pad
+                      Geometry{4, 4, 2, 2, 2, 1})); // pad with even k
+
+TEST(WindowScanner, PadInjectionCountMatchesFormula) {
+  const Shape in{6, 5, 3};
+  WindowScanner s(in, 3, 1, 2);
+  Rng rng(1);
+  const IntTensor t = testutil::random_codes(in, 2, rng);
+  const ScanResult r = scan(s, t);
+  EXPECT_EQ(r.pad_injections, s.padding_values());
+  EXPECT_EQ(r.real_values + r.pad_injections, s.padded_values());
+  EXPECT_EQ(s.padding_values(), (10 * 9 - 6 * 5) * 3);
+}
+
+TEST(WindowScanner, PaperBufferFormula) {
+  // I * (W_padded * (K-1) + K) values (§III-B1b).
+  WindowScanner s(Shape{56, 56, 64}, 3, 1, 1);
+  EXPECT_EQ(s.paper_buffer_values(), 64 * (58 * 2 + 3));
+}
+
+TEST(WindowScanner, ResetAllowsReuseAcrossImages) {
+  const Shape in{5, 5, 2};
+  WindowScanner s(in, 3, 1, 0);
+  Rng rng(2);
+  const IntTensor a = testutil::random_codes(in, 4, rng);
+  const IntTensor b = testutil::random_codes(in, 4, rng);
+  const ScanResult ra = scan(s, a);
+  s.reset();
+  const ScanResult rb = scan(s, b);
+  ASSERT_EQ(ra.windows.size(), rb.windows.size());
+  EXPECT_NE(ra.windows, rb.windows);  // different images, different windows
+  // Re-scanning image a after reset reproduces the original windows.
+  s.reset();
+  const ScanResult ra2 = scan(s, a);
+  EXPECT_EQ(ra.windows, ra2.windows);
+}
+
+TEST(WindowScanner, RejectsOversizedWindow) {
+  EXPECT_THROW(WindowScanner(Shape{4, 4, 1}, 7, 1, 0), Error);
+}
+
+}  // namespace
+}  // namespace qnn
