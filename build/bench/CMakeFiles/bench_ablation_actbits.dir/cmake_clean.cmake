@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_actbits.dir/bench_ablation_actbits.cpp.o"
+  "CMakeFiles/bench_ablation_actbits.dir/bench_ablation_actbits.cpp.o.d"
+  "bench_ablation_actbits"
+  "bench_ablation_actbits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_actbits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multidfe.dir/bench_ablation_multidfe.cpp.o"
+  "CMakeFiles/bench_ablation_multidfe.dir/bench_ablation_multidfe.cpp.o.d"
+  "bench_ablation_multidfe"
+  "bench_ablation_multidfe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multidfe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_finn.dir/bench_table4_finn.cpp.o"
+  "CMakeFiles/bench_table4_finn.dir/bench_table4_finn.cpp.o.d"
+  "bench_table4_finn"
+  "bench_table4_finn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_finn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

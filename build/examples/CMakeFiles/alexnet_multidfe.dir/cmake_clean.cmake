@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alexnet_multidfe.dir/alexnet_multidfe.cpp.o"
+  "CMakeFiles/alexnet_multidfe.dir/alexnet_multidfe.cpp.o.d"
+  "alexnet_multidfe"
+  "alexnet_multidfe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alexnet_multidfe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

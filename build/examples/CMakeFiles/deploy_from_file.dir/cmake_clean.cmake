@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_from_file.dir/deploy_from_file.cpp.o"
+  "CMakeFiles/deploy_from_file.dir/deploy_from_file.cpp.o.d"
+  "deploy_from_file"
+  "deploy_from_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_from_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

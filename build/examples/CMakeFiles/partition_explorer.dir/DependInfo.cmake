@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/partition_explorer.cpp" "examples/CMakeFiles/partition_explorer.dir/partition_explorer.cpp.o" "gcc" "examples/CMakeFiles/partition_explorer.dir/partition_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/qnn_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/qnn_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/qnn_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/qnn_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qnn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/qnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/qnn_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qnn_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet18_imagenet.dir/resnet18_imagenet.cpp.o"
+  "CMakeFiles/resnet18_imagenet.dir/resnet18_imagenet.cpp.o.d"
+  "resnet18_imagenet"
+  "resnet18_imagenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet18_imagenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_quantized.dir/train_quantized.cpp.o"
+  "CMakeFiles/train_quantized.dir/train_quantized.cpp.o.d"
+  "train_quantized"
+  "train_quantized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_quantized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

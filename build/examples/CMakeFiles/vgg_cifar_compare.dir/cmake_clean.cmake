@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgg_cifar_compare.dir/vgg_cifar_compare.cpp.o"
+  "CMakeFiles/vgg_cifar_compare.dir/vgg_cifar_compare.cpp.o.d"
+  "vgg_cifar_compare"
+  "vgg_cifar_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgg_cifar_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

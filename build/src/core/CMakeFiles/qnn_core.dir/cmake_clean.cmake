@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnn_core.dir/error.cpp.o"
+  "CMakeFiles/qnn_core.dir/error.cpp.o.d"
+  "libqnn_core.a"
+  "libqnn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

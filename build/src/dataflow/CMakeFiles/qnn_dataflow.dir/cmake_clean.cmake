@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnn_dataflow.dir/engine.cpp.o"
+  "CMakeFiles/qnn_dataflow.dir/engine.cpp.o.d"
+  "CMakeFiles/qnn_dataflow.dir/kernels.cpp.o"
+  "CMakeFiles/qnn_dataflow.dir/kernels.cpp.o.d"
+  "libqnn_dataflow.a"
+  "libqnn_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnn_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

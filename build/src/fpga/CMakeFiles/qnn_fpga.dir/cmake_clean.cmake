@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnn_fpga.dir/resource_model.cpp.o"
+  "CMakeFiles/qnn_fpga.dir/resource_model.cpp.o.d"
+  "libqnn_fpga.a"
+  "libqnn_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnn_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnn_host.dir/session.cpp.o"
+  "CMakeFiles/qnn_host.dir/session.cpp.o.d"
+  "libqnn_host.a"
+  "libqnn_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnn_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

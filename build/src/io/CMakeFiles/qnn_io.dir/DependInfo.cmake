@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/ppm.cpp" "src/io/CMakeFiles/qnn_io.dir/ppm.cpp.o" "gcc" "src/io/CMakeFiles/qnn_io.dir/ppm.cpp.o.d"
+  "/root/repo/src/io/synthetic.cpp" "src/io/CMakeFiles/qnn_io.dir/synthetic.cpp.o" "gcc" "src/io/CMakeFiles/qnn_io.dir/synthetic.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/io/CMakeFiles/qnn_io.dir/table.cpp.o" "gcc" "src/io/CMakeFiles/qnn_io.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qnn_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnn_io.dir/ppm.cpp.o"
+  "CMakeFiles/qnn_io.dir/ppm.cpp.o.d"
+  "CMakeFiles/qnn_io.dir/synthetic.cpp.o"
+  "CMakeFiles/qnn_io.dir/synthetic.cpp.o.d"
+  "CMakeFiles/qnn_io.dir/table.cpp.o"
+  "CMakeFiles/qnn_io.dir/table.cpp.o.d"
+  "libqnn_io.a"
+  "libqnn_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnn_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

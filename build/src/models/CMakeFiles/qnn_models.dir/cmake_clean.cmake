@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnn_models.dir/zoo.cpp.o"
+  "CMakeFiles/qnn_models.dir/zoo.cpp.o.d"
+  "libqnn_models.a"
+  "libqnn_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnn_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

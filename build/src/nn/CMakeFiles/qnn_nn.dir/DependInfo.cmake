@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/params.cpp" "src/nn/CMakeFiles/qnn_nn.dir/params.cpp.o" "gcc" "src/nn/CMakeFiles/qnn_nn.dir/params.cpp.o.d"
+  "/root/repo/src/nn/pipeline.cpp" "src/nn/CMakeFiles/qnn_nn.dir/pipeline.cpp.o" "gcc" "src/nn/CMakeFiles/qnn_nn.dir/pipeline.cpp.o.d"
+  "/root/repo/src/nn/reference.cpp" "src/nn/CMakeFiles/qnn_nn.dir/reference.cpp.o" "gcc" "src/nn/CMakeFiles/qnn_nn.dir/reference.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/qnn_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/qnn_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/summary.cpp" "src/nn/CMakeFiles/qnn_nn.dir/summary.cpp.o" "gcc" "src/nn/CMakeFiles/qnn_nn.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/qnn_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/qnn_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

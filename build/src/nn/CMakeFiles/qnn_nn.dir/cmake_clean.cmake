@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnn_nn.dir/params.cpp.o"
+  "CMakeFiles/qnn_nn.dir/params.cpp.o.d"
+  "CMakeFiles/qnn_nn.dir/pipeline.cpp.o"
+  "CMakeFiles/qnn_nn.dir/pipeline.cpp.o.d"
+  "CMakeFiles/qnn_nn.dir/reference.cpp.o"
+  "CMakeFiles/qnn_nn.dir/reference.cpp.o.d"
+  "CMakeFiles/qnn_nn.dir/serialize.cpp.o"
+  "CMakeFiles/qnn_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/qnn_nn.dir/summary.cpp.o"
+  "CMakeFiles/qnn_nn.dir/summary.cpp.o.d"
+  "libqnn_nn.a"
+  "libqnn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

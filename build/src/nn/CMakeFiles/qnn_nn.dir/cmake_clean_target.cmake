@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqnn_nn.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnn_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/qnn_partition.dir/partitioner.cpp.o.d"
+  "libqnn_partition.a"
+  "libqnn_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnn_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

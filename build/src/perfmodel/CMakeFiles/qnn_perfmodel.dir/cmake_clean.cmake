@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnn_perfmodel.dir/fpga_estimate.cpp.o"
+  "CMakeFiles/qnn_perfmodel.dir/fpga_estimate.cpp.o.d"
+  "CMakeFiles/qnn_perfmodel.dir/gpu_model.cpp.o"
+  "CMakeFiles/qnn_perfmodel.dir/gpu_model.cpp.o.d"
+  "libqnn_perfmodel.a"
+  "libqnn_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnn_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

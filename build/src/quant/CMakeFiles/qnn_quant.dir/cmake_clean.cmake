@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnn_quant.dir/threshold.cpp.o"
+  "CMakeFiles/qnn_quant.dir/threshold.cpp.o.d"
+  "libqnn_quant.a"
+  "libqnn_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnn_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnn_sim.dir/cycle_model.cpp.o"
+  "CMakeFiles/qnn_sim.dir/cycle_model.cpp.o.d"
+  "libqnn_sim.a"
+  "libqnn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqnn_sim.a"
+)

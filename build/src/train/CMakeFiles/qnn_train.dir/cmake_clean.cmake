@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnn_train.dir/qat.cpp.o"
+  "CMakeFiles/qnn_train.dir/qat.cpp.o.d"
+  "CMakeFiles/qnn_train.dir/qat_cnn.cpp.o"
+  "CMakeFiles/qnn_train.dir/qat_cnn.cpp.o.d"
+  "libqnn_train.a"
+  "libqnn_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnn_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitplanes.dir/test_bitplanes.cpp.o"
+  "CMakeFiles/test_bitplanes.dir/test_bitplanes.cpp.o.d"
+  "test_bitplanes"
+  "test_bitplanes.pdb"
+  "test_bitplanes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitplanes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_sweep.dir/test_engine_sweep.cpp.o"
+  "CMakeFiles/test_engine_sweep.dir/test_engine_sweep.cpp.o.d"
+  "test_engine_sweep"
+  "test_engine_sweep.pdb"
+  "test_engine_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shape_tensor.dir/test_shape_tensor.cpp.o"
+  "CMakeFiles/test_shape_tensor.dir/test_shape_tensor.cpp.o.d"
+  "test_shape_tensor"
+  "test_shape_tensor.pdb"
+  "test_shape_tensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shape_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

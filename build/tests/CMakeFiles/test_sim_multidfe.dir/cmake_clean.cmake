@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_multidfe.dir/test_sim_multidfe.cpp.o"
+  "CMakeFiles/test_sim_multidfe.dir/test_sim_multidfe.cpp.o.d"
+  "test_sim_multidfe"
+  "test_sim_multidfe.pdb"
+  "test_sim_multidfe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_multidfe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_train.cpp" "tests/CMakeFiles/test_train.dir/test_train.cpp.o" "gcc" "tests/CMakeFiles/test_train.dir/test_train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/qnn_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/qnn_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/qnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/qnn_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/qnn_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qnn_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_train_cnn.dir/test_train_cnn.cpp.o"
+  "CMakeFiles/test_train_cnn.dir/test_train_cnn.cpp.o.d"
+  "test_train_cnn"
+  "test_train_cnn.pdb"
+  "test_train_cnn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_train_cnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

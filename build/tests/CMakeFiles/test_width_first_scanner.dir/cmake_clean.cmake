@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_width_first_scanner.dir/test_width_first_scanner.cpp.o"
+  "CMakeFiles/test_width_first_scanner.dir/test_width_first_scanner.cpp.o.d"
+  "test_width_first_scanner"
+  "test_width_first_scanner.pdb"
+  "test_width_first_scanner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_width_first_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_width_first_scanner.
+# This may be replaced when dependencies are built.

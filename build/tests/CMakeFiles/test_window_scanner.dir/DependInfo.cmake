@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_window_scanner.cpp" "tests/CMakeFiles/test_window_scanner.dir/test_window_scanner.cpp.o" "gcc" "tests/CMakeFiles/test_window_scanner.dir/test_window_scanner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/qnn_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/qnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/qnn_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/qnn_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qnn_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_window_scanner.dir/test_window_scanner.cpp.o"
+  "CMakeFiles/test_window_scanner.dir/test_window_scanner.cpp.o.d"
+  "test_window_scanner"
+  "test_window_scanner.pdb"
+  "test_window_scanner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_window_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
