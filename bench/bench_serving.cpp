@@ -1,0 +1,129 @@
+// Serving-layer benchmark: throughput and latency of DfeServer versus
+// replica count and micro-batching, plus behavior at the overload cliff.
+//
+// The paper's pipeline only delivers its throughput while it is kept full
+// (§III-B); this bench quantifies how much the serving layer contributes:
+// the same closed-loop load is driven at a single unbatched replica (the
+// naive DfeSession::infer() deployment) and at replica farms with dynamic
+// micro-batching. The acceptance bar for the serving subsystem is the
+// "4 replicas + batching" row reaching >= 2x the single-replica-unbatched
+// throughput. A final open-loop Poisson run pushes a small server past
+// saturation to show admission control rejecting instead of queuing
+// without bound.
+//
+// Output: the usual table (CSV via QNN_CSV_DIR) plus a JSON block on
+// stdout for scripted consumption.
+#include <iostream>
+#include <sstream>
+
+#include "bench_util.h"
+#include "io/synthetic.h"
+#include "serve/load_generator.h"
+#include "serve/server.h"
+
+namespace qnn {
+namespace {
+
+struct Scenario {
+  std::string label;
+  int replicas;
+  int max_batch;
+};
+
+int run() {
+  bench::heading("Serving throughput/latency",
+                 "closed-loop load vs. replica count and micro-batching; "
+                 "open-loop Poisson overload at the end");
+
+  const NetworkSpec spec = models::tiny(8, 4, 2);
+  const Pipeline pipeline = expand(spec);
+  const NetworkParams params = NetworkParams::random(pipeline, 80);
+  SessionConfig session_config;
+  session_config.fast_estimate = true;
+  const std::vector<IntTensor> images = synthetic_batch(8, 8, 8, 3, 81);
+
+  constexpr int kClients = 64;
+  constexpr int kRequestsPerClient = 8;
+  const std::vector<Scenario> scenarios = {
+      {"1 replica, unbatched", 1, 1},
+      {"1 replica, batch 16", 1, 16},
+      {"4 replicas, unbatched", 4, 1},
+      {"4 replicas, batch 16", 4, 16},
+  };
+
+  Table t({"configuration", "replicas", "max_batch", "qps", "p50 us",
+           "p95 us", "p99 us", "mean batch", "speedup"});
+  std::ostringstream json;
+  json << "{\n  \"scenarios\": [\n";
+  double baseline_qps = 0.0;
+  double farm_qps = 0.0;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& sc = scenarios[i];
+    ServerConfig cfg;
+    cfg.replicas = sc.replicas;
+    cfg.max_batch = sc.max_batch;
+    cfg.batch_timeout_us = 5000;
+    cfg.queue_capacity = 1024;
+    DfeServer server(spec, params, cfg, session_config);
+    LoadGenerator gen(server, images);
+    const LoadResult r = gen.closed_loop(kClients, kRequestsPerClient);
+    server.stop();
+    const double batch_mean = server.metrics().snapshot().mean_batch_size();
+    if (i == 0) baseline_qps = r.achieved_qps;
+    if (sc.replicas == 4 && sc.max_batch > 1) farm_qps = r.achieved_qps;
+    const double speedup =
+        baseline_qps > 0.0 ? r.achieved_qps / baseline_qps : 0.0;
+    t.add_row({sc.label, Table::integer(sc.replicas),
+               Table::integer(sc.max_batch), Table::num(r.achieved_qps, 1),
+               Table::num(r.p50_us, 0), Table::num(r.p95_us, 0),
+               Table::num(r.p99_us, 0), Table::num(batch_mean, 2),
+               Table::num(speedup, 2)});
+    json << "    {\"label\": \"" << sc.label
+         << "\", \"replicas\": " << sc.replicas
+         << ", \"max_batch\": " << sc.max_batch
+         << ", \"qps\": " << r.achieved_qps << ", \"p50_us\": " << r.p50_us
+         << ", \"p95_us\": " << r.p95_us << ", \"p99_us\": " << r.p99_us
+         << ", \"mean_batch\": " << batch_mean << ", \"speedup\": " << speedup
+         << "}" << (i + 1 < scenarios.size() ? "," : "") << "\n";
+  }
+  bench::emit(t, "bench_serving");
+  const double speedup =
+      baseline_qps > 0.0 ? farm_qps / baseline_qps : 0.0;
+  std::cout << "\nfarm speedup (4 replicas + batching vs 1 unbatched): "
+            << Table::num(speedup, 2) << "x (acceptance bar: >= 2x)\n";
+
+  // Overload: a deliberately small server under an open-loop Poisson flood.
+  ServerConfig small;
+  small.replicas = 1;
+  small.max_batch = 4;
+  small.batch_timeout_us = 500;
+  small.queue_capacity = 8;
+  small.default_deadline_us = 50000;
+  DfeServer server(spec, params, small, session_config);
+  LoadGenerator gen(server, images);
+  const LoadResult overload =
+      gen.open_loop(/*rate_qps=*/4000.0, /*total_requests=*/400, /*seed=*/82);
+  server.stop();
+  std::cout << "\noverload (open loop, 4000 qps offered at a 1-replica, "
+               "8-deep-queue server):\n  "
+            << overload.str() << "\n\n"
+            << server.metrics_report();
+
+  const MetricsSnapshot s = server.metrics().snapshot();
+  json << "  ],\n  \"farm_speedup\": " << speedup
+       << ",\n  \"overload\": {\"offered\": " << overload.offered
+       << ", \"ok\": " << overload.ok
+       << ", \"rejected_overload\": " << s.rejected_overload
+       << ", \"rejected_deadline\": " << s.rejected_deadline
+       << ", \"e2e_p50_us\": " << server.metrics().end_to_end().percentile(50)
+       << ", \"e2e_p95_us\": " << server.metrics().end_to_end().percentile(95)
+       << ", \"e2e_p99_us\": " << server.metrics().end_to_end().percentile(99)
+       << "}\n}\n";
+  std::cout << "\n" << json.str();
+  return speedup >= 2.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace qnn
+
+int main() { return qnn::run(); }

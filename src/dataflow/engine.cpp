@@ -202,6 +202,14 @@ std::vector<IntTensor> StreamEngine::run(std::span<const IntTensor> images,
         elapsed.count() > 0.0
             ? static_cast<double>(images.size()) / elapsed.count()
             : 0.0;
+    stats->values_streamed = 0;
+    stats->push_stalls = 0;
+    stats->pop_stalls = 0;
+    for (const auto& s : streams_) {
+      stats->values_streamed += s->pushed();
+      stats->push_stalls += s->push_stalls();
+      stats->pop_stalls += s->pop_stalls();
+    }
   }
   return outputs;
 }

@@ -37,10 +37,20 @@ class StreamEngine {
   StreamEngine(const StreamEngine&) = delete;
   StreamEngine& operator=(const StreamEngine&) = delete;
 
-  /// Host-side wall-clock statistics of a run() call.
+  /// Host-side statistics of a run() call: wall clock plus the aggregate
+  /// stream activity of the pipeline, so callers (e.g. the serving metrics
+  /// layer) can report utilization without re-walking stream_traffic().
   struct RunStats {
     double wall_seconds = 0.0;
     double images_per_second = 0.0;
+    /// Sum over all FIFOs of the values they carried during the run.
+    std::uint64_t values_streamed = 0;
+    /// Producer-side blocking episodes (a push found its FIFO full),
+    /// summed over all FIFOs — backpressure inside the pipeline.
+    std::uint64_t push_stalls = 0;
+    /// Consumer-side blocking episodes (a pop found its FIFO empty),
+    /// summed over all FIFOs — starvation inside the pipeline.
+    std::uint64_t pop_stalls = 0;
   };
 
   /// Stream a batch of images through the pipeline; returns one output
@@ -64,9 +74,13 @@ class StreamEngine {
  private:
   Stream& make_stream(std::size_t capacity, int bits, std::string name);
 
+  // The engine never mutates the pipeline or parameters it was built from
+  // (const references all the way down to the kernels), so any number of
+  // engines may be constructed from — and run concurrently against — one
+  // Pipeline/NetworkParams pair. DfeServer relies on this for replica pools.
   const Pipeline& pipeline_;
   const NetworkParams& params_;
-  EngineOptions options_;
+  const EngineOptions options_;
   std::vector<std::unique_ptr<Stream>> streams_;
   std::vector<std::unique_ptr<Kernel>> kernels_;
   Stream* input_stream_ = nullptr;

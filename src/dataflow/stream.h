@@ -48,8 +48,13 @@ class Stream {
   void push(std::int32_t v) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     const std::size_t next = (head + 1) & mask_;
+    bool stalled = false;
     while (((head - tail_.load(std::memory_order_acquire)) & mask_) >=
            capacity_) {
+      if (!stalled) {
+        stalled = true;
+        ++push_stalls_;
+      }
       check_abort();
       backoff();
     }
@@ -61,10 +66,15 @@ class Stream {
   /// Blocking pop. Returns false iff the stream is closed and drained.
   bool pop(std::int32_t& v) {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    bool stalled = false;
     while (tail == head_.load(std::memory_order_acquire)) {
       if (closed_.load(std::memory_order_acquire) &&
           tail == head_.load(std::memory_order_acquire)) {
         return false;
+      }
+      if (!stalled) {
+        stalled = true;
+        ++pop_stalls_;
       }
       check_abort();
       backoff();
@@ -86,6 +96,8 @@ class Stream {
     tail_.store(0);
     closed_.store(false);
     pushed_ = 0;
+    push_stalls_ = 0;
+    pop_stalls_ = 0;
   }
 
   [[nodiscard]] bool closed() const {
@@ -95,6 +107,12 @@ class Stream {
   [[nodiscard]] const std::string& name() const { return name_; }
   /// Total values pushed over the stream's lifetime (producer thread view).
   [[nodiscard]] std::uint64_t pushed() const { return pushed_; }
+  /// Blocking episodes on the producer side (FIFO full when push arrived).
+  /// Counted once per blocked call, not per spin; producer thread view.
+  [[nodiscard]] std::uint64_t push_stalls() const { return push_stalls_; }
+  /// Blocking episodes on the consumer side (FIFO empty when pop arrived).
+  /// Counted once per blocked call, not per spin; consumer thread view.
+  [[nodiscard]] std::uint64_t pop_stalls() const { return pop_stalls_; }
 
  private:
   static std::size_t round_up_pow2(std::size_t n) {
@@ -131,6 +149,8 @@ class Stream {
   std::atomic<bool> closed_{false};
   const std::atomic<bool>* abort_ = nullptr;
   std::uint64_t pushed_ = 0;
+  std::uint64_t push_stalls_ = 0;
+  std::uint64_t pop_stalls_ = 0;
 };
 
 }  // namespace qnn

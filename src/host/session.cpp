@@ -54,8 +54,8 @@ IntTensor DfeSession::infer(const IntTensor& image) {
 }
 
 std::vector<IntTensor> DfeSession::infer_batch(
-    std::span<const IntTensor> images) {
-  return state_->engine->run(images);
+    std::span<const IntTensor> images, StreamEngine::RunStats* stats) {
+  return state_->engine->run(images, stats);
 }
 
 int DfeSession::classify(const IntTensor& image) {

@@ -13,6 +13,14 @@
 // Inference runs on the threaded streaming engine (bit-exact functional
 // model); placement, timing, power and energy come from the partitioner,
 // cycle simulator and calibrated hardware models.
+//
+// Thread safety: a DfeSession models ONE board — infer()/infer_batch()/
+// classify() drive a single StreamEngine whose FIFOs are reset between
+// runs, so concurrent calls on the same session are NOT allowed. Distinct
+// sessions are fully independent: compile() copies the spec and takes its
+// own NetworkParams, and neither retains mutable state shared with other
+// sessions, so a replica pool (serve/server.h) may compile N sessions from
+// one NetworkSpec/NetworkParams pair and run them concurrently.
 #pragma once
 
 #include <memory>
@@ -52,9 +60,12 @@ class DfeSession {
 
   /// Stream one image; returns the logits tensor.
   [[nodiscard]] IntTensor infer(const IntTensor& image);
-  /// Stream a batch (kernels stay busy across images).
+  /// Stream a batch (kernels stay busy across images). When `stats` is
+  /// non-null it receives the engine's wall-clock and stream/stall
+  /// statistics for this run (consumed by the serving metrics layer).
   [[nodiscard]] std::vector<IntTensor> infer_batch(
-      std::span<const IntTensor> images);
+      std::span<const IntTensor> images,
+      StreamEngine::RunStats* stats = nullptr);
   /// Top-1 class of one image.
   [[nodiscard]] int classify(const IntTensor& image);
 

@@ -1,0 +1,170 @@
+#include "serve/load_generator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "core/rng.h"
+#include "io/table.h"
+
+namespace qnn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Percentile of a sorted latency vector (nearest-rank); 0 when empty.
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+void tally(LoadResult& result, ServerStatus status) {
+  switch (status) {
+    case ServerStatus::kOk:
+      ++result.ok;
+      break;
+    case ServerStatus::kOverloaded:
+      ++result.rejected_overload;
+      break;
+    case ServerStatus::kDeadlineExceeded:
+      ++result.rejected_deadline;
+      break;
+    case ServerStatus::kShutdown:
+      ++result.rejected_shutdown;
+      break;
+    case ServerStatus::kError:
+      ++result.errors;
+      break;
+  }
+}
+
+void finalize(LoadResult& result, std::vector<double>& latencies_us,
+              double wall_seconds) {
+  result.wall_seconds = wall_seconds;
+  if (wall_seconds > 0.0) {
+    result.offered_qps = static_cast<double>(result.offered) / wall_seconds;
+    result.achieved_qps = static_cast<double>(result.ok) / wall_seconds;
+  }
+  std::sort(latencies_us.begin(), latencies_us.end());
+  result.p50_us = percentile_sorted(latencies_us, 50);
+  result.p95_us = percentile_sorted(latencies_us, 95);
+  result.p99_us = percentile_sorted(latencies_us, 99);
+}
+
+}  // namespace
+
+std::string LoadResult::str() const {
+  std::ostringstream os;
+  os << offered << " offered @ " << Table::num(offered_qps, 1) << " qps: "
+     << ok << " ok (" << Table::num(achieved_qps, 1) << " qps), "
+     << rejected_overload << " overloaded, " << rejected_deadline
+     << " deadline-exceeded, " << rejected_shutdown << " shutdown, " << errors
+     << " errors; e2e p50/p95/p99 = " << Table::num(p50_us, 0) << "/"
+     << Table::num(p95_us, 0) << "/" << Table::num(p99_us, 0) << " us";
+  return os.str();
+}
+
+std::vector<double> poisson_arrivals_us(double rate_qps, int n,
+                                        std::uint64_t seed) {
+  QNN_CHECK(rate_qps > 0.0, "arrival rate must be positive");
+  QNN_CHECK(n >= 0, "arrival count must be non-negative");
+  Rng rng(seed);
+  std::vector<double> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(n));
+  const double mean_gap_us = 1e6 / rate_qps;
+  double t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    // Inverse-CDF exponential gap; nudge u away from 0 to avoid log(0).
+    const double u = rng.next_double() + 1e-12;
+    t += -mean_gap_us * std::log(u);
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+LoadGenerator::LoadGenerator(DfeServer& server, std::vector<IntTensor> images)
+    : server_(server), images_(std::move(images)) {
+  QNN_CHECK(!images_.empty(), "load generator needs at least one image");
+}
+
+LoadResult LoadGenerator::closed_loop(int clients, int requests_per_client,
+                                      std::int64_t deadline_us) {
+  QNN_CHECK(clients >= 1, "closed loop needs at least one client");
+  QNN_CHECK(requests_per_client >= 1, "requests_per_client must be positive");
+  LoadResult result;
+  result.offered = static_cast<std::uint64_t>(clients) *
+                   static_cast<std::uint64_t>(requests_per_client);
+  std::vector<double> latencies_us;
+  std::mutex merge_mu;
+
+  const Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      LoadResult local;
+      std::vector<double> local_lat;
+      local_lat.reserve(static_cast<std::size_t>(requests_per_client));
+      for (int r = 0; r < requests_per_client; ++r) {
+        const IntTensor& img =
+            images_[static_cast<std::size_t>(c * requests_per_client + r) %
+                    images_.size()];
+        const InferenceResult res = server_.submit(img, deadline_us);
+        tally(local, res.status);
+        if (res.ok()) local_lat.push_back(res.total_us);
+      }
+      const std::lock_guard<std::mutex> lock(merge_mu);
+      result.ok += local.ok;
+      result.rejected_overload += local.rejected_overload;
+      result.rejected_deadline += local.rejected_deadline;
+      result.rejected_shutdown += local.rejected_shutdown;
+      result.errors += local.errors;
+      latencies_us.insert(latencies_us.end(), local_lat.begin(),
+                          local_lat.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  finalize(result, latencies_us,
+           std::chrono::duration<double>(Clock::now() - t0).count());
+  return result;
+}
+
+LoadResult LoadGenerator::open_loop(double rate_qps, int total_requests,
+                                    std::uint64_t seed,
+                                    std::int64_t deadline_us) {
+  const std::vector<double> arrivals =
+      poisson_arrivals_us(rate_qps, total_requests, seed);
+  LoadResult result;
+  result.offered = static_cast<std::uint64_t>(total_requests);
+  std::vector<std::future<InferenceResult>> futures;
+  futures.reserve(arrivals.size());
+
+  const Clock::time_point t0 = Clock::now();
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const Clock::time_point due =
+        t0 + std::chrono::microseconds(
+                 static_cast<std::int64_t>(arrivals[i]));
+    // Open loop: arrivals never wait for completions; sleep only until the
+    // scheduled arrival, then fire and move on.
+    std::this_thread::sleep_until(due);
+    futures.push_back(server_.submit_async(images_[i % images_.size()],
+                                           deadline_us));
+  }
+  std::vector<double> latencies_us;
+  latencies_us.reserve(futures.size());
+  for (std::future<InferenceResult>& fut : futures) {
+    const InferenceResult res = fut.get();
+    tally(result, res.status);
+    if (res.ok()) latencies_us.push_back(res.total_us);
+  }
+  finalize(result, latencies_us,
+           std::chrono::duration<double>(Clock::now() - t0).count());
+  return result;
+}
+
+}  // namespace qnn

@@ -1,0 +1,67 @@
+// Workload drivers for DfeServer: closed-loop and open-loop load.
+//
+//  * Closed loop: N client threads, each issuing back-to-back synchronous
+//    requests — classic saturation load, offered rate adapts to service
+//    rate (measures capacity).
+//  * Open loop: requests arrive on a Poisson process at a fixed offered
+//    rate regardless of completions (measures behavior under a traffic
+//    level, including overload). The arrival schedule is generated from a
+//    seeded core/rng.h stream, so a (rate, n, seed) triple always yields
+//    the identical schedule — experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace qnn {
+
+/// Client-observed outcome of one load run.
+struct LoadResult {
+  std::uint64_t offered = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t errors = 0;
+  double wall_seconds = 0.0;
+  double offered_qps = 0.0;   // offered / wall
+  double achieved_qps = 0.0;  // ok / wall
+  // Client-observed end-to-end latency of successful requests (us).
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Cumulative Poisson arrival offsets in microseconds: n exponential
+/// inter-arrival gaps at `rate_qps`, from a seeded deterministic Rng.
+[[nodiscard]] std::vector<double> poisson_arrivals_us(double rate_qps, int n,
+                                                      std::uint64_t seed);
+
+class LoadGenerator {
+ public:
+  /// `images` are cycled round-robin across requests; must be non-empty
+  /// and shaped like the server's network input.
+  LoadGenerator(DfeServer& server, std::vector<IntTensor> images);
+
+  /// `clients` threads each issue `requests_per_client` synchronous
+  /// submissions back-to-back. deadline_us as in DfeServer::submit.
+  [[nodiscard]] LoadResult closed_loop(int clients, int requests_per_client,
+                                       std::int64_t deadline_us = -1);
+
+  /// Submit `total_requests` asynchronously on a Poisson schedule at
+  /// `rate_qps`, then wait for every future. Deterministic under `seed`.
+  [[nodiscard]] LoadResult open_loop(double rate_qps, int total_requests,
+                                     std::uint64_t seed,
+                                     std::int64_t deadline_us = -1);
+
+ private:
+  DfeServer& server_;
+  std::vector<IntTensor> images_;
+};
+
+}  // namespace qnn

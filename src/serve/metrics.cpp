@@ -1,0 +1,79 @@
+#include "serve/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "io/table.h"
+
+namespace qnn {
+
+double LatencyHistogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the requested percentile, 1-based; ceil so p=0 maps to rank 1.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += counts_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+    if (cumulative >= target) {
+      // Upper bound of bucket b: 1us for bucket 0, else 2^b us.
+      return b == 0 ? 1.0 : std::ldexp(1.0, b);
+    }
+  }
+  return std::ldexp(1.0, kBuckets - 1);
+}
+
+std::string LatencyHistogram::summary() const {
+  std::ostringstream os;
+  os << "p50/p95/p99 = " << Table::num(percentile(50), 0) << "/"
+     << Table::num(percentile(95), 0) << "/" << Table::num(percentile(99), 0)
+     << " us (" << count() << " samples, mean " << Table::num(mean_us(), 1)
+     << " us)";
+  return os.str();
+}
+
+MetricsSnapshot ServerMetrics::snapshot() const {
+  MetricsSnapshot s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
+  s.rejected_deadline = rejected_deadline_.load(std::memory_order_relaxed);
+  s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  s.values_streamed = values_streamed_.load(std::memory_order_relaxed);
+  s.push_stalls = push_stalls_.load(std::memory_order_relaxed);
+  s.pop_stalls = pop_stalls_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string ServerMetrics::report() const {
+  const MetricsSnapshot s = snapshot();
+  std::ostringstream os;
+  os << "serving metrics\n";
+  os << "  requests: " << s.submitted << " submitted, " << s.completed
+     << " completed, " << s.errors << " errored\n";
+  os << "  rejected: " << s.rejected_overload << " overloaded, "
+     << s.rejected_deadline << " deadline-exceeded, " << s.rejected_shutdown
+     << " shutdown\n";
+  os << "  queue:    depth " << s.queue_depth << " (max " << s.max_queue_depth
+     << ")\n";
+  os << "  batches:  " << s.batches << " formed, mean size "
+     << Table::num(s.mean_batch_size(), 2) << "\n";
+  os << "  latency queue-wait " << queue_wait_.summary() << "\n";
+  os << "  latency batch-form " << batch_form_.summary() << "\n";
+  os << "  latency end-to-end " << end_to_end_.summary() << "\n";
+  os << "  pipeline: " << s.values_streamed << " values streamed, "
+     << s.push_stalls << " push stalls, " << s.pop_stalls << " pop stalls\n";
+  return os.str();
+}
+
+}  // namespace qnn

@@ -1,0 +1,166 @@
+// Lock-cheap serving metrics: counters, a queue-depth gauge, and fixed
+// power-of-two-bucket latency histograms.
+//
+// Every hot-path update is a single relaxed atomic increment — no locks,
+// no allocation — so instrumenting the admission queue and the batching
+// workers costs nanoseconds against inference runs that take milliseconds.
+// Readers (metrics_report(), tests, the load generator) take a snapshot of
+// the relaxed counters; values observed mid-run are approximate by design
+// and exact once the server has been stopped.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace qnn {
+
+/// Fixed-bucket latency histogram over microseconds. Bucket 0 holds
+/// sub-microsecond samples; bucket i (i >= 1) holds [2^(i-1), 2^i) us, so
+/// 40 buckets cover ~6 days. Percentile estimates return the upper bound
+/// of the bucket containing the requested rank (conservative: the true
+/// percentile is never above the reported value's bucket ceiling).
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void record(double us) {
+    counts_[static_cast<std::size_t>(bucket_of(us))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(static_cast<std::uint64_t>(us < 0.0 ? 0.0 : us),
+                      std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double mean_us() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(
+                        sum_us_.load(std::memory_order_relaxed)) /
+                        static_cast<double>(n);
+  }
+
+  /// Latency (us) at percentile p in [0, 100]; 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// "p50/p95/p99 = a/b/c us (n samples, mean m us)" one-liner.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  static int bucket_of(double us) {
+    if (us < 1.0) return 0;
+    const auto v = static_cast<std::uint64_t>(us);
+    int b = 0;
+    for (std::uint64_t x = v; x != 0; x >>= 1) ++b;  // bit width
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+};
+
+/// Point-in-time view of a ServerMetrics (all counts relaxed-read).
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_requests = 0;  // completed + errored via a batch
+  std::uint64_t queue_depth = 0;
+  std::uint64_t max_queue_depth = 0;
+  // Aggregated StreamEngine::RunStats across every infer_batch call.
+  std::uint64_t values_streamed = 0;
+  std::uint64_t push_stalls = 0;
+  std::uint64_t pop_stalls = 0;
+
+  [[nodiscard]] double mean_batch_size() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batched_requests) /
+                              static_cast<double>(batches);
+  }
+  [[nodiscard]] std::uint64_t rejected() const {
+    return rejected_overload + rejected_deadline + rejected_shutdown;
+  }
+};
+
+/// All serving-side instrumentation for one DfeServer.
+class ServerMetrics {
+ public:
+  // -- hot-path updates (relaxed atomics) ---------------------------------
+  void on_submit() { inc(submitted_); }
+  void on_reject_overload() { inc(rejected_overload_); }
+  void on_reject_deadline() { inc(rejected_deadline_); }
+  void on_reject_shutdown() { inc(rejected_shutdown_); }
+  void on_error() { inc(errors_); }
+  void on_complete() { inc(completed_); }
+  void on_batch(std::uint64_t size) {
+    inc(batches_);
+    batched_requests_.fetch_add(size, std::memory_order_relaxed);
+  }
+  void on_engine_stats(std::uint64_t values, std::uint64_t pushes,
+                       std::uint64_t pops) {
+    values_streamed_.fetch_add(values, std::memory_order_relaxed);
+    push_stalls_.fetch_add(pushes, std::memory_order_relaxed);
+    pop_stalls_.fetch_add(pops, std::memory_order_relaxed);
+  }
+  void set_queue_depth(std::uint64_t depth) {
+    queue_depth_.store(depth, std::memory_order_relaxed);
+    std::uint64_t seen = max_queue_depth_.load(std::memory_order_relaxed);
+    while (depth > seen && !max_queue_depth_.compare_exchange_weak(
+                               seen, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  LatencyHistogram& queue_wait() { return queue_wait_; }
+  LatencyHistogram& batch_form() { return batch_form_; }
+  LatencyHistogram& end_to_end() { return end_to_end_; }
+  [[nodiscard]] const LatencyHistogram& queue_wait() const {
+    return queue_wait_;
+  }
+  [[nodiscard]] const LatencyHistogram& batch_form() const {
+    return batch_form_;
+  }
+  [[nodiscard]] const LatencyHistogram& end_to_end() const {
+    return end_to_end_;
+  }
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Human-readable report: outcome counters, queue gauge, batch sizes,
+  /// p50/p95/p99 of queue-wait / batch-formation / end-to-end latency,
+  /// and aggregate pipeline traffic.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  static void inc(std::atomic<std::uint64_t>& c) {
+    c.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_overload_{0};
+  std::atomic<std::uint64_t> rejected_deadline_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+  std::atomic<std::uint64_t> queue_depth_{0};
+  std::atomic<std::uint64_t> max_queue_depth_{0};
+  std::atomic<std::uint64_t> values_streamed_{0};
+  std::atomic<std::uint64_t> push_stalls_{0};
+  std::atomic<std::uint64_t> pop_stalls_{0};
+  LatencyHistogram queue_wait_;
+  LatencyHistogram batch_form_;
+  LatencyHistogram end_to_end_;
+};
+
+}  // namespace qnn

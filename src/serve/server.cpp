@@ -1,0 +1,279 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace qnn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_us(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+const char* to_string(ServerStatus status) {
+  switch (status) {
+    case ServerStatus::kOk:
+      return "ok";
+    case ServerStatus::kOverloaded:
+      return "overloaded";
+    case ServerStatus::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case ServerStatus::kShutdown:
+      return "shutdown";
+    case ServerStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+struct DfeServer::Impl {
+  struct Request {
+    IntTensor image;
+    std::promise<InferenceResult> promise;
+    Clock::time_point enqueue{};
+    Clock::time_point dequeue{};
+    Clock::time_point deadline{};
+    bool has_deadline = false;
+    double queue_wait_us = 0.0;
+    double batch_form_us = 0.0;
+  };
+
+  ServerConfig config;
+  std::vector<DfeSession> sessions;
+  Shape input_shape{};
+  ServerMetrics metrics;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Request> queue;
+  bool accepting = true;
+  bool stopping = false;
+
+  std::mutex stop_mu;  // serializes stop(); taken outside `mu`
+  bool joined = false;
+  std::vector<std::thread> workers;
+
+  void fulfill(Request& req, ServerStatus status, Clock::time_point now,
+               std::string error = {}) {
+    InferenceResult res;
+    res.status = status;
+    res.queue_wait_us = req.queue_wait_us;
+    res.batch_form_us = req.batch_form_us;
+    res.total_us = elapsed_us(req.enqueue, now);
+    res.error = std::move(error);
+    req.promise.set_value(std::move(res));
+  }
+
+  /// Pop queued requests into `batch` until it holds `max_batch`, expiring
+  /// any whose deadline has already passed. Caller holds `mu`.
+  void take_ready(std::vector<Request>& batch) {
+    while (static_cast<int>(batch.size()) < config.max_batch &&
+           !queue.empty()) {
+      Request req = std::move(queue.front());
+      queue.pop_front();
+      const Clock::time_point now = Clock::now();
+      if (req.has_deadline && now > req.deadline) {
+        metrics.on_reject_deadline();
+        fulfill(req, ServerStatus::kDeadlineExceeded, now);
+        continue;
+      }
+      req.dequeue = now;
+      req.queue_wait_us = elapsed_us(req.enqueue, now);
+      metrics.queue_wait().record(req.queue_wait_us);
+      batch.push_back(std::move(req));
+    }
+    metrics.set_queue_depth(queue.size());
+  }
+
+  /// Run one micro-batch on `session` and fulfill every promise.
+  void dispatch(DfeSession& session, std::vector<Request>& batch) {
+    const Clock::time_point exec_start = Clock::now();
+    std::vector<Request> live;
+    live.reserve(batch.size());
+    for (Request& req : batch) {
+      // Deadlines are re-checked after batch formation: a request admitted
+      // in time may still expire while the batch waits to fill.
+      if (req.has_deadline && exec_start > req.deadline) {
+        metrics.on_reject_deadline();
+        fulfill(req, ServerStatus::kDeadlineExceeded, exec_start);
+        continue;
+      }
+      req.batch_form_us = elapsed_us(req.dequeue, exec_start);
+      metrics.batch_form().record(req.batch_form_us);
+      live.push_back(std::move(req));
+    }
+    if (live.empty()) return;
+    metrics.on_batch(live.size());
+
+    std::vector<IntTensor> images;
+    images.reserve(live.size());
+    for (Request& req : live) images.push_back(std::move(req.image));
+    try {
+      StreamEngine::RunStats stats;
+      std::vector<IntTensor> outputs = session.infer_batch(images, &stats);
+      metrics.on_engine_stats(stats.values_streamed, stats.push_stalls,
+                              stats.pop_stalls);
+      const Clock::time_point done = Clock::now();
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        Request& req = live[i];
+        InferenceResult res;
+        res.status = ServerStatus::kOk;
+        res.logits = std::move(outputs[i]);
+        res.queue_wait_us = req.queue_wait_us;
+        res.batch_form_us = req.batch_form_us;
+        res.total_us = elapsed_us(req.enqueue, done);
+        metrics.end_to_end().record(res.total_us);
+        metrics.on_complete();
+        req.promise.set_value(std::move(res));
+      }
+    } catch (const std::exception& e) {
+      const Clock::time_point done = Clock::now();
+      for (Request& req : live) {
+        metrics.on_error();
+        fulfill(req, ServerStatus::kError, done, e.what());
+      }
+    }
+  }
+
+  /// Worker loop: one per replica. Forms a micro-batch (close at max_batch
+  /// or batch_timeout_us after the batch opened) and dispatches it.
+  void worker(int replica_idx) {
+    DfeSession& session = sessions[static_cast<std::size_t>(replica_idx)];
+    std::vector<Request> batch;
+    for (;;) {
+      batch.clear();
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping and fully drained
+        const Clock::time_point batch_open = Clock::now();
+        take_ready(batch);
+        if (!batch.empty() && config.batch_timeout_us > 0) {
+          const Clock::time_point close_at =
+              batch_open + std::chrono::microseconds(config.batch_timeout_us);
+          while (static_cast<int>(batch.size()) < config.max_batch) {
+            if (!queue.empty()) {
+              take_ready(batch);
+              continue;
+            }
+            if (stopping) break;
+            if (cv.wait_until(lock, close_at) == std::cv_status::timeout) {
+              break;
+            }
+          }
+        }
+      }
+      if (!batch.empty()) dispatch(session, batch);
+    }
+  }
+};
+
+DfeServer::DfeServer(const NetworkSpec& spec, const NetworkParams& params,
+                     ServerConfig server_config,
+                     SessionConfig session_config)
+    : impl_(std::make_unique<Impl>()) {
+  QNN_CHECK(server_config.replicas >= 1, "server needs at least one replica");
+  QNN_CHECK(server_config.queue_capacity >= 1,
+            "admission queue capacity must be positive");
+  QNN_CHECK(server_config.max_batch >= 1, "max_batch must be positive");
+  QNN_CHECK(server_config.batch_timeout_us >= 0,
+            "batch_timeout_us must be non-negative");
+  impl_->config = server_config;
+  impl_->sessions.reserve(static_cast<std::size_t>(server_config.replicas));
+  for (int i = 0; i < server_config.replicas; ++i) {
+    // Each replica gets its own copy of the parameters: sessions share no
+    // mutable state, so the workers may run them concurrently.
+    impl_->sessions.push_back(
+        DfeSession::compile(spec, params, session_config));
+  }
+  impl_->input_shape = impl_->sessions.front().pipeline().input;
+  impl_->workers.reserve(impl_->sessions.size());
+  for (int i = 0; i < server_config.replicas; ++i) {
+    Impl* im = impl_.get();  // stable even if the DfeServer handle moves
+    impl_->workers.emplace_back([im, i] { im->worker(i); });
+  }
+}
+
+DfeServer::~DfeServer() { stop(); }
+
+std::future<InferenceResult> DfeServer::submit_async(
+    IntTensor image, std::int64_t deadline_us) {
+  Impl& im = *impl_;
+  QNN_CHECK(image.shape() == im.input_shape,
+            "image shape " + image.shape().str() + " != network input " +
+                im.input_shape.str());
+  Impl::Request req;
+  req.image = std::move(image);
+  std::future<InferenceResult> fut = req.promise.get_future();
+  req.enqueue = Clock::now();
+  const std::int64_t dl =
+      deadline_us < 0 ? im.config.default_deadline_us : deadline_us;
+  req.has_deadline = dl > 0;
+  if (req.has_deadline) {
+    req.deadline = req.enqueue + std::chrono::microseconds(dl);
+  }
+  im.metrics.on_submit();
+  {
+    const std::lock_guard<std::mutex> lock(im.mu);
+    if (!im.accepting) {
+      im.metrics.on_reject_shutdown();
+      im.fulfill(req, ServerStatus::kShutdown, Clock::now());
+      return fut;
+    }
+    if (im.queue.size() >= im.config.queue_capacity) {
+      im.metrics.on_reject_overload();
+      im.fulfill(req, ServerStatus::kOverloaded, Clock::now());
+      return fut;
+    }
+    im.queue.push_back(std::move(req));
+    im.metrics.set_queue_depth(im.queue.size());
+  }
+  im.cv.notify_one();
+  return fut;
+}
+
+InferenceResult DfeServer::submit(const IntTensor& image,
+                                  std::int64_t deadline_us) {
+  return submit_async(image, deadline_us).get();
+}
+
+void DfeServer::stop() {
+  Impl& im = *impl_;
+  const std::lock_guard<std::mutex> stop_lock(im.stop_mu);
+  if (im.joined) return;
+  {
+    const std::lock_guard<std::mutex> lock(im.mu);
+    im.accepting = false;
+    im.stopping = true;
+  }
+  im.cv.notify_all();
+  for (std::thread& t : im.workers) t.join();
+  im.workers.clear();
+  im.joined = true;
+}
+
+int DfeServer::replicas() const {
+  return static_cast<int>(impl_->sessions.size());
+}
+
+const DfeSession& DfeServer::replica(int i) const {
+  QNN_CHECK(i >= 0 && i < replicas(), "replica index out of range");
+  return impl_->sessions[static_cast<std::size_t>(i)];
+}
+
+const ServerMetrics& DfeServer::metrics() const { return impl_->metrics; }
+
+std::string DfeServer::metrics_report() const {
+  return impl_->metrics.report();
+}
+
+}  // namespace qnn

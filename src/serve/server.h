@@ -1,0 +1,114 @@
+// Multi-replica inference server: the datacenter deployment of §IV-B4.
+//
+// The paper's streaming architecture reaches its throughput only while the
+// kernel pipeline stays full (§III-B computation overlap); a single
+// blocking DfeSession::infer() call per image drains the pipe between
+// requests and leaves a farm of boards idle. DfeServer is the host-side
+// serving layer that keeps the farm saturated under concurrent load:
+//
+//   admission queue  ->  micro-batcher  ->  replica pool  ->  metrics
+//
+//  * Admission control: a bounded queue with per-request deadlines.
+//    When the queue is full a request is rejected immediately with
+//    ServerStatus::kOverloaded — explicit backpressure instead of
+//    unbounded queuing; a request whose deadline passes while it waits
+//    completes with kDeadlineExceeded without touching a replica.
+//  * Dynamic micro-batching: each worker coalesces queued requests into
+//    one infer_batch() call; a batch closes at `max_batch` requests or
+//    `batch_timeout_us` after it opened, whichever comes first, so the
+//    pipeline stays full under load and latency stays bounded when idle.
+//  * Replica pool: N independently compiled DfeSessions (a farm of DFE
+//    boards), one worker thread per replica.
+//  * Metrics: lock-cheap counters/histograms (serve/metrics.h) exposed
+//    via metrics() / metrics_report().
+//
+// submit_async() enqueues and returns a std::future; submit() is the
+// synchronous convenience wrapper. stop() (also run by the destructor)
+// stops admitting, drains every queued request, and joins the workers —
+// no in-flight future is ever abandoned.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "host/session.h"
+#include "serve/metrics.h"
+
+namespace qnn {
+
+enum class ServerStatus {
+  kOk,                // inference ran; logits are valid
+  kOverloaded,        // admission queue full at submit time
+  kDeadlineExceeded,  // deadline passed while queued / forming a batch
+  kShutdown,          // submitted after stop()
+  kError,             // inference raised; see InferenceResult::error
+};
+
+[[nodiscard]] const char* to_string(ServerStatus status);
+
+struct ServerConfig {
+  /// Number of DfeSession replicas (modeled DFE boards); one worker each.
+  int replicas = 1;
+  /// Admission queue bound; submissions beyond it are rejected.
+  std::size_t queue_capacity = 256;
+  /// Micro-batch closes at this many requests...
+  int max_batch = 8;
+  /// ...or this long after it opened, whichever comes first. 0 = greedy
+  /// (dispatch whatever is queued right now, never wait).
+  std::int64_t batch_timeout_us = 2000;
+  /// Deadline applied when submit()/submit_async() pass deadline_us < 0.
+  /// 0 = no deadline.
+  std::int64_t default_deadline_us = 0;
+};
+
+struct InferenceResult {
+  ServerStatus status = ServerStatus::kError;
+  IntTensor logits;  // valid iff status == kOk
+  double queue_wait_us = 0.0;  // admission -> picked by a worker
+  double batch_form_us = 0.0;  // picked -> batch dispatched to the engine
+  double total_us = 0.0;       // admission -> future fulfilled
+  std::string error;           // set iff status == kError
+
+  [[nodiscard]] bool ok() const { return status == ServerStatus::kOk; }
+};
+
+class DfeServer {
+ public:
+  /// Compiles `replicas` independent sessions from one network (each
+  /// replica gets its own copy of the parameters) and starts the workers.
+  DfeServer(const NetworkSpec& spec, const NetworkParams& params,
+            ServerConfig server_config = {},
+            SessionConfig session_config = {});
+  ~DfeServer();
+
+  DfeServer(const DfeServer&) = delete;
+  DfeServer& operator=(const DfeServer&) = delete;
+
+  /// Enqueue one image. `deadline_us` < 0 uses the config default; 0 means
+  /// no deadline. The future is always fulfilled — with kOverloaded /
+  /// kShutdown immediately, kDeadlineExceeded if the deadline passes in
+  /// the queue, kError if inference throws, kOk otherwise.
+  [[nodiscard]] std::future<InferenceResult> submit_async(
+      IntTensor image, std::int64_t deadline_us = -1);
+
+  /// Synchronous wrapper: submit_async + wait.
+  [[nodiscard]] InferenceResult submit(const IntTensor& image,
+                                       std::int64_t deadline_us = -1);
+
+  /// Stop admitting, drain every queued request through the replicas, and
+  /// join the workers. Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] int replicas() const;
+  [[nodiscard]] const DfeSession& replica(int i) const;
+  [[nodiscard]] const ServerMetrics& metrics() const;
+  [[nodiscard]] std::string metrics_report() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace qnn

@@ -138,6 +138,15 @@ TEST(Engine, RunStatsReportWallClockThroughput) {
   EXPECT_GT(stats.wall_seconds, 0.0);
   EXPECT_GT(stats.images_per_second, 0.0);
   EXPECT_NEAR(stats.images_per_second * stats.wall_seconds, 4.0, 1e-6);
+  // values_streamed mirrors the sum over stream_traffic() so the serving
+  // metrics can report pipeline utilization without re-walking streams.
+  std::uint64_t traffic = 0;
+  for (const auto& [name, pushed] : engine.stream_traffic()) {
+    traffic += pushed;
+  }
+  EXPECT_EQ(stats.values_streamed, traffic);
+  EXPECT_GT(stats.values_streamed,
+            static_cast<std::uint64_t>(4 * p.input.elems()));
 }
 
 TEST(Engine, FinnCnvUnpaddedTopologyMatchesReference) {

@@ -1,0 +1,336 @@
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "io/synthetic.h"
+#include "models/zoo.h"
+#include "nn/reference.h"
+#include "serve/load_generator.h"
+#include "test_util.h"
+
+namespace qnn {
+namespace {
+
+struct TinyNet {
+  NetworkSpec spec = models::tiny(12, 4, 2);
+  Pipeline pipeline = expand(spec);
+  NetworkParams params = NetworkParams::random(pipeline, 60);
+  SessionConfig session_config = [] {
+    SessionConfig cfg;
+    cfg.fast_estimate = true;
+    return cfg;
+  }();
+
+  [[nodiscard]] DfeServer server(ServerConfig cfg) const {
+    return DfeServer(spec, params, cfg, session_config);
+  }
+  [[nodiscard]] ReferenceExecutor reference() const {
+    return ReferenceExecutor(pipeline, params);
+  }
+};
+
+TEST(Serve, SubmitMatchesReference) {
+  const TinyNet net;
+  ServerConfig cfg;
+  cfg.replicas = 2;
+  cfg.max_batch = 4;
+  cfg.batch_timeout_us = 500;
+  DfeServer server = net.server(cfg);
+  const ReferenceExecutor ref = net.reference();
+  Rng rng(61);
+  for (int i = 0; i < 6; ++i) {
+    const IntTensor img = testutil::random_image(12, 12, 3, rng);
+    const InferenceResult res = server.submit(img);
+    ASSERT_EQ(res.status, ServerStatus::kOk) << to_string(res.status);
+    EXPECT_EQ(res.logits, ref.run(img)) << i;
+    EXPECT_GE(res.total_us, 0.0);
+  }
+  const MetricsSnapshot s = server.metrics().snapshot();
+  EXPECT_EQ(s.submitted, 6u);
+  EXPECT_EQ(s.completed, 6u);
+  EXPECT_EQ(s.rejected(), 0u);
+  EXPECT_GT(s.values_streamed, 0u);
+}
+
+// Satellite: results are returned in submission order — every future must
+// carry the logits of exactly the image it was submitted with, even when
+// 8 client threads race into the micro-batcher.
+TEST(Serve, ConcurrentSubmissionOrdering8Threads) {
+  const TinyNet net;
+  ServerConfig cfg;
+  cfg.replicas = 4;
+  cfg.max_batch = 8;
+  cfg.batch_timeout_us = 1000;
+  DfeServer server = net.server(cfg);
+  const ReferenceExecutor ref = net.reference();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 8;
+  std::vector<std::vector<IntTensor>> images(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(100 + static_cast<std::uint64_t>(t));
+    for (int r = 0; r < kPerThread; ++r) {
+      images[static_cast<std::size_t>(t)].push_back(
+          testutil::random_image(12, 12, 3, rng));
+    }
+  }
+  std::vector<std::vector<std::future<InferenceResult>>> futures(kThreads);
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int r = 0; r < kPerThread; ++r) {
+        futures[static_cast<std::size_t>(t)].push_back(server.submit_async(
+            images[static_cast<std::size_t>(t)][static_cast<std::size_t>(r)]));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int r = 0; r < kPerThread; ++r) {
+      InferenceResult res =
+          futures[static_cast<std::size_t>(t)][static_cast<std::size_t>(r)]
+              .get();
+      ASSERT_EQ(res.status, ServerStatus::kOk) << to_string(res.status);
+      EXPECT_EQ(res.logits,
+                ref.run(images[static_cast<std::size_t>(t)]
+                              [static_cast<std::size_t>(r)]))
+          << "thread " << t << " request " << r;
+    }
+  }
+  const MetricsSnapshot s = server.metrics().snapshot();
+  EXPECT_EQ(s.completed, static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(Serve, DeadlineExpiryRejectsQueuedRequests) {
+  const TinyNet net;
+  ServerConfig cfg;
+  cfg.replicas = 1;
+  cfg.max_batch = 1;  // no coalescing: queued requests wait a full run each
+  cfg.batch_timeout_us = 0;
+  DfeServer server = net.server(cfg);
+  Rng rng(62);
+  const IntTensor img = testutil::random_image(12, 12, 3, rng);
+
+  // Occupy the single replica, then queue requests that can only expire:
+  // a 1 us deadline cannot survive a multi-hundred-us inference ahead of it.
+  std::future<InferenceResult> first = server.submit_async(img);
+  std::vector<std::future<InferenceResult>> rushed;
+  for (int i = 0; i < 8; ++i) {
+    rushed.push_back(server.submit_async(img, /*deadline_us=*/1));
+  }
+  EXPECT_EQ(first.get().status, ServerStatus::kOk);
+  int expired = 0;
+  for (std::future<InferenceResult>& fut : rushed) {
+    const InferenceResult res = fut.get();
+    EXPECT_TRUE(res.status == ServerStatus::kOk ||
+                res.status == ServerStatus::kDeadlineExceeded)
+        << to_string(res.status);
+    if (res.status == ServerStatus::kDeadlineExceeded) ++expired;
+  }
+  EXPECT_GE(expired, 1);
+  EXPECT_GE(server.metrics().snapshot().rejected_deadline,
+            static_cast<std::uint64_t>(expired));
+}
+
+TEST(Serve, QueueFullRejectsInsteadOfDeadlocking) {
+  const TinyNet net;
+  ServerConfig cfg;
+  cfg.replicas = 1;
+  cfg.max_batch = 1;
+  cfg.batch_timeout_us = 0;
+  cfg.queue_capacity = 2;
+  DfeServer server = net.server(cfg);
+  Rng rng(63);
+  const IntTensor img = testutil::random_image(12, 12, 3, rng);
+
+  constexpr int kBurst = 24;
+  std::vector<std::future<InferenceResult>> futures;
+  futures.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    futures.push_back(server.submit_async(img));
+  }
+  int ok = 0;
+  int overloaded = 0;
+  for (std::future<InferenceResult>& fut : futures) {
+    const InferenceResult res = fut.get();  // must not hang
+    if (res.status == ServerStatus::kOk) ++ok;
+    if (res.status == ServerStatus::kOverloaded) ++overloaded;
+  }
+  EXPECT_EQ(ok + overloaded, kBurst);
+  EXPECT_GT(overloaded, 0);  // a 2-deep queue cannot absorb a 24 burst
+  const MetricsSnapshot s = server.metrics().snapshot();
+  EXPECT_EQ(s.rejected_overload, static_cast<std::uint64_t>(overloaded));
+  EXPECT_LE(s.max_queue_depth, cfg.queue_capacity);
+}
+
+TEST(Serve, BatchTimeoutFlushesPartialBatch) {
+  const TinyNet net;
+  ServerConfig cfg;
+  cfg.replicas = 1;
+  cfg.max_batch = 64;           // far more than we submit...
+  cfg.batch_timeout_us = 2000;  // ...so only the timeout can close a batch
+  DfeServer server = net.server(cfg);
+  Rng rng(64);
+  const InferenceResult res =
+      server.submit(testutil::random_image(12, 12, 3, rng));
+  EXPECT_EQ(res.status, ServerStatus::kOk);
+  const MetricsSnapshot s = server.metrics().snapshot();
+  EXPECT_EQ(s.batches, 1u);
+  EXPECT_EQ(s.batched_requests, 1u);
+}
+
+TEST(Serve, MicroBatchingCoalescesBursts) {
+  const TinyNet net;
+  ServerConfig cfg;
+  cfg.replicas = 1;
+  cfg.max_batch = 8;
+  cfg.batch_timeout_us = 200000;  // generous window: the burst must coalesce
+  DfeServer server = net.server(cfg);
+  Rng rng(65);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(
+        server.submit_async(testutil::random_image(12, 12, 3, rng)));
+  }
+  for (std::future<InferenceResult>& fut : futures) {
+    EXPECT_EQ(fut.get().status, ServerStatus::kOk);
+  }
+  const MetricsSnapshot s = server.metrics().snapshot();
+  EXPECT_EQ(s.batched_requests, 16u);
+  EXPECT_LT(s.batches, 16u);  // at least some coalescing happened
+  EXPECT_GT(s.mean_batch_size(), 1.0);
+}
+
+TEST(Serve, PoissonArrivalsDeterministicUnderSeed) {
+  const auto a = poisson_arrivals_us(1000.0, 200, 7);
+  const auto b = poisson_arrivals_us(1000.0, 200, 7);
+  EXPECT_EQ(a, b);  // bit-identical schedule for one seed
+  const auto c = poisson_arrivals_us(1000.0, 200, 8);
+  EXPECT_NE(a, c);
+  ASSERT_EQ(a.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  EXPECT_GT(a.front(), 0.0);
+  // Mean inter-arrival gap of 200 samples at 1000 qps is 1000 us +- ~7%;
+  // a factor-of-two band is far outside any statistical wobble.
+  const double mean_gap = a.back() / 200.0;
+  EXPECT_GT(mean_gap, 500.0);
+  EXPECT_LT(mean_gap, 2000.0);
+}
+
+TEST(Serve, CleanShutdownDrainsInFlightRequests) {
+  const TinyNet net;
+  ServerConfig cfg;
+  cfg.replicas = 2;
+  cfg.max_batch = 4;
+  cfg.batch_timeout_us = 500;
+  DfeServer server = net.server(cfg);
+  const ReferenceExecutor ref = net.reference();
+  Rng rng(66);
+  std::vector<IntTensor> images;
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 12; ++i) {
+    images.push_back(testutil::random_image(12, 12, 3, rng));
+    futures.push_back(server.submit_async(images.back()));
+  }
+  server.stop();  // must drain, not abandon, the queue
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    InferenceResult res = futures[i].get();
+    ASSERT_EQ(res.status, ServerStatus::kOk) << to_string(res.status);
+    EXPECT_EQ(res.logits, ref.run(images[i]));
+  }
+  // After stop() new submissions are turned away, and stop is idempotent.
+  const InferenceResult late = server.submit(images.front());
+  EXPECT_EQ(late.status, ServerStatus::kShutdown);
+  server.stop();
+  EXPECT_GE(server.metrics().snapshot().rejected_shutdown, 1u);
+}
+
+TEST(Serve, LoadGeneratorClosedLoopAccountsEveryRequest) {
+  const TinyNet net;
+  ServerConfig cfg;
+  cfg.replicas = 2;
+  cfg.max_batch = 8;
+  cfg.batch_timeout_us = 500;
+  DfeServer server = net.server(cfg);
+  LoadGenerator gen(server, synthetic_batch(4, 12, 12, 3, 67));
+  const LoadResult r = gen.closed_loop(/*clients=*/4,
+                                       /*requests_per_client=*/8);
+  EXPECT_EQ(r.offered, 32u);
+  EXPECT_EQ(r.ok, 32u);  // ample queue: closed loop never overloads
+  EXPECT_GT(r.achieved_qps, 0.0);
+  EXPECT_GT(r.p50_us, 0.0);
+  EXPECT_GE(r.p99_us, r.p50_us);
+  EXPECT_FALSE(r.str().empty());
+}
+
+TEST(Serve, LoadGeneratorOpenLoopAccountsEveryRequest) {
+  const TinyNet net;
+  ServerConfig cfg;
+  cfg.replicas = 2;
+  cfg.max_batch = 8;
+  cfg.batch_timeout_us = 500;
+  DfeServer server = net.server(cfg);
+  LoadGenerator gen(server, synthetic_batch(4, 12, 12, 3, 68));
+  const LoadResult r =
+      gen.open_loop(/*rate_qps=*/2000.0, /*total_requests=*/40, /*seed=*/9);
+  EXPECT_EQ(r.offered, 40u);
+  EXPECT_EQ(r.ok + r.rejected_overload + r.rejected_deadline +
+                r.rejected_shutdown + r.errors,
+            40u);
+  EXPECT_GT(r.ok, 0u);
+}
+
+TEST(Serve, MetricsReportMentionsEverything) {
+  const TinyNet net;
+  ServerConfig cfg;
+  cfg.replicas = 2;
+  DfeServer server = net.server(cfg);
+  LoadGenerator gen(server, synthetic_batch(2, 12, 12, 3, 69));
+  (void)gen.closed_loop(2, 4);
+  const std::string report = server.metrics_report();
+  EXPECT_NE(report.find("requests:"), std::string::npos);
+  EXPECT_NE(report.find("rejected:"), std::string::npos);
+  EXPECT_NE(report.find("queue-wait"), std::string::npos);
+  EXPECT_NE(report.find("end-to-end"), std::string::npos);
+  EXPECT_NE(report.find("p50/p95/p99"), std::string::npos);
+  EXPECT_NE(report.find("values streamed"), std::string::npos);
+  const MetricsSnapshot s = server.metrics().snapshot();
+  EXPECT_EQ(s.completed, 8u);
+  EXPECT_GT(server.metrics().end_to_end().percentile(50), 0.0);
+  EXPECT_GE(server.metrics().end_to_end().percentile(99),
+            server.metrics().end_to_end().percentile(50));
+}
+
+TEST(Serve, ServerValidatesConfigAndInput) {
+  const TinyNet net;
+  ServerConfig bad;
+  bad.replicas = 0;
+  EXPECT_THROW((void)net.server(bad), Error);
+  DfeServer server = net.server(ServerConfig{});
+  EXPECT_EQ(server.replicas(), 1);
+  EXPECT_EQ(server.replica(0).spec().name, "tiny_12");
+  EXPECT_THROW((void)server.replica(1), Error);
+  EXPECT_THROW((void)server.submit(IntTensor(Shape{3, 3, 3})), Error);
+}
+
+TEST(Serve, LatencyHistogramPercentiles) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.percentile(50), 0.0);  // empty
+  for (int i = 0; i < 90; ++i) h.record(100.0);   // bucket [64, 128)
+  for (int i = 0; i < 10; ++i) h.record(5000.0);  // bucket [4096, 8192)
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.percentile(50), 128.0);
+  EXPECT_EQ(h.percentile(90), 128.0);
+  EXPECT_EQ(h.percentile(99), 8192.0);
+  EXPECT_NEAR(h.mean_us(), 0.9 * 100 + 0.1 * 5000, 1.0);
+  EXPECT_NE(h.summary().find("p50/p95/p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qnn

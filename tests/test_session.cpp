@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <thread>
 
 #include "io/synthetic.h"
 #include "models/zoo.h"
@@ -95,6 +96,34 @@ TEST(Session, SessionIsMovable) {
   const IntTensor before = a.infer(img);
   DfeSession b = std::move(a);
   EXPECT_EQ(b.infer(img), before);  // engine references stay valid
+}
+
+// Replica pools (serve/server.h) compile N sessions from one
+// NetworkSpec/NetworkParams pair: compile() must not retain mutable state
+// shared between sessions, so independently constructed replicas agree
+// with each other and can run concurrently.
+TEST(Session, ReplicasFromOneNetworkAreIndependent) {
+  const NetworkSpec spec = models::tiny(12, 4, 2);
+  const Pipeline p = expand(spec);
+  const NetworkParams params = NetworkParams::random(p, 57);
+  SessionConfig cfg;
+  cfg.fast_estimate = true;
+  DfeSession a = DfeSession::compile(spec, params, cfg);
+  DfeSession b = DfeSession::compile(spec, params, cfg);
+  const ReferenceExecutor ref(p, params);
+  const auto batch = synthetic_batch(4, 12, 12, 3, 58);
+  std::vector<IntTensor> out_a;
+  std::vector<IntTensor> out_b;
+  std::thread ta([&] { out_a = a.infer_batch(batch); });
+  std::thread tb([&] { out_b = b.infer_batch(batch); });
+  ta.join();
+  tb.join();
+  ASSERT_EQ(out_a.size(), 4u);
+  ASSERT_EQ(out_b.size(), 4u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(out_a[i], ref.run(batch[i]));
+    EXPECT_EQ(out_b[i], ref.run(batch[i]));
+  }
 }
 
 TEST(Session, CompileRejectsMismatchedParams) {
