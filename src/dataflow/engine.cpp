@@ -1,11 +1,118 @@
 #include "dataflow/engine.h"
 
+#include <algorithm>
 #include <chrono>
-#include <exception>
-#include <mutex>
-#include <thread>
 
 namespace qnn {
+namespace {
+
+/// The paper's depth-first line-buffer size (§III-B1b) for the input of a
+/// window kernel, on the padded map: I * (W_p * (K-1) + K) values. Used as
+/// the default FIFO depth of edges feeding Conv/Pool kernels, so software
+/// buffering matches what the resource model charges the hardware for.
+std::size_t line_buffer_values(const Node& n) {
+  const std::int64_t wp = n.in.w + 2 * n.pad;
+  return static_cast<std::size_t>(static_cast<std::int64_t>(n.in.c) *
+                                  (wp * (n.k - 1) + n.k));
+}
+
+/// Streams the batch into the pipeline input, one image tail per ring
+/// transaction — the DMA side of the depth-first pixel order (§III-B1b).
+class FeederTask final : public Kernel {
+ public:
+  FeederTask(std::span<const IntTensor> images, Stream& out)
+      : Kernel("feeder"), images_(images), out_(out) {}
+
+  StepResult step() override {
+    bool progressed = false;
+    while (img_ < images_.size()) {
+      const std::span<const std::int32_t> flat = images_[img_].flat();
+      const std::size_t n = out_.try_push_burst(flat.subspan(pos_));
+      if (n == 0) {
+        if (!stall_noted_) {
+          stall_noted_ = true;
+          out_.note_push_stall();
+        }
+        return progressed ? StepResult::kProgress : StepResult::kBlocked;
+      }
+      stall_noted_ = false;
+      progressed = true;
+      pos_ += n;
+      if (pos_ == flat.size()) {
+        pos_ = 0;
+        ++img_;
+      }
+    }
+    out_.close();
+    return StepResult::kDone;
+  }
+
+ private:
+  std::span<const IntTensor> images_;
+  Stream& out_;
+  std::size_t img_ = 0;
+  std::size_t pos_ = 0;
+  bool stall_noted_ = false;
+};
+
+/// Pops the output stream directly into one tensor per image, then checks
+/// the end-of-stream protocol (no trailing values).
+class CollectorTask final : public Kernel {
+ public:
+  CollectorTask(std::size_t count, Shape shape, Stream& in,
+                std::vector<IntTensor>& outputs)
+      : Kernel("collector"),
+        count_(count),
+        shape_(shape),
+        in_(in),
+        outputs_(outputs) {}
+
+  StepResult step() override {
+    bool progressed = false;
+    while (outputs_.size() < count_) {
+      if (!open_) {
+        cur_ = IntTensor(shape_);
+        pos_ = 0;
+        open_ = true;
+      }
+      const std::size_t n =
+          in_.try_pop_burst(cur_.flat().subspan(pos_));
+      if (n == 0) {
+        QNN_CHECK(!in_.drained(), "output stream ended early");
+        if (!stall_noted_) {
+          stall_noted_ = true;
+          in_.note_pop_stall();
+        }
+        return progressed ? StepResult::kProgress : StepResult::kBlocked;
+      }
+      stall_noted_ = false;
+      progressed = true;
+      pos_ += n;
+      if (pos_ == static_cast<std::size_t>(cur_.size())) {
+        outputs_.push_back(std::move(cur_));
+        open_ = false;
+      }
+    }
+    // All images collected; any further value is a protocol error.
+    std::int32_t extra = 0;
+    QNN_CHECK(in_.try_pop_burst({&extra, 1}) == 0,
+              "trailing values on output");
+    if (in_.drained()) return StepResult::kDone;
+    return progressed ? StepResult::kProgress : StepResult::kBlocked;
+  }
+
+ private:
+  std::size_t count_;
+  Shape shape_;
+  Stream& in_;
+  std::vector<IntTensor>& outputs_;
+  IntTensor cur_;
+  std::size_t pos_ = 0;
+  bool open_ = false;
+  bool stall_noted_ = false;
+};
+
+}  // namespace
 
 Stream& StreamEngine::make_stream(std::size_t capacity, int bits,
                                   std::string name) {
@@ -19,6 +126,10 @@ StreamEngine::StreamEngine(const Pipeline& pipeline,
                            const NetworkParams& params, EngineOptions options)
     : pipeline_(pipeline), params_(params), options_(options) {
   pipeline_.validate();
+  QNN_CHECK(options_.burst >= 1, "burst size must be positive");
+  executor_ = options_.executor == ExecutorKind::kPooled
+                  ? make_pooled_executor(options_.pool_threads)
+                  : make_thread_per_kernel_executor();
 
   // Input port streams of every node, filled as edges are created.
   std::vector<Stream*> main_in(static_cast<std::size_t>(pipeline.size()),
@@ -26,10 +137,15 @@ StreamEngine::StreamEngine(const Pipeline& pipeline,
   std::vector<Stream*> skip_in(static_cast<std::size_t>(pipeline.size()),
                                nullptr);
 
+  // Default depth for edges whose consumer needs no line buffer: enough
+  // for double-buffered bursts so producer and consumer overlap.
+  const std::size_t plain_capacity =
+      options_.fifo_capacity != 0
+          ? options_.fifo_capacity
+          : std::max<std::size_t>(2 * options_.burst, 64);
+
   // Wire the output of producer `p` (-1 = pipeline input) to its consumers,
-  // inserting a fork kernel when the stream fans out. The skip-path FIFO is
-  // sized to hold a full feature map plus slack: functionally it subsumes
-  // the delay-compensation buffer of §III-B5 for any consumer lag.
+  // inserting a fork kernel when the stream fans out.
   auto wire = [&](int p, const Shape& shape, int bits, Stream*& direct_out) {
     std::vector<int> consumers;
     for (int j = 0; j < pipeline.size(); ++j) {
@@ -43,9 +159,23 @@ StreamEngine::StreamEngine(const Pipeline& pipeline,
       const Node& n = pipeline.node(consumer);
       if (n.kind == NodeKind::Add && n.skip_from == p &&
           !(n.main_from == p)) {
-        return static_cast<std::size_t>(shape.elems()) + options_.skip_slack;
+        // The skip-path FIFO is sized to hold a full feature map plus
+        // slack, whatever fifo_capacity says: functionally it subsumes
+        // the delay-compensation buffer of §III-B5 (which only needs to
+        // cover the regular path's *lag*, a prefix of the map).
+        const std::size_t cap =
+            static_cast<std::size_t>(shape.elems()) + options_.skip_slack;
+        QNN_CHECK(cap >= static_cast<std::size_t>(shape.elems()),
+                  "skip FIFO must subsume the delay buffer");
+        return cap;
       }
-      return options_.fifo_capacity;
+      if (options_.fifo_capacity != 0) return options_.fifo_capacity;
+      // Auto mode: a window kernel's input FIFO is its §III-B1b line
+      // buffer; anything deeper buys nothing the scanner can use.
+      if (n.is_window_op()) {
+        return std::max(line_buffer_values(n), plain_capacity);
+      }
+      return plain_capacity;
     };
     auto attach = [&](int consumer, Stream& s) {
       const Node& n = pipeline.node(consumer);
@@ -60,8 +190,7 @@ StreamEngine::StreamEngine(const Pipeline& pipeline,
 
     if (consumers.empty()) {
       // Only the final node has no consumers; its stream is the output.
-      direct_out = &make_stream(options_.fifo_capacity, bits,
-                                pname + "->output");
+      direct_out = &make_stream(plain_capacity, bits, pname + "->output");
       return;
     }
     if (consumers.size() == 1) {
@@ -73,8 +202,7 @@ StreamEngine::StreamEngine(const Pipeline& pipeline,
       return;
     }
     // Fan-out: producer -> fork -> one stream per consumer.
-    Stream& trunk =
-        make_stream(options_.fifo_capacity, bits, pname + "->fork");
+    Stream& trunk = make_stream(plain_capacity, bits, pname + "->fork");
     std::vector<Stream*> branches;
     branches.reserve(consumers.size());
     for (int consumer : consumers) {
@@ -83,8 +211,8 @@ StreamEngine::StreamEngine(const Pipeline& pipeline,
       attach(consumer, s);
       branches.push_back(&s);
     }
-    kernels_.push_back(std::make_unique<ForkKernel>("fork_" + pname, trunk,
-                                                    std::move(branches)));
+    kernels_.push_back(std::make_unique<ForkKernel>(
+        "fork_" + pname, trunk, std::move(branches), options_.burst));
     direct_out = &trunk;
   };
 
@@ -108,21 +236,22 @@ StreamEngine::StreamEngine(const Pipeline& pipeline,
     switch (n.kind) {
       case NodeKind::Conv:
         kernels_.push_back(std::make_unique<ConvKernel>(
-            n, params.conv(n).weights, *in, *out));
+            n, params.conv(n).weights, *in, *out, options_.burst));
         break;
       case NodeKind::MaxPool:
       case NodeKind::AvgPool:
-        kernels_.push_back(std::make_unique<PoolKernel>(n, *in, *out));
+        kernels_.push_back(
+            std::make_unique<PoolKernel>(n, *in, *out, options_.burst));
         break;
       case NodeKind::BnAct:
         kernels_.push_back(std::make_unique<BnActKernel>(
-            n, params.bnact(n).thresholds, *in, *out));
+            n, params.bnact(n).thresholds, *in, *out, options_.burst));
         break;
       case NodeKind::Add: {
         Stream* skip = skip_in[static_cast<std::size_t>(i)];
         QNN_CHECK(skip != nullptr, "add node " + n.name + " missing skip");
-        kernels_.push_back(
-            std::make_unique<AddKernel>(n, *in, *skip, *out));
+        kernels_.push_back(std::make_unique<AddKernel>(n, *in, *skip, *out,
+                                                       options_.burst));
         break;
       }
     }
@@ -140,60 +269,25 @@ std::vector<IntTensor> StreamEngine::run(std::span<const IntTensor> images,
                   pipeline_.input.str());
   }
 
-  // The engine is reusable: each run starts from pristine streams.
+  // The engine is reusable: each run starts from pristine streams and
+  // kernels, even after a run that threw or was cancelled.
   abort_.store(false, std::memory_order_relaxed);
   for (auto& s : streams_) s->reset();
-  std::exception_ptr error;
-  std::mutex error_mu;
-  auto guard = [&](const auto& fn) {
-    try {
-      fn();
-    } catch (...) {
-      {
-        const std::lock_guard<std::mutex> lock(error_mu);
-        if (!error) error = std::current_exception();
-      }
-      abort_.store(true, std::memory_order_relaxed);
-    }
-  };
+  for (auto& k : kernels_) k->reset();
 
-  std::vector<std::thread> threads;
-  threads.reserve(kernels_.size() + 1);
-  for (auto& k : kernels_) {
-    threads.emplace_back([&, kernel = k.get()] { guard([&] { kernel->run(); }); });
-  }
-  // Feeder: stream each image pixel by pixel, depth first (§III-B1b).
-  threads.emplace_back([&] {
-    guard([&] {
-      for (const IntTensor& img : images) {
-        for (std::int64_t i = 0; i < img.size(); ++i) {
-          input_stream_->push(img[i]);
-        }
-      }
-      input_stream_->close();
-    });
-  });
-
-  // Collector (this thread): one output tensor per image.
+  FeederTask feeder(images, *input_stream_);
   std::vector<IntTensor> outputs;
-  guard([&] {
-    const Shape out_shape = pipeline_.output_shape();
-    outputs.reserve(images.size());
-    for (std::size_t n = 0; n < images.size(); ++n) {
-      IntTensor out(out_shape);
-      for (std::int64_t i = 0; i < out.size(); ++i) {
-        std::int32_t v;
-        QNN_CHECK(output_stream_->pop(v), "output stream ended early");
-        out[i] = v;
-      }
-      outputs.push_back(std::move(out));
-    }
-    std::int32_t extra;
-    QNN_CHECK(!output_stream_->pop(extra), "trailing values on output");
-  });
+  outputs.reserve(images.size());
+  CollectorTask collector(images.size(), pipeline_.output_shape(),
+                          *output_stream_, outputs);
 
-  for (auto& t : threads) t.join();
-  if (error) std::rethrow_exception(error);
+  std::vector<Kernel*> tasks;
+  tasks.reserve(kernels_.size() + 2);
+  tasks.push_back(&feeder);
+  for (auto& k : kernels_) tasks.push_back(k.get());
+  tasks.push_back(&collector);
+  executor_->run(tasks, abort_);
+
   if (stats != nullptr) {
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - t0;
@@ -203,10 +297,12 @@ std::vector<IntTensor> StreamEngine::run(std::span<const IntTensor> images,
             ? static_cast<double>(images.size()) / elapsed.count()
             : 0.0;
     stats->values_streamed = 0;
+    stats->stream_transactions = 0;
     stats->push_stalls = 0;
     stats->pop_stalls = 0;
     for (const auto& s : streams_) {
       stats->values_streamed += s->pushed();
+      stats->stream_transactions += s->transactions();
       stats->push_stalls += s->push_stalls();
       stats->pop_stalls += s->pop_stalls();
     }

@@ -1,10 +1,22 @@
-// Threaded streaming engine: the software analog of the DFE manager.
+// Streaming engine: the software analog of the DFE manager.
 //
-// Builds one Kernel (thread) per pipeline node, wires them with bounded
-// Streams, inserts forks where a stream fans out (skip connections), feeds
-// images in depth-first pixel order and collects the output stream. All
-// layers compute concurrently once the pipeline fills — the paper's
-// computation-overlap property (§III-B) realized with host threads.
+// Builds one Kernel per pipeline node, wires them with bounded Streams,
+// inserts forks where a stream fans out (skip connections), feeds images
+// in depth-first pixel order and collects the output stream. All layers
+// compute concurrently once the pipeline fills — the paper's
+// computation-overlap property (§III-B) realized on the host.
+//
+// Transport is burst-mode end to end (see stream.h): the feeder pushes
+// whole row segments, kernels move EngineOptions::burst values per ring
+// transaction, and the collector pops directly into the output tensors.
+// How kernels execute is an Executor choice (see executor.h): one OS
+// thread per kernel, or a cooperative worker pool that steps resumable
+// kernels on min(kernels, cores) threads.
+//
+// FIFO capacities default to the paper's depth-first line-buffer formula
+// I*(W_p*(K-1) + K) (§III-B1b) per edge feeding a window kernel; the
+// skip-path FIFO holds a full feature map plus slack, which subsumes the
+// delay-compensation buffer of §III-B5 for any consumer lag.
 //
 // The engine is the *functional* model (bit-exact against the reference
 // executor); timing comes from the cycle simulator in sim/.
@@ -16,16 +28,30 @@
 #include <vector>
 
 #include "core/tensor.h"
+#include "dataflow/executor.h"
 #include "dataflow/kernels.h"
 
 namespace qnn {
 
+/// Execution model for the kernels of one engine (see executor.h).
+enum class ExecutorKind {
+  kThreadPerKernel,  // one OS thread per kernel, blocking streams
+  kPooled,           // cooperative worker pool stepping resumable kernels
+};
+
 struct EngineOptions {
   /// FIFO capacity (values) of regular kernel-to-kernel streams.
-  std::size_t fifo_capacity = 4096;
+  /// 0 = auto-size each edge from the §III-B1b line-buffer formula.
+  std::size_t fifo_capacity = 0;
   /// Extra slack added to skip-connection FIFOs beyond the full feature
   /// map they may need to hold while the regular path lags.
   std::size_t skip_slack = 64;
+  /// Values kernels move per stream transaction (1 = scalar transport).
+  std::size_t burst = kDefaultBurst;
+  /// How kernels are scheduled onto host threads.
+  ExecutorKind executor = ExecutorKind::kPooled;
+  /// Worker count for ExecutorKind::kPooled; 0 = hardware_concurrency.
+  unsigned pool_threads = 0;
 };
 
 class StreamEngine {
@@ -45,6 +71,9 @@ class StreamEngine {
     double images_per_second = 0.0;
     /// Sum over all FIFOs of the values they carried during the run.
     std::uint64_t values_streamed = 0;
+    /// Sum over all FIFOs of producer-side ring transfers; values_streamed
+    /// / stream_transactions is the pipeline's mean burst occupancy.
+    std::uint64_t stream_transactions = 0;
     /// Producer-side blocking episodes (a push found its FIFO full),
     /// summed over all FIFOs — backpressure inside the pipeline.
     std::uint64_t push_stalls = 0;
@@ -60,6 +89,11 @@ class StreamEngine {
                                            RunStats* stats = nullptr);
 
   [[nodiscard]] IntTensor run_one(const IntTensor& image);
+
+  /// Abort the in-flight run() from another thread: every kernel unwinds
+  /// and run() throws. The engine stays reusable — the next run() starts
+  /// from pristine streams and kernels. No effect when no run is active.
+  void cancel() { abort_.store(true, std::memory_order_relaxed); }
 
   [[nodiscard]] int kernel_count() const {
     return static_cast<int>(kernels_.size());
@@ -83,6 +117,7 @@ class StreamEngine {
   const EngineOptions options_;
   std::vector<std::unique_ptr<Stream>> streams_;
   std::vector<std::unique_ptr<Kernel>> kernels_;
+  std::unique_ptr<Executor> executor_;
   Stream* input_stream_ = nullptr;
   Stream* output_stream_ = nullptr;
   std::atomic<bool> abort_{false};

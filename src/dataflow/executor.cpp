@@ -1,0 +1,144 @@
+#include "dataflow/executor.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qnn {
+namespace {
+
+/// Collects the first exception of a run and trips the shared abort flag
+/// so every other task unwinds instead of deadlocking on a dead neighbour.
+class ErrorLatch {
+ public:
+  explicit ErrorLatch(std::atomic<bool>& abort) : abort_(abort) {}
+
+  void capture() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    abort_.store(true, std::memory_order_relaxed);
+  }
+
+  /// After all workers joined: rethrow the captured exception, or report
+  /// an external abort (cancel) that produced no task exception.
+  void finish() {
+    if (error_) std::rethrow_exception(error_);
+    QNN_CHECK(!abort_.load(std::memory_order_relaxed),
+              "dataflow run aborted");
+  }
+
+ private:
+  std::atomic<bool>& abort_;
+  std::mutex mu_;
+  std::exception_ptr error_;
+};
+
+class ThreadPerKernelExecutor final : public Executor {
+ public:
+  void run(std::span<Kernel* const> tasks,
+           std::atomic<bool>& abort) override {
+    ErrorLatch latch(abort);
+    std::vector<std::thread> threads;
+    threads.reserve(tasks.size());
+    for (Kernel* task : tasks) {
+      task->set_abort(&abort);
+      threads.emplace_back([task, &latch] {
+        try {
+          task->run();
+        } catch (...) {
+          latch.capture();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    latch.finish();
+  }
+};
+
+class PooledExecutor final : public Executor {
+ public:
+  explicit PooledExecutor(unsigned threads) : threads_(threads) {}
+
+  void run(std::span<Kernel* const> tasks,
+           std::atomic<bool>& abort) override {
+    const std::size_t n = tasks.size();
+    if (n == 0) return;
+    const unsigned hw = threads_ != 0
+                            ? threads_
+                            : std::max(1u, std::thread::hardware_concurrency());
+    const std::size_t workers = std::min<std::size_t>(hw, n);
+
+    struct Slot {
+      std::atomic_flag busy;        // a worker is stepping this task
+      std::atomic<bool> done{false};
+    };
+    std::vector<Slot> slots(n);
+    std::atomic<std::size_t> remaining{n};
+    ErrorLatch latch(abort);
+
+    // Workers sweep the task list from staggered start points: each tries
+    // to claim a task (busy flag), steps it once, and releases it. A full
+    // sweep without progress means the pipeline is waiting on in-flight
+    // data of tasks other workers hold — yield rather than spin.
+    auto worker_loop = [&](std::size_t wid) {
+      while (remaining.load(std::memory_order_acquire) != 0 &&
+             !abort.load(std::memory_order_relaxed)) {
+        bool progressed = false;
+        for (std::size_t j = 0; j < n; ++j) {
+          const std::size_t t = (wid + j) % n;
+          Slot& slot = slots[t];
+          if (slot.done.load(std::memory_order_relaxed)) continue;
+          if (slot.busy.test_and_set(std::memory_order_acquire)) continue;
+          // Re-check under the busy flag: done may have been set by the
+          // holder we just succeeded (its release ordered the store).
+          if (slot.done.load(std::memory_order_relaxed)) {
+            slot.busy.clear(std::memory_order_release);
+            continue;
+          }
+          bool task_done = false;
+          try {
+            const StepResult r = tasks[t]->step();
+            task_done = r == StepResult::kDone;
+            if (r != StepResult::kBlocked) progressed = true;
+          } catch (...) {
+            latch.capture();
+            task_done = true;
+          }
+          if (task_done) {
+            slot.done.store(true, std::memory_order_relaxed);
+            remaining.fetch_sub(1, std::memory_order_acq_rel);
+          }
+          slot.busy.clear(std::memory_order_release);
+        }
+        if (!progressed) std::this_thread::yield();
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back(worker_loop, w);
+    }
+    for (auto& t : pool) t.join();
+    latch.finish();
+  }
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace
+
+std::unique_ptr<Executor> make_thread_per_kernel_executor() {
+  return std::make_unique<ThreadPerKernelExecutor>();
+}
+
+std::unique_ptr<Executor> make_pooled_executor(unsigned threads) {
+  return std::make_unique<PooledExecutor>(threads);
+}
+
+}  // namespace qnn

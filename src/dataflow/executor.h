@@ -1,0 +1,49 @@
+// Execution models for a set of resumable kernel tasks.
+//
+// The engine builds its kernels once; *how* they run is an Executor
+// decision made per StreamEngine from EngineOptions:
+//
+//   * thread-per-kernel — one OS thread per task driving the blocking
+//     Kernel::run() loop. Faithful to the hardware picture (every kernel
+//     is its own physical pipeline stage) but oversubscribes the host as
+//     soon as the pipeline is deeper than the core count.
+//
+//   * pooled cooperative — min(tasks, threads) workers sweep the task
+//     list and step() whichever kernels are runnable, serializing steps
+//     of one kernel with a per-task busy flag. A deep pipeline then costs
+//     no more threads than the machine has cores, and a blocked kernel
+//     costs one skipped step instead of a context switch.
+//
+// Both models have identical failure semantics: the first kernel
+// exception aborts the run (via the shared abort flag that also unblocks
+// any blocking stream operations) and is rethrown to the caller after all
+// workers have quiesced.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <span>
+
+#include "dataflow/kernels.h"
+
+namespace qnn {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Drive every task to completion (StepResult::kDone). Sets `abort` and
+  /// rethrows the first task exception once all workers have stopped;
+  /// throws Error("dataflow run aborted") if `abort` was raised externally
+  /// (StreamEngine::cancel) with no task exception.
+  virtual void run(std::span<Kernel* const> tasks,
+                   std::atomic<bool>& abort) = 0;
+};
+
+/// One OS thread per task, blocking run() loops.
+std::unique_ptr<Executor> make_thread_per_kernel_executor();
+
+/// Cooperative worker pool; `threads` = 0 means hardware_concurrency.
+std::unique_ptr<Executor> make_pooled_executor(unsigned threads = 0);
+
+}  // namespace qnn

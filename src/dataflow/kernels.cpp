@@ -1,188 +1,332 @@
 #include "dataflow/kernels.h"
 
 #include <algorithm>
+#include <thread>
 
 namespace qnn {
 namespace {
 
-/// Pops the first value of an image; false means the stream ended cleanly.
-bool pop_first(Stream& in, std::int32_t& v) { return in.pop(v); }
+/// Input bursts consumed per step() before reporting kProgress: bounds the
+/// work of one cooperative slice so no kernel starves its siblings on a
+/// shared worker, while keeping per-step overhead amortized.
+constexpr int kRoundsPerStep = 4;
 
-/// Pops a mid-image value; a closed stream here is a protocol violation.
-std::int32_t pop_required(Stream& in, const std::string& who) {
-  std::int32_t v;
-  QNN_CHECK(in.pop(v), who + ": input stream closed mid-image");
-  return v;
+/// Burst capacity for a window kernel: at least one full padded input row
+/// (the §III-B1b line granularity), so the kernel ingests rows at a time.
+std::size_t window_burst(const Node& node, std::size_t burst) {
+  const auto row =
+      static_cast<std::size_t>(node.in.w) * static_cast<std::size_t>(node.in.c);
+  return std::max<std::size_t>({burst, row, 1});
 }
 
 }  // namespace
 
-// ---------------------------------------------------------------- ConvKernel
+// -------------------------------------------------------------------- Kernel
 
-ConvKernel::ConvKernel(const Node& node, const FilterBank& weights,
-                       Stream& in, Stream& out)
+void Kernel::run() {
+  for (;;) {
+    switch (step()) {
+      case StepResult::kDone:
+        return;
+      case StepResult::kProgress:
+        break;
+      case StepResult::kBlocked:
+        if (abort_ != nullptr && abort_->load(std::memory_order_relaxed)) {
+          throw Error("kernel '" + name_ + "' aborted");
+        }
+        // Same backoff shape as a blocked stream: short spin, then yield.
+        for (int i = 0; i < 64; ++i) {
+#if defined(__x86_64__)
+          __builtin_ia32_pause();
+#endif
+        }
+        std::this_thread::yield();
+        break;
+    }
+  }
+}
+
+// -------------------------------------------------------------- WindowKernel
+
+WindowKernel::WindowKernel(const Node& node, Stream& in, Stream& out,
+                           std::size_t burst)
     : Kernel(node.name),
       node_(node),
-      weights_(weights),
       in_(in),
       out_(out),
       scanner_(node.in, node.k, node.stride, node.pad, /*pad_value=*/0),
       window_buf_(static_cast<std::size_t>(scanner_.window_values())),
-      planes_(scanner_.window_values(), node.in_bits) {
+      in_burst_(window_burst(node, burst)) {}
+
+void WindowKernel::feed(std::int32_t v) {
+  if (const auto completed = scanner_.advance(v)) {
+    scanner_.window(*completed, window_buf_);
+    emit(*completed);
+  }
+}
+
+void WindowKernel::advance_padding() {
+  while (!scanner_.done() && scanner_.next_is_padding()) feed(0);
+}
+
+void WindowKernel::reset() {
+  scanner_.reset();
+  in_burst_.clear();
+  stage_.clear();
+  image_open_ = false;
+}
+
+StepResult WindowKernel::step() {
+  if (!stage_.flush(out_)) return StepResult::kBlocked;
+  bool progressed = false;
+  for (int round = 0; round < kRoundsPerStep; ++round) {
+    // Padding positions (including whole trailing pad rows) consume no
+    // input: "the kernel stops the input stream and inputs padding values
+    // into the buffer instead" (§III-B1).
+    advance_padding();
+    if (scanner_.done()) {
+      scanner_.reset();  // image complete; re-arm for the next one
+      image_open_ = false;
+      progressed = true;
+      if (!stage_.flush(out_)) return StepResult::kBlocked;
+      continue;
+    }
+    if (in_burst_.refill(in_) == 0) {
+      if (in_.drained()) {
+        // End of stream is only legal at an image boundary.
+        QNN_CHECK(!image_open_,
+                  name() + ": input stream closed mid-image");
+        if (!stage_.flush(out_)) return StepResult::kBlocked;
+        out_.close();
+        return StepResult::kDone;
+      }
+      return progressed ? StepResult::kProgress : StepResult::kBlocked;
+    }
+    image_open_ = true;
+    while (in_burst_.available() > 0) {
+      advance_padding();
+      if (scanner_.done()) break;  // burst spans an image boundary
+      // Ingest the row segment up to the next padding interruption in one
+      // tight loop — no per-value padding test.
+      const std::int64_t run = std::min<std::int64_t>(
+          scanner_.real_run(),
+          static_cast<std::int64_t>(in_burst_.available()));
+      for (std::int64_t i = 0; i < run; ++i) feed(in_burst_.next());
+    }
+    progressed = true;
+    if (!stage_.flush(out_)) return StepResult::kBlocked;
+  }
+  return StepResult::kProgress;
+}
+
+// ---------------------------------------------------------------- ConvKernel
+
+ConvKernel::ConvKernel(const Node& node, const FilterBank& weights,
+                       Stream& in, Stream& out, std::size_t burst)
+    : WindowKernel(node, in, out, burst),
+      weights_(weights),
+      planes_(scanner().window_values(), node.in_bits) {
   QNN_CHECK(node.kind == NodeKind::Conv, "ConvKernel needs a Conv node");
   QNN_CHECK(weights.shape() == node.filter_shape(),
             "weight bank does not match node geometry");
 }
 
-bool ConvKernel::process_image() {
-  scanner_.reset();
-  bool started = false;
-  std::int32_t first = 0;
-  while (!scanner_.done()) {
-    std::int32_t v = 0;
-    if (!scanner_.next_is_padding()) {
-      if (!started) {
-        if (!pop_first(in_, first)) return false;  // clean end of stream
-        started = true;
-        v = first;
-      } else {
-        v = pop_required(in_, name());
-      }
-    }
-    const auto completed = scanner_.advance(v);
-    if (completed) {
-      scanner_.window(*completed, window_buf_);
-      planes_.fill(window_buf_);
-      // "One output pixel per clock cycle, until all the filters are
-      // applied at this position" (§III-B1): emit all O responses.
-      for (int o = 0; o < node_.out.c; ++o) {
-        out_.push(planes_.dot(weights_.filter(o)));
-      }
-    }
+void ConvKernel::emit(const WindowScanner::Completed&) {
+  planes_.fill(window_buf());
+  // "One output pixel per clock cycle, until all the filters are applied
+  // at this position" (§III-B1): emit all O responses.
+  for (int o = 0; o < node().out.c; ++o) {
+    stage().append(planes_.dot(weights_.filter(o)));
   }
-  return true;
-}
-
-void ConvKernel::run() {
-  while (process_image()) {
-  }
-  out_.close();
 }
 
 // ---------------------------------------------------------------- PoolKernel
 
-PoolKernel::PoolKernel(const Node& node, Stream& in, Stream& out)
-    : Kernel(node.name),
-      node_(node),
-      in_(in),
-      out_(out),
-      scanner_(node.in, node.k, node.stride, node.pad, /*pad_value=*/0),
-      window_buf_(static_cast<std::size_t>(scanner_.window_values())) {
+PoolKernel::PoolKernel(const Node& node, Stream& in, Stream& out,
+                       std::size_t burst)
+    : WindowKernel(node, in, out, burst) {
   QNN_CHECK(node.kind == NodeKind::MaxPool || node.kind == NodeKind::AvgPool,
             "PoolKernel needs a pooling node");
 }
 
-bool PoolKernel::process_image() {
-  scanner_.reset();
-  bool started = false;
-  const bool is_max = node_.kind == NodeKind::MaxPool;
-  const int c = node_.in.c;
-  const int kk = node_.k * node_.k;
-  while (!scanner_.done()) {
-    std::int32_t v = 0;
-    if (!scanner_.next_is_padding()) {
-      if (!started) {
-        if (!pop_first(in_, v)) return false;
-        started = true;
-      } else {
-        v = pop_required(in_, name());
-      }
+void PoolKernel::emit(const WindowScanner::Completed&) {
+  const bool is_max = node().kind == NodeKind::MaxPool;
+  const int c = node().in.c;
+  const int kk = node().k * node().k;
+  const auto window = window_buf();
+  // Window layout is (dy, dx, ci); reduce per channel. Padded entries
+  // hold code 0, the lowest level — identity for max and sum alike.
+  for (int ci = 0; ci < c; ++ci) {
+    std::int32_t best = 0;
+    std::int64_t sum = 0;
+    for (int t = 0; t < kk; ++t) {
+      const std::int32_t x = window[static_cast<std::size_t>(t) * c + ci];
+      best = std::max(best, x);
+      sum += x;
     }
-    const auto completed = scanner_.advance(v);
-    if (completed) {
-      scanner_.window(*completed, window_buf_);
-      // Window layout is (dy, dx, ci); reduce per channel. Padded entries
-      // hold code 0, the lowest level — identity for max and sum alike.
-      for (int ci = 0; ci < c; ++ci) {
-        std::int32_t best = 0;
-        std::int64_t sum = 0;
-        for (int t = 0; t < kk; ++t) {
-          const std::int32_t x =
-              window_buf_[static_cast<std::size_t>(t) * c + ci];
-          best = std::max(best, x);
-          sum += x;
-        }
-        out_.push(is_max ? best : static_cast<std::int32_t>(sum));
-      }
-    }
+    stage().append(is_max ? best : static_cast<std::int32_t>(sum));
   }
-  return true;
-}
-
-void PoolKernel::run() {
-  while (process_image()) {
-  }
-  out_.close();
 }
 
 // --------------------------------------------------------------- BnActKernel
 
 BnActKernel::BnActKernel(const Node& node, const ThresholdLayer& thresholds,
-                         Stream& in, Stream& out)
-    : Kernel(node.name), node_(node), thresholds_(thresholds), in_(in),
-      out_(out) {
+                         Stream& in, Stream& out, std::size_t burst)
+    : Kernel(node.name),
+      node_(node),
+      thresholds_(thresholds),
+      in_(in),
+      out_(out),
+      in_burst_(burst) {
   QNN_CHECK(node.kind == NodeKind::BnAct, "BnActKernel needs a BnAct node");
   QNN_CHECK(thresholds.channels() == node.in.c,
             "threshold bank channel count mismatch");
 }
 
-void BnActKernel::run() {
+void BnActKernel::reset() {
+  in_burst_.clear();
+  stage_.clear();
+  ch_ = 0;
+}
+
+StepResult BnActKernel::step() {
+  if (!stage_.flush(out_)) return StepResult::kBlocked;
   const int c = node_.in.c;
-  int ch = 0;
-  std::int32_t v;
-  while (in_.pop(v)) {
-    // The hardware path: binary search over the 2^n ranges (§III-B3).
-    out_.push(thresholds_.at(ch).eval_binary_search(v));
-    ch = ch + 1 == c ? 0 : ch + 1;
+  bool progressed = false;
+  for (int round = 0; round < kRoundsPerStep; ++round) {
+    const std::size_t n = in_burst_.refill(in_);
+    if (n == 0) {
+      if (in_.drained()) {
+        out_.close();
+        return StepResult::kDone;
+      }
+      return progressed ? StepResult::kProgress : StepResult::kBlocked;
+    }
+    // Map the whole burst through the threshold staircase, carrying the
+    // channel phase across burst boundaries. The hardware path: binary
+    // search over the 2^n ranges (§III-B3).
+    for (std::size_t i = 0; i < n; ++i) {
+      stage_.append(thresholds_.at(ch_).eval_binary_search(in_burst_.next()));
+      ch_ = ch_ + 1 == c ? 0 : ch_ + 1;
+    }
+    progressed = true;
+    if (!stage_.flush(out_)) return StepResult::kBlocked;
   }
-  out_.close();
+  return StepResult::kProgress;
 }
 
 // ----------------------------------------------------------------- AddKernel
 
 AddKernel::AddKernel(const Node& node, Stream& in_main, Stream& in_skip,
-                     Stream& out)
-    : Kernel(node.name), node_(node), main_(in_main), skip_(in_skip),
-      out_(out) {
+                     Stream& out, std::size_t burst)
+    : Kernel(node.name),
+      node_(node),
+      main_(in_main),
+      skip_(in_skip),
+      out_(out),
+      main_burst_(burst),
+      skip_burst_(burst) {
   QNN_CHECK(node.kind == NodeKind::Add, "AddKernel needs an Add node");
 }
 
-void AddKernel::run() {
-  std::int32_t a;
-  while (main_.pop(a)) {
-    std::int32_t b;
-    QNN_CHECK(skip_.pop(b), name() + ": skip stream ended before main");
-    out_.push(a + b);
+void AddKernel::reset() {
+  main_burst_.clear();
+  skip_burst_.clear();
+  stage_.clear();
+}
+
+StepResult AddKernel::step() {
+  if (!stage_.flush(out_)) return StepResult::kBlocked;
+  bool progressed = false;
+  for (int round = 0; round < kRoundsPerStep; ++round) {
+    const std::size_t na = main_burst_.refill(main_);
+    const std::size_t nb = skip_burst_.refill(skip_);
+    if (na == 0 && main_.drained()) {
+      // Both paths must end together: a leftover skip value is a protocol
+      // bug, but an as-yet-unclosed skip just means we wait for its close.
+      QNN_CHECK(nb == 0, name() + ": main stream ended before skip");
+      if (!skip_.drained()) {
+        return progressed ? StepResult::kProgress : StepResult::kBlocked;
+      }
+      out_.close();
+      return StepResult::kDone;
+    }
+    QNN_CHECK(!(na > 0 && nb == 0 && skip_.drained()),
+              name() + ": skip stream ended before main");
+    const std::size_t n = std::min(na, nb);
+    if (n == 0) return progressed ? StepResult::kProgress : StepResult::kBlocked;
+    for (std::size_t i = 0; i < n; ++i) {
+      stage_.append(main_burst_.next() + skip_burst_.next());
+    }
+    progressed = true;
+    if (!stage_.flush(out_)) return StepResult::kBlocked;
   }
-  // Both paths must end together: a leftover skip value is a protocol bug.
-  std::int32_t leftover;
-  QNN_CHECK(!skip_.pop(leftover), name() + ": main stream ended before skip");
-  out_.close();
+  return StepResult::kProgress;
 }
 
 // ---------------------------------------------------------------- ForkKernel
 
-ForkKernel::ForkKernel(std::string name, Stream& in, std::vector<Stream*> outs)
-    : Kernel(std::move(name)), in_(in), outs_(std::move(outs)) {
+ForkKernel::ForkKernel(std::string name, Stream& in, std::vector<Stream*> outs,
+                       std::size_t burst)
+    : Kernel(std::move(name)),
+      in_(in),
+      outs_(std::move(outs)),
+      buf_(std::max<std::size_t>(burst, 1)),
+      branch_pos_(outs_.size(), 0),
+      stall_noted_(outs_.size(), false) {
   QNN_CHECK(outs_.size() >= 2, "fork needs at least two consumers");
 }
 
-void ForkKernel::run() {
-  std::int32_t v;
-  while (in_.pop(v)) {
-    for (Stream* out : outs_) out->push(v);
+void ForkKernel::reset() {
+  len_ = 0;
+  std::fill(branch_pos_.begin(), branch_pos_.end(), 0);
+  std::fill(stall_noted_.begin(), stall_noted_.end(), false);
+  in_stall_noted_ = false;
+}
+
+bool ForkKernel::flush_branches() {
+  bool all = true;
+  for (std::size_t b = 0; b < outs_.size(); ++b) {
+    std::size_t& pos = branch_pos_[b];
+    if (pos < len_) {
+      pos += outs_[b]->try_push_burst(
+          std::span<const std::int32_t>(buf_).subspan(pos, len_ - pos));
+    }
+    if (pos < len_) {
+      if (!stall_noted_[b]) {
+        stall_noted_[b] = true;
+        outs_[b]->note_push_stall();
+      }
+      all = false;
+    } else {
+      stall_noted_[b] = false;
+    }
   }
-  for (Stream* out : outs_) out->close();
+  return all;
+}
+
+StepResult ForkKernel::step() {
+  if (!flush_branches()) return StepResult::kBlocked;
+  bool progressed = false;
+  for (int round = 0; round < kRoundsPerStep; ++round) {
+    len_ = in_.try_pop_burst(buf_);
+    std::fill(branch_pos_.begin(), branch_pos_.end(), 0);
+    if (len_ == 0) {
+      if (in_.drained()) {
+        for (Stream* out : outs_) out->close();
+        return StepResult::kDone;
+      }
+      if (!in_stall_noted_) {
+        in_stall_noted_ = true;
+        in_.note_pop_stall();
+      }
+      return progressed ? StepResult::kProgress : StepResult::kBlocked;
+    }
+    in_stall_noted_ = false;
+    progressed = true;
+    if (!flush_branches()) return StepResult::kBlocked;
+  }
+  return StepResult::kProgress;
 }
 
 }  // namespace qnn

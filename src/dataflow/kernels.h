@@ -1,10 +1,28 @@
 // Streaming kernels: the functional decomposition units of §III-B.
 //
-// Each kernel is an independent thread of execution connected to its
-// neighbours only through Streams; it is triggered by input availability and
-// output buffer space (dataflow firing rule, §II-B). One kernel corresponds
-// to one pipeline Node; forks are inserted by the engine wherever a stream
-// fans out (residual skip connections).
+// Each kernel corresponds to one pipeline Node and is connected to its
+// neighbours only through Streams; it is triggered by input availability
+// and output buffer space (dataflow firing rule, §II-B). Forks are inserted
+// by the engine wherever a stream fans out (residual skip connections).
+//
+// Kernels are *resumable tasks*, not threads: the unit of execution is
+// step(), which performs a bounded amount of work using only the streams'
+// non-blocking burst API and reports whether it progressed, is blocked on
+// a neighbour, or has finished. This makes one kernel definition runnable
+// under both execution models of the engine's Executor seam:
+//
+//   * thread-per-kernel — run() drives step() in a blocking loop with
+//     backoff (the classic model: one OS thread per kernel);
+//   * pooled cooperative — a small worker pool repeatedly steps runnable
+//     kernels, so a 70-kernel pipeline no longer oversubscribes the host.
+//
+// Data moves in bursts end to end: a kernel pops a burst of input values,
+// transforms it (BnAct maps the whole burst through the threshold
+// staircase; Conv/Pool ingest row segments at a time and emit all O filter
+// responses per completed window position), stages the results, and
+// flushes them with one ring transaction. Blocked-episode accounting
+// (Stream::note_*_stall) fires once per continuous blocked period, so the
+// stall counters keep their pre-burst meaning.
 //
 // All kernels process an unbounded sequence of images and terminate when
 // their input stream is closed at an image boundary.
@@ -22,6 +40,106 @@
 
 namespace qnn {
 
+/// Outcome of one cooperative step.
+enum class StepResult {
+  kProgress,  // did work; call again
+  kBlocked,   // no input available / no output space; retry later
+  kDone,      // input drained at an image boundary; output closed
+};
+
+/// Default burst size (values) kernels move per stream transaction.
+inline constexpr std::size_t kDefaultBurst = 256;
+
+// ------------------------------------------------------------------ helpers
+
+/// Staged kernel output awaiting FIFO space: results are appended as they
+/// are computed and flushed with one try_push_burst per step, surviving
+/// partial flushes across Blocked returns.
+class OutStage {
+ public:
+  void append(std::int32_t v) { buf_.push_back(v); }
+  [[nodiscard]] bool empty() const { return pos_ == buf_.size(); }
+
+  /// Move everything possible into `out`; true when fully flushed. Notes
+  /// one push-stall episode per continuous blocked period.
+  bool flush(Stream& out) {
+    if (pos_ < buf_.size()) {
+      pos_ += out.try_push_burst(
+          std::span<const std::int32_t>(buf_).subspan(pos_));
+    }
+    if (pos_ < buf_.size()) {
+      if (!stall_noted_) {
+        stall_noted_ = true;
+        out.note_push_stall();
+      }
+      return false;
+    }
+    buf_.clear();
+    pos_ = 0;
+    stall_noted_ = false;
+    return true;
+  }
+
+  /// Discard staged values (between engine runs / after an aborted run).
+  void clear() {
+    buf_.clear();
+    pos_ = 0;
+    stall_noted_ = false;
+  }
+
+ private:
+  std::vector<std::int32_t> buf_;
+  std::size_t pos_ = 0;
+  bool stall_noted_ = false;
+};
+
+/// One input burst being consumed value by value; refilled from the stream
+/// when empty. Notes one pop-stall episode per continuous starved period.
+class InBurst {
+ public:
+  explicit InBurst(std::size_t burst) : buf_(burst == 0 ? 1 : burst) {}
+
+  /// Values currently available without touching the stream.
+  [[nodiscard]] std::size_t available() const { return len_ - pos_; }
+
+  /// Ensure values are buffered; returns how many are now available
+  /// (0: stream empty — check in.drained() to tell starvation from end).
+  std::size_t refill(Stream& in) {
+    if (pos_ < len_) return len_ - pos_;
+    pos_ = 0;
+    len_ = in.try_pop_burst(buf_);
+    if (len_ == 0) {
+      if (!in.drained() && !stall_noted_) {
+        stall_noted_ = true;
+        in.note_pop_stall();
+      }
+    } else {
+      stall_noted_ = false;
+    }
+    return len_;
+  }
+
+  [[nodiscard]] std::int32_t next() {
+    QNN_DCHECK(pos_ < len_, "burst underrun");
+    return buf_[pos_++];
+  }
+
+  /// Discard buffered values (between engine runs / after an aborted run).
+  void clear() {
+    pos_ = 0;
+    len_ = 0;
+    stall_noted_ = false;
+  }
+
+ private:
+  std::vector<std::int32_t> buf_;
+  std::size_t pos_ = 0;
+  std::size_t len_ = 0;
+  bool stall_noted_ = false;
+};
+
+// ------------------------------------------------------------------- Kernel
+
 class Kernel {
  public:
   explicit Kernel(std::string name) : name_(std::move(name)) {}
@@ -29,94 +147,155 @@ class Kernel {
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
-  /// Process the whole stream; returns when inputs are closed and drained.
-  virtual void run() = 0;
+  /// Perform a bounded amount of work without blocking. Must be called by
+  /// one thread at a time (the executor serializes steps of one kernel);
+  /// steps of different kernels may run concurrently.
+  virtual StepResult step() = 0;
+
+  /// Blocking convenience driver: steps until kDone, backing off while
+  /// blocked. Used by the thread-per-kernel executor and direct tests.
+  /// Throws once the attached abort flag (set_abort) is raised.
+  void run();
+
+  /// Abort flag consulted by run() while blocked (engine-wide fail-fast).
+  void set_abort(const std::atomic<bool>* flag) { abort_ = flag; }
+
+  /// Discard all in-flight per-run state (partial bursts, staged outputs,
+  /// scan cursors). The engine calls this alongside Stream::reset between
+  /// runs, so an aborted run never poisons the next one.
+  virtual void reset() {}
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
  private:
   std::string name_;
+  const std::atomic<bool>* abort_ = nullptr;
 };
 
-/// XNOR-popcount convolution kernel (Figure 3). Consumes depth-first
-/// activation codes, injects padding locally, and on each completed window
-/// emits all O filter responses for that position. Weights live in the
-/// kernel as a packed FilterBank — the on-chip weight cache of §III-B1a.
-class ConvKernel final : public Kernel {
+/// Common machinery of the window-ingesting kernels (Conv, Pool): a
+/// depth-first scanner with local padding injection, burst input, and an
+/// output stage. Subclasses emit responses for each completed window.
+class WindowKernel : public Kernel {
  public:
-  ConvKernel(const Node& node, const FilterBank& weights, Stream& in,
-             Stream& out);
-  void run() override;
+  WindowKernel(const Node& node, Stream& in, Stream& out, std::size_t burst);
+  StepResult step() final;
+  void reset() override;
+
+ protected:
+  /// Emit all outputs of the window at `at` into stage().
+  virtual void emit(const WindowScanner::Completed& at) = 0;
+
+  [[nodiscard]] const Node& node() const { return node_; }
+  [[nodiscard]] WindowScanner& scanner() { return scanner_; }
+  [[nodiscard]] OutStage& stage() { return stage_; }
+  [[nodiscard]] std::span<std::int32_t> window_buf() {
+    return window_buf_;
+  }
 
  private:
-  bool process_image();
+  void feed(std::int32_t v);
+  /// Inject padding positions until the next position is real (or done).
+  void advance_padding();
 
   const Node& node_;
-  const FilterBank& weights_;
   Stream& in_;
   Stream& out_;
   WindowScanner scanner_;
   std::vector<std::int32_t> window_buf_;
+  InBurst in_burst_;
+  OutStage stage_;
+  bool image_open_ = false;
+};
+
+/// XNOR-popcount convolution kernel (Figure 3). Consumes depth-first
+/// activation codes in row-segment bursts, injects padding locally, and on
+/// each completed window emits all O filter responses for that position.
+/// Weights live in the kernel as a packed FilterBank — the on-chip weight
+/// cache of §III-B1a.
+class ConvKernel final : public WindowKernel {
+ public:
+  ConvKernel(const Node& node, const FilterBank& weights, Stream& in,
+             Stream& out, std::size_t burst = kDefaultBurst);
+
+ private:
+  void emit(const WindowScanner::Completed& at) override;
+
+  const FilterBank& weights_;
   BitPlaneWindow planes_;
 };
 
 /// Max / average (window-sum) pooling kernel. Parameterless; emits each
 /// output as soon as its window completes (§III-B2).
-class PoolKernel final : public Kernel {
+class PoolKernel final : public WindowKernel {
  public:
-  PoolKernel(const Node& node, Stream& in, Stream& out);
-  void run() override;
+  PoolKernel(const Node& node, Stream& in, Stream& out,
+             std::size_t burst = kDefaultBurst);
 
  private:
-  bool process_image();
-
-  const Node& node_;
-  Stream& in_;
-  Stream& out_;
-  WindowScanner scanner_;
-  std::vector<std::int32_t> window_buf_;
+  void emit(const WindowScanner::Completed& at) override;
 };
 
-/// Folded BatchNorm + n-bit activation kernel (§III-B3): per-channel
-/// threshold staircase evaluated by binary search.
+/// Folded BatchNorm + n-bit activation kernel (§III-B3): maps each input
+/// burst through the per-channel threshold staircase (binary search per
+/// value), carrying the channel phase across bursts.
 class BnActKernel final : public Kernel {
  public:
   BnActKernel(const Node& node, const ThresholdLayer& thresholds, Stream& in,
-              Stream& out);
-  void run() override;
+              Stream& out, std::size_t burst = kDefaultBurst);
+  StepResult step() override;
+  void reset() override;
 
  private:
   const Node& node_;
   const ThresholdLayer& thresholds_;
   Stream& in_;
   Stream& out_;
+  InBurst in_burst_;
+  OutStage stage_;
+  int ch_ = 0;
 };
 
 /// Skip-connection adder (§III-B5, Figure 2): sums the regular path with
-/// the buffered 16-bit skip path. The skip stream's FIFO capacity plays the
-/// role of the delay-compensation buffer.
+/// the buffered 16-bit skip path, pairwise by burst. The skip stream's
+/// FIFO capacity plays the role of the delay-compensation buffer.
 class AddKernel final : public Kernel {
  public:
-  AddKernel(const Node& node, Stream& in_main, Stream& in_skip, Stream& out);
-  void run() override;
+  AddKernel(const Node& node, Stream& in_main, Stream& in_skip, Stream& out,
+            std::size_t burst = kDefaultBurst);
+  StepResult step() override;
+  void reset() override;
 
  private:
   const Node& node_;
   Stream& main_;
   Stream& skip_;
   Stream& out_;
+  InBurst main_burst_;
+  InBurst skip_burst_;
+  OutStage stage_;
 };
 
-/// Stream fan-out: replicates one stream to several consumers. Inserted by
-/// the engine where a node output feeds both the regular and skip paths.
+/// Stream fan-out: replicates one stream to several consumers, a burst at
+/// a time with independent per-branch progress. Inserted by the engine
+/// where a node output feeds both the regular and skip paths.
 class ForkKernel final : public Kernel {
  public:
-  ForkKernel(std::string name, Stream& in, std::vector<Stream*> outs);
-  void run() override;
+  ForkKernel(std::string name, Stream& in, std::vector<Stream*> outs,
+             std::size_t burst = kDefaultBurst);
+  StepResult step() override;
+  void reset() override;
 
  private:
+  /// Push the pending burst tail to every branch; true when all caught up.
+  bool flush_branches();
+
   Stream& in_;
   std::vector<Stream*> outs_;
+  std::vector<std::int32_t> buf_;
+  std::size_t len_ = 0;
+  std::vector<std::size_t> branch_pos_;
+  std::vector<bool> stall_noted_;
+  bool in_stall_noted_ = false;
 };
 
 }  // namespace qnn

@@ -1,19 +1,41 @@
-// Bounded single-producer / single-consumer stream.
+// Bounded single-producer / single-consumer stream with burst transfers.
 //
 // Models the on-chip FIFOs that connect DFE kernels: "data are transferred
 // using configurable routing resources, buffered on-chip memory, and
-// flip-flops" (§II-B). Each stream carries one value per transaction in
-// depth-first order; the declared bit width is metadata used by the link
+// flip-flops" (§II-B). The declared bit width is metadata used by the link
 // bandwidth model and the resource estimator, while the functional payload
 // is a full int32.
 //
-// The implementation is a lock-free ring buffer (acquire/release indices)
-// with a short spin followed by a cooperative yield, since a streaming
-// pipeline keeps every kernel thread mostly busy.
+// The hardware moves one value per clock; the software analog used to do
+// the same — one atomic acquire/release pair per int32 — which made the
+// hot path atomic ping-pong instead of XNOR-popcount work. Transfers are
+// therefore *burst*-oriented: push_burst()/pop_burst() move a contiguous
+// ring segment with a single index update per burst (the widened,
+// compute-rate-folded transport of FINN-style dataflow engines). Scalar
+// push()/pop() remain as the degenerate burst of one, so capacity still
+// models the FIFO depth precisely and `pushed()` still counts values.
+//
+// Two API layers:
+//   * blocking push/pop/push_burst/pop_burst — for thread-per-kernel
+//     execution and tests; spin briefly then yield, abort-aware.
+//   * non-blocking try_push_burst/try_pop_burst — for cooperative
+//     (pooled-executor) kernels, which must never block a worker.
+//
+// Counter semantics (unchanged by bursts, so RunStats / stream_traffic()
+// / the link-bandwidth model / ServerMetrics stay truthful):
+//   * pushed()       — total VALUES pushed (a burst of n counts n);
+//   * transactions() — ring index updates on the producer side (a burst
+//                      counts 1); pushed/transactions = burst occupancy;
+//   * push_stalls()/pop_stalls() — blocking EPISODES: one per continuous
+//     period a producer/consumer waited, regardless of spins or retries.
+//     The non-blocking API cannot detect episodes itself; cooperative
+//     kernels report them via note_push_stall()/note_pop_stall() exactly
+//     once per blocked period.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,36 +64,100 @@ class Stream {
   /// is raised, so a failing kernel cannot deadlock the rest of the pipe.
   void set_abort(const std::atomic<bool>* flag) { abort_ = flag; }
 
+  // ---- non-blocking burst API (single producer / single consumer) -------
+
+  /// Move as much of `vs` as currently fits into the ring; returns the
+  /// number of values transferred (possibly 0). One index release per
+  /// call. Must only be called by the single producer.
+  std::size_t try_push_burst(std::span<const std::int32_t> vs) {
+    if (vs.empty()) return 0;
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t used =
+        (head - tail_.load(std::memory_order_acquire)) & mask_;
+    const std::size_t n = std::min(capacity_ - used, vs.size());
+    if (n == 0) return 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      buf_[(head + i) & mask_] = vs[i];
+    }
+    head_.store((head + n) & mask_, std::memory_order_release);
+    pushed_ += n;
+    ++transactions_;
+    return n;
+  }
+
+  /// Move up to `out.size()` available values out of the ring; returns the
+  /// number transferred (possibly 0 — distinguish starvation from end of
+  /// stream with drained()). Must only be called by the single consumer.
+  std::size_t try_pop_burst(std::span<std::int32_t> out) {
+    if (out.empty()) return 0;
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t avail =
+        (head_.load(std::memory_order_acquire) - tail) & mask_;
+    const std::size_t n = std::min(avail, out.size());
+    if (n == 0) return 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = buf_[(tail + i) & mask_];
+    }
+    tail_.store((tail + n) & mask_, std::memory_order_release);
+    return n;
+  }
+
+  /// Closed and fully drained: no value will ever arrive again. Consumer
+  /// view; pair with a try_pop_burst() that returned 0.
+  [[nodiscard]] bool drained() const {
+    // Order matters: closed must be read before emptiness, otherwise a
+    // close() racing between the two loads could report a live stream as
+    // drained while its last values are still in the ring.
+    const bool closed = closed_.load(std::memory_order_acquire);
+    const bool empty = tail_.load(std::memory_order_relaxed) ==
+                       head_.load(std::memory_order_acquire);
+    return closed && empty;
+  }
+
+  /// Cooperative kernels report one blocked episode per continuous wait.
+  void note_push_stall() { ++push_stalls_; }
+  void note_pop_stall() { ++pop_stalls_; }
+
+  // ---- blocking API ------------------------------------------------------
+
   /// Blocking push. Must only be called by the single producer thread.
   /// Blocks while exactly `capacity` values are in flight — the FIFO depth
   /// is honored precisely so capacity doubles as a buffer-size model.
-  void push(std::int32_t v) {
-    const std::size_t head = head_.load(std::memory_order_relaxed);
-    const std::size_t next = (head + 1) & mask_;
+  void push(std::int32_t v) { push_burst({&v, 1}); }
+
+  /// Blocking burst push: transfers ALL of `vs`, in chunks when the burst
+  /// exceeds the free space (or the whole capacity). One blocked episode
+  /// is counted per continuous wait.
+  void push_burst(std::span<const std::int32_t> vs) {
     bool stalled = false;
-    while (((head - tail_.load(std::memory_order_acquire)) & mask_) >=
-           capacity_) {
-      if (!stalled) {
-        stalled = true;
-        ++push_stalls_;
+    while (!vs.empty()) {
+      const std::size_t n = try_push_burst(vs);
+      if (n == 0) {
+        if (!stalled) {
+          stalled = true;
+          ++push_stalls_;
+        }
+        check_abort();
+        backoff();
+        continue;
       }
-      check_abort();
-      backoff();
+      stalled = false;
+      vs = vs.subspan(n);
     }
-    buf_[head] = v;
-    head_.store(next, std::memory_order_release);
-    ++pushed_;
   }
 
   /// Blocking pop. Returns false iff the stream is closed and drained.
-  bool pop(std::int32_t& v) {
-    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+  bool pop(std::int32_t& v) { return pop_burst({&v, 1}) == 1; }
+
+  /// Blocking burst pop: waits until at least one value is available (or
+  /// the stream is drained) and transfers up to `out.size()`. Returns the
+  /// number of values transferred; 0 means closed and drained.
+  std::size_t pop_burst(std::span<std::int32_t> out) {
     bool stalled = false;
-    while (tail == head_.load(std::memory_order_acquire)) {
-      if (closed_.load(std::memory_order_acquire) &&
-          tail == head_.load(std::memory_order_acquire)) {
-        return false;
-      }
+    for (;;) {
+      const std::size_t n = try_pop_burst(out);
+      if (n != 0) return n;
+      if (drained()) return 0;
       if (!stalled) {
         stalled = true;
         ++pop_stalls_;
@@ -79,9 +165,6 @@ class Stream {
       check_abort();
       backoff();
     }
-    v = buf_[tail];
-    tail_.store((tail + 1) & mask_, std::memory_order_release);
-    return true;
   }
 
   /// Producer signals end of data; pending values remain poppable.
@@ -89,13 +172,14 @@ class Stream {
 
   /// Reset to the freshly constructed state. Only valid while no producer
   /// or consumer threads are active (the engine calls this between runs).
+  /// Values left in flight by an aborted run are discarded — the ring is
+  /// drained and re-armed, so a failed run() never poisons the next one.
   void reset() {
-    QNN_CHECK(head_.load() == tail_.load(),
-              "resetting stream '" + name_ + "' with values in flight");
     head_.store(0);
     tail_.store(0);
     closed_.store(false);
     pushed_ = 0;
+    transactions_ = 0;
     push_stalls_ = 0;
     pop_stalls_ = 0;
   }
@@ -104,14 +188,18 @@ class Stream {
     return closed_.load(std::memory_order_acquire);
   }
   [[nodiscard]] int bits() const { return bits_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   /// Total values pushed over the stream's lifetime (producer thread view).
   [[nodiscard]] std::uint64_t pushed() const { return pushed_; }
+  /// Producer-side ring transfers; pushed()/transactions() is the mean
+  /// burst occupancy of this FIFO (producer thread view).
+  [[nodiscard]] std::uint64_t transactions() const { return transactions_; }
   /// Blocking episodes on the producer side (FIFO full when push arrived).
-  /// Counted once per blocked call, not per spin; producer thread view.
+  /// Counted once per blocked episode, not per spin; producer thread view.
   [[nodiscard]] std::uint64_t push_stalls() const { return push_stalls_; }
   /// Blocking episodes on the consumer side (FIFO empty when pop arrived).
-  /// Counted once per blocked call, not per spin; consumer thread view.
+  /// Counted once per blocked episode, not per spin; consumer thread view.
   [[nodiscard]] std::uint64_t pop_stalls() const { return pop_stalls_; }
 
  private:
@@ -149,6 +237,7 @@ class Stream {
   std::atomic<bool> closed_{false};
   const std::atomic<bool>* abort_ = nullptr;
   std::uint64_t pushed_ = 0;
+  std::uint64_t transactions_ = 0;
   std::uint64_t push_stalls_ = 0;
   std::uint64_t pop_stalls_ = 0;
 };

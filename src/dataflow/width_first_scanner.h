@@ -56,6 +56,15 @@ class WidthFirstScanner {
     int ox;
   };
 
+  /// Consecutive positions from the cursor that take real stream values
+  /// (one value per position in this channel-major order); 0 when the next
+  /// position is padding or the scan is done. Mirrors
+  /// WindowScanner::real_run() so both scan orders support burst ingest.
+  [[nodiscard]] std::int64_t real_run() const {
+    if (done() || next_is_padding()) return 0;
+    return pad_ + in_.w - x_;
+  }
+
   /// Advance by one value of the channel-major stream.
   std::optional<Completed> advance(std::int32_t v) {
     QNN_DCHECK(!done(), "advance past end of scan");

@@ -57,6 +57,16 @@ class WindowScanner {
     int ox;
   };
 
+  /// Number of consecutive scan positions starting at the cursor that take
+  /// REAL stream values (no padding until at least the end of the current
+  /// row's interior). Lets a burst-mode kernel ingest a row segment at a
+  /// time without a per-value padding test; 0 when the next position is a
+  /// padding injection or the scan is done.
+  [[nodiscard]] std::int64_t real_run() const {
+    if (done() || next_is_padding()) return 0;
+    return static_cast<std::int64_t>(pad_ + in_.w - x_) * in_.c - c_;
+  }
+
   /// Advance the scan by one value: a real stream value when
   /// !next_is_padding(), ignored otherwise (the pad value is injected).
   /// Returns the output position whose window just completed, if any.

@@ -58,6 +58,8 @@ std::vector<IntTensor> DfeSession::infer_batch(
   return state_->engine->run(images, stats);
 }
 
+void DfeSession::cancel() { state_->engine->cancel(); }
+
 int DfeSession::classify(const IntTensor& image) {
   const IntTensor logits = infer(image);
   int best = 0;

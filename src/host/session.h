@@ -69,6 +69,11 @@ class DfeSession {
   /// Top-1 class of one image.
   [[nodiscard]] int classify(const IntTensor& image);
 
+  /// Abort an in-flight infer()/infer_batch()/classify() from another
+  /// thread (e.g. a serving-side deadline): the inference call throws and
+  /// the session stays usable — the engine re-arms on the next run.
+  void cancel();
+
   [[nodiscard]] const NetworkSpec& spec() const;
   [[nodiscard]] const Pipeline& pipeline() const;
   [[nodiscard]] const NetworkParams& params() const;

@@ -50,6 +50,8 @@ MetricsSnapshot ServerMetrics::snapshot() const {
   s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
   s.values_streamed = values_streamed_.load(std::memory_order_relaxed);
+  s.stream_transactions =
+      stream_transactions_.load(std::memory_order_relaxed);
   s.push_stalls = push_stalls_.load(std::memory_order_relaxed);
   s.pop_stalls = pop_stalls_.load(std::memory_order_relaxed);
   return s;
@@ -73,6 +75,8 @@ std::string ServerMetrics::report() const {
   os << "  latency end-to-end " << end_to_end_.summary() << "\n";
   os << "  pipeline: " << s.values_streamed << " values streamed, "
      << s.push_stalls << " push stalls, " << s.pop_stalls << " pop stalls\n";
+  os << "  bursts:   " << s.stream_transactions << " transactions, mean "
+     << Table::num(s.mean_burst_occupancy(), 1) << " values/transaction\n";
   return os.str();
 }
 

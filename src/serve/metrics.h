@@ -79,6 +79,7 @@ struct MetricsSnapshot {
   std::uint64_t max_queue_depth = 0;
   // Aggregated StreamEngine::RunStats across every infer_batch call.
   std::uint64_t values_streamed = 0;
+  std::uint64_t stream_transactions = 0;
   std::uint64_t push_stalls = 0;
   std::uint64_t pop_stalls = 0;
 
@@ -86,6 +87,15 @@ struct MetricsSnapshot {
     return batches == 0 ? 0.0
                         : static_cast<double>(batched_requests) /
                               static_cast<double>(batches);
+  }
+  /// Mean values moved per FIFO ring transaction across the pipelines —
+  /// how well the burst transport amortizes its synchronization (1.0 =
+  /// scalar transfers; EngineOptions::burst is the upper bound).
+  [[nodiscard]] double mean_burst_occupancy() const {
+    return stream_transactions == 0
+               ? 0.0
+               : static_cast<double>(values_streamed) /
+                     static_cast<double>(stream_transactions);
   }
   [[nodiscard]] std::uint64_t rejected() const {
     return rejected_overload + rejected_deadline + rejected_shutdown;
@@ -106,9 +116,10 @@ class ServerMetrics {
     inc(batches_);
     batched_requests_.fetch_add(size, std::memory_order_relaxed);
   }
-  void on_engine_stats(std::uint64_t values, std::uint64_t pushes,
-                       std::uint64_t pops) {
+  void on_engine_stats(std::uint64_t values, std::uint64_t transactions,
+                       std::uint64_t pushes, std::uint64_t pops) {
     values_streamed_.fetch_add(values, std::memory_order_relaxed);
+    stream_transactions_.fetch_add(transactions, std::memory_order_relaxed);
     push_stalls_.fetch_add(pushes, std::memory_order_relaxed);
     pop_stalls_.fetch_add(pops, std::memory_order_relaxed);
   }
@@ -156,6 +167,7 @@ class ServerMetrics {
   std::atomic<std::uint64_t> queue_depth_{0};
   std::atomic<std::uint64_t> max_queue_depth_{0};
   std::atomic<std::uint64_t> values_streamed_{0};
+  std::atomic<std::uint64_t> stream_transactions_{0};
   std::atomic<std::uint64_t> push_stalls_{0};
   std::atomic<std::uint64_t> pop_stalls_{0};
   LatencyHistogram queue_wait_;

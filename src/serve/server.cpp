@@ -120,7 +120,8 @@ struct DfeServer::Impl {
     try {
       StreamEngine::RunStats stats;
       std::vector<IntTensor> outputs = session.infer_batch(images, &stats);
-      metrics.on_engine_stats(stats.values_streamed, stats.push_stalls,
+      metrics.on_engine_stats(stats.values_streamed,
+                              stats.stream_transactions, stats.push_stalls,
                               stats.pop_stalls);
       const Clock::time_point done = Clock::now();
       for (std::size_t i = 0; i < live.size(); ++i) {

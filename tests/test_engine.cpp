@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "models/zoo.h"
 #include "nn/reference.h"
 #include "test_util.h"
@@ -9,14 +12,16 @@
 namespace qnn {
 namespace {
 
-/// The central correctness claim: the threaded streaming engine is
-/// bit-exact against the golden layer-by-layer reference executor.
+/// The central correctness claim: the streaming engine is bit-exact
+/// against the golden layer-by-layer reference executor — under every
+/// executor model and burst size.
 void expect_engine_matches_reference(const NetworkSpec& spec,
-                                     std::uint64_t seed, int images) {
+                                     std::uint64_t seed, int images,
+                                     EngineOptions opt = {}) {
   const Pipeline p = expand(spec);
   const NetworkParams params = NetworkParams::random(p, seed);
   const ReferenceExecutor ref(p, params);
-  StreamEngine engine(p, params);
+  StreamEngine engine(p, params, opt);
   Rng rng(seed ^ 0xabcdef);
   std::vector<IntTensor> batch;
   batch.reserve(static_cast<std::size_t>(images));
@@ -159,6 +164,72 @@ TEST(Engine, RejectsWrongImageShape) {
   const NetworkParams params = NetworkParams::random(p, 24);
   StreamEngine engine(p, params);
   EXPECT_THROW((void)engine.run_one(IntTensor(Shape{8, 8, 3})), Error);
+}
+
+// Every zoo-style topology must be bit-exact in both executor modes and
+// at both ends of the burst spectrum (1 = scalar transport).
+TEST(EngineExecutors, BitExactAcrossExecutorAndBurstMatrix) {
+  NetworkSpec res;
+  res.name = "res_matrix";
+  res.input = Shape{12, 12, 3};
+  res.conv(4, 3, 1, 1);
+  res.residual(8, 2);
+  res.residual(8, 1);
+  res.avg_pool_global();
+  res.dense(4, false);
+
+  const NetworkSpec specs[] = {models::tiny(12, 4, 2), res,
+                               models::vgg_like(16, 10, 2),
+                               models::finn_cnv(10, 2)};
+  std::uint64_t seed = 31;
+  for (const NetworkSpec& spec : specs) {
+    for (const ExecutorKind kind :
+         {ExecutorKind::kThreadPerKernel, ExecutorKind::kPooled}) {
+      for (const std::size_t burst : {std::size_t{1}, std::size_t{256}}) {
+        EngineOptions opt;
+        opt.executor = kind;
+        opt.burst = burst;
+        SCOPED_TRACE(spec.name + " burst=" + std::to_string(burst) +
+                     (kind == ExecutorKind::kPooled ? " pooled" : " thread"));
+        expect_engine_matches_reference(spec, seed++, 2, opt);
+      }
+    }
+  }
+}
+
+// Regression for the reset-poisoning bug: a run that aborts (here via
+// cancel(), which makes the feeder-side task throw) must leave the engine
+// fully reusable — the next run starts from pristine streams and kernels
+// and stays bit-exact.
+TEST(EngineRecovery, RecoversAfterCancelledRunInBothModes) {
+  for (const ExecutorKind kind :
+       {ExecutorKind::kThreadPerKernel, ExecutorKind::kPooled}) {
+    EngineOptions opt;
+    opt.executor = kind;
+    const Pipeline p = expand(models::tiny(12, 4, 2));
+    const NetworkParams params = NetworkParams::random(p, 29);
+    StreamEngine engine(p, params, opt);
+    Rng rng(30);
+    const IntTensor img = testutil::random_image(12, 12, 3, rng);
+    const IntTensor good = engine.run_one(img);
+
+    std::vector<IntTensor> batch;
+    for (int i = 0; i < 64; ++i) batch.push_back(img);
+    std::atomic<bool> stop{false};
+    // Hammer cancel() so the abort lands inside the run with certainty.
+    std::thread canceller([&] {
+      while (!stop.load()) {
+        engine.cancel();
+        std::this_thread::yield();
+      }
+    });
+    EXPECT_THROW((void)engine.run(batch), Error);
+    stop.store(true);
+    canceller.join();
+
+    EXPECT_EQ(engine.run_one(img), good)
+        << (kind == ExecutorKind::kPooled ? "pooled" : "thread-per-kernel");
+  }
 }
 
 TEST(Engine, KernelAndStreamCountsMatchTopology) {

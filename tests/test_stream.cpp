@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -120,6 +122,152 @@ TEST(Stream, RejectsBadConfig) {
   EXPECT_THROW(Stream(0, 8, "x"), Error);
   EXPECT_THROW(Stream(4, 0, "x"), Error);
   EXPECT_THROW(Stream(4, 64, "x"), Error);
+}
+
+TEST(Stream, ResetReArmsAfterAbandonedRun) {
+  // Regression: reset() used to QNN_CHECK(head_ == tail_), so a stream
+  // holding values from an aborted run poisoned the engine permanently.
+  Stream s(8, 8, "reset");
+  s.push(1);
+  s.push(2);
+  s.close();
+  s.reset();
+  EXPECT_FALSE(s.closed());
+  EXPECT_EQ(s.pushed(), 0u);
+  EXPECT_EQ(s.transactions(), 0u);
+  EXPECT_EQ(s.push_stalls(), 0u);
+  s.push(7);
+  s.close();
+  std::int32_t v = 0;
+  EXPECT_TRUE(s.pop(v));
+  EXPECT_EQ(v, 7);
+  EXPECT_FALSE(s.pop(v));
+}
+
+TEST(StreamBurst, BurstRoundTripKeepsOrder) {
+  Stream s(64, 8, "burst");
+  std::vector<std::int32_t> in(40);
+  std::iota(in.begin(), in.end(), 100);
+  s.push_burst(in);
+  s.close();
+  std::vector<std::int32_t> out(64);
+  const std::size_t n = s.pop_burst(out);
+  EXPECT_EQ(n, in.size());
+  EXPECT_TRUE(std::equal(in.begin(), in.end(), out.begin()));
+  EXPECT_EQ(s.pop_burst(out), 0u);  // closed and drained
+}
+
+TEST(StreamBurst, TransactionsCountRingTransfersNotValues) {
+  Stream s(64, 8, "tx");
+  std::vector<std::int32_t> vs(10);
+  std::iota(vs.begin(), vs.end(), 0);
+  s.push_burst(vs);  // fits entirely: one ring transaction
+  EXPECT_EQ(s.pushed(), 10u);
+  EXPECT_EQ(s.transactions(), 1u);
+  s.push(42);  // scalar = degenerate burst of one
+  EXPECT_EQ(s.pushed(), 11u);
+  EXPECT_EQ(s.transactions(), 2u);
+}
+
+TEST(StreamBurst, TryPushRespectsCapacityAndReportsPartial) {
+  Stream s(8, 8, "cap");
+  std::vector<std::int32_t> vs(12);
+  std::iota(vs.begin(), vs.end(), 0);
+  EXPECT_EQ(s.try_push_burst(vs), 8u);  // capacity honored exactly
+  EXPECT_EQ(s.try_push_burst(std::span<const std::int32_t>(vs).subspan(8)),
+            0u);
+  std::vector<std::int32_t> out(3);
+  EXPECT_EQ(s.try_pop_burst(out), 3u);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{0, 1, 2}));
+  EXPECT_EQ(s.try_push_burst(std::span<const std::int32_t>(vs).subspan(8)),
+            3u);  // freed space, wrap-around segment
+}
+
+// Property test: any interleaving of scalar and burst push/pop of random
+// sizes is FIFO across capacities, including tiny rings that wrap
+// thousands of times.
+TEST(StreamBurst, InterleavedScalarAndBurstPreserveFifoOrder) {
+  std::mt19937 rng(0xB0057u);
+  for (const std::size_t cap : {1u, 2u, 3u, 5u, 8u, 17u, 64u}) {
+    Stream s(cap, 8, "prop");
+    const std::int32_t total = 4000;
+    std::int32_t next_in = 0;   // next value to produce
+    std::int32_t next_out = 0;  // next value expected by the consumer
+    std::vector<std::int32_t> chunk;
+    std::vector<std::int32_t> out(2 * cap + 8);
+    while (next_out < total) {
+      const std::size_t used = static_cast<std::size_t>(next_in - next_out);
+      // Producer action: scalar push when there is room, else a burst of
+      // random size (possibly exceeding free space — partial transfer).
+      if (next_in < total) {
+        if (rng() % 3 == 0 && used < cap) {
+          s.push(next_in++);
+        } else {
+          chunk.clear();
+          const std::size_t want = rng() % 7;
+          for (std::size_t i = 0;
+               i < want && next_in + static_cast<std::int32_t>(i) < total;
+               ++i) {
+            chunk.push_back(next_in + static_cast<std::int32_t>(i));
+          }
+          next_in +=
+              static_cast<std::int32_t>(s.try_push_burst(chunk));
+        }
+      }
+      // Consumer action: scalar pop when a value is ready, else a burst.
+      if (rng() % 3 == 0 && next_in > next_out) {
+        std::int32_t v = -1;
+        ASSERT_TRUE(s.pop(v));
+        ASSERT_EQ(v, next_out++) << "cap " << cap;
+      } else {
+        const std::size_t want = rng() % (out.size() - 1) + 1;
+        const std::size_t n =
+            s.try_pop_burst(std::span<std::int32_t>(out).first(want));
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(out[i], next_out++) << "cap " << cap;
+        }
+      }
+    }
+    EXPECT_EQ(s.pushed(), static_cast<std::uint64_t>(total));
+    EXPECT_LE(s.transactions(), s.pushed());
+  }
+}
+
+// Two-thread stress: producer and consumer move bursts of varying size
+// through a small ring concurrently. Run under -DQNN_SANITIZE=thread this
+// validates the acquire/release pairing of the burst fast path.
+TEST(StreamBurst, TwoThreadBurstStressKeepsSequence) {
+  Stream s(37, 16, "stress");
+  const std::int32_t total = 200000;
+  std::thread consumer([&] {
+    std::vector<std::int32_t> buf(61);
+    std::int32_t expect = 0;
+    std::size_t want = 1;
+    for (;;) {
+      const std::size_t n =
+          s.pop_burst(std::span<std::int32_t>(buf).first(want));
+      if (n == 0) break;  // closed and drained
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(buf[i], expect++);
+      }
+      want = want % buf.size() + 1;
+    }
+    EXPECT_EQ(expect, total);
+  });
+  std::vector<std::int32_t> vs(total);
+  std::iota(vs.begin(), vs.end(), 0);
+  std::span<const std::int32_t> rest(vs);
+  std::size_t len = 1;
+  while (!rest.empty()) {
+    const std::size_t n = std::min(len, rest.size());
+    s.push_burst(rest.first(n));
+    rest = rest.subspan(n);
+    len = len % 97 + 1;
+  }
+  s.close();
+  consumer.join();
+  EXPECT_EQ(s.pushed(), static_cast<std::uint64_t>(total));
+  EXPECT_LT(s.transactions(), s.pushed());  // bursts actually coalesced
 }
 
 }  // namespace
