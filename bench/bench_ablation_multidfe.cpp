@@ -72,7 +72,8 @@ int main() {
     s.add_row({spec.name,
                Table::integer(static_cast<std::int64_t>(solo)),
                Table::integer(static_cast<std::int64_t>(split)),
-               Table::num(100.0 * (static_cast<double>(split) / solo - 1.0),
+               Table::num(100.0 * (static_cast<double>(split) /
+                                       static_cast<double>(solo) - 1.0),
                           2) +
                    "%"});
   }

@@ -49,13 +49,15 @@ int main() {
                  std::to_string(n.k) + "x" + std::to_string(n.k) + "x" +
                      std::to_string(n.in.c),
                  Table::integer(df), Table::integer(wf),
-                 Table::num(static_cast<double>(wf) / df, 1) + "x"});
+                 Table::num(static_cast<double>(wf) /
+                                static_cast<double>(df), 1) + "x"});
     }
     std::cout << w.label << ":\n";
     t.print(std::cout);
     std::cout << "total buffered values: depth-first " << df_total
               << " vs width-first " << wf_total << " ("
-              << Table::num(static_cast<double>(wf_total) / df_total, 1)
+              << Table::num(static_cast<double>(wf_total) /
+                                static_cast<double>(df_total), 1)
               << "x more)\n\n";
   }
   std::cout << "Reading: depth-first scan is why all images are streamed "

@@ -33,8 +33,10 @@ int main() {
                Table::integer(static_cast<std::int64_t>(r.bram_kbits())),
                Table::num(dlut, 1), Table::num(dff, 1),
                Table::num(dbram, 1),
-               Table::num(100.0 * (r.luts - base.luts) / dev.luts, 1),
-               Table::num(100.0 * (r.ffs - base.ffs) / dev.ffs, 1),
+               Table::num(100.0 * (r.luts - base.luts) /
+                              static_cast<double>(dev.luts), 1),
+               Table::num(100.0 * (r.ffs - base.ffs) /
+                              static_cast<double>(dev.ffs), 1),
                Table::num(100.0 *
                               (r.bram_blocks - base.bram_blocks) /
                               dev.bram_blocks,

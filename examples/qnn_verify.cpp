@@ -1,0 +1,82 @@
+// qnn_verify: run the static dataflow-graph analyzer on a zoo model and
+// print the full diagnostic report — the software analog of the Maxeler
+// compile-time graph checks (see verify/graph_check.h and DESIGN.md).
+//
+//   qnn_verify [model] [input_size] [fifo_capacity]
+//     model          resnet18 | resnet34 | resnet18_noskip | alexnet |
+//                    vgg | finn | tiny                 (default resnet18)
+//     input_size     pixels per side                  (default per model)
+//     fifo_capacity  user FIFO depth in values, 0 = auto line-buffer
+//                    sizing                           (default 0)
+//
+// Exit status: 0 when the graph verifies clean (warnings allowed),
+// 1 when any error-severity diagnostic is present, 2 on bad usage.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "models/zoo.h"
+#include "partition/partitioner.h"
+#include "verify/graph_check.h"
+
+int main(int argc, char** argv) {
+  using namespace qnn;
+  const std::string model = argc > 1 ? argv[1] : "resnet18";
+  const int default_size =
+      model == "vgg" ? 32 : (model == "finn" ? 32 : (model == "tiny" ? 12
+                                                                     : 224));
+  const int size = argc > 2 ? std::atoi(argv[2]) : default_size;
+  const std::size_t fifo_capacity =
+      argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 0;
+
+  NetworkSpec spec;
+  if (model == "resnet18") {
+    spec = models::resnet18(size, 1000, 2);
+  } else if (model == "resnet34") {
+    spec = models::resnet34(size, 1000, 2);
+  } else if (model == "resnet18_noskip") {
+    spec = models::resnet18_noskip(size, 1000, 2);
+  } else if (model == "alexnet") {
+    spec = models::alexnet(size, 1000, 2);
+  } else if (model == "vgg") {
+    spec = models::vgg_like(size, 10, 2);
+  } else if (model == "finn") {
+    spec = models::finn_cnv(10, 2);
+  } else if (model == "tiny") {
+    spec = models::tiny(size, 4, 2);
+  } else {
+    std::cerr << "unknown model '" << model
+              << "' (use resnet18 | resnet34 | resnet18_noskip | alexnet | "
+                 "vgg | finn | tiny)\n";
+    return 2;
+  }
+
+  const Pipeline pipeline = expand(spec);
+  const NetworkParams params = NetworkParams::random(pipeline, /*seed=*/1);
+  EngineOptions options;
+  options.fifo_capacity = fifo_capacity;
+
+  // The same placement DfeSession::compile would use, so the report covers
+  // the multi-DFE feasibility checks too.
+  const PartitionConfig partition_config;
+  const PartitionResult placement =
+      partition_optimal(pipeline, partition_config);
+
+  const Report report = verify_all(pipeline, &params, options, &placement,
+                                   partition_config);
+
+  const FifoPlan plan = plan_fifos(pipeline, options);
+  std::cout << spec.name << ": " << pipeline.size() << " kernels, "
+            << plan.streams.size() << " streams, "
+            << plan.total_capacity() << " buffered values ("
+            << (fifo_capacity == 0 ? std::string("auto line-buffer sizing")
+                                   : "fifo_capacity = " +
+                                         std::to_string(fifo_capacity))
+            << ", burst " << plan.burst << "), " << placement.num_dfes()
+            << " DFE(s)\n\n";
+
+  const std::string findings = report.str();
+  if (!findings.empty()) std::cout << findings << "\n";
+  std::cout << report.summary() << "\n";
+  return report.ok() ? 0 : 1;
+}

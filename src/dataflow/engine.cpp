@@ -3,18 +3,10 @@
 #include <algorithm>
 #include <chrono>
 
+#include "verify/graph_check.h"
+
 namespace qnn {
 namespace {
-
-/// The paper's depth-first line-buffer size (§III-B1b) for the input of a
-/// window kernel, on the padded map: I * (W_p * (K-1) + K) values. Used as
-/// the default FIFO depth of edges feeding Conv/Pool kernels, so software
-/// buffering matches what the resource model charges the hardware for.
-std::size_t line_buffer_values(const Node& n) {
-  const std::int64_t wp = n.in.w + 2 * n.pad;
-  return static_cast<std::size_t>(static_cast<std::int64_t>(n.in.c) *
-                                  (wp * (n.k - 1) + n.k));
-}
 
 /// Streams the batch into the pipeline input, one image tail per ring
 /// transaction — the DMA side of the depth-first pixel order (§III-B1b).
@@ -125,105 +117,81 @@ Stream& StreamEngine::make_stream(std::size_t capacity, int bits,
 StreamEngine::StreamEngine(const Pipeline& pipeline,
                            const NetworkParams& params, EngineOptions options)
     : pipeline_(pipeline), params_(params), options_(options) {
-  pipeline_.validate();
   QNN_CHECK(options_.burst >= 1, "burst size must be positive");
+  if (options_.verify) {
+    // The Maxeler toolchain rejects malformed kernel graphs at compile
+    // time; this is our equivalent. Every defect the engine would hit as
+    // a hang, crash or poisoned stream becomes a structured error here —
+    // run it before validate() so failures carry QNN-Dxxx codes.
+    enforce(verify_graph(pipeline, &params, options_), "StreamEngine");
+  }
+  pipeline_.validate();
   executor_ = options_.executor == ExecutorKind::kPooled
                   ? make_pooled_executor(options_.pool_threads)
                   : make_thread_per_kernel_executor();
+
+  // All FIFO sizing lives in plan_fifos (verify/graph_check.h) — the same
+  // plan the analyzer proves deadlock-free is the one built here, stream
+  // for stream. `burst` is the option value clamped to the smallest user
+  // FIFO so one transaction can never exceed a ring (QNN-D302).
+  const FifoPlan plan = plan_fifos(pipeline, options_);
+  const std::size_t burst = plan.burst;
 
   // Input port streams of every node, filled as edges are created.
   std::vector<Stream*> main_in(static_cast<std::size_t>(pipeline.size()),
                                nullptr);
   std::vector<Stream*> skip_in(static_cast<std::size_t>(pipeline.size()),
                                nullptr);
-
-  // Default depth for edges whose consumer needs no line buffer: enough
-  // for double-buffered bursts so producer and consumer overlap.
-  const std::size_t plain_capacity =
-      options_.fifo_capacity != 0
-          ? options_.fifo_capacity
-          : std::max<std::size_t>(2 * options_.burst, 64);
-
-  // Wire the output of producer `p` (-1 = pipeline input) to its consumers,
-  // inserting a fork kernel when the stream fans out.
-  auto wire = [&](int p, const Shape& shape, int bits, Stream*& direct_out) {
-    std::vector<int> consumers;
-    for (int j = 0; j < pipeline.size(); ++j) {
-      const Node& n = pipeline.node(j);
-      if (n.main_from == p) consumers.push_back(j);
-      if (n.skip_from == p && p >= 0) consumers.push_back(j);
-    }
-    const std::string pname =
-        p < 0 ? "input" : pipeline.node(p).name;
-    auto capacity_for = [&](int consumer) -> std::size_t {
-      const Node& n = pipeline.node(consumer);
-      if (n.kind == NodeKind::Add && n.skip_from == p &&
-          !(n.main_from == p)) {
-        // The skip-path FIFO is sized to hold a full feature map plus
-        // slack, whatever fifo_capacity says: functionally it subsumes
-        // the delay-compensation buffer of §III-B5 (which only needs to
-        // cover the regular path's *lag*, a prefix of the map).
-        const std::size_t cap =
-            static_cast<std::size_t>(shape.elems()) + options_.skip_slack;
-        QNN_CHECK(cap >= static_cast<std::size_t>(shape.elems()),
-                  "skip FIFO must subsume the delay buffer");
-        return cap;
-      }
-      if (options_.fifo_capacity != 0) return options_.fifo_capacity;
-      // Auto mode: a window kernel's input FIFO is its §III-B1b line
-      // buffer; anything deeper buys nothing the scanner can use.
-      if (n.is_window_op()) {
-        return std::max(line_buffer_values(n), plain_capacity);
-      }
-      return plain_capacity;
-    };
-    auto attach = [&](int consumer, Stream& s) {
-      const Node& n = pipeline.node(consumer);
-      if (n.main_from == p && main_in[static_cast<std::size_t>(consumer)] ==
-                                  nullptr) {
-        main_in[static_cast<std::size_t>(consumer)] = &s;
-      } else {
-        QNN_CHECK(n.skip_from == p, "edge wiring inconsistency");
-        skip_in[static_cast<std::size_t>(consumer)] = &s;
-      }
-    };
-
-    if (consumers.empty()) {
-      // Only the final node has no consumers; its stream is the output.
-      direct_out = &make_stream(plain_capacity, bits, pname + "->output");
-      return;
-    }
-    if (consumers.size() == 1) {
-      Stream& s =
-          make_stream(capacity_for(consumers[0]), bits,
-                      pname + "->" + pipeline.node(consumers[0]).name);
-      attach(consumers[0], s);
-      direct_out = &s;
-      return;
-    }
-    // Fan-out: producer -> fork -> one stream per consumer.
-    Stream& trunk = make_stream(plain_capacity, bits, pname + "->fork");
-    std::vector<Stream*> branches;
-    branches.reserve(consumers.size());
-    for (int consumer : consumers) {
-      Stream& s = make_stream(capacity_for(consumer), bits,
-                              pname + "=>" + pipeline.node(consumer).name);
-      attach(consumer, s);
-      branches.push_back(&s);
-    }
-    kernels_.push_back(std::make_unique<ForkKernel>(
-        "fork_" + pname, trunk, std::move(branches), options_.burst));
-    direct_out = &trunk;
-  };
-
-  wire(-1, pipeline.input, pipeline.input_bits, input_stream_);
-
   std::vector<Stream*> node_out(static_cast<std::size_t>(pipeline.size()),
                                 nullptr);
-  for (int i = 0; i < pipeline.size(); ++i) {
-    const Node& n = pipeline.node(i);
-    wire(i, n.out, n.out_bits, node_out[static_cast<std::size_t>(i)]);
+
+  auto producer_out = [&](int p) -> Stream*& {
+    return p < 0 ? input_stream_ : node_out[static_cast<std::size_t>(p)];
+  };
+  auto attach = [&](const PlannedStream& ps, Stream& s) {
+    if (ps.to_skip_port) {
+      skip_in[static_cast<std::size_t>(ps.consumer)] = &s;
+    } else {
+      main_in[static_cast<std::size_t>(ps.consumer)] = &s;
+    }
+  };
+
+  const std::vector<PlannedStream>& planned = plan.streams;
+  for (std::size_t idx = 0; idx < planned.size(); ++idx) {
+    const PlannedStream& ps = planned[idx];
+    Stream& s = make_stream(ps.capacity, ps.bits, ps.name);
+    switch (ps.role) {
+      case PlannedStream::Role::kOutput:
+        producer_out(ps.producer) = &s;
+        break;
+      case PlannedStream::Role::kDirect:
+        producer_out(ps.producer) = &s;
+        attach(ps, s);
+        break;
+      case PlannedStream::Role::kTrunk: {
+        producer_out(ps.producer) = &s;
+        // The branches of this fork follow the trunk in plan order.
+        std::vector<Stream*> branches;
+        while (idx + 1 < planned.size() &&
+               planned[idx + 1].role == PlannedStream::Role::kBranch) {
+          ++idx;
+          const PlannedStream& bs = planned[idx];
+          Stream& b = make_stream(bs.capacity, bs.bits, bs.name);
+          attach(bs, b);
+          branches.push_back(&b);
+        }
+        const std::string pname =
+            ps.producer < 0 ? "input" : pipeline.node(ps.producer).name;
+        kernels_.push_back(std::make_unique<ForkKernel>(
+            "fork_" + pname, s, std::move(branches), burst));
+        break;
+      }
+      case PlannedStream::Role::kBranch:
+        QNN_CHECK(false, "fork branch without a trunk in the FIFO plan");
+        break;
+    }
   }
+
   output_stream_ = node_out[static_cast<std::size_t>(pipeline.size() - 1)];
   QNN_CHECK(output_stream_ != nullptr, "output stream not wired");
 
@@ -236,22 +204,22 @@ StreamEngine::StreamEngine(const Pipeline& pipeline,
     switch (n.kind) {
       case NodeKind::Conv:
         kernels_.push_back(std::make_unique<ConvKernel>(
-            n, params.conv(n).weights, *in, *out, options_.burst));
+            n, params.conv(n).weights, *in, *out, burst));
         break;
       case NodeKind::MaxPool:
       case NodeKind::AvgPool:
         kernels_.push_back(
-            std::make_unique<PoolKernel>(n, *in, *out, options_.burst));
+            std::make_unique<PoolKernel>(n, *in, *out, burst));
         break;
       case NodeKind::BnAct:
         kernels_.push_back(std::make_unique<BnActKernel>(
-            n, params.bnact(n).thresholds, *in, *out, options_.burst));
+            n, params.bnact(n).thresholds, *in, *out, burst));
         break;
       case NodeKind::Add: {
         Stream* skip = skip_in[static_cast<std::size_t>(i)];
         QNN_CHECK(skip != nullptr, "add node " + n.name + " missing skip");
-        kernels_.push_back(std::make_unique<AddKernel>(n, *in, *skip, *out,
-                                                       options_.burst));
+        kernels_.push_back(
+            std::make_unique<AddKernel>(n, *in, *skip, *out, burst));
         break;
       }
     }

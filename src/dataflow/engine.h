@@ -52,6 +52,11 @@ struct EngineOptions {
   ExecutorKind executor = ExecutorKind::kPooled;
   /// Worker count for ExecutorKind::kPooled; 0 = hardware_concurrency.
   unsigned pool_threads = 0;
+  /// Run the static analyzer (verify/graph_check.h) during construction
+  /// and refuse to build a graph with any error-severity finding. The
+  /// software analog of the Maxeler compile-time graph checks; off only
+  /// for tests that need to instantiate deliberately broken graphs.
+  bool verify = true;
 };
 
 class StreamEngine {

@@ -5,6 +5,7 @@
 #include "io/table.h"
 #include "nn/serialize.h"
 #include "nn/summary.h"
+#include "verify/graph_check.h"
 
 namespace qnn {
 
@@ -30,6 +31,15 @@ DfeSession DfeSession::compile(const NetworkSpec& spec, NetworkParams params,
   state->spec = spec;
   state->pipeline = expand(spec);
   state->params = std::move(params);
+  const std::string context =
+      "DfeSession::compile(" + state->pipeline.name + ")";
+  if (config.engine.verify) {
+    // Static verification with structured QNN-Dxxx codes before anything
+    // else touches the graph: structure, shapes/bit widths, parameter
+    // banks and FIFO capacities (verify/graph_check.h).
+    enforce(verify_graph(state->pipeline, &state->params, config.engine),
+            context);
+  }
   QNN_CHECK(static_cast<int>(state->params.convs.size()) ==
                 state->pipeline.num_conv_params,
             "parameters do not match the network (conv banks)");
@@ -39,6 +49,14 @@ DfeSession DfeSession::compile(const NetworkSpec& spec, NetworkParams params,
   state->estimate =
       estimate_fpga(state->pipeline, config.sim, config.partition,
                     config.board, /*run_cycle_sim=*/!config.fast_estimate);
+  if (config.engine.verify) {
+    // The estimator chose a placement; prove it feasible (MaxRing link
+    // rates and per-DFE resource totals) before the engine is built.
+    Report placement_report;
+    check_partition(state->pipeline, state->estimate.partition,
+                    config.partition, placement_report);
+    enforce(placement_report, context);
+  }
   state->engine = std::make_unique<StreamEngine>(
       state->pipeline, state->params, config.engine);
   return DfeSession(std::move(state));

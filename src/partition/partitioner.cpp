@@ -152,9 +152,13 @@ PartitionResult partition_optimal(const Pipeline& pipeline,
     double peak = std::numeric_limits<double>::infinity();
     int cut = -1;  // first node of the final segment
   };
-  // best[j]: optimal plan for nodes [0, j-1].
+  // best[j]: optimal plan for nodes [0, j-1]. Seeded through a
+  // null-checked data pointer: gcc 12's -Wnull-dereference misreads
+  // operator[] on the fresh vector as a possibly-null access.
   std::vector<Best> best(static_cast<std::size_t>(n) + 1);
-  best[0] = Best{0, 0.0, -1};
+  Best* const seed = best.data();
+  QNN_CHECK(seed != nullptr, "partition DP table allocation failed");
+  seed[0] = Best{0, 0.0, -1};
   for (int j = 1; j <= n; ++j) {
     for (int i = j - 1; i >= 0; --i) {
       const double util = segment_utilization(sums, i, j - 1, config.device);

@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "verify/graph_check.h"
+
 namespace qnn {
 namespace {
 
@@ -189,6 +191,14 @@ DfeServer::DfeServer(const NetworkSpec& spec, const NetworkParams& params,
   QNN_CHECK(server_config.batch_timeout_us >= 0,
             "batch_timeout_us must be non-negative");
   impl_->config = server_config;
+  if (session_config.engine.verify) {
+    // Verify once up front so a malformed network produces one clean
+    // static-analysis error instead of N identical compile failures from
+    // the replica loop below (each compile re-checks its own placement).
+    const Pipeline pipeline = expand(spec);
+    enforce(verify_graph(pipeline, &params, session_config.engine),
+            "DfeServer(" + pipeline.name + ")");
+  }
   impl_->sessions.reserve(static_cast<std::size_t>(server_config.replicas));
   for (int i = 0; i < server_config.replicas; ++i) {
     // Each replica gets its own copy of the parameters: sessions share no

@@ -322,7 +322,7 @@ double QatCnn::backward_and_step(const std::vector<int>& labels,
   const int n = cache.batch;
   const ConvLayer& cls = stages_.back().conv;
   const float tau =
-      1.0f / std::sqrt(static_cast<float>(cls.k) * cls.k * cls.in.c);
+      1.0f / std::sqrt(static_cast<float>(cls.k * cls.k * cls.in.c));
 
   double loss = 0.0;
   Maps dA(static_cast<std::size_t>(n));

@@ -1,0 +1,129 @@
+// Static dataflow-graph analyzer: reject bad graphs before anything runs.
+//
+// On the Maxeler toolchain a malformed kernel graph fails at compile time;
+// our host engine used to discover the same defects as runtime hangs
+// (a dead-end stream fills and stalls its whole upstream chain), crashes
+// (out-of-range parameter banks), or silently poisoned results (a stream
+// narrower than its producer truncates the bit-plane decomposition of the
+// next convolution). This module re-derives every property the engine
+// relies on, *without running anything*, and reports violations with
+// stable QNN-Dxxx codes (verify/report.h):
+//
+//  (a) graph structure — dangling / unconsumed streams, edges that break
+//      the topological order, unreachable kernels, degenerate forks;
+//  (b) shape and bit-width propagation — each edge's (H, W, C, bits)
+//      recomputed from the pipeline input and checked against every
+//      kernel's declared ports, weight caches and threshold banks;
+//  (c) deadlock / capacity — the FIFO plan the engine would build
+//      (plan_fifos mirrors StreamEngine wiring exactly and is the single
+//      source of the paper's §III-B1b line-buffer and §III-B5 skip-buffer
+//      sizing) is checked edge by edge: every skip FIFO must cover the
+//      regular path's worst-case lag, and a burst larger than the
+//      smallest FIFO is clamped (QNN-D302) instead of live-locking;
+//  (d) partition feasibility — per-cut MaxRing bit-rates against the
+//      sim/ link model and per-DFE resource totals against
+//      fpga/resource_model.
+//
+// StreamEngine and DfeSession run verify_graph()/verify_all() during
+// construction (EngineOptions::verify, default on) and refuse to build a
+// graph with any error-severity finding.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dataflow/engine.h"
+#include "nn/params.h"
+#include "nn/pipeline.h"
+#include "partition/partitioner.h"
+#include "verify/report.h"
+
+namespace qnn {
+
+/// One FIFO the engine will create for a given Pipeline + EngineOptions.
+struct PlannedStream {
+  enum class Role {
+    kDirect,  // producer -> single consumer port
+    kTrunk,   // producer -> fork (fan-out > 1)
+    kBranch,  // fork -> one consumer port
+    kOutput,  // terminal stream of a node without consumers
+  };
+
+  std::string name;      // identical to the engine's Stream name
+  Role role = Role::kDirect;
+  int producer = -1;     // node index; -1 = pipeline input
+  int consumer = -1;     // node index; -1 for kTrunk / kOutput
+  bool to_skip_port = false;  // consumer-side port (Add nodes only)
+  std::size_t capacity = 0;   // values
+  int bits = 0;               // declared element width
+};
+
+/// The complete FIFO plan of one engine instance: every stream in the
+/// order the engine creates them, plus the effective burst size.
+struct FifoPlan {
+  std::vector<PlannedStream> streams;
+  /// Burst the kernels will actually use: EngineOptions::burst clamped to
+  /// the user FIFO capacity so a transaction can never exceed the ring.
+  std::size_t burst = kDefaultBurst;
+  bool burst_clamped = false;
+
+  /// Sum of all planned capacities (host-memory footprint in values).
+  [[nodiscard]] std::size_t total_capacity() const;
+  /// The planned stream into `consumer`'s main or skip port, or nullptr.
+  [[nodiscard]] const PlannedStream* find_edge(int consumer,
+                                               bool to_skip_port) const;
+};
+
+/// The paper's depth-first line-buffer size (§III-B1b) for the input of a
+/// window kernel, on the padded map: I * (W_p * (K-1) + K) values.
+[[nodiscard]] std::size_t line_buffer_values(const Node& n);
+
+/// Compute the FIFO plan StreamEngine will wire for these options. This is
+/// the *only* place capacities are decided; the engine consumes the plan.
+[[nodiscard]] FifoPlan plan_fifos(const Pipeline& pipeline,
+                                  const EngineOptions& options = {});
+
+// ---- individual analyses (append findings into an existing report) -----
+
+/// (a) Edge sanity, dead ends, reachability, fork degeneracies.
+void check_structure(const Pipeline& pipeline, Report& report);
+
+/// (b) Symbolic (H, W, C, bits) propagation along every edge.
+void check_shapes(const Pipeline& pipeline, Report& report);
+
+/// (b) Weight caches, threshold banks and quantizer configuration.
+void check_params(const Pipeline& pipeline, const NetworkParams& params,
+                  Report& report);
+
+/// (c) Deadlock / capacity proof over a FIFO plan. Exposed separately so
+/// adversarial capacity plans can be checked without building an engine.
+void check_capacities(const Pipeline& pipeline, const FifoPlan& plan,
+                      Report& report);
+
+/// (d) MaxRing link rates and per-DFE resource totals of a placement.
+void check_partition(const Pipeline& pipeline, const PartitionResult& placement,
+                     const PartitionConfig& config, Report& report);
+
+// ---- entry points ------------------------------------------------------
+
+/// Analyses (a)-(c). `params` may be null when only the graph is known
+/// (parameter-bank checks are skipped). Never throws on malformed input —
+/// every defect becomes a finding.
+[[nodiscard]] Report verify_graph(const Pipeline& pipeline,
+                                  const NetworkParams* params,
+                                  const EngineOptions& options = {});
+
+/// Analyses (a)-(d): verify_graph plus the partition feasibility checks
+/// when a placement is supplied.
+[[nodiscard]] Report verify_all(const Pipeline& pipeline,
+                                const NetworkParams* params,
+                                const EngineOptions& options,
+                                const PartitionResult* placement,
+                                const PartitionConfig& partition_config = {});
+
+/// Throw qnn::Error listing every error-severity finding (prefixed with
+/// `context`) when the report is not ok(); no-op otherwise.
+void enforce(const Report& report, const std::string& context);
+
+}  // namespace qnn

@@ -1,0 +1,65 @@
+#include "verify/report.h"
+
+#include <sstream>
+
+namespace qnn {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::str() const {
+  std::string out = code;
+  out += " [";
+  out += severity_name(severity);
+  out += "] ";
+  if (!where.empty()) {
+    out += where;
+    out += ": ";
+  }
+  out += message;
+  return out;
+}
+
+void Report::add(Severity severity, const char* code, int node,
+                 std::string where, std::string message) {
+  if (severity == Severity::kError) ++errors_;
+  if (severity == Severity::kWarning) ++warnings_;
+  diags_.push_back(Diagnostic{code, severity, node, std::move(where),
+                              std::move(message)});
+}
+
+int Report::count(const char* code) const {
+  int n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+std::string Report::str(Severity min_severity) const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity < min_severity) continue;
+    os << d.str() << "\n";
+  }
+  return os.str();
+}
+
+std::string Report::summary() const {
+  std::ostringstream os;
+  os << (ok() ? "PASS" : "FAIL") << ": " << errors_ << " error(s), "
+     << warnings_ << " warning(s), "
+     << static_cast<int>(diags_.size()) - errors_ - warnings_ << " note(s)";
+  return os.str();
+}
+
+}  // namespace qnn

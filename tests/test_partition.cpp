@@ -75,7 +75,7 @@ TEST(Partition, LinkNeverThrottlesPaperWorkloads) {
 
 TEST(Partition, SegmentsAreContiguousAndCoverPipeline) {
   const Pipeline p = expand(models::resnet18(224, 1000, 2));
-  for (const auto r : {partition(p), partition_optimal(p)}) {
+  for (const auto& r : {partition(p), partition_optimal(p)}) {
     ASSERT_FALSE(r.dfes.empty());
     EXPECT_EQ(r.dfes.front().first_node, 0);
     EXPECT_EQ(r.dfes.back().last_node, p.size() - 1);

@@ -34,6 +34,22 @@ struct TinyNet {
   }
 };
 
+TEST(Serve, RejectsMismatchedParametersWithDiagnosticCode) {
+  // The server verifies the graph once up front (verify/graph_check.h):
+  // a parameter set that does not match the network must fail with one
+  // structured QNN-Dxxx error before any replica is compiled.
+  TinyNet net;
+  net.params.bnacts.pop_back();
+  try {
+    DfeServer server(net.spec, net.params, ServerConfig{},
+                     net.session_config);
+    FAIL() << "server construction over mismatched parameters must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("QNN-D201"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Serve, SubmitMatchesReference) {
   const TinyNet net;
   ServerConfig cfg;

@@ -40,7 +40,7 @@ TEST(Shape, ConvOutShape) {
 }
 
 TEST(Shape, ConvOutShapeRejectsOversizedWindow) {
-  EXPECT_THROW(conv_out_shape(Shape{4, 4, 1}, 1, 7, 1, 0), Error);
+  EXPECT_THROW((void)conv_out_shape(Shape{4, 4, 1}, 1, 7, 1, 0), Error);
 }
 
 TEST(Tensor, FillAndAccess) {

@@ -1,0 +1,415 @@
+// Static analyzer test suite: every malformed-graph class the analyzer
+// must reject, each asserted by its stable QNN-Dxxx code, plus the sweep
+// proving that every zoo model verifies clean and that the FIFO plan the
+// analyzer reasons about is exactly the one the engine wires.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dataflow/engine.h"
+#include "host/session.h"
+#include "models/zoo.h"
+#include "nn/reference.h"
+#include "partition/partitioner.h"
+#include "test_util.h"
+#include "verify/graph_check.h"
+
+namespace qnn {
+namespace {
+
+/// True when the report carries `code` at error severity.
+bool has_error(const Report& report, const char* code) {
+  return std::any_of(report.diagnostics().begin(),
+                     report.diagnostics().end(), [&](const Diagnostic& d) {
+                       return d.code == code &&
+                              d.severity == Severity::kError;
+                     });
+}
+
+struct Fixture {
+  Pipeline pipeline;
+  NetworkParams params;
+
+  explicit Fixture(std::uint64_t seed = 7)
+      : pipeline(expand(models::tiny(12, 4, 2))),
+        params(NetworkParams::random(pipeline, seed)) {}
+
+  [[nodiscard]] int first_node(NodeKind kind) const {
+    for (int i = 0; i < pipeline.size(); ++i) {
+      if (pipeline.node(i).kind == kind) return i;
+    }
+    ADD_FAILURE() << "fixture pipeline has no node of the requested kind";
+    return -1;
+  }
+  Node& node(int i) { return pipeline.nodes[static_cast<std::size_t>(i)]; }
+
+  [[nodiscard]] Report verify(EngineOptions options = {}) const {
+    return verify_graph(pipeline, &params, options);
+  }
+};
+
+// ---------------------------------------------------------------- clean
+
+TEST(Verify, TinyVerifiesCleanWithProofNotes) {
+  const Fixture f;
+  const Report r = f.verify();
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.errors(), 0);
+  EXPECT_EQ(r.warnings(), 0) << r.str();
+  // The skip edges' deadlock proofs are recorded, not just implied.
+  EXPECT_TRUE(r.has(diag::kSkipCapacity));
+}
+
+TEST(Verify, ZooModelsVerifyCleanUnderBothExecutors) {
+  const NetworkSpec specs[] = {
+      models::tiny(12, 4, 2),          models::vgg_like(16, 10, 2),
+      models::finn_cnv(10, 2),         models::resnet18(32, 10, 2),
+      models::resnet18_noskip(32, 10, 2), models::resnet34(32, 10, 2),
+      models::alexnet(224, 10, 2),
+  };
+  for (const NetworkSpec& spec : specs) {
+    const Pipeline p = expand(spec);
+    const NetworkParams params = NetworkParams::random(p, 11);
+    for (const ExecutorKind executor :
+         {ExecutorKind::kThreadPerKernel, ExecutorKind::kPooled}) {
+      EngineOptions options;
+      options.executor = executor;
+      const Report r = verify_graph(p, &params, options);
+      EXPECT_TRUE(r.ok()) << spec.name << ":\n" << r.str();
+      EXPECT_EQ(r.warnings(), 0) << spec.name << ":\n" << r.str();
+    }
+  }
+}
+
+TEST(Verify, OptimalPartitionIsFeasible) {
+  const Fixture f;
+  const PartitionConfig config;
+  const PartitionResult placement =
+      partition_optimal(f.pipeline, config);
+  const Report r =
+      verify_all(f.pipeline, &f.params, {}, &placement, config);
+  EXPECT_TRUE(r.ok()) << r.str();
+  EXPECT_EQ(r.warnings(), 0) << r.str();
+}
+
+// ------------------------------------------------------- (a) structure
+
+TEST(Verify, EmptyPipelineIsAnError) {
+  const Pipeline p;
+  const Report r = verify_graph(p, nullptr);
+  EXPECT_TRUE(has_error(r, diag::kBadEdge));
+}
+
+TEST(Verify, EdgeBreakingTopologicalOrderIsD001) {
+  Fixture f;
+  f.node(2).main_from = 5;  // forward reference = cycle
+  EXPECT_TRUE(has_error(f.verify(), diag::kBadEdge));
+}
+
+TEST(Verify, ForkWithDeadBranchIsD002AndD003) {
+  Fixture f;
+  // Append a 1x1 pool reading a mid-chain node: the old output node
+  // becomes a dead end and the tail of the chain a dead subgraph.
+  const int tap = f.first_node(NodeKind::BnAct);
+  Node leech;
+  leech.kind = NodeKind::MaxPool;
+  leech.name = "leech";
+  leech.main_from = tap;
+  leech.in = f.node(tap).out;
+  leech.out = f.node(tap).out;
+  leech.in_bits = f.node(tap).out_bits;
+  leech.out_bits = f.node(tap).out_bits;
+  leech.k = 1;
+  leech.stride = 1;
+  leech.pad = 0;
+  f.pipeline.nodes.push_back(leech);
+  const Report r = f.verify();
+  EXPECT_TRUE(has_error(r, diag::kDeadEnd));
+  EXPECT_TRUE(has_error(r, diag::kUnreachable));
+}
+
+TEST(Verify, AddWithoutSkipEdgeIsD004) {
+  Fixture f;
+  f.node(f.first_node(NodeKind::Add)).skip_from = -1;
+  EXPECT_TRUE(has_error(f.verify(), diag::kMissingSkip));
+}
+
+TEST(Verify, SkipEdgeOnNonAddNodeIsD005) {
+  Fixture f;
+  f.node(f.first_node(NodeKind::BnAct)).skip_from = 0;
+  EXPECT_TRUE(has_error(f.verify(), diag::kStraySkip));
+}
+
+TEST(Verify, SameProducerOnBothAddPortsIsD006Warning) {
+  Fixture f;
+  Node& add = f.node(f.first_node(NodeKind::Add));
+  add.skip_from = add.main_from;
+  const Report r = f.verify();
+  EXPECT_TRUE(r.has(diag::kDegenerateFork));
+  EXPECT_TRUE(r.ok()) << r.str();  // degenerate, but it runs
+}
+
+// ---------------------------------------------- (b) shapes / bit widths
+
+TEST(Verify, ShapeMismatchOnEdgeIsD101) {
+  Fixture f;
+  f.node(f.first_node(NodeKind::Conv)).in.c += 1;
+  EXPECT_TRUE(has_error(f.verify(), diag::kShapeMismatch));
+}
+
+TEST(Verify, BadWindowGeometryIsD102) {
+  Fixture f;
+  f.node(f.first_node(NodeKind::Conv)).stride = 0;
+  EXPECT_TRUE(has_error(f.verify(), diag::kBadWindow));
+}
+
+TEST(Verify, StreamWidthNotMatchingProducerIsD103) {
+  Fixture f;
+  const int conv = f.first_node(NodeKind::Conv);
+  f.node(conv).in_bits += 1;  // producer still streams the old width
+  EXPECT_TRUE(has_error(f.verify(), diag::kBitsMismatch));
+}
+
+TEST(Verify, OutputWidthBelowValueRangeIsD104) {
+  Fixture f;
+  // A conv's pre-activation sums need preact_bits(k*k*I, in_bits);
+  // declaring 2 bits truncates them (and poisons every downstream plane).
+  const int conv = f.first_node(NodeKind::Conv);
+  f.node(conv).out_bits = 2;
+  EXPECT_TRUE(has_error(f.verify(), diag::kBitsOverflow));
+}
+
+TEST(Verify, StreamWidthOutsideSupportedRangeIsD105) {
+  Fixture f;
+  f.pipeline.nodes.back().out_bits = 40;  // Stream supports [1, 32]
+  EXPECT_TRUE(has_error(f.verify(), diag::kBitsRange));
+}
+
+// ------------------------------------------------- (b) parameter banks
+
+TEST(Verify, MissingConvBankIsD201) {
+  Fixture f;
+  f.params.convs.pop_back();
+  EXPECT_TRUE(has_error(f.verify(), diag::kParamBank));
+}
+
+TEST(Verify, SwappedWeightCachesAreD202) {
+  Fixture f;
+  // tiny's first and second convolutions have different filter shapes, so
+  // swapping their banks misaligns both kernels' weight caches.
+  std::size_t a = 0;
+  std::size_t b = 1;
+  ASSERT_GE(f.params.convs.size(), 2u);
+  ASSERT_NE(f.params.convs[a].weights.shape(),
+            f.params.convs[b].weights.shape());
+  std::swap(f.params.convs[a], f.params.convs[b]);
+  EXPECT_TRUE(has_error(f.verify(), diag::kWeightShape));
+}
+
+TEST(Verify, ThresholdChannelMismatchIsD203) {
+  Fixture f;
+  std::size_t a = 0;
+  std::size_t b = f.params.bnacts.size() - 1;
+  ASSERT_NE(f.params.bnacts[a].thresholds.channels(),
+            f.params.bnacts[b].thresholds.channels());
+  std::swap(f.params.bnacts[a], f.params.bnacts[b]);
+  EXPECT_TRUE(has_error(f.verify(), diag::kThresholdChannels));
+}
+
+TEST(Verify, QuantizerWidthMismatchIsD204) {
+  Fixture f;
+  // The activation stream claims 3 bit-planes but the quantizer and the
+  // folded thresholds produce 2-bit codes.
+  f.node(f.first_node(NodeKind::BnAct)).out_bits = 3;
+  EXPECT_TRUE(has_error(f.verify(), diag::kQuantizerBits));
+}
+
+// --------------------------------------------- (c) deadlock / capacity
+
+TEST(Verify, UndersizedSkipFifoIsD301) {
+  const Fixture f;
+  FifoPlan plan = plan_fifos(f.pipeline);
+  const int add = [&] {
+    for (int i = 0; i < f.pipeline.size(); ++i) {
+      if (f.pipeline.node(i).kind == NodeKind::Add) return i;
+    }
+    return -1;
+  }();
+  ASSERT_GE(add, 0);
+  bool shrunk = false;
+  for (PlannedStream& s : plan.streams) {
+    if (s.consumer == add && s.to_skip_port) {
+      s.capacity = 8;  // far below the full-feature-map lag bound
+      shrunk = true;
+    }
+  }
+  ASSERT_TRUE(shrunk);
+  Report r;
+  check_capacities(f.pipeline, plan, r);
+  EXPECT_TRUE(has_error(r, diag::kSkipCapacity));
+}
+
+TEST(Verify, BurstAboveFifoCapacityClampsWithD302) {
+  const Fixture f;
+  EngineOptions options;
+  options.fifo_capacity = 2;
+  options.burst = 256;
+  const FifoPlan plan = plan_fifos(f.pipeline, options);
+  EXPECT_TRUE(plan.burst_clamped);
+  EXPECT_EQ(plan.burst, 2u);
+  const Report r = f.verify(options);
+  EXPECT_TRUE(r.ok()) << r.str();  // degraded, not broken
+  EXPECT_TRUE(r.has(diag::kBurstClamp));
+}
+
+TEST(Verify, ClampedEngineStaysBitExact) {
+  // Satellite regression: fifo_capacity < burst used to push full bursts
+  // at 2-deep rings; the engine now clamps its transaction size (D302)
+  // and must stay bit-exact against the reference executor.
+  const Fixture f;
+  EngineOptions options;
+  options.fifo_capacity = 2;
+  options.burst = 256;
+  StreamEngine engine(f.pipeline, f.params, options);
+  const ReferenceExecutor ref(f.pipeline, f.params);
+  Rng rng(31);
+  const IntTensor img = testutil::random_image(12, 12, 3, rng);
+  EXPECT_EQ(engine.run_one(img), ref.run(img));
+}
+
+TEST(Verify, ShallowUserFifoWarnsD303) {
+  const Fixture f;
+  EngineOptions options;
+  options.fifo_capacity = 4;
+  const Report r = f.verify(options);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.has(diag::kShallowFifo));
+}
+
+TEST(Verify, AutoSizedFifosNeverWarn) {
+  const Fixture f;
+  const Report r = f.verify();
+  EXPECT_FALSE(r.has(diag::kShallowFifo));
+  EXPECT_FALSE(r.has(diag::kBurstClamp));
+}
+
+// ------------------------------------------ (d) partition feasibility
+
+TEST(Verify, OversubscribedMaxRingLinkIsD401) {
+  const Fixture f;
+  PartitionConfig config;
+  config.link_gbps = 1e-6;  // practically no link bandwidth
+  PartitionResult placement;
+  placement.dfes.push_back(DfeAssignment{0, 0, 0, 0, 0, 0});
+  placement.dfes.push_back(
+      DfeAssignment{1, f.pipeline.size() - 1, 0, 0, 0, 0});
+  Report r;
+  check_partition(f.pipeline, placement, config, r);
+  EXPECT_TRUE(has_error(r, diag::kLinkOversubscribed));
+}
+
+TEST(Verify, OverfilledDfeIsD402) {
+  const Fixture f;
+  PartitionConfig config;
+  config.device.luts = 100;  // toy device: nothing fits
+  PartitionResult placement;
+  placement.dfes.push_back(
+      DfeAssignment{0, f.pipeline.size() - 1, 0, 0, 0, 0});
+  Report r;
+  check_partition(f.pipeline, placement, config, r);
+  EXPECT_TRUE(has_error(r, diag::kDfeOverfill));
+}
+
+TEST(Verify, PlacementBeyondNodeDfesIsD403) {
+  const Fixture f;
+  PartitionConfig config;
+  config.max_dfes = 1;
+  PartitionResult placement;
+  placement.dfes.push_back(DfeAssignment{0, 0, 0, 0, 0, 0});
+  placement.dfes.push_back(
+      DfeAssignment{1, f.pipeline.size() - 1, 0, 0, 0, 0});
+  Report r;
+  check_partition(f.pipeline, placement, config, r);
+  EXPECT_TRUE(has_error(r, diag::kTooManyDfes));
+}
+
+TEST(Verify, NonTilingSegmentsAreD404) {
+  const Fixture f;
+  PartitionResult placement;
+  placement.dfes.push_back(DfeAssignment{0, 2, 0, 0, 0, 0});
+  placement.dfes.push_back(
+      DfeAssignment{2, f.pipeline.size() - 1, 0, 0, 0, 0});  // overlap
+  Report r;
+  check_partition(f.pipeline, placement, {}, r);
+  EXPECT_TRUE(has_error(r, diag::kBadSegments));
+}
+
+// -------------------------------------------------- engine integration
+
+TEST(Verify, EngineRefusesMalformedGraphWithDiagnosticCode) {
+  Fixture f;
+  f.node(f.first_node(NodeKind::Add)).skip_from = -1;
+  try {
+    StreamEngine engine(f.pipeline, f.params);
+    FAIL() << "constructing an engine over a malformed graph must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("QNN-D004"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Verify, EngineVerificationCanBeOptedOut) {
+  // Tests that need deliberately broken graphs (and the historical
+  // behavior) can still construct an engine; it is just never run here.
+  Fixture f;
+  const int conv = f.first_node(NodeKind::Conv);
+  f.node(conv).out_bits = 2;  // D104: truncating, but wireable
+  EngineOptions options;
+  options.verify = false;
+  StreamEngine engine(f.pipeline, f.params, options);
+  EXPECT_GT(engine.kernel_count(), 0);
+}
+
+TEST(Verify, SessionCompileRejectsSwappedWeightCaches) {
+  Fixture f;
+  std::swap(f.params.convs[0], f.params.convs[1]);
+  try {
+    (void)DfeSession::compile(models::tiny(12, 4, 2), f.params);
+    FAIL() << "compile over mismatched weight caches must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("QNN-D202"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Verify, FifoPlanMatchesEngineStreamForStream) {
+  const Fixture f;
+  const EngineOptions options;
+  const FifoPlan plan = plan_fifos(f.pipeline, options);
+  StreamEngine engine(f.pipeline, f.params, options);
+  ASSERT_EQ(static_cast<std::size_t>(engine.stream_count()),
+            plan.streams.size());
+  const auto traffic = engine.stream_traffic();
+  for (std::size_t i = 0; i < plan.streams.size(); ++i) {
+    EXPECT_EQ(traffic[i].first, plan.streams[i].name);
+  }
+}
+
+TEST(Verify, ReportRendersCodesAndSummary) {
+  Report r;
+  r.error(diag::kDeadEnd, 3, "conv_3", "output stream is never consumed");
+  r.warn(diag::kShallowFifo, 4, "edge", "shallow");
+  r.info(diag::kSkipCapacity, 5, "edge", "proved");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.errors(), 1);
+  EXPECT_EQ(r.warnings(), 1);
+  EXPECT_EQ(r.count(diag::kDeadEnd), 1);
+  const std::string text = r.str();
+  EXPECT_NE(text.find("QNN-D002 [error] conv_3"), std::string::npos);
+  // Severity filtering drops the info note but keeps the warning.
+  EXPECT_EQ(r.str(Severity::kWarning).find("QNN-D301"), std::string::npos);
+  EXPECT_NE(r.summary().find("FAIL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qnn

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# One-shot verification gate: warning-clean build (-Werror), full test
+# suite, and clang-tidy lint (skipped with a notice when the binary is
+# absent). Intended both for CI and as the local pre-push check.
+#
+# Usage:
+#   tools/check.sh                # build + ctest + lint
+#   SANITIZE=thread tools/check.sh  # same, built under TSan
+#   SANITIZE=address tools/check.sh # same, under ASan+UBSan
+#
+# The build directory is build-check[-$SANITIZE], separate from the
+# default build/ so a strict -Werror configure never pollutes it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZE="${SANITIZE:-}"
+BUILD_DIR="build-check${SANITIZE:+-$SANITIZE}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== configure (${BUILD_DIR}, QNN_WERROR=ON${SANITIZE:+, QNN_SANITIZE=$SANITIZE}) =="
+cmake -B "$BUILD_DIR" -S . -DQNN_WERROR=ON \
+  ${SANITIZE:+-DQNN_SANITIZE="$SANITIZE"}
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== test =="
+if [ -n "$SANITIZE" ]; then
+  # Sanitized runs target the concurrency-sensitive suites; the full
+  # matrix runs in the plain configuration below them.
+  ctest --test-dir "$BUILD_DIR" -L sanitize --output-on-failure
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure
+fi
+
+echo "== lint =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake --build "$BUILD_DIR" --target lint
+else
+  echo "lint: clang-tidy not found on PATH; skipped (policy in .clang-tidy)"
+fi
+
+echo "== check.sh: all gates passed =="
