@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
 #include "verify/graph_check.h"
 
@@ -224,6 +225,20 @@ StreamEngine::StreamEngine(const Pipeline& pipeline,
       }
     }
   }
+
+  // Fault-injection sites are registered in construction order (streams in
+  // plan order, then fork + node kernels), which is deterministic per
+  // graph — FaultEvent::target_index is an ordinal into this order.
+  if (!options_.faults.empty()) {
+    injector_ = std::make_unique<FaultInjector>(options_.faults,
+                                                options_.fault_replica);
+    for (auto& s : streams_) {
+      s->set_fault(injector_->register_stream(s->name()));
+    }
+    for (auto& k : kernels_) {
+      k->set_fault(injector_->register_kernel(k->name()));
+    }
+  }
 }
 
 StreamEngine::~StreamEngine() = default;
@@ -242,6 +257,18 @@ std::vector<IntTensor> StreamEngine::run(std::span<const IntTensor> images,
   abort_.store(false, std::memory_order_relaxed);
   for (auto& s : streams_) s->reset();
   for (auto& k : kernels_) k->reset();
+
+  std::uint64_t fired_before = 0;
+  if (injector_) {
+    fired_before = injector_->fired();
+    injector_->begin_run();
+    if (injector_->crash_now()) {
+      // Board lost before streaming anything: nothing is in flight, the
+      // engine stays pristine for the next run.
+      throw Error("injected fault: replica crash (run " +
+                  std::to_string(injector_->runs_begun() - 1) + ")");
+    }
+  }
 
   FeederTask feeder(images, *input_stream_);
   std::vector<IntTensor> outputs;
@@ -268,6 +295,7 @@ std::vector<IntTensor> StreamEngine::run(std::span<const IntTensor> images,
     stats->stream_transactions = 0;
     stats->push_stalls = 0;
     stats->pop_stalls = 0;
+    stats->faults_injected = injector_ ? injector_->fired() - fired_before : 0;
     for (const auto& s : streams_) {
       stats->values_streamed += s->pushed();
       stats->stream_transactions += s->transactions();

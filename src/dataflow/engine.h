@@ -30,6 +30,7 @@
 #include "core/tensor.h"
 #include "dataflow/executor.h"
 #include "dataflow/kernels.h"
+#include "fault/fault.h"
 
 namespace qnn {
 
@@ -57,6 +58,13 @@ struct EngineOptions {
   /// software analog of the Maxeler compile-time graph checks; off only
   /// for tests that need to instantiate deliberately broken graphs.
   bool verify = true;
+  /// Deterministic fault schedule this engine executes (see fault/fault.h).
+  /// Empty = no injection seam is armed (zero overhead on the fast paths
+  /// beyond one null check).
+  FaultPlan faults;
+  /// Replica identity matched against FaultEvent::replica; DfeServer sets
+  /// this to the replica index so one plan can target one replica of many.
+  int fault_replica = 0;
 };
 
 class StreamEngine {
@@ -85,6 +93,8 @@ class StreamEngine {
     /// Consumer-side blocking episodes (a pop found its FIFO empty),
     /// summed over all FIFOs — starvation inside the pipeline.
     std::uint64_t pop_stalls = 0;
+    /// Fault events from EngineOptions::faults that fired during this run.
+    std::uint64_t faults_injected = 0;
   };
 
   /// Stream a batch of images through the pipeline; returns one output
@@ -123,6 +133,7 @@ class StreamEngine {
   std::vector<std::unique_ptr<Stream>> streams_;
   std::vector<std::unique_ptr<Kernel>> kernels_;
   std::unique_ptr<Executor> executor_;
+  std::unique_ptr<FaultInjector> injector_;
   Stream* input_stream_ = nullptr;
   Stream* output_stream_ = nullptr;
   std::atomic<bool> abort_{false};

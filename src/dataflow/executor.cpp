@@ -101,7 +101,7 @@ class PooledExecutor final : public Executor {
           }
           bool task_done = false;
           try {
-            const StepResult r = tasks[t]->step();
+            const StepResult r = tasks[t]->step_checked();
             task_done = r == StepResult::kDone;
             if (r != StepResult::kBlocked) progressed = true;
           } catch (...) {

@@ -25,7 +25,7 @@ std::size_t window_burst(const Node& node, std::size_t burst) {
 
 void Kernel::run() {
   for (;;) {
-    switch (step()) {
+    switch (step_checked()) {
       case StepResult::kDone:
         return;
       case StepResult::kProgress:

@@ -34,6 +34,7 @@
 
 #include "core/bitplanes.h"
 #include "dataflow/stream.h"
+#include "fault/fault.h"
 #include "dataflow/window_scanner.h"
 #include "nn/params.h"
 #include "nn/pipeline.h"
@@ -160,6 +161,18 @@ class Kernel {
   /// Abort flag consulted by run() while blocked (engine-wide fail-fast).
   void set_abort(const std::atomic<bool>* flag) { abort_ = flag; }
 
+  /// Attach a fault-injection site (nullptr = none), armed per run by the
+  /// engine's FaultInjector.
+  void set_fault(KernelFaultSite* site) { fault_ = site; }
+
+  /// step() gated by the fault site: an armed hang reports kBlocked until
+  /// the engine aborts, an armed exception throws. Executors drive this
+  /// entry point so every kernel inherits the seam.
+  StepResult step_checked() {
+    if (fault_ != nullptr && fault_->check()) return StepResult::kBlocked;
+    return step();
+  }
+
   /// Discard all in-flight per-run state (partial bursts, staged outputs,
   /// scan cursors). The engine calls this alongside Stream::reset between
   /// runs, so an aborted run never poisons the next one.
@@ -170,6 +183,7 @@ class Kernel {
  private:
   std::string name_;
   const std::atomic<bool>* abort_ = nullptr;
+  KernelFaultSite* fault_ = nullptr;
 };
 
 /// Common machinery of the window-ingesting kernels (Conv, Pool): a

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/error.h"
+#include "fault/fault.h"
 
 namespace qnn {
 
@@ -64,6 +65,10 @@ class Stream {
   /// is raised, so a failing kernel cannot deadlock the rest of the pipe.
   void set_abort(const std::atomic<bool>* flag) { abort_ = flag; }
 
+  /// Attach a fault-injection site (nullptr = none). Consulted on the
+  /// producer side only; the engine arms it per run via FaultInjector.
+  void set_fault(StreamFaultSite* site) { fault_ = site; }
+
   // ---- non-blocking burst API (single producer / single consumer) -------
 
   /// Move as much of `vs` as currently fits into the ring; returns the
@@ -76,8 +81,17 @@ class Stream {
         (head - tail_.load(std::memory_order_acquire)) & mask_;
     const std::size_t n = std::min(capacity_ - used, vs.size());
     if (n == 0) return 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      buf_[(head + i) & mask_] = vs[i];
+    if (fault_ != nullptr && fault_->armed) {
+      // Injection path: an armed stall makes the ring report "full"; an
+      // armed bit flip corrupts the targeted value as it enters the ring.
+      if (fault_->blocked()) return 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        buf_[(head + i) & mask_] = fault_->filter(vs[i]);
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        buf_[(head + i) & mask_] = vs[i];
+      }
     }
     head_.store((head + n) & mask_, std::memory_order_release);
     pushed_ += n;
@@ -236,6 +250,7 @@ class Stream {
   alignas(64) std::atomic<std::size_t> tail_{0};
   std::atomic<bool> closed_{false};
   const std::atomic<bool>* abort_ = nullptr;
+  StreamFaultSite* fault_ = nullptr;
   std::uint64_t pushed_ = 0;
   std::uint64_t transactions_ = 0;
   std::uint64_t push_stalls_ = 0;

@@ -1,0 +1,49 @@
+#include "fault/apply.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace qnn {
+
+void apply_link_faults(const FaultPlan& plan, SimConfig& config,
+                       std::uint64_t seed) {
+  for (const FaultEvent& e : plan.events) {
+    if (e.kind != FaultKind::kLinkDrop && e.kind != FaultKind::kLinkCorrupt) {
+      continue;
+    }
+    SimConfig::LinkFault f;
+    f.link = e.link;
+    f.down_from_cycle = (e.kind == FaultKind::kLinkDrop) ? e.down_from_cycle
+                                                         : kFaultNever;
+    f.down_cycles = (e.kind == FaultKind::kLinkDrop) ? e.down_cycles : 0;
+    f.corrupt_per_million =
+        (e.kind == FaultKind::kLinkCorrupt) ? e.corrupt_per_million : 0;
+    f.seed = seed ^ (0x51ed270b9f8f51edULL *
+                     (static_cast<std::uint64_t>(e.link) + 1));
+    config.link_faults.push_back(f);
+  }
+}
+
+void apply_link_faults(const FaultPlan& plan, PartitionConfig& config) {
+  for (const FaultEvent& e : plan.events) {
+    if (e.kind != FaultKind::kLinkDrop && e.kind != FaultKind::kLinkCorrupt) {
+      continue;
+    }
+    const auto link = static_cast<std::size_t>(std::max(e.link, 0));
+    if (config.link_health.size() <= link) {
+      config.link_health.resize(link + 1, 1.0);
+    }
+    double health = config.link_health[link];
+    if (e.kind == FaultKind::kLinkDrop && e.down_cycles > 0) {
+      health = 0.0;  // planner view: an outage-prone link is not usable
+    } else if (e.kind == FaultKind::kLinkCorrupt) {
+      // Each corrupted word is retransmitted once: capacity scales by
+      // 1 / (1 + p) for corruption probability p.
+      const double p = static_cast<double>(e.corrupt_per_million) * 1e-6;
+      health = std::min(health, 1.0 / (1.0 + p));
+    }
+    config.link_health[link] = health;
+  }
+}
+
+}  // namespace qnn

@@ -1,0 +1,28 @@
+// Adapters from a FaultPlan to the timing-model layers.
+//
+// Link faults (kLinkDrop / kLinkCorrupt) do not execute in the dataflow
+// engine — they change MaxRing behaviour in the cycle simulator and link
+// capacity in the partitioner. These helpers translate the link events of
+// a plan into the knobs those layers expose, so one plan drives both the
+// functional run (engine) and the timing ablation (sim + partition).
+#pragma once
+
+#include "fault/fault.h"
+#include "partition/partitioner.h"
+#include "sim/cycle_model.h"
+
+namespace qnn {
+
+/// Append the plan's kLinkDrop / kLinkCorrupt events to
+/// SimConfig::link_faults (the cycle model replays outage windows and
+/// corruption-retransmits per link).
+void apply_link_faults(const FaultPlan& plan, SimConfig& config,
+                       std::uint64_t seed = 0);
+
+/// Derate PartitionConfig::link_health from the plan: a corrupting link
+/// loses its retransmitted fraction of capacity; a dropped link (any
+/// outage) is marked dead (health 0) so the planner must route around it
+/// or report the cut infeasible.
+void apply_link_faults(const FaultPlan& plan, PartitionConfig& config);
+
+}  // namespace qnn

@@ -1,0 +1,263 @@
+#include "fault/fault.h"
+
+#include <utility>
+
+#include "core/rng.h"
+
+namespace qnn {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kStreamBitFlip:
+      return "stream-bit-flip";
+    case FaultKind::kStreamStall:
+      return "stream-stall";
+    case FaultKind::kKernelHang:
+      return "kernel-hang";
+    case FaultKind::kKernelException:
+      return "kernel-exception";
+    case FaultKind::kReplicaCrash:
+      return "replica-crash";
+    case FaultKind::kLinkDrop:
+      return "link-drop";
+    case FaultKind::kLinkCorrupt:
+      return "link-corrupt";
+  }
+  return "unknown";
+}
+
+FaultEvent FaultPlan::bit_flip(std::string stream, std::uint64_t run,
+                               std::uint64_t value_index, std::int32_t mask) {
+  FaultEvent e;
+  e.kind = FaultKind::kStreamBitFlip;
+  e.target = std::move(stream);
+  e.first_run = e.last_run = run;
+  e.after_values = value_index;
+  e.xor_mask = mask;
+  return e;
+}
+
+FaultEvent FaultPlan::stall(std::string stream, std::uint64_t run,
+                            std::uint64_t value_index,
+                            std::uint64_t attempts) {
+  FaultEvent e;
+  e.kind = FaultKind::kStreamStall;
+  e.target = std::move(stream);
+  e.first_run = e.last_run = run;
+  e.after_values = value_index;
+  e.stall_attempts = attempts;
+  return e;
+}
+
+FaultEvent FaultPlan::kernel_hang(std::string kernel, std::uint64_t run,
+                                  std::uint64_t step) {
+  FaultEvent e;
+  e.kind = FaultKind::kKernelHang;
+  e.target = std::move(kernel);
+  e.first_run = e.last_run = run;
+  e.after_steps = step;
+  return e;
+}
+
+FaultEvent FaultPlan::kernel_throw(std::string kernel, std::uint64_t run,
+                                   std::uint64_t step) {
+  FaultEvent e;
+  e.kind = FaultKind::kKernelException;
+  e.target = std::move(kernel);
+  e.first_run = e.last_run = run;
+  e.after_steps = step;
+  return e;
+}
+
+FaultEvent FaultPlan::replica_crash(int replica, std::uint64_t first_run,
+                                    std::uint64_t last_run) {
+  FaultEvent e;
+  e.kind = FaultKind::kReplicaCrash;
+  e.replica = replica;
+  e.first_run = first_run;
+  e.last_run = last_run;
+  return e;
+}
+
+FaultEvent FaultPlan::link_drop(int link, std::uint64_t down_from_cycle,
+                                std::uint64_t down_cycles) {
+  FaultEvent e;
+  e.kind = FaultKind::kLinkDrop;
+  e.link = link;
+  e.down_from_cycle = down_from_cycle;
+  e.down_cycles = down_cycles;
+  return e;
+}
+
+FaultEvent FaultPlan::link_corrupt(int link, std::uint32_t per_million) {
+  FaultEvent e;
+  e.kind = FaultKind::kLinkCorrupt;
+  e.link = link;
+  e.corrupt_per_million = per_million;
+  return e;
+}
+
+FaultPlan FaultPlan::chaos(std::uint64_t seed, const ChaosOptions& opts) {
+  QNN_CHECK(opts.replicas >= 1, "FaultPlan::chaos: replicas must be >= 1");
+  QNN_CHECK(opts.runs >= 1, "FaultPlan::chaos: runs must be >= 1");
+  QNN_CHECK(opts.events >= 0, "FaultPlan::chaos: events must be >= 0");
+  Rng rng(seed);
+  FaultPlan plan;
+  plan.events.reserve(static_cast<std::size_t>(opts.events));
+  // Detectable kinds only (plus optional bit flips): the healing layer can
+  // observe and mask these, so chaos soaks can assert full recovery.
+  const int kinds = opts.include_bit_flips ? 5 : 4;
+  for (int i = 0; i < opts.events; ++i) {
+    FaultEvent e;
+    e.replica = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(opts.replicas)));
+    e.first_run = rng.next_below(opts.runs);
+    e.last_run = e.first_run;
+    switch (rng.next_below(static_cast<std::uint64_t>(kinds))) {
+      case 0:
+        e.kind = FaultKind::kKernelHang;
+        e.target_index = static_cast<int>(rng.next_below(64));
+        e.after_steps = rng.next_below(256);
+        break;
+      case 1:
+        e.kind = FaultKind::kKernelException;
+        e.target_index = static_cast<int>(rng.next_below(64));
+        e.after_steps = rng.next_below(256);
+        break;
+      case 2:
+        e.kind = FaultKind::kReplicaCrash;
+        break;
+      case 3:
+        e.kind = FaultKind::kStreamStall;
+        e.target_index = static_cast<int>(rng.next_below(64));
+        e.after_values = rng.next_below(512);
+        e.stall_attempts = 64 + rng.next_below(512);
+        break;
+      default:
+        e.kind = FaultKind::kStreamBitFlip;
+        e.target_index = static_cast<int>(rng.next_below(64));
+        e.after_values = rng.next_below(512);
+        e.xor_mask = static_cast<std::int32_t>(1U << rng.next_below(15));
+        break;
+    }
+    plan.events.push_back(e);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, int replica)
+    : plan_(std::move(plan)), replica_(replica) {}
+
+StreamFaultSite* FaultInjector::register_stream(const std::string& name) {
+  stream_sites_.emplace_back();
+  stream_sites_.back().fired = &fired_;
+  stream_names_.push_back(name);
+  return &stream_sites_.back();
+}
+
+KernelFaultSite* FaultInjector::register_kernel(const std::string& name) {
+  kernel_sites_.emplace_back();
+  kernel_sites_.back().fired = &fired_;
+  kernel_sites_.back().name = name;
+  kernel_names_.push_back(name);
+  return &kernel_sites_.back();
+}
+
+void FaultInjector::begin_run() {
+  const std::uint64_t run = run_++;
+  for (auto& s : stream_sites_) {
+    s.flip_at = kFaultNever;
+    s.flip_mask = 0;
+    s.stall_at = kFaultNever;
+    s.stall_attempts = 0;
+    s.armed = false;
+    s.values = 0;
+    s.stalls_left = 0;
+  }
+  for (auto& k : kernel_sites_) {
+    k.throw_at = kFaultNever;
+    k.hang_at = kFaultNever;
+    k.armed = false;
+    k.steps = 0;
+    k.hung = false;
+  }
+  crash_ = false;
+
+  auto stream_index = [&](const FaultEvent& e) -> std::size_t {
+    if (!e.target.empty()) {
+      for (std::size_t i = 0; i < stream_names_.size(); ++i) {
+        if (stream_names_[i] == e.target) return i;
+      }
+      return stream_names_.size();  // unknown name: skip
+    }
+    return static_cast<std::size_t>(e.target_index) % stream_sites_.size();
+  };
+  auto kernel_index = [&](const FaultEvent& e) -> std::size_t {
+    if (!e.target.empty()) {
+      for (std::size_t i = 0; i < kernel_names_.size(); ++i) {
+        if (kernel_names_[i] == e.target) return i;
+      }
+      return kernel_names_.size();
+    }
+    return static_cast<std::size_t>(e.target_index) % kernel_sites_.size();
+  };
+
+  for (const FaultEvent& e : plan_.events) {
+    if (!e.matches(replica_, run)) continue;
+    switch (e.kind) {
+      case FaultKind::kStreamBitFlip: {
+        if (stream_sites_.empty()) break;
+        const std::size_t i = stream_index(e);
+        if (i >= stream_sites_.size()) break;
+        StreamFaultSite& s = stream_sites_[i];
+        // Earliest trigger wins when several events arm one site.
+        if (e.after_values < s.flip_at) {
+          s.flip_at = e.after_values;
+          s.flip_mask = e.xor_mask;
+        }
+        s.armed = true;
+        break;
+      }
+      case FaultKind::kStreamStall: {
+        if (stream_sites_.empty()) break;
+        const std::size_t i = stream_index(e);
+        if (i >= stream_sites_.size()) break;
+        StreamFaultSite& s = stream_sites_[i];
+        if (e.after_values < s.stall_at) {
+          s.stall_at = e.after_values;
+          s.stall_attempts = e.stall_attempts;
+        }
+        s.armed = true;
+        break;
+      }
+      case FaultKind::kKernelHang: {
+        if (kernel_sites_.empty()) break;
+        const std::size_t i = kernel_index(e);
+        if (i >= kernel_sites_.size()) break;
+        KernelFaultSite& k = kernel_sites_[i];
+        if (e.after_steps < k.hang_at) k.hang_at = e.after_steps;
+        k.armed = true;
+        break;
+      }
+      case FaultKind::kKernelException: {
+        if (kernel_sites_.empty()) break;
+        const std::size_t i = kernel_index(e);
+        if (i >= kernel_sites_.size()) break;
+        KernelFaultSite& k = kernel_sites_[i];
+        if (e.after_steps < k.throw_at) k.throw_at = e.after_steps;
+        k.armed = true;
+        break;
+      }
+      case FaultKind::kReplicaCrash:
+        crash_ = true;
+        break;
+      case FaultKind::kLinkDrop:
+      case FaultKind::kLinkCorrupt:
+        // Timing-model faults; consumed by fault/apply.h, not the engine.
+        break;
+    }
+  }
+  if (crash_) fired_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace qnn

@@ -1,0 +1,283 @@
+// Deterministic fault injection for the streaming engine.
+//
+// The paper's pipeline only works while every kernel keeps streaming: a
+// single stalled FIFO or flipped bit on the MaxRing daisy chain (§III-C)
+// silently corrupts or wedges the whole chain. This module makes those
+// failure modes *first-class, reproducible inputs*: a FaultPlan is a
+// seeded schedule of fault events, installed via EngineOptions::faults
+// and executed by a per-engine FaultInjector, so every failure mode that
+// production would meet as a flaky outage becomes a deterministic unit
+// test (same seed => same fault sequence).
+//
+// Fault taxonomy (see DESIGN.md §7):
+//   * kStreamBitFlip   — XOR a mask into the Nth value pushed through one
+//                        FIFO (silent data corruption; *undetectable* by
+//                        the engine, only a checksum/golden compare sees
+//                        it).
+//   * kStreamStall     — a FIFO reports "full" for N producer attempts
+//                        (backpressure glitch; detectable as latency).
+//   * kKernelHang      — a kernel reports kBlocked forever (wedged
+//                        datapath; detectable by a watchdog, unwedged by
+//                        StreamEngine::cancel()).
+//   * kKernelException — a kernel throws mid-run (fail-fast crash; the
+//                        ErrorLatch aborts the whole run).
+//   * kReplicaCrash    — StreamEngine::run() throws before streaming
+//                        anything (board lost; per-run, so a range of
+//                        runs models a dead replica).
+//   * kLinkDrop /      — MaxRing outage / corruption-retransmit windows,
+//     kLinkCorrupt       consumed by sim/cycle_model and partition/ via
+//                        fault/apply.h (the timing model side).
+//
+// Targeting is deterministic without name plumbing: the engine registers
+// its streams and kernels with the injector in construction order, so an
+// event can name its target exactly (`target`) or pick a registration
+// ordinal (`target_index`, taken modulo the site count so seeded chaos
+// plans never miss). Events filter on the engine's replica identity
+// (EngineOptions::fault_replica) and on a [first_run, last_run] window of
+// the engine's run counter.
+//
+// The injection seams themselves live in the dataflow layer: Stream
+// consults a StreamFaultSite in try_push_burst(), kernels consult a
+// KernelFaultSite in step_checked(), and the engine consults the injector
+// for crash-on-run. All sites are re-armed by begin_run() between runs —
+// single-threaded, like Stream::reset() — and only the fired() counter is
+// shared across threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+
+namespace qnn {
+
+/// Sentinel for "no run / no value index": larger than any real counter.
+inline constexpr std::uint64_t kFaultNever =
+    std::numeric_limits<std::uint64_t>::max();
+
+enum class FaultKind {
+  kStreamBitFlip,
+  kStreamStall,
+  kKernelHang,
+  kKernelException,
+  kReplicaCrash,
+  kLinkDrop,
+  kLinkCorrupt,
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One scheduled fault. Which fields matter depends on `kind`; the
+/// FaultPlan builders below fill them consistently.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kStreamBitFlip;
+
+  /// Exact site name (stream or kernel); empty = use target_index.
+  std::string target;
+  /// Site ordinal in engine registration order, taken modulo the number
+  /// of registered sites of the matching type; ignored when target is set.
+  int target_index = 0;
+
+  /// Replica filter: only engines with EngineOptions::fault_replica ==
+  /// replica see the event; -1 matches every replica.
+  int replica = -1;
+  /// Run window (inclusive) of the engine's run counter.
+  std::uint64_t first_run = 0;
+  std::uint64_t last_run = 0;
+
+  // --- stream faults ------------------------------------------------------
+  /// Value index (per run, per stream) the fault triggers at.
+  std::uint64_t after_values = 0;
+  /// kStreamBitFlip: XOR mask applied to the targeted value.
+  std::int32_t xor_mask = 1;
+  /// kStreamStall: producer push attempts that report "full".
+  std::uint64_t stall_attempts = 4096;
+
+  // --- kernel faults ------------------------------------------------------
+  /// Step index (per run, per kernel) the fault triggers at.
+  std::uint64_t after_steps = 0;
+
+  // --- MaxRing link faults (fault/apply.h) --------------------------------
+  /// Link ordinal in cut order (LinkSim creation order in the sim).
+  int link = 0;
+  std::uint64_t down_from_cycle = 0;   // kLinkDrop: outage window start
+  std::uint64_t down_cycles = 0;       // kLinkDrop: outage length
+  std::uint32_t corrupt_per_million = 0;  // kLinkCorrupt: retransmit rate
+
+  [[nodiscard]] bool matches(int engine_replica, std::uint64_t run) const {
+    return (replica < 0 || replica == engine_replica) && run >= first_run &&
+           run <= last_run;
+  }
+};
+
+/// A deterministic schedule of fault events. Hand-build one with the
+/// factory helpers for targeted regression tests, or draw a random plan
+/// from a seed with chaos() for soak tests.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+
+  // ---- builders (target by name or ordinal via the returned event) -------
+  static FaultEvent bit_flip(std::string stream, std::uint64_t run,
+                             std::uint64_t value_index,
+                             std::int32_t mask = 1);
+  static FaultEvent stall(std::string stream, std::uint64_t run,
+                          std::uint64_t value_index,
+                          std::uint64_t attempts);
+  static FaultEvent kernel_hang(std::string kernel, std::uint64_t run,
+                                std::uint64_t step = 0);
+  static FaultEvent kernel_throw(std::string kernel, std::uint64_t run,
+                                 std::uint64_t step = 0);
+  static FaultEvent replica_crash(int replica, std::uint64_t first_run,
+                                  std::uint64_t last_run);
+  static FaultEvent link_drop(int link, std::uint64_t down_from_cycle,
+                              std::uint64_t down_cycles);
+  static FaultEvent link_corrupt(int link, std::uint32_t per_million);
+
+  FaultPlan& add(FaultEvent e) {
+    events.push_back(std::move(e));
+    return *this;
+  }
+
+  struct ChaosOptions {
+    /// Replicas the drawn events may target (uniform).
+    int replicas = 1;
+    /// Events land in runs [0, runs).
+    std::uint64_t runs = 16;
+    /// Number of events to draw.
+    int events = 4;
+    /// Include kStreamBitFlip draws. Off by default so every chaos fault
+    /// is *detectable* (hang / throw / crash / stall) and non-faulted
+    /// results stay provably bit-exact against a fault-free run.
+    bool include_bit_flips = false;
+  };
+
+  /// Seeded random plan over the detectable fault kinds: same seed (and
+  /// options) => the identical event list, bit for bit.
+  static FaultPlan chaos(std::uint64_t seed, const ChaosOptions& opts);
+  static FaultPlan chaos(std::uint64_t seed) { return chaos(seed, {}); }
+};
+
+/// Per-stream injection state, armed by FaultInjector::begin_run and
+/// consulted by Stream::try_push_burst on the producer thread only.
+struct StreamFaultSite {
+  // Armed per run (single-threaded, between runs).
+  std::uint64_t flip_at = kFaultNever;
+  std::int32_t flip_mask = 0;
+  std::uint64_t stall_at = kFaultNever;
+  std::uint64_t stall_attempts = 0;
+  bool armed = false;
+
+  // Live counters (producer thread only during a run).
+  std::uint64_t values = 0;
+  std::uint64_t stalls_left = 0;
+
+  std::atomic<std::uint64_t>* fired = nullptr;  // injector-wide counter
+
+  /// Producer gate: true = pretend the ring is full for this attempt.
+  [[nodiscard]] bool blocked() {
+    if (stalls_left > 0) {
+      --stalls_left;
+      return true;
+    }
+    if (values >= stall_at) {
+      stall_at = kFaultNever;
+      stalls_left = stall_attempts;
+      fired->fetch_add(1, std::memory_order_relaxed);
+      if (stalls_left > 0) {
+        --stalls_left;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Filter one value entering the ring (counts it; may corrupt it).
+  [[nodiscard]] std::int32_t filter(std::int32_t v) {
+    if (values == flip_at) {
+      v ^= flip_mask;
+      fired->fetch_add(1, std::memory_order_relaxed);
+    }
+    ++values;
+    return v;
+  }
+};
+
+/// Per-kernel injection state, armed by FaultInjector::begin_run and
+/// consulted by Kernel::step_checked on the stepping thread only.
+struct KernelFaultSite {
+  std::uint64_t throw_at = kFaultNever;
+  std::uint64_t hang_at = kFaultNever;
+  bool armed = false;
+
+  std::uint64_t steps = 0;
+  bool hung = false;
+
+  std::atomic<std::uint64_t>* fired = nullptr;
+  std::string name;  // for the thrown error message
+
+  /// Gate before a kernel step: true = report kBlocked (hang); throws for
+  /// an armed exception fault.
+  [[nodiscard]] bool check() {
+    if (!armed) return false;
+    if (hung) return true;
+    const std::uint64_t s = steps++;
+    if (s >= hang_at) {
+      hung = true;
+      fired->fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (s >= throw_at) {
+      throw_at = kFaultNever;
+      fired->fetch_add(1, std::memory_order_relaxed);
+      throw Error("injected fault: kernel '" + name + "' exception");
+    }
+    return false;
+  }
+};
+
+/// Owns the fault sites of one engine and arms them per run from the
+/// plan. Construction and begin_run() are single-threaded (the engine's
+/// caller thread); during a run only the sites themselves are touched.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, int replica);
+
+  /// Register sites in deterministic engine-construction order. The
+  /// returned pointers stay valid for the injector's lifetime.
+  StreamFaultSite* register_stream(const std::string& name);
+  KernelFaultSite* register_kernel(const std::string& name);
+
+  /// Arm every site for the next run (advances the run counter).
+  void begin_run();
+
+  /// True when a kReplicaCrash event matched the run begin_run just armed.
+  [[nodiscard]] bool crash_now() const { return crash_; }
+
+  /// Runs begun so far (the run index begin_run armed, plus one).
+  [[nodiscard]] std::uint64_t runs_begun() const { return run_; }
+
+  /// Total fault events that actually fired (across all runs).
+  [[nodiscard]] std::uint64_t fired() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultPlan plan_;
+  int replica_;
+  std::uint64_t run_ = 0;
+  bool crash_ = false;
+  std::atomic<std::uint64_t> fired_{0};
+  // deques: stable addresses across registration.
+  std::deque<StreamFaultSite> stream_sites_;
+  std::deque<KernelFaultSite> kernel_sites_;
+  std::vector<std::string> stream_names_;
+  std::vector<std::string> kernel_names_;
+};
+
+}  // namespace qnn

@@ -244,7 +244,9 @@ class Expander {
     const int q2 = emit_bnact(
         t1, mid, p_.nodes[static_cast<std::size_t>(t1)].out_bits);
     const int t2 = emit_conv(q2, mid, spec_.act_bits, b.out_c, 3, 1, 1);
-    const Shape& out_shape = p_.nodes[static_cast<std::size_t>(t2)].out;
+    // By value: push(add) below may reallocate p_.nodes, and out_shape is
+    // read again (cur_) after that push.
+    const Shape out_shape = p_.nodes[static_cast<std::size_t>(t2)].out;
     QNN_CHECK(out_shape == short_shape,
               "residual skip/main shape mismatch: " + out_shape.str() +
                   " vs " + short_shape.str());

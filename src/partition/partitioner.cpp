@@ -75,17 +75,24 @@ PartitionResult assemble(const Pipeline& pipeline,
     result.dfes.push_back(a);
   }
 
-  const double capacity_mbps = cfg.link_gbps * 1000.0;
   for (std::size_t k = 0; k + 1 < segments.size(); ++k) {
+    // Per-link capacity: health derating (injected faults, degraded
+    // links) can shrink — or zero — individual MaxRing hops.
+    const double capacity_mbps = cfg.link_capacity_mbps(k);
     CutInfo cut;
     cut.after_node = segments[k].second;
     cut.streams = crossing_streams(pipeline, cut.after_node);
     for (const auto& s : cut.streams) {
       cut.required_mbps += s.mbps(fps);
     }
-    cut.feasible = cut.required_mbps <= capacity_mbps;
-    result.link_slowdown =
-        std::max(result.link_slowdown, cut.required_mbps / capacity_mbps);
+    if (capacity_mbps <= 0.0) {
+      cut.feasible = false;
+      result.link_slowdown = std::numeric_limits<double>::infinity();
+    } else {
+      cut.feasible = cut.required_mbps <= capacity_mbps;
+      result.link_slowdown =
+          std::max(result.link_slowdown, cut.required_mbps / capacity_mbps);
+    }
     result.cuts.push_back(std::move(cut));
   }
   result.link_slowdown = std::max(result.link_slowdown, 1.0);

@@ -14,6 +14,7 @@
 //                           count, tie-broken by the peak utilization
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -35,6 +36,20 @@ struct PartitionConfig {
   double link_gbps = 4.0;
   /// Fabric clock used to convert cycles to seconds.
   double clock_hz = 105e6;
+  /// Per-link health derating in [0, 1], indexed by MaxRing link ordinal
+  /// (link k connects DFE k to k+1). Missing entries mean 1.0 (healthy);
+  /// 0 marks a dead link, making any cut over it infeasible. Populated
+  /// from a FaultPlan by apply_link_faults (fault/apply.h).
+  std::vector<double> link_health;
+
+  /// Effective capacity of link `link` after health derating.
+  [[nodiscard]] double link_capacity_mbps(std::size_t link) const {
+    const double health =
+        link < link_health.size()
+            ? std::clamp(link_health[link], 0.0, 1.0)
+            : 1.0;
+    return link_gbps * 1000.0 * health;
+  }
 };
 
 /// One crossing stream at a cut.

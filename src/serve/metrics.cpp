@@ -3,9 +3,24 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/error.h"
 #include "io/table.h"
 
 namespace qnn {
+
+const char* to_string(ReplicaHealth health) {
+  switch (health) {
+    case ReplicaHealth::kHealthy:
+      return "healthy";
+    case ReplicaHealth::kDegraded:
+      return "degraded";
+    case ReplicaHealth::kQuarantined:
+      return "quarantined";
+    case ReplicaHealth::kProbation:
+      return "probation";
+  }
+  return "unknown";
+}
 
 double LatencyHistogram::percentile(double p) const {
   const std::uint64_t n = count();
@@ -37,6 +52,62 @@ std::string LatencyHistogram::summary() const {
   return os.str();
 }
 
+void ServerMetrics::init_replicas(int n) {
+  QNN_CHECK(replicas_.empty(), "init_replicas must run once");
+  replicas_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    replicas_.push_back(std::make_unique<ReplicaMetrics>());
+  }
+}
+
+void ServerMetrics::set_replica_health(int replica, ReplicaHealth health) {
+  replicas_.at(static_cast<std::size_t>(replica))
+      ->health.store(static_cast<int>(health), std::memory_order_relaxed);
+}
+
+ReplicaHealth ServerMetrics::replica_health(int replica) const {
+  return static_cast<ReplicaHealth>(
+      replicas_.at(static_cast<std::size_t>(replica))
+          ->health.load(std::memory_order_relaxed));
+}
+
+void ServerMetrics::on_replica_run(int replica, bool ok) {
+  ReplicaMetrics& r = *replicas_.at(static_cast<std::size_t>(replica));
+  (ok ? r.runs_ok : r.runs_failed).fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerMetrics::on_replica_cancel(int replica) {
+  replicas_.at(static_cast<std::size_t>(replica))
+      ->cancels.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerMetrics::on_replica_probe(int replica) {
+  replicas_.at(static_cast<std::size_t>(replica))
+      ->probes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerMetrics::log_event(const std::string& what) {
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - epoch_)
+                        .count();
+  const std::lock_guard<std::mutex> lock(events_mu_);
+  if (events_.size() >= kMaxEvents) {
+    ++events_dropped_;
+    return;
+  }
+  events_.push_back("+" + Table::num(ms, 1) + "ms " + what);
+}
+
+std::vector<std::string> ServerMetrics::events() const {
+  const std::lock_guard<std::mutex> lock(events_mu_);
+  std::vector<std::string> out = events_;
+  if (events_dropped_ > 0) {
+    out.push_back("(+" + std::to_string(events_dropped_) +
+                  " events dropped)");
+  }
+  return out;
+}
+
 MetricsSnapshot ServerMetrics::snapshot() const {
   MetricsSnapshot s;
   s.submitted = submitted_.load(std::memory_order_relaxed);
@@ -54,6 +125,31 @@ MetricsSnapshot ServerMetrics::snapshot() const {
       stream_transactions_.load(std::memory_order_relaxed);
   s.push_stalls = push_stalls_.load(std::memory_order_relaxed);
   s.pop_stalls = pop_stalls_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.watchdog_budget_cancels =
+      watchdog_budget_cancels_.load(std::memory_order_relaxed);
+  s.watchdog_deadline_cancels =
+      watchdog_deadline_cancels_.load(std::memory_order_relaxed);
+  s.isolation_reruns = isolation_reruns_.load(std::memory_order_relaxed);
+  s.quarantines = quarantines_.load(std::memory_order_relaxed);
+  s.probes = probes_.load(std::memory_order_relaxed);
+  s.probe_failures = probe_failures_.load(std::memory_order_relaxed);
+  s.readmissions = readmissions_.load(std::memory_order_relaxed);
+  s.brownout_entries = brownout_entries_.load(std::memory_order_relaxed);
+  s.brownout_sheds = brownout_sheds_.load(std::memory_order_relaxed);
+  s.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+  s.brownout_active = brownout_active_.load(std::memory_order_relaxed);
+  s.replicas.reserve(replicas_.size());
+  for (const auto& r : replicas_) {
+    ReplicaStatus rs;
+    rs.health = static_cast<ReplicaHealth>(
+        r->health.load(std::memory_order_relaxed));
+    rs.runs_ok = r->runs_ok.load(std::memory_order_relaxed);
+    rs.runs_failed = r->runs_failed.load(std::memory_order_relaxed);
+    rs.cancels = r->cancels.load(std::memory_order_relaxed);
+    rs.probes = r->probes.load(std::memory_order_relaxed);
+    s.replicas.push_back(rs);
+  }
   return s;
 }
 
@@ -77,6 +173,24 @@ std::string ServerMetrics::report() const {
      << s.push_stalls << " push stalls, " << s.pop_stalls << " pop stalls\n";
   os << "  bursts:   " << s.stream_transactions << " transactions, mean "
      << Table::num(s.mean_burst_occupancy(), 1) << " values/transaction\n";
+  os << "  healing:  " << s.retries << " retries, " << s.isolation_reruns
+     << " isolation re-runs, "
+     << (s.watchdog_budget_cancels + s.watchdog_deadline_cancels)
+     << " watchdog cancels (" << s.watchdog_budget_cancels << " budget, "
+     << s.watchdog_deadline_cancels << " deadline)\n";
+  os << "  health:   " << s.quarantines << " quarantines, " << s.probes
+     << " probes (" << s.probe_failures << " failed), " << s.readmissions
+     << " readmissions\n";
+  os << "  brownout: " << (s.brownout_active ? "ACTIVE" : "inactive") << ", "
+     << s.brownout_entries << " entries, " << s.brownout_sheds
+     << " requests shed\n";
+  os << "  faults:   " << s.faults_injected << " injected\n";
+  for (std::size_t i = 0; i < s.replicas.size(); ++i) {
+    const ReplicaStatus& r = s.replicas[i];
+    os << "  replica " << i << ": " << to_string(r.health) << " ("
+       << r.runs_ok << " runs ok, " << r.runs_failed << " failed, "
+       << r.cancels << " cancels, " << r.probes << " probes)\n";
+  }
   return os.str();
 }
 

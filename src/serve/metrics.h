@@ -11,10 +11,36 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 namespace qnn {
+
+/// Health state of one replica in the self-healing state machine (see
+/// DESIGN.md §7): healthy -> degraded on a failed run -> quarantined after
+/// a failure streak; a quarantined replica serves synthetic probes and is
+/// readmitted (probation -> healthy) after K consecutive clean probes.
+enum class ReplicaHealth {
+  kHealthy,
+  kDegraded,
+  kQuarantined,
+  kProbation,
+};
+
+[[nodiscard]] const char* to_string(ReplicaHealth health);
+
+/// Point-in-time health row of one replica.
+struct ReplicaStatus {
+  ReplicaHealth health = ReplicaHealth::kHealthy;
+  std::uint64_t runs_ok = 0;
+  std::uint64_t runs_failed = 0;
+  std::uint64_t cancels = 0;  // watchdog-initiated session cancels
+  std::uint64_t probes = 0;   // probe runs while quarantined/probation
+};
 
 /// Fixed-bucket latency histogram over microseconds. Bucket 0 holds
 /// sub-microsecond samples; bucket i (i >= 1) holds [2^(i-1), 2^i) us, so
@@ -82,6 +108,21 @@ struct MetricsSnapshot {
   std::uint64_t stream_transactions = 0;
   std::uint64_t push_stalls = 0;
   std::uint64_t pop_stalls = 0;
+  // Self-healing counters (fault masking; see server.h).
+  std::uint64_t retries = 0;            // requests requeued after a failure
+  std::uint64_t watchdog_budget_cancels = 0;
+  std::uint64_t watchdog_deadline_cancels = 0;
+  std::uint64_t isolation_reruns = 0;   // requests re-run solo after a
+                                        // batch-wide failure
+  std::uint64_t quarantines = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t probe_failures = 0;
+  std::uint64_t readmissions = 0;
+  std::uint64_t brownout_entries = 0;
+  std::uint64_t brownout_sheds = 0;     // over-deadline requests shed early
+  std::uint64_t faults_injected = 0;    // from EngineOptions::faults plans
+  bool brownout_active = false;
+  std::vector<ReplicaStatus> replicas;
 
   [[nodiscard]] double mean_batch_size() const {
     return batches == 0 ? 0.0
@@ -131,6 +172,51 @@ class ServerMetrics {
     }
   }
 
+  // -- self-healing updates ------------------------------------------------
+  void on_retry() { inc(retries_); }
+  void on_watchdog_cancel(bool deadline) {
+    inc(deadline ? watchdog_deadline_cancels_ : watchdog_budget_cancels_);
+  }
+  void on_isolation(std::uint64_t requests) {
+    isolation_reruns_.fetch_add(requests, std::memory_order_relaxed);
+  }
+  void on_quarantine() { inc(quarantines_); }
+  void on_probe(bool ok) {
+    inc(probes_);
+    if (!ok) inc(probe_failures_);
+  }
+  void on_readmit() { inc(readmissions_); }
+  void set_brownout(bool active) {
+    if (active && !brownout_active_.exchange(true,
+                                             std::memory_order_relaxed)) {
+      inc(brownout_entries_);
+    } else if (!active) {
+      brownout_active_.store(false, std::memory_order_relaxed);
+    }
+  }
+  void on_brownout_shed() { inc(brownout_sheds_); }
+  void on_faults(std::uint64_t n) {
+    faults_injected_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  // -- per-replica health table --------------------------------------------
+
+  /// Size the replica table; call once before the workers start.
+  void init_replicas(int n);
+  void set_replica_health(int replica, ReplicaHealth health);
+  [[nodiscard]] ReplicaHealth replica_health(int replica) const;
+  void on_replica_run(int replica, bool ok);
+  void on_replica_cancel(int replica);
+  void on_replica_probe(int replica);
+
+  // -- healing event log ---------------------------------------------------
+
+  /// Append a timestamped line to the bounded healing timeline (the chaos
+  /// example prints it). Cheap but not free: only healing transitions log.
+  void log_event(const std::string& what);
+  /// Snapshot of the timeline ("+123.4ms quarantine replica 2", ...).
+  [[nodiscard]] std::vector<std::string> events() const;
+
   LatencyHistogram& queue_wait() { return queue_wait_; }
   LatencyHistogram& batch_form() { return batch_form_; }
   LatencyHistogram& end_to_end() { return end_to_end_; }
@@ -156,6 +242,15 @@ class ServerMetrics {
     c.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Per-replica atomics (unique_ptr-held: atomics are not movable).
+  struct ReplicaMetrics {
+    std::atomic<int> health{0};  // static_cast<int>(ReplicaHealth)
+    std::atomic<std::uint64_t> runs_ok{0};
+    std::atomic<std::uint64_t> runs_failed{0};
+    std::atomic<std::uint64_t> cancels{0};
+    std::atomic<std::uint64_t> probes{0};
+  };
+
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> rejected_overload_{0};
@@ -170,9 +265,29 @@ class ServerMetrics {
   std::atomic<std::uint64_t> stream_transactions_{0};
   std::atomic<std::uint64_t> push_stalls_{0};
   std::atomic<std::uint64_t> pop_stalls_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> watchdog_budget_cancels_{0};
+  std::atomic<std::uint64_t> watchdog_deadline_cancels_{0};
+  std::atomic<std::uint64_t> isolation_reruns_{0};
+  std::atomic<std::uint64_t> quarantines_{0};
+  std::atomic<std::uint64_t> probes_{0};
+  std::atomic<std::uint64_t> probe_failures_{0};
+  std::atomic<std::uint64_t> readmissions_{0};
+  std::atomic<std::uint64_t> brownout_entries_{0};
+  std::atomic<std::uint64_t> brownout_sheds_{0};
+  std::atomic<std::uint64_t> faults_injected_{0};
+  std::atomic<bool> brownout_active_{false};
+  std::vector<std::unique_ptr<ReplicaMetrics>> replicas_;
   LatencyHistogram queue_wait_;
   LatencyHistogram batch_form_;
   LatencyHistogram end_to_end_;
+
+  static constexpr std::size_t kMaxEvents = 256;
+  const std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  mutable std::mutex events_mu_;
+  std::vector<std::string> events_;
+  std::uint64_t events_dropped_ = 0;
 };
 
 }  // namespace qnn

@@ -1,8 +1,10 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -18,6 +20,13 @@ using Clock = std::chrono::steady_clock;
 double elapsed_us(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::micro>(to - from).count();
 }
+
+/// Why the watchdog cancelled a run (0 = it did not).
+constexpr int kCancelNone = 0;
+constexpr int kCancelBudget = 1;    // run exceeded run_budget_us
+constexpr int kCancelDeadline = 2;  // every live deadline passed mid-run
+
+constexpr std::int64_t kNoDeadline = std::numeric_limits<std::int64_t>::max();
 
 }  // namespace
 
@@ -44,50 +53,239 @@ struct DfeServer::Impl {
     Clock::time_point enqueue{};
     Clock::time_point dequeue{};
     Clock::time_point deadline{};
+    /// Retry backoff gate: not dispatched before this (epoch = no gate).
+    Clock::time_point not_before{};
     bool has_deadline = false;
+    int attempt = 0;           // retries consumed so far
+    int exclude_replica = -1;  // replica that failed this request last
     double queue_wait_us = 0.0;
     double batch_form_us = 0.0;
   };
 
+  /// One modeled board: the session plus its healing state. Health fields
+  /// are guarded by `mu`; the in_run/run_*/cancel_reason block is the
+  /// lock-free worker<->watchdog protocol (the watchdog must observe a
+  /// run without taking the worker off CPU).
+  struct Replica {
+    explicit Replica(DfeSession s) : session(std::move(s)) {}
+    DfeSession session;
+
+    // Guarded by Impl::mu.
+    ReplicaHealth health = ReplicaHealth::kHealthy;
+    int consecutive_failures = 0;
+    int clean_probes = 0;
+    Clock::time_point next_probe{};
+
+    // Worker publishes (release), watchdog observes (acquire).
+    std::atomic<bool> in_run{false};
+    std::atomic<std::int64_t> run_start_ns{0};
+    std::atomic<std::int64_t> run_deadline_ns{kNoDeadline};
+    std::atomic<int> cancel_reason{kCancelNone};
+  };
+
   ServerConfig config;
-  std::vector<DfeSession> sessions;
+  std::vector<std::unique_ptr<Replica>> replicas;
   Shape input_shape{};
   ServerMetrics metrics;
+  const Clock::time_point epoch = Clock::now();
 
   std::mutex mu;
-  std::condition_variable cv;
+  std::condition_variable cv;        // work arrival / queue changes
+  std::condition_variable maint_cv;  // watchdog period, probe schedule
   std::deque<Request> queue;
   bool accepting = true;
   bool stopping = false;
+  bool watchdog_stop = false;
+  bool brownout_active = false;
+  int quarantined_count = 0;   // replicas out of rotation (incl. probation)
+  int global_fail_streak = 0;  // consecutive failed runs across replicas
 
   std::mutex stop_mu;  // serializes stop(); taken outside `mu`
   bool joined = false;
   std::vector<std::thread> workers;
+  std::thread watchdog_thread;
+
+  [[nodiscard]] std::int64_t to_ns(Clock::time_point t) const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch)
+        .count();
+  }
+  [[nodiscard]] std::int64_t now_ns() const { return to_ns(Clock::now()); }
+
+  // ---- brownout (mu held) ------------------------------------------------
+
+  void update_brownout() {
+    const bool want =
+        config.brownout && (quarantined_count > 0 ||
+                            global_fail_streak >= config.brownout_fail_streak);
+    if (want != brownout_active) {
+      brownout_active = want;
+      metrics.set_brownout(want);
+      metrics.log_event(want ? "brownout entered" : "brownout cleared");
+    }
+  }
+
+  [[nodiscard]] int effective_max_batch() const {
+    return brownout_active ? std::max(1, config.max_batch / 2)
+                           : config.max_batch;
+  }
+  [[nodiscard]] std::int64_t effective_batch_timeout_us() const {
+    return brownout_active ? config.batch_timeout_us / 4
+                           : config.batch_timeout_us;
+  }
+
+  // ---- watchdog ----------------------------------------------------------
+
+  /// Publish a traffic run to the watchdog. The run deadline is the max
+  /// over the batch's deadlines, armed only when EVERY live request has
+  /// one (then its passing proves all of them overran).
+  void arm_watchdog(Replica& rep, const std::vector<Request>& live) {
+    std::int64_t deadline = kNoDeadline;
+    bool all = !live.empty();
+    std::int64_t latest = 0;
+    for (const Request& r : live) {
+      if (!r.has_deadline) {
+        all = false;
+        break;
+      }
+      latest = std::max(latest, to_ns(r.deadline));
+    }
+    if (all) deadline = latest;
+    rep.cancel_reason.store(kCancelNone, std::memory_order_relaxed);
+    rep.run_start_ns.store(now_ns(), std::memory_order_relaxed);
+    rep.run_deadline_ns.store(deadline, std::memory_order_relaxed);
+    rep.in_run.store(true, std::memory_order_release);
+  }
+
+  /// Probe runs always get a deadline so a hung quarantined replica can
+  /// never wedge its worker (or stop()).
+  void arm_watchdog_probe(Replica& rep) {
+    const std::int64_t budget_us =
+        config.run_budget_us > 0 ? config.run_budget_us : 1'000'000;
+    rep.cancel_reason.store(kCancelNone, std::memory_order_relaxed);
+    rep.run_start_ns.store(now_ns(), std::memory_order_relaxed);
+    rep.run_deadline_ns.store(now_ns() + budget_us * 1000,
+                              std::memory_order_relaxed);
+    rep.in_run.store(true, std::memory_order_release);
+  }
+
+  /// Returns why the watchdog cancelled this run (kCancelNone if it
+  /// didn't) and clears the slot for the next run.
+  int disarm_watchdog(Replica& rep) {
+    rep.in_run.store(false, std::memory_order_release);
+    return rep.cancel_reason.exchange(kCancelNone, std::memory_order_acq_rel);
+  }
+
+  void watchdog_loop() {
+    std::unique_lock<std::mutex> lock(mu);
+    while (!watchdog_stop) {
+      maint_cv.wait_for(
+          lock, std::chrono::microseconds(config.watchdog_period_us));
+      if (watchdog_stop) break;
+      const std::int64_t now = now_ns();
+      for (std::size_t i = 0; i < replicas.size(); ++i) {
+        Replica& rep = *replicas[i];
+        if (!rep.in_run.load(std::memory_order_acquire)) continue;
+        const std::int64_t start =
+            rep.run_start_ns.load(std::memory_order_relaxed);
+        const std::int64_t deadline =
+            rep.run_deadline_ns.load(std::memory_order_relaxed);
+        int reason = kCancelNone;
+        if (config.run_budget_us > 0 &&
+            now - start > config.run_budget_us * 1000) {
+          reason = kCancelBudget;
+        } else if (now > deadline) {
+          reason = kCancelDeadline;
+        }
+        if (reason == kCancelNone) continue;
+        int expected = kCancelNone;
+        if (rep.cancel_reason.compare_exchange_strong(expected, reason)) {
+          // Races with run completion are benign: a cancel landing after
+          // the run finished aborts the replica's NEXT run, which the
+          // retry path then heals (the engine re-arms its abort flag at
+          // every run start, so the window is one run at most).
+          rep.session.cancel();
+          metrics.on_watchdog_cancel(reason == kCancelDeadline);
+          metrics.on_replica_cancel(static_cast<int>(i));
+          metrics.log_event(
+              std::string("watchdog cancel (") +
+              (reason == kCancelDeadline ? "deadline" : "budget") +
+              ") replica " + std::to_string(i));
+        }
+      }
+    }
+  }
+
+  // ---- request lifecycle -------------------------------------------------
 
   void fulfill(Request& req, ServerStatus status, Clock::time_point now,
-               std::string error = {}) {
+               std::string error = {}, int replica = -1) {
     InferenceResult res;
     res.status = status;
     res.queue_wait_us = req.queue_wait_us;
     res.batch_form_us = req.batch_form_us;
     res.total_us = elapsed_us(req.enqueue, now);
     res.error = std::move(error);
+    res.retries = req.attempt;
+    res.replica = replica;
     req.promise.set_value(std::move(res));
   }
 
-  /// Pop queued requests into `batch` until it holds `max_batch`, expiring
-  /// any whose deadline has already passed. Caller holds `mu`.
-  void take_ready(std::vector<Request>& batch) {
-    while (static_cast<int>(batch.size()) < config.max_batch &&
-           !queue.empty()) {
-      Request req = std::move(queue.front());
-      queue.pop_front();
-      const Clock::time_point now = Clock::now();
-      if (req.has_deadline && now > req.deadline) {
+  /// Any replica other than `idx` still in traffic rotation? (mu held.)
+  [[nodiscard]] bool other_live(int idx) const {
+    for (std::size_t j = 0; j < replicas.size(); ++j) {
+      if (static_cast<int>(j) == idx) continue;
+      const ReplicaHealth h = replicas[j]->health;
+      if (h == ReplicaHealth::kHealthy || h == ReplicaHealth::kDegraded) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Brownout shedding: expire every over-deadline entry in the queue up
+  /// front, so degraded capacity is spent on work that can still make it.
+  /// (mu held.)
+  void shed_expired(Clock::time_point now) {
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (it->has_deadline && now > it->deadline) {
         metrics.on_reject_deadline();
-        fulfill(req, ServerStatus::kDeadlineExceeded, now);
+        metrics.on_brownout_shed();
+        fulfill(*it, ServerStatus::kDeadlineExceeded, now);
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Collect up to `limit` dispatchable requests for `replica_idx`,
+  /// expiring passed deadlines in place. Skips backoff-gated entries and
+  /// entries excluded from this replica (while another live replica could
+  /// take them) — except during drain, when every entry is fair game.
+  /// (mu held.)
+  void take_ready(std::vector<Request>& batch, int replica_idx, int limit) {
+    const Clock::time_point now = Clock::now();
+    if (brownout_active) shed_expired(now);
+    const bool honor_gates = !stopping;
+    const bool can_exclude = honor_gates && other_live(replica_idx);
+    for (auto it = queue.begin();
+         it != queue.end() && static_cast<int>(batch.size()) < limit;) {
+      if (it->has_deadline && now > it->deadline) {
+        metrics.on_reject_deadline();
+        fulfill(*it, ServerStatus::kDeadlineExceeded, now);
+        it = queue.erase(it);
         continue;
       }
+      if (honor_gates && it->not_before > now) {
+        ++it;
+        continue;
+      }
+      if (can_exclude && it->exclude_replica == replica_idx) {
+        ++it;
+        continue;
+      }
+      Request req = std::move(*it);
+      it = queue.erase(it);
       req.dequeue = now;
       req.queue_wait_us = elapsed_us(req.enqueue, now);
       metrics.queue_wait().record(req.queue_wait_us);
@@ -96,8 +294,231 @@ struct DfeServer::Impl {
     metrics.set_queue_depth(queue.size());
   }
 
-  /// Run one micro-batch on `session` and fulfill every promise.
-  void dispatch(DfeSession& session, std::vector<Request>& batch) {
+  /// The queue holds only gated work for this replica: sleep until the
+  /// earliest backoff expires (or a state change notifies). For
+  /// exclusion-only gates, pass the baton so a worker that CAN take the
+  /// work gets woken even if the original notify landed on us. (mu held
+  /// via lock.)
+  void wait_for_gate(std::unique_lock<std::mutex>& lock) {
+    Clock::time_point earliest = Clock::time_point::max();
+    bool excluded_only = false;
+    const Clock::time_point now = Clock::now();
+    for (const Request& r : queue) {
+      if (r.not_before > now) {
+        earliest = std::min(earliest, r.not_before);
+      } else {
+        excluded_only = true;
+      }
+    }
+    if (excluded_only) cv.notify_one();
+    if (earliest == Clock::time_point::max()) {
+      cv.wait(lock);
+    } else {
+      cv.wait_until(lock, earliest);
+    }
+  }
+
+  // ---- health state machine (mu taken inside) ----------------------------
+
+  void note_success(int idx) {
+    const std::lock_guard<std::mutex> lock(mu);
+    Replica& rep = *replicas[static_cast<std::size_t>(idx)];
+    rep.consecutive_failures = 0;
+    global_fail_streak = 0;
+    metrics.on_replica_run(idx, true);
+    if (rep.health == ReplicaHealth::kDegraded) {
+      rep.health = ReplicaHealth::kHealthy;
+      metrics.set_replica_health(idx, ReplicaHealth::kHealthy);
+      metrics.log_event("replica " + std::to_string(idx) + " healthy again");
+    }
+    update_brownout();
+  }
+
+  void note_failure(int idx, int reason, const std::string& what) {
+    const std::lock_guard<std::mutex> lock(mu);
+    Replica& rep = *replicas[static_cast<std::size_t>(idx)];
+    ++rep.consecutive_failures;
+    ++global_fail_streak;
+    metrics.on_replica_run(idx, false);
+    metrics.log_event(
+        "replica " + std::to_string(idx) + " run failed" +
+        (reason == kCancelBudget
+             ? " (budget cancel)"
+             : reason == kCancelDeadline ? " (deadline cancel)" : "") +
+        ": " + what);
+    if (rep.health == ReplicaHealth::kHealthy) {
+      rep.health = ReplicaHealth::kDegraded;
+      metrics.set_replica_health(idx, ReplicaHealth::kDegraded);
+    }
+    if (rep.health != ReplicaHealth::kQuarantined &&
+        rep.consecutive_failures >= config.quarantine_after) {
+      rep.health = ReplicaHealth::kQuarantined;
+      rep.clean_probes = 0;
+      rep.next_probe =
+          Clock::now() + std::chrono::microseconds(config.probe_period_us);
+      ++quarantined_count;
+      metrics.on_quarantine();
+      metrics.set_replica_health(idx, ReplicaHealth::kQuarantined);
+      metrics.log_event("replica " + std::to_string(idx) + " quarantined");
+    }
+    update_brownout();
+    cv.notify_all();
+    maint_cv.notify_all();
+  }
+
+  /// One synthetic inference on a quarantined replica (worker thread, mu
+  /// NOT held on entry). Clean probes walk quarantined -> probation ->
+  /// healthy; any failure resets to quarantined.
+  void run_probe(int idx) {
+    Replica& rep = *replicas[static_cast<std::size_t>(idx)];
+    metrics.on_replica_probe(idx);
+    bool ok = false;
+    arm_watchdog_probe(rep);
+    try {
+      std::vector<IntTensor> probe;
+      probe.emplace_back(input_shape);
+      (void)rep.session.infer_batch(probe);
+      ok = true;
+    } catch (const std::exception&) {
+      ok = false;
+    }
+    disarm_watchdog(rep);
+
+    const std::lock_guard<std::mutex> lock(mu);
+    metrics.on_probe(ok);
+    if (!ok) {
+      rep.clean_probes = 0;
+      if (rep.health != ReplicaHealth::kQuarantined) {
+        rep.health = ReplicaHealth::kQuarantined;
+        metrics.set_replica_health(idx, ReplicaHealth::kQuarantined);
+      }
+      metrics.log_event("replica " + std::to_string(idx) + " probe failed");
+      rep.next_probe =
+          Clock::now() + std::chrono::microseconds(config.probe_period_us);
+      return;
+    }
+    ++rep.clean_probes;
+    if (rep.health == ReplicaHealth::kQuarantined) {
+      rep.health = ReplicaHealth::kProbation;
+      metrics.set_replica_health(idx, ReplicaHealth::kProbation);
+      metrics.log_event("replica " + std::to_string(idx) + " on probation");
+    }
+    if (rep.clean_probes >= config.probation_probes) {
+      rep.health = ReplicaHealth::kHealthy;
+      rep.consecutive_failures = 0;
+      --quarantined_count;
+      metrics.on_readmit();
+      metrics.set_replica_health(idx, ReplicaHealth::kHealthy);
+      metrics.log_event("replica " + std::to_string(idx) + " readmitted");
+      update_brownout();
+      cv.notify_all();
+    } else {
+      rep.next_probe =
+          Clock::now() + std::chrono::microseconds(config.probe_period_us);
+      maint_cv.notify_all();
+    }
+  }
+
+  /// A request's run failed on replica `idx`: expire it if its deadline is
+  /// the reason (or has passed), retry it with backoff on another replica
+  /// while attempts remain, else surface kError.
+  void handle_failure(Request& req, int idx, int reason,
+                      const std::string& what, Clock::time_point now) {
+    if (reason == kCancelDeadline || (req.has_deadline && now > req.deadline)) {
+      metrics.on_reject_deadline();
+      fulfill(req, ServerStatus::kDeadlineExceeded, now, {}, idx);
+      return;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (!stopping && req.attempt < config.max_retries) {
+        ++req.attempt;
+        req.exclude_replica = idx;
+        req.not_before =
+            now + std::chrono::microseconds(config.retry_backoff_us
+                                            << (req.attempt - 1));
+        metrics.on_retry();
+        queue.push_front(std::move(req));
+        metrics.set_queue_depth(queue.size());
+        cv.notify_all();
+        return;
+      }
+    }
+    metrics.on_error();
+    fulfill(req, ServerStatus::kError, now, what, idx);
+  }
+
+  /// Run `live` on replica `idx` under the watchdog and settle every
+  /// request. On a batch-wide failure that was NOT a watchdog cancel,
+  /// re-run each request alone once (`allow_isolation`): one poisoned
+  /// input then fails only itself, and its batch-mates still complete.
+  void run_requests(int idx, std::vector<Request>& live,
+                    bool allow_isolation) {
+    Replica& rep = *replicas[static_cast<std::size_t>(idx)];
+    std::vector<IntTensor> images;
+    images.reserve(live.size());
+    for (Request& req : live) images.push_back(std::move(req.image));
+    arm_watchdog(rep, live);
+    try {
+      StreamEngine::RunStats stats;
+      std::vector<IntTensor> outputs = rep.session.infer_batch(images, &stats);
+      disarm_watchdog(rep);
+      metrics.on_engine_stats(stats.values_streamed,
+                              stats.stream_transactions, stats.push_stalls,
+                              stats.pop_stalls);
+      metrics.on_faults(stats.faults_injected);
+      note_success(idx);
+      const Clock::time_point done = Clock::now();
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        Request& req = live[i];
+        // Mid-run deadline enforcement is watchdog-period granular: a run
+        // that finished anyway still settles as kDeadlineExceeded when the
+        // request's own deadline has passed.
+        if (req.has_deadline && done > req.deadline) {
+          metrics.on_reject_deadline();
+          fulfill(req, ServerStatus::kDeadlineExceeded, done, {}, idx);
+          continue;
+        }
+        InferenceResult res;
+        res.status = ServerStatus::kOk;
+        res.logits = std::move(outputs[i]);
+        res.queue_wait_us = req.queue_wait_us;
+        res.batch_form_us = req.batch_form_us;
+        res.total_us = elapsed_us(req.enqueue, done);
+        res.retries = req.attempt;
+        res.replica = idx;
+        metrics.end_to_end().record(res.total_us);
+        metrics.on_complete();
+        req.promise.set_value(std::move(res));
+      }
+    } catch (const std::exception& e) {
+      const int reason = disarm_watchdog(rep);
+      // Give every request its image back so it can be re-run or retried.
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        live[i].image = std::move(images[i]);
+      }
+      note_failure(idx, reason, e.what());
+      if (allow_isolation && live.size() > 1 && reason == kCancelNone) {
+        metrics.on_isolation(live.size());
+        metrics.log_event("isolating batch of " +
+                          std::to_string(live.size()) + " on replica " +
+                          std::to_string(idx));
+        for (Request& req : live) {
+          std::vector<Request> solo;
+          solo.push_back(std::move(req));
+          run_requests(idx, solo, false);
+        }
+        return;
+      }
+      const Clock::time_point now = Clock::now();
+      for (Request& req : live) {
+        handle_failure(req, idx, reason, e.what(), now);
+      }
+    }
+  }
+
+  /// Time the batch, record formation latency, and run it.
+  void dispatch(int idx, std::vector<Request>& batch) {
     const Clock::time_point exec_start = Clock::now();
     std::vector<Request> live;
     live.reserve(batch.size());
@@ -115,67 +536,64 @@ struct DfeServer::Impl {
     }
     if (live.empty()) return;
     metrics.on_batch(live.size());
-
-    std::vector<IntTensor> images;
-    images.reserve(live.size());
-    for (Request& req : live) images.push_back(std::move(req.image));
-    try {
-      StreamEngine::RunStats stats;
-      std::vector<IntTensor> outputs = session.infer_batch(images, &stats);
-      metrics.on_engine_stats(stats.values_streamed,
-                              stats.stream_transactions, stats.push_stalls,
-                              stats.pop_stalls);
-      const Clock::time_point done = Clock::now();
-      for (std::size_t i = 0; i < live.size(); ++i) {
-        Request& req = live[i];
-        InferenceResult res;
-        res.status = ServerStatus::kOk;
-        res.logits = std::move(outputs[i]);
-        res.queue_wait_us = req.queue_wait_us;
-        res.batch_form_us = req.batch_form_us;
-        res.total_us = elapsed_us(req.enqueue, done);
-        metrics.end_to_end().record(res.total_us);
-        metrics.on_complete();
-        req.promise.set_value(std::move(res));
-      }
-    } catch (const std::exception& e) {
-      const Clock::time_point done = Clock::now();
-      for (Request& req : live) {
-        metrics.on_error();
-        fulfill(req, ServerStatus::kError, done, e.what());
-      }
-    }
+    run_requests(idx, live, /*allow_isolation=*/true);
   }
 
-  /// Worker loop: one per replica. Forms a micro-batch (close at max_batch
-  /// or batch_timeout_us after the batch opened) and dispatches it.
-  void worker(int replica_idx) {
-    DfeSession& session = sessions[static_cast<std::size_t>(replica_idx)];
+  /// Worker loop: one per replica. A quarantined replica serves probes
+  /// instead of traffic (drain overrides: on stop every replica helps).
+  /// Otherwise forms a micro-batch (close at the effective max_batch or
+  /// the effective batch timeout after it opened) and dispatches it.
+  void worker(int idx) {
+    Replica& rep = *replicas[static_cast<std::size_t>(idx)];
     std::vector<Request> batch;
     for (;;) {
       batch.clear();
       {
         std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] { return stopping || !queue.empty(); });
-        if (queue.empty()) return;  // stopping and fully drained
-        const Clock::time_point batch_open = Clock::now();
-        take_ready(batch);
-        if (!batch.empty() && config.batch_timeout_us > 0) {
-          const Clock::time_point close_at =
-              batch_open + std::chrono::microseconds(config.batch_timeout_us);
-          while (static_cast<int>(batch.size()) < config.max_batch) {
-            if (!queue.empty()) {
-              take_ready(batch);
-              continue;
+        for (;;) {
+          if (stopping && queue.empty()) return;
+          if (!stopping && (rep.health == ReplicaHealth::kQuarantined ||
+                            rep.health == ReplicaHealth::kProbation)) {
+            const Clock::time_point when = rep.next_probe;
+            if (Clock::now() >= when) {
+              lock.unlock();
+              run_probe(idx);
+              lock.lock();
+            } else {
+              maint_cv.wait_until(lock, when);
             }
-            if (stopping) break;
-            if (cv.wait_until(lock, close_at) == std::cv_status::timeout) {
-              break;
+            continue;
+          }
+          if (queue.empty()) {
+            cv.wait(lock, [&] { return stopping || !queue.empty(); });
+            continue;
+          }
+          const Clock::time_point batch_open = Clock::now();
+          const int limit = effective_max_batch();
+          take_ready(batch, idx, limit);
+          if (batch.empty()) {
+            // Everything queued is backoff-gated or excluded from us.
+            wait_for_gate(lock);
+            continue;
+          }
+          const std::int64_t timeout_us = effective_batch_timeout_us();
+          if (timeout_us > 0) {
+            const Clock::time_point close_at =
+                batch_open + std::chrono::microseconds(timeout_us);
+            while (static_cast<int>(batch.size()) < limit) {
+              const std::size_t before = batch.size();
+              if (!queue.empty()) take_ready(batch, idx, limit);
+              if (batch.size() > before) continue;
+              if (stopping) break;
+              if (cv.wait_until(lock, close_at) == std::cv_status::timeout) {
+                break;
+              }
             }
           }
+          break;  // batch formed
         }
       }
-      if (!batch.empty()) dispatch(session, batch);
+      dispatch(idx, batch);
     }
   }
 };
@@ -190,6 +608,22 @@ DfeServer::DfeServer(const NetworkSpec& spec, const NetworkParams& params,
   QNN_CHECK(server_config.max_batch >= 1, "max_batch must be positive");
   QNN_CHECK(server_config.batch_timeout_us >= 0,
             "batch_timeout_us must be non-negative");
+  QNN_CHECK(server_config.run_budget_us >= 0,
+            "run_budget_us must be non-negative");
+  QNN_CHECK(server_config.watchdog_period_us >= 1,
+            "watchdog_period_us must be positive");
+  QNN_CHECK(server_config.max_retries >= 0,
+            "max_retries must be non-negative");
+  QNN_CHECK(server_config.retry_backoff_us >= 0,
+            "retry_backoff_us must be non-negative");
+  QNN_CHECK(server_config.quarantine_after >= 1,
+            "quarantine_after must be positive");
+  QNN_CHECK(server_config.probation_probes >= 1,
+            "probation_probes must be positive");
+  QNN_CHECK(server_config.probe_period_us >= 1,
+            "probe_period_us must be positive");
+  QNN_CHECK(server_config.brownout_fail_streak >= 1,
+            "brownout_fail_streak must be positive");
   impl_->config = server_config;
   if (session_config.engine.verify) {
     // Verify once up front so a malformed network produces one clean
@@ -199,17 +633,22 @@ DfeServer::DfeServer(const NetworkSpec& spec, const NetworkParams& params,
     enforce(verify_graph(pipeline, &params, session_config.engine),
             "DfeServer(" + pipeline.name + ")");
   }
-  impl_->sessions.reserve(static_cast<std::size_t>(server_config.replicas));
+  impl_->replicas.reserve(static_cast<std::size_t>(server_config.replicas));
   for (int i = 0; i < server_config.replicas; ++i) {
     // Each replica gets its own copy of the parameters: sessions share no
-    // mutable state, so the workers may run them concurrently.
-    impl_->sessions.push_back(
-        DfeSession::compile(spec, params, session_config));
+    // mutable state, so the workers may run them concurrently. The fault
+    // identity lets one FaultPlan target individual replicas.
+    SessionConfig replica_config = session_config;
+    replica_config.engine.fault_replica = i;
+    impl_->replicas.push_back(std::make_unique<Impl::Replica>(
+        DfeSession::compile(spec, params, replica_config)));
   }
-  impl_->input_shape = impl_->sessions.front().pipeline().input;
-  impl_->workers.reserve(impl_->sessions.size());
+  impl_->input_shape = impl_->replicas.front()->session.pipeline().input;
+  impl_->metrics.init_replicas(server_config.replicas);
+  Impl* im = impl_.get();  // stable even if the DfeServer handle moves
+  impl_->watchdog_thread = std::thread([im] { im->watchdog_loop(); });
+  impl_->workers.reserve(impl_->replicas.size());
   for (int i = 0; i < server_config.replicas; ++i) {
-    Impl* im = impl_.get();  // stable even if the DfeServer handle moves
     impl_->workers.emplace_back([im, i] { im->worker(i); });
   }
 }
@@ -267,18 +706,32 @@ void DfeServer::stop() {
     im.stopping = true;
   }
   im.cv.notify_all();
+  im.maint_cv.notify_all();
+  // Workers drain first (the watchdog must stay alive to cancel hung
+  // drain runs), then the watchdog is retired.
   for (std::thread& t : im.workers) t.join();
   im.workers.clear();
+  {
+    const std::lock_guard<std::mutex> lock(im.mu);
+    im.watchdog_stop = true;
+  }
+  im.maint_cv.notify_all();
+  if (im.watchdog_thread.joinable()) im.watchdog_thread.join();
   im.joined = true;
 }
 
 int DfeServer::replicas() const {
-  return static_cast<int>(impl_->sessions.size());
+  return static_cast<int>(impl_->replicas.size());
 }
 
 const DfeSession& DfeServer::replica(int i) const {
   QNN_CHECK(i >= 0 && i < replicas(), "replica index out of range");
-  return impl_->sessions[static_cast<std::size_t>(i)];
+  return impl_->replicas[static_cast<std::size_t>(i)]->session;
+}
+
+ReplicaHealth DfeServer::replica_health(int i) const {
+  QNN_CHECK(i >= 0 && i < replicas(), "replica index out of range");
+  return impl_->metrics.replica_health(i);
 }
 
 const ServerMetrics& DfeServer::metrics() const { return impl_->metrics; }

@@ -22,6 +22,25 @@
 //  * Metrics: lock-cheap counters/histograms (serve/metrics.h) exposed
 //    via metrics() / metrics_report().
 //
+// The server also *self-heals* around replica faults (DESIGN.md §7):
+//
+//  * Watchdog: a dedicated thread cancels runs that exceed `run_budget_us`
+//    (hung replica) or outlive every live deadline in the batch (mid-run
+//    deadline enforcement); cancelled work is retried or expired, never
+//    lost.
+//  * Retry with backoff: a failed request is requeued up to `max_retries`
+//    times with exponential backoff, excluded from the replica that just
+//    failed it whenever another live replica exists.
+//  * Batch isolation: when a batch fails without a watchdog cancel, each
+//    request is re-run alone so one poisoned input cannot take its
+//    batch-mates down with it.
+//  * Quarantine: `quarantine_after` consecutive failed runs park a replica;
+//    it then serves synthetic probes and is readmitted after
+//    `probation_probes` consecutive clean ones.
+//  * Brownout: while any replica is quarantined (or failures persist), the
+//    effective max_batch/batch_timeout shrink and already-expired queue
+//    entries are shed first — graceful degradation instead of collapse.
+//
 // submit_async() enqueues and returns a std::future; submit() is the
 // synchronous convenience wrapper. stop() (also run by the destructor)
 // stops admitting, drains every queued request, and joins the workers —
@@ -61,6 +80,32 @@ struct ServerConfig {
   /// Deadline applied when submit()/submit_async() pass deadline_us < 0.
   /// 0 = no deadline.
   std::int64_t default_deadline_us = 0;
+
+  // ---- self-healing ------------------------------------------------------
+  /// Watchdog cancels any single engine run exceeding this budget (a hung
+  /// replica cannot hold its worker forever). 0 = no budget.
+  std::int64_t run_budget_us = 0;
+  /// Watchdog scan period. Also bounds how stale a mid-run deadline
+  /// overrun can go unnoticed.
+  std::int64_t watchdog_period_us = 500;
+  /// Times a failed (non-expired) request is requeued before kError.
+  int max_retries = 2;
+  /// Base backoff before a retried request may dispatch again; doubles
+  /// per attempt (attempt k waits retry_backoff_us << (k-1)).
+  std::int64_t retry_backoff_us = 200;
+  /// Consecutive failed runs that quarantine a replica.
+  int quarantine_after = 3;
+  /// Consecutive clean probes that readmit a quarantined replica.
+  int probation_probes = 2;
+  /// Delay between probe runs of a quarantined replica.
+  std::int64_t probe_period_us = 2000;
+  /// Enable brownout-mode degradation (halved max_batch, quartered batch
+  /// timeout, shed-expired-first) while replicas are quarantined or
+  /// failures persist.
+  bool brownout = true;
+  /// Global consecutive-failure streak that also triggers brownout even
+  /// before anything is quarantined.
+  int brownout_fail_streak = 6;
 };
 
 struct InferenceResult {
@@ -70,6 +115,8 @@ struct InferenceResult {
   double batch_form_us = 0.0;  // picked -> batch dispatched to the engine
   double total_us = 0.0;       // admission -> future fulfilled
   std::string error;           // set iff status == kError
+  int retries = 0;             // times this request was requeued
+  int replica = -1;            // replica that produced the final outcome
 
   [[nodiscard]] bool ok() const { return status == ServerStatus::kOk; }
 };
@@ -103,6 +150,8 @@ class DfeServer {
 
   [[nodiscard]] int replicas() const;
   [[nodiscard]] const DfeSession& replica(int i) const;
+  /// Current health of replica i in the healing state machine.
+  [[nodiscard]] ReplicaHealth replica_health(int i) const;
   [[nodiscard]] const ServerMetrics& metrics() const;
   [[nodiscard]] std::string metrics_report() const;
 

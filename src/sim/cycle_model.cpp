@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "core/rng.h"
+
 namespace qnn {
 namespace {
 
@@ -83,7 +85,9 @@ class KernelSim {
  public:
   explicit KernelSim(std::string name) { st_.name = std::move(name); }
   virtual ~KernelSim() = default;
-  virtual void step() = 0;
+  /// Advance one fabric clock; `now` is the global cycle counter (used by
+  /// the sink for completion timestamps and by links for outage windows).
+  virtual void step(std::uint64_t now) = 0;
   [[nodiscard]] const KernelStats& stats() const { return st_; }
 
  protected:
@@ -96,7 +100,7 @@ class SourceSim final : public KernelSim {
       : KernelSim("source"), out_(out),
         remaining_(values_per_image * images) {}
 
-  void step() override {
+  void step(std::uint64_t /*now*/) override {
     if (remaining_ == 0) return;
     if (out_.full()) {
       ++st_.stall_out;
@@ -119,7 +123,7 @@ class SinkSim final : public KernelSim {
       : KernelSim("sink"), in_(in), per_image_(values_per_image),
         images_(images) {}
 
-  void step() override {
+  void step(std::uint64_t now) override {
     if (done()) return;
     if (in_.empty()) {
       ++st_.stall_in;
@@ -129,11 +133,10 @@ class SinkSim final : public KernelSim {
     ++st_.busy;
     if (++got_ == per_image_) {
       got_ = 0;
-      completions_.push_back(now_);
+      completions_.push_back(now);
     }
   }
 
-  void set_now(std::uint64_t cycle) { now_ = cycle; }
   [[nodiscard]] bool done() const {
     return static_cast<int>(completions_.size()) >= images_;
   }
@@ -146,7 +149,6 @@ class SinkSim final : public KernelSim {
   std::int64_t per_image_;
   int images_;
   std::int64_t got_ = 0;
-  std::uint64_t now_ = 0;
   std::vector<std::uint64_t> completions_;
 };
 
@@ -168,7 +170,7 @@ class ConvSim final : public KernelSim {
     ws_left_ = ws_per_image_;
   }
 
-  void step() override {
+  void step(std::uint64_t /*now*/) override {
     if (ws_left_ > 0) {  // host-streaming this image's weight bank
       --ws_left_;
       ++st_.busy;
@@ -242,7 +244,7 @@ class PoolSim final : public KernelSim {
       : KernelSim(n.name), in_(in), out_(out),
         scan_(n.in, n.k, n.stride, n.pad), images_left_(images) {}
 
-  void step() override {
+  void step(std::uint64_t /*now*/) override {
     if (scan_.done()) return;
     // Pooling emits on the same clock as the completing input (§III-B2):
     // at a corner pixel every consumed channel value yields one output.
@@ -282,7 +284,7 @@ class PassSim final : public KernelSim {
   PassSim(std::string name, SimFifo& in, std::vector<SimFifo*> outs)
       : KernelSim(std::move(name)), in_(in), outs_(std::move(outs)) {}
 
-  void step() override {
+  void step(std::uint64_t /*now*/) override {
     if (in_.empty()) {
       ++st_.stall_in;
       return;
@@ -305,29 +307,32 @@ class PassSim final : public KernelSim {
 };
 
 /// MaxRing serializer (§III-B6): a stream crossing to the next DFE moves
-/// one pixel per ceil(pixel_bits / link_bits_per_cycle) clocks.
+/// one pixel per ceil(pixel_bits / link_bits_per_cycle) clocks. An
+/// injected LinkFault adds outage windows (nothing moves) and CRC-style
+/// corruption: a corrupted pixel is re-serialized once before delivery.
 class LinkSim final : public KernelSim {
  public:
-  LinkSim(std::string name, SimFifo& in, SimFifo& out, int cycles_per_pixel)
+  LinkSim(std::string name, SimFifo& in, SimFifo& out, int cycles_per_pixel,
+          SimConfig::LinkFault fault = {})
       : KernelSim(std::move(name)), in_(in), out_(out),
-        cpp_(cycles_per_pixel) {
+        cpp_(cycles_per_pixel), fault_(fault), rng_(fault.seed) {
     QNN_CHECK(cpp_ >= 1, "link serialization must take >= 1 cycle");
   }
 
-  void step() override {
+  void step(std::uint64_t now) override {
+    if (now >= fault_.down_from_cycle &&
+        now - fault_.down_from_cycle < fault_.down_cycles) {
+      // Outage window: the link moves nothing this cycle.
+      if (holding_ || !in_.empty()) ++st_.stall_out;
+      return;
+    }
     if (holding_) {
       if (remaining_ > 0) {
         --remaining_;
         ++st_.busy;
         if (remaining_ > 0) return;
       }
-      if (out_.full()) {
-        ++st_.stall_out;
-        return;
-      }
-      out_.push();
-      ++st_.outputs;
-      holding_ = false;
+      try_deliver();
       return;
     }
     if (in_.empty()) {
@@ -338,19 +343,39 @@ class LinkSim final : public KernelSim {
     ++st_.busy;
     remaining_ = cpp_ - 1;
     holding_ = true;
-    if (remaining_ == 0 && !out_.full()) {
-      out_.push();
-      ++st_.outputs;
-      holding_ = false;
-    }
+    if (remaining_ == 0) try_deliver();
   }
 
  private:
+  /// Serialization of the held pixel is complete: draw the corruption
+  /// fault (once per pixel — a corrupted pixel re-serializes exactly
+  /// once), then land it when the far FIFO has space.
+  void try_deliver() {
+    if (fault_.corrupt_per_million > 0 && !retransmitted_ &&
+        rng_.next_below(1'000'000) < fault_.corrupt_per_million) {
+      retransmitted_ = true;
+      ++st_.retransmits;
+      remaining_ = cpp_;
+      return;
+    }
+    if (out_.full()) {
+      ++st_.stall_out;
+      return;
+    }
+    out_.push();
+    ++st_.outputs;
+    holding_ = false;
+    retransmitted_ = false;
+  }
+
   SimFifo& in_;
   SimFifo& out_;
   int cpp_;
+  SimConfig::LinkFault fault_;
+  Rng rng_;
   int remaining_ = 0;
   bool holding_ = false;
+  bool retransmitted_ = false;
 };
 
 class AddSim final : public KernelSim {
@@ -358,7 +383,7 @@ class AddSim final : public KernelSim {
   AddSim(const Node& n, SimFifo& main, SimFifo& skip, SimFifo& out)
       : KernelSim(n.name), main_(main), skip_(skip), out_(out) {}
 
-  void step() override {
+  void step(std::uint64_t /*now*/) override {
     if (main_.empty() || skip_.empty()) {
       ++st_.stall_in;
       return;
@@ -386,6 +411,27 @@ SimResult simulate(const Pipeline& pipeline, const SimConfig& config,
                    int images) {
   pipeline.validate();
   QNN_CHECK(images >= 2, "need >= 2 images to observe the steady interval");
+  for (const SimConfig::LinkFault& f : config.link_faults) {
+    QNN_CHECK(f.corrupt_per_million <= 250'000,
+              "link corruption rate above 25% is not a working link");
+  }
+  // Merge the faults targeting one link ordinal (earliest outage wins,
+  // corruption rates take the max) so each LinkSim carries one record.
+  auto fault_for = [&](int link) {
+    SimConfig::LinkFault merged;
+    merged.link = link;
+    for (const SimConfig::LinkFault& f : config.link_faults) {
+      if (f.link != link) continue;
+      if (f.down_cycles > 0 && f.down_from_cycle < merged.down_from_cycle) {
+        merged.down_from_cycle = f.down_from_cycle;
+        merged.down_cycles = f.down_cycles;
+      }
+      merged.corrupt_per_million =
+          std::max(merged.corrupt_per_million, f.corrupt_per_million);
+      if (f.seed != 0) merged.seed = f.seed;
+    }
+    return merged;
+  };
 
   std::vector<std::unique_ptr<SimFifo>> fifos;
   auto make_fifo = [&](std::size_t cap, std::string name) -> SimFifo& {
@@ -443,8 +489,9 @@ SimResult simulate(const Pipeline& pipeline, const SimConfig& config,
         SimFifo& landed =
             make_fifo(upstream.cap, pname + "~link~" + n.name);
         kernels.push_back(std::make_unique<LinkSim>(
-            "link_" + pname + "_" + std::to_string(links_made++), upstream,
-            landed, cpp));
+            "link_" + pname + "_" + std::to_string(links_made), upstream,
+            landed, cpp, fault_for(links_made)));
+        ++links_made;
         f = &landed;
       }
       if (n.main_from == p &&
@@ -569,6 +616,13 @@ SimResult simulate(const Pipeline& pipeline, const SimConfig& config,
                 4;
     }
   }
+  // Injected link faults legitimately slow the run: extend the deadlock
+  // budget by each outage window and by the worst-case retransmission
+  // overhead (rate is capped at 25%, so <= budget/2 extra).
+  for (const SimConfig::LinkFault& f : config.link_faults) {
+    budget += f.down_cycles * 2;
+    if (f.corrupt_per_million > 0) budget += budget / 2;
+  }
 
   std::uint64_t cycle = 0;
   while (!sink_ptr->done()) {
@@ -588,8 +642,7 @@ SimResult simulate(const Pipeline& pipeline, const SimConfig& config,
       throw Error(msg);
     }
     ++cycle;
-    sink_ptr->set_now(cycle);
-    for (auto& k : kernels) k->step();
+    for (auto& k : kernels) k->step(cycle);
   }
 
   SimResult result;

@@ -620,8 +620,10 @@ void check_partition(const Pipeline& p, const PartitionResult& placement,
   const double fps =
       config.clock_hz /
       static_cast<double>(analytic_bottleneck_cycles(p, sc));
-  const double capacity_mbps = config.link_gbps * 1000.0;
   for (std::size_t k = 0; k + 1 < placement.dfes.size(); ++k) {
+    // Health-derated per-link capacity, so a placement over a degraded or
+    // dead MaxRing hop (PartitionConfig::link_health) fails verification.
+    const double capacity_mbps = config.link_capacity_mbps(k);
     const int after = placement.dfes[k].last_node;
     double mbps = 0.0;
     for (const CrossingStream& s : crossing_streams(p, after)) {

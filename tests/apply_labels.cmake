@@ -1,0 +1,17 @@
+# Included by CTest (via TEST_INCLUDE_FILES) after gtest test discovery.
+# Re-applies a full multi-element label set to every test discovered from
+# one binary: gtest_discover_tests' PROPERTIES forwarding flattens list
+# values, so qnn_add_test routes LABELS through here instead.
+#
+# Inputs (set by the generated <name>_labels.cmake shim):
+#   QNN_TESTS_FILE  generated add_test() script of the discovered binary
+#   QNN_LABELS      the label list to stamp on each of its tests
+if(EXISTS "${QNN_TESTS_FILE}")
+  file(STRINGS "${QNN_TESTS_FILE}" qnn_add_test_lines REGEX "^add_test")
+  foreach(qnn_line IN LISTS qnn_add_test_lines)
+    if(qnn_line MATCHES "^add_test\\(\\[=\\[(.+)\\]=\\]")
+      set_tests_properties("${CMAKE_MATCH_1}" PROPERTIES
+        LABELS "${QNN_LABELS}")
+    endif()
+  endforeach()
+endif()

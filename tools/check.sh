@@ -7,6 +7,8 @@
 #   tools/check.sh                # build + ctest + lint
 #   SANITIZE=thread tools/check.sh  # same, built under TSan
 #   SANITIZE=address tools/check.sh # same, under ASan+UBSan
+#   CHAOS=1 tools/check.sh          # additionally re-run the `chaos`
+#                                   # label (seeded fault-injection soak)
 #
 # The build directory is build-check[-$SANITIZE], separate from the
 # default build/ so a strict -Werror configure never pollutes it.
@@ -15,6 +17,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZE="${SANITIZE:-}"
+CHAOS="${CHAOS:-}"
 BUILD_DIR="build-check${SANITIZE:+-$SANITIZE}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
@@ -32,6 +35,11 @@ if [ -n "$SANITIZE" ]; then
   ctest --test-dir "$BUILD_DIR" -L sanitize --output-on-failure
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure
+fi
+
+if [ -n "$CHAOS" ]; then
+  echo "== chaos (seeded fault-injection soak) =="
+  ctest --test-dir "$BUILD_DIR" -L chaos --output-on-failure
 fi
 
 echo "== lint =="
