@@ -2,7 +2,24 @@
 // the XNOR-popcount datapath vs a scalar reference, the folded threshold
 // activation vs the float BatchNorm + quantizer path, the window scanner,
 // the SPSC stream, and a small end-to-end streaming inference.
+//
+// After the google-benchmark suite, main() runs the host-executor
+// ablation: round-robin pooled vs ready-queue vs ready-queue + pinned
+// workers at equal thread counts, on a shallow (8-kernel) and a deep
+// (>= 50-kernel) chain. Results land in BENCH_executor.json (honouring
+// QNN_CSV_DIR like the other benches) and the exit code enforces the
+// acceptance bars, so `PERF=1 tools/check.sh` can gate on it. Pass
+// `--benchmark_filter=__none__` to skip the microbenchmarks and run the
+// ablation alone.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/bitplanes.h"
 #include "dataflow/engine.h"
@@ -167,6 +184,159 @@ void BM_ReferenceExecutorTiny(benchmark::State& state) {
 BENCHMARK(BM_ReferenceExecutorTiny)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// ---- executor ablation --------------------------------------------------
+
+namespace {
+
+/// A straight chain of `convs` (conv + bnact) pairs plus a dense head:
+/// 2*convs + 1 + (bn_act ? 1 : 0) kernels once expanded. convs=3 with a
+/// bn-act head gives the shallow 8-kernel chain; convs=26 without gives
+/// the deep 53-kernel chain where a round-robin sweep wastes whole passes
+/// stepping blocked tasks.
+NetworkSpec ablation_chain(const char* name, int convs, bool dense_bn) {
+  NetworkSpec spec;
+  spec.name = name;
+  spec.input = Shape{8, 8, 2};
+  for (int i = 0; i < convs; ++i) spec.conv(2, 3, 1, 1);
+  spec.dense(3, dense_bn);
+  return spec;
+}
+
+struct AblationConfig {
+  const char* label;
+  ExecutorKind kind;
+  bool pin;
+};
+
+/// Images/second for one (chain, executor) cell. Every config sees the
+/// same requests, the same thread count, and the same (adaptive) burst
+/// plan — the executor is the only variable.
+double ablation_ips(const Pipeline& p, const NetworkParams& params,
+                    const AblationConfig& cfg, unsigned threads,
+                    const std::vector<std::vector<IntTensor>>& requests,
+                    int reps) {
+  EngineOptions opt;
+  opt.executor = cfg.kind;
+  opt.pool_threads = threads;
+  opt.pin_threads = cfg.pin;
+  StreamEngine engine(p, params, opt);
+  (void)engine.run(requests.front());  // warm-up, untimed
+  int images = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const auto& request : requests) {
+      (void)engine.run(request);
+      images += static_cast<int>(request.size());
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - t0;
+  return images / elapsed.count();
+}
+
+}  // namespace
+
+int run_executor_ablation() {
+  constexpr int kReps = 6;
+  const AblationConfig configs[] = {
+      {"pooled round-robin", ExecutorKind::kPooled, false},
+      {"ready-queue", ExecutorKind::kReadyQueue, false},
+      {"ready-queue + pinned", ExecutorKind::kReadyQueue, true},
+  };
+  struct Chain {
+    const char* name;
+    NetworkSpec spec;
+  };
+  const Chain chains[] = {
+      {"shallow", ablation_chain("shallow_chain", 3, true)},
+      {"deep", ablation_chain("deep_chain", 26, false)},
+  };
+
+  std::ostringstream js;
+  js << "{\n  \"chains\": [\n";
+  double shallow_ratio = 0.0;
+  double deep_ratio = 0.0;
+  std::cout << "\nexecutor ablation (thread-per-kernel pools, adaptive "
+               "bursts)\n";
+  for (std::size_t c = 0; c < std::size(chains); ++c) {
+    const Chain& chain = chains[c];
+    const Pipeline p = expand(chain.spec);
+    const NetworkParams params = NetworkParams::random(p, 7);
+    // Pool size = task count (kernels + feeder + collector): the natural
+    // host configuration for a dataflow graph, and the one the pre-burst
+    // engine shipped with (thread-per-kernel). Both executors get the
+    // same count.
+    const unsigned threads = static_cast<unsigned>(p.size()) + 2;
+    Rng rng(11);
+    // Serving-shaped requests: one image per run() call, as the serve/
+    // replicas issue them. This exposes the per-run host overhead (the
+    // pooled sweep re-spawns its workers every run; the ready-queue
+    // executor parks a persistent pool) on top of steady-state
+    // scheduling.
+    std::vector<std::vector<IntTensor>> requests;
+    for (int i = 0; i < 4; ++i) {
+      IntTensor img(p.input);
+      for (std::int64_t j = 0; j < img.size(); ++j) {
+        img[j] = static_cast<std::int32_t>(
+            rng.next_below(1u << chain.spec.input_bits));
+      }
+      requests.push_back({std::move(img)});
+    }
+    js << "    {\"chain\": \"" << chain.name
+       << "\", \"kernels\": " << p.size() << ", \"threads\": " << threads
+       << ", \"configs\": [\n";
+    double pooled_ips = 0.0;
+    double ready_ips = 0.0;
+    for (std::size_t i = 0; i < std::size(configs); ++i) {
+      const AblationConfig& cfg = configs[i];
+      const double ips =
+          ablation_ips(p, params, cfg, threads, requests, kReps);
+      if (cfg.kind == ExecutorKind::kPooled) pooled_ips = ips;
+      if (cfg.kind == ExecutorKind::kReadyQueue && !cfg.pin) {
+        ready_ips = ips;
+      }
+      const double speedup = pooled_ips > 0.0 ? ips / pooled_ips : 0.0;
+      std::cout << "  " << chain.name << " (" << p.size() << " kernels, "
+                << threads << " threads), " << cfg.label << ": " << ips
+                << " images/s (" << speedup << "x vs pooled)\n";
+      js << "      {\"label\": \"" << cfg.label << "\", \"pinned\": "
+         << (cfg.pin ? "true" : "false")
+         << ", \"images_per_second\": " << ips
+         << ", \"speedup_vs_pooled\": " << speedup << "}"
+         << (i + 1 < std::size(configs) ? "," : "") << "\n";
+    }
+    js << "    ]}" << (c + 1 < std::size(chains) ? "," : "") << "\n";
+    const double ratio = pooled_ips > 0.0 ? ready_ips / pooled_ips : 0.0;
+    if (c == 0) {
+      shallow_ratio = ratio;
+    } else {
+      deep_ratio = ratio;
+    }
+  }
+  js << "  ],\n  \"shallow_ready_vs_pooled\": " << shallow_ratio
+     << ",\n  \"deep_ready_vs_pooled\": " << deep_ratio << "\n}\n";
+  std::cout << "ready-queue vs pooled: shallow " << shallow_ratio
+            << "x (bar: >= 0.95), deep " << deep_ratio
+            << "x (bar: >= 1.5)\n"
+            << js.str();
+  const char* csv_dir = std::getenv("QNN_CSV_DIR");
+  const std::string json_path =
+      (csv_dir != nullptr ? std::string(csv_dir) + "/" : std::string()) +
+      "BENCH_executor.json";
+  std::ofstream jf(json_path);
+  if (jf && (jf << js.str())) {
+    std::cout << "(json written to " << json_path << ")\n";
+  }
+  return shallow_ratio >= 0.95 && deep_ratio >= 1.5 ? 0 : 1;
+}
+
 }  // namespace qnn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return qnn::run_executor_ablation();
+}

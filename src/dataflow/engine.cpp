@@ -40,6 +40,10 @@ class FeederTask final : public Kernel {
     return StepResult::kDone;
   }
 
+  void bind_ready(ReadyHook* hook, int task) override {
+    out_.bind_producer(hook, task);
+  }
+
  private:
   std::span<const IntTensor> images_;
   Stream& out_;
@@ -94,6 +98,10 @@ class CollectorTask final : public Kernel {
     return progressed ? StepResult::kProgress : StepResult::kBlocked;
   }
 
+  void bind_ready(ReadyHook* hook, int task) override {
+    in_.bind_consumer(hook, task);
+  }
+
  private:
   std::size_t count_;
   Shape shape_;
@@ -127,24 +135,34 @@ StreamEngine::StreamEngine(const Pipeline& pipeline,
     enforce(verify_graph(pipeline, &params, options_), "StreamEngine");
   }
   pipeline_.validate();
-  executor_ = options_.executor == ExecutorKind::kPooled
-                  ? make_pooled_executor(options_.pool_threads)
-                  : make_thread_per_kernel_executor();
+  switch (options_.executor) {
+    case ExecutorKind::kThreadPerKernel:
+      executor_ = make_thread_per_kernel_executor();
+      break;
+    case ExecutorKind::kPooled:
+      executor_ = make_pooled_executor(options_.pool_threads);
+      break;
+    case ExecutorKind::kReadyQueue:
+      executor_ = make_ready_queue_executor(
+          options_.pool_threads, options_.pin_threads, options_.pin_offset);
+      break;
+  }
 
   // All FIFO sizing lives in plan_fifos (verify/graph_check.h) — the same
   // plan the analyzer proves deadlock-free is the one built here, stream
-  // for stream. `burst` is the option value clamped to the smallest user
-  // FIFO so one transaction can never exceed a ring (QNN-D302).
+  // for stream, including the per-edge burst each kernel's input side
+  // moves per ring transaction (adaptive row-sized by default, capped by
+  // `burst` clamped to the smallest user FIFO — QNN-D302).
   const FifoPlan plan = plan_fifos(pipeline, options_);
-  const std::size_t burst = plan.burst;
 
-  // Input port streams of every node, filled as edges are created.
-  std::vector<Stream*> main_in(static_cast<std::size_t>(pipeline.size()),
-                               nullptr);
-  std::vector<Stream*> skip_in(static_cast<std::size_t>(pipeline.size()),
-                               nullptr);
-  std::vector<Stream*> node_out(static_cast<std::size_t>(pipeline.size()),
-                                nullptr);
+  // Input port streams of every node, filled as edges are created, with
+  // the planned burst granularity of each edge.
+  const auto node_count = static_cast<std::size_t>(pipeline.size());
+  std::vector<Stream*> main_in(node_count, nullptr);
+  std::vector<Stream*> skip_in(node_count, nullptr);
+  std::vector<Stream*> node_out(node_count, nullptr);
+  std::vector<std::size_t> main_burst(node_count, plan.burst);
+  std::vector<std::size_t> skip_burst(node_count, plan.burst);
 
   auto producer_out = [&](int p) -> Stream*& {
     return p < 0 ? input_stream_ : node_out[static_cast<std::size_t>(p)];
@@ -152,8 +170,10 @@ StreamEngine::StreamEngine(const Pipeline& pipeline,
   auto attach = [&](const PlannedStream& ps, Stream& s) {
     if (ps.to_skip_port) {
       skip_in[static_cast<std::size_t>(ps.consumer)] = &s;
+      skip_burst[static_cast<std::size_t>(ps.consumer)] = ps.burst;
     } else {
       main_in[static_cast<std::size_t>(ps.consumer)] = &s;
+      main_burst[static_cast<std::size_t>(ps.consumer)] = ps.burst;
     }
   };
 
@@ -184,7 +204,7 @@ StreamEngine::StreamEngine(const Pipeline& pipeline,
         const std::string pname =
             ps.producer < 0 ? "input" : pipeline.node(ps.producer).name;
         kernels_.push_back(std::make_unique<ForkKernel>(
-            "fork_" + pname, s, std::move(branches), burst));
+            "fork_" + pname, s, std::move(branches), ps.burst));
         break;
       }
       case PlannedStream::Role::kBranch:
@@ -202,6 +222,7 @@ StreamEngine::StreamEngine(const Pipeline& pipeline,
     Stream* out = node_out[static_cast<std::size_t>(i)];
     QNN_CHECK(in != nullptr && out != nullptr,
               "node " + n.name + " not fully wired");
+    const std::size_t burst = main_burst[static_cast<std::size_t>(i)];
     switch (n.kind) {
       case NodeKind::Conv:
         kernels_.push_back(std::make_unique<ConvKernel>(
@@ -219,8 +240,9 @@ StreamEngine::StreamEngine(const Pipeline& pipeline,
       case NodeKind::Add: {
         Stream* skip = skip_in[static_cast<std::size_t>(i)];
         QNN_CHECK(skip != nullptr, "add node " + n.name + " missing skip");
-        kernels_.push_back(
-            std::make_unique<AddKernel>(n, *in, *skip, *out, burst));
+        kernels_.push_back(std::make_unique<AddKernel>(
+            n, *in, *skip, *out, burst,
+            skip_burst[static_cast<std::size_t>(i)]));
         break;
       }
     }

@@ -7,11 +7,13 @@
 // computation-overlap property (§III-B) realized on the host.
 //
 // Transport is burst-mode end to end (see stream.h): the feeder pushes
-// whole row segments, kernels move EngineOptions::burst values per ring
-// transaction, and the collector pops directly into the output tensors.
-// How kernels execute is an Executor choice (see executor.h): one OS
-// thread per kernel, or a cooperative worker pool that steps resumable
-// kernels on min(kernels, cores) threads.
+// whole row segments, kernels move the per-edge burst planned by
+// plan_fifos (one row of the carried map by default, capped by
+// EngineOptions::burst) per ring transaction, and the collector pops
+// directly into the output tensors. How kernels execute is an Executor
+// choice (see executor.h): one OS thread per kernel, a round-robin
+// cooperative pool, or the default event-driven ready-queue scheduler
+// that the streams wake through the ReadyHook seam.
 //
 // FIFO capacities default to the paper's depth-first line-buffer formula
 // I*(W_p*(K-1) + K) (§III-B1b) per edge feeding a window kernel; the
@@ -37,7 +39,8 @@ namespace qnn {
 /// Execution model for the kernels of one engine (see executor.h).
 enum class ExecutorKind {
   kThreadPerKernel,  // one OS thread per kernel, blocking streams
-  kPooled,           // cooperative worker pool stepping resumable kernels
+  kPooled,           // cooperative worker pool, round-robin sweep
+  kReadyQueue,       // event-driven ready deques with work stealing
 };
 
 struct EngineOptions {
@@ -47,12 +50,27 @@ struct EngineOptions {
   /// Extra slack added to skip-connection FIFOs beyond the full feature
   /// map they may need to hold while the regular path lags.
   std::size_t skip_slack = 64;
-  /// Values kernels move per stream transaction (1 = scalar transport).
+  /// Cap on the values kernels move per stream transaction. With
+  /// adaptive_burst each edge defaults to one row of the map it carries,
+  /// clamped to this cap; without it every edge moves exactly this many
+  /// (1 = scalar transport).
   std::size_t burst = kDefaultBurst;
+  /// Derive per-edge burst sizes from producer row lengths in plan_fifos
+  /// (FifoPlan::streams[i].burst) instead of using `burst` uniformly.
+  bool adaptive_burst = true;
   /// How kernels are scheduled onto host threads.
-  ExecutorKind executor = ExecutorKind::kPooled;
-  /// Worker count for ExecutorKind::kPooled; 0 = hardware_concurrency.
+  ExecutorKind executor = ExecutorKind::kReadyQueue;
+  /// Worker count for kPooled / kReadyQueue; 0 = hardware_concurrency.
   unsigned pool_threads = 0;
+  /// kReadyQueue only: bind worker w to core (pin_offset + w) % cores
+  /// (Linux pthread affinity; no-op elsewhere). Combined with the home
+  /// partition of the ready deques this keeps producer/consumer kernel
+  /// pairs on one core's cache.
+  bool pin_threads = false;
+  /// First core of this engine's pinning window; DfeServer staggers it
+  /// per replica so replica pools tile the machine instead of stacking
+  /// every worker 0 on core 0.
+  unsigned pin_offset = 0;
   /// Run the static analyzer (verify/graph_check.h) during construction
   /// and refuse to build a graph with any error-severity finding. The
   /// software analog of the Maxeler compile-time graph checks; off only

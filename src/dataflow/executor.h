@@ -14,7 +14,18 @@
 //     no more threads than the machine has cores, and a blocked kernel
 //     costs one skipped step instead of a context switch.
 //
-// Both models have identical failure semantics: the first kernel
+//   * ready queue (default) — event-driven: every Stream wakes its
+//     blocked neighbour through the ReadyHook seam (stream.h) when a ring
+//     transaction lands, so a kernel is queued only while it has something
+//     to do. Workers pull from per-worker deques (LIFO for cache warmth)
+//     and steal from peers when their own runs dry; idle workers park on a
+//     condition variable instead of sweeping, so a deep chain where only a
+//     few kernels are runnable costs no O(tasks) scan per step and no
+//     spinning. The home deque of each task is the block partition of the
+//     topologically ordered task list, which places producer/consumer
+//     pairs on the same worker — and, with pinning, the same core.
+//
+// All models have identical failure semantics: the first kernel
 // exception aborts the run (via the shared abort flag that also unblocks
 // any blocking stream operations) and is rethrown to the caller after all
 // workers have quiesced.
@@ -45,5 +56,14 @@ std::unique_ptr<Executor> make_thread_per_kernel_executor();
 
 /// Cooperative worker pool; `threads` = 0 means hardware_concurrency.
 std::unique_ptr<Executor> make_pooled_executor(unsigned threads = 0);
+
+/// Event-driven ready-queue scheduler with work stealing (see the file
+/// comment). `threads` = 0 means hardware_concurrency. With `pin`, worker
+/// w is bound to core (pin_offset + w) % cores via pthread affinity
+/// (Linux; silently a no-op elsewhere) — replica pools pass staggered
+/// offsets so four engines do not all land on core 0.
+std::unique_ptr<Executor> make_ready_queue_executor(unsigned threads = 0,
+                                                    bool pin = false,
+                                                    unsigned pin_offset = 0);
 
 }  // namespace qnn

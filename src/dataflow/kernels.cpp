@@ -76,6 +76,11 @@ void WindowKernel::reset() {
   image_open_ = false;
 }
 
+void WindowKernel::bind_ready(ReadyHook* hook, int task) {
+  in_.bind_consumer(hook, task);
+  out_.bind_producer(hook, task);
+}
+
 StepResult WindowKernel::step() {
   if (!stage_.flush(out_)) return StepResult::kBlocked;
   bool progressed = false;
@@ -189,6 +194,11 @@ void BnActKernel::reset() {
   ch_ = 0;
 }
 
+void BnActKernel::bind_ready(ReadyHook* hook, int task) {
+  in_.bind_consumer(hook, task);
+  out_.bind_producer(hook, task);
+}
+
 StepResult BnActKernel::step() {
   if (!stage_.flush(out_)) return StepResult::kBlocked;
   const int c = node_.in.c;
@@ -218,14 +228,15 @@ StepResult BnActKernel::step() {
 // ----------------------------------------------------------------- AddKernel
 
 AddKernel::AddKernel(const Node& node, Stream& in_main, Stream& in_skip,
-                     Stream& out, std::size_t burst)
+                     Stream& out, std::size_t burst_main,
+                     std::size_t burst_skip)
     : Kernel(node.name),
       node_(node),
       main_(in_main),
       skip_(in_skip),
       out_(out),
-      main_burst_(burst),
-      skip_burst_(burst) {
+      main_burst_(burst_main),
+      skip_burst_(burst_skip) {
   QNN_CHECK(node.kind == NodeKind::Add, "AddKernel needs an Add node");
 }
 
@@ -233,6 +244,12 @@ void AddKernel::reset() {
   main_burst_.clear();
   skip_burst_.clear();
   stage_.clear();
+}
+
+void AddKernel::bind_ready(ReadyHook* hook, int task) {
+  main_.bind_consumer(hook, task);
+  skip_.bind_consumer(hook, task);
+  out_.bind_producer(hook, task);
 }
 
 StepResult AddKernel::step() {
@@ -282,6 +299,11 @@ void ForkKernel::reset() {
   std::fill(branch_pos_.begin(), branch_pos_.end(), 0);
   std::fill(stall_noted_.begin(), stall_noted_.end(), false);
   in_stall_noted_ = false;
+}
+
+void ForkKernel::bind_ready(ReadyHook* hook, int task) {
+  in_.bind_consumer(hook, task);
+  for (Stream* out : outs_) out->bind_producer(hook, task);
 }
 
 bool ForkKernel::flush_branches() {

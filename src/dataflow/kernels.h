@@ -48,7 +48,10 @@ enum class StepResult {
   kDone,      // input drained at an image boundary; output closed
 };
 
-/// Default burst size (values) kernels move per stream transaction.
+/// Default cap on the burst size (values) kernels move per stream
+/// transaction. With adaptive per-edge sizing (EngineOptions::
+/// adaptive_burst) each edge defaults to one row of the map it carries,
+/// clamped to this cap; without it every edge moves exactly this many.
 inline constexpr std::size_t kDefaultBurst = 256;
 
 // ------------------------------------------------------------------ helpers
@@ -173,6 +176,15 @@ class Kernel {
     return step();
   }
 
+  /// Readiness wiring for the ready-queue executor: register `task` (this
+  /// kernel's slot in the executor's task table) as the consumer of every
+  /// input stream and the producer of every output stream, so the streams
+  /// wake it when the edge it blocked on becomes serviceable again. Called
+  /// with nullptr after the run to unbind. The default binds nothing — a
+  /// kernel without streams (or a test stub) then relies on the executor's
+  /// rescue sweep for re-scheduling.
+  virtual void bind_ready(ReadyHook* /*hook*/, int /*task*/) {}
+
   /// Discard all in-flight per-run state (partial bursts, staged outputs,
   /// scan cursors). The engine calls this alongside Stream::reset between
   /// runs, so an aborted run never poisons the next one.
@@ -194,6 +206,7 @@ class WindowKernel : public Kernel {
   WindowKernel(const Node& node, Stream& in, Stream& out, std::size_t burst);
   StepResult step() final;
   void reset() override;
+  void bind_ready(ReadyHook* hook, int task) override;
 
  protected:
   /// Emit all outputs of the window at `at` into stage().
@@ -258,6 +271,7 @@ class BnActKernel final : public Kernel {
               Stream& out, std::size_t burst = kDefaultBurst);
   StepResult step() override;
   void reset() override;
+  void bind_ready(ReadyHook* hook, int task) override;
 
  private:
   const Node& node_;
@@ -274,10 +288,16 @@ class BnActKernel final : public Kernel {
 /// FIFO capacity plays the role of the delay-compensation buffer.
 class AddKernel final : public Kernel {
  public:
+  /// `burst_main` / `burst_skip` size the two input-side burst buffers
+  /// independently (the regular and skip edges can carry very different
+  /// row lengths under adaptive per-edge sizing); consumption stays
+  /// pairwise regardless.
   AddKernel(const Node& node, Stream& in_main, Stream& in_skip, Stream& out,
-            std::size_t burst = kDefaultBurst);
+            std::size_t burst_main = kDefaultBurst,
+            std::size_t burst_skip = kDefaultBurst);
   StepResult step() override;
   void reset() override;
+  void bind_ready(ReadyHook* hook, int task) override;
 
  private:
   const Node& node_;
@@ -298,6 +318,7 @@ class ForkKernel final : public Kernel {
              std::size_t burst = kDefaultBurst);
   StepResult step() override;
   void reset() override;
+  void bind_ready(ReadyHook* hook, int task) override;
 
  private:
   /// Push the pending burst tail to every branch; true when all caught up.

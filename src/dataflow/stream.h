@@ -45,6 +45,30 @@
 
 namespace qnn {
 
+/// Executor-side readiness sink (the seam the ready-queue scheduler plugs
+/// into a Stream): wake(task) tells the executor that the stream activity
+/// which just happened may have unblocked `task`, so it must be (re)queued
+/// unless it is already queued or running.
+///
+/// The protocol is eventcount-shaped and deliberately *level*-based rather
+/// than strictly edge-triggered: a wake fires after EVERY successful ring
+/// transaction (push -> wake consumer, pop -> wake producer) plus close()
+/// (-> wake consumer), not only on empty->nonempty / full->nonfull
+/// transitions. A strict transition test on the producer side would read a
+/// stale tail_ and could conclude "not empty" exactly while the consumer
+/// is going idle — the classic lost wakeup. Firing per transaction keeps
+/// the check race-free at the cost of one fence + one atomic load per
+/// *burst*, which adaptive per-edge sizing amortizes over the whole row.
+/// Implementations must tolerate spurious wakes and wakes for tasks that
+/// are already queued, running, or done.
+class ReadyHook {
+ public:
+  virtual ~ReadyHook() = default;
+
+  /// May be called from any worker thread, concurrently with itself.
+  virtual void wake(int task) = 0;
+};
+
 class Stream {
  public:
   Stream(std::size_t capacity, int bits, std::string name)
@@ -68,6 +92,27 @@ class Stream {
   /// Attach a fault-injection site (nullptr = none). Consulted on the
   /// producer side only; the engine arms it per run via FaultInjector.
   void set_fault(StreamFaultSite* site) { fault_ = site; }
+
+  // ---- readiness seam (ready-queue executor) ----------------------------
+  //
+  // Bound by the executor before workers start and cleared after they
+  // join, so the fields need no synchronization of their own. A null hook
+  // (thread-per-kernel / round-robin pooled execution) costs one branch
+  // per ring transaction.
+
+  /// The task to wake when values are pushed into (or the stream is closed
+  /// toward) this stream's consumer side.
+  void bind_consumer(ReadyHook* hook, int task) {
+    consumer_hook_ = hook;
+    consumer_task_ = task;
+  }
+
+  /// The task to wake when values are popped out of this stream (space for
+  /// its producer side).
+  void bind_producer(ReadyHook* hook, int task) {
+    producer_hook_ = hook;
+    producer_task_ = task;
+  }
 
   // ---- non-blocking burst API (single producer / single consumer) -------
 
@@ -96,6 +141,7 @@ class Stream {
     head_.store((head + n) & mask_, std::memory_order_release);
     pushed_ += n;
     ++transactions_;
+    if (consumer_hook_ != nullptr) consumer_hook_->wake(consumer_task_);
     return n;
   }
 
@@ -113,6 +159,7 @@ class Stream {
       out[i] = buf_[(tail + i) & mask_];
     }
     tail_.store((tail + n) & mask_, std::memory_order_release);
+    if (producer_hook_ != nullptr) producer_hook_->wake(producer_task_);
     return n;
   }
 
@@ -181,8 +228,12 @@ class Stream {
     }
   }
 
-  /// Producer signals end of data; pending values remain poppable.
-  void close() { closed_.store(true, std::memory_order_release); }
+  /// Producer signals end of data; pending values remain poppable. The
+  /// consumer is woken so it can observe drained() without another push.
+  void close() {
+    closed_.store(true, std::memory_order_release);
+    if (consumer_hook_ != nullptr) consumer_hook_->wake(consumer_task_);
+  }
 
   /// Reset to the freshly constructed state. Only valid while no producer
   /// or consumer threads are active (the engine calls this between runs).
@@ -251,6 +302,10 @@ class Stream {
   std::atomic<bool> closed_{false};
   const std::atomic<bool>* abort_ = nullptr;
   StreamFaultSite* fault_ = nullptr;
+  ReadyHook* consumer_hook_ = nullptr;
+  ReadyHook* producer_hook_ = nullptr;
+  int consumer_task_ = -1;
+  int producer_task_ = -1;
   std::uint64_t pushed_ = 0;
   std::uint64_t transactions_ = 0;
   std::uint64_t push_stalls_ = 0;

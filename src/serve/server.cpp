@@ -634,12 +634,24 @@ DfeServer::DfeServer(const NetworkSpec& spec, const NetworkParams& params,
             "DfeServer(" + pipeline.name + ")");
   }
   impl_->replicas.reserve(static_cast<std::size_t>(server_config.replicas));
+  // Replica pools share one pinning map: each replica's engine gets a core
+  // window staggered by its worker count, so with pin_threads set four
+  // replicas tile the machine instead of all binding worker 0 to core 0.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned pin_stride =
+      session_config.engine.pool_threads != 0
+          ? session_config.engine.pool_threads
+          : std::max(1u, hw / static_cast<unsigned>(std::max(
+                              1, server_config.replicas)));
   for (int i = 0; i < server_config.replicas; ++i) {
     // Each replica gets its own copy of the parameters: sessions share no
     // mutable state, so the workers may run them concurrently. The fault
     // identity lets one FaultPlan target individual replicas.
     SessionConfig replica_config = session_config;
     replica_config.engine.fault_replica = i;
+    replica_config.engine.pin_offset =
+        session_config.engine.pin_offset +
+        static_cast<unsigned>(i) * pin_stride;
     impl_->replicas.push_back(std::make_unique<Impl::Replica>(
         DfeSession::compile(spec, params, replica_config)));
   }

@@ -130,6 +130,25 @@ FifoPlan plan_fifos(const Pipeline& pipeline, const EngineOptions& options) {
     const Node& n = pipeline.node(i);
     plan_producer(i, n.out, n.out_bits);
   }
+
+  // Per-edge burst sizing. Adaptive mode matches each edge's transaction
+  // granularity to one row (W·C) of the map it carries — the §III-B1b
+  // unit the window scanners ingest — so a thin late-stage edge is not
+  // forced into one 256-value transfer per several images while a wide
+  // early edge chops its rows into fragments. The plan-wide `burst` caps
+  // every edge, and no edge may exceed its own ring.
+  for (PlannedStream& ps : plan.streams) {
+    if (!options.adaptive_burst) {
+      ps.burst = plan.burst;
+      continue;
+    }
+    const Shape& carried =
+        ps.producer < 0 ? pipeline.input : pipeline.node(ps.producer).out;
+    const auto row = static_cast<std::size_t>(carried.w) *
+                     static_cast<std::size_t>(carried.c);
+    ps.burst = std::max<std::size_t>(
+        1, std::min({row, plan.burst, ps.capacity}));
+  }
   return plan;
 }
 
@@ -454,9 +473,22 @@ void check_capacities(const Pipeline& p, const FifoPlan& plan,
   if (plan.burst_clamped) {
     report.warn(diag::kBurstClamp, -1, "pipeline",
                 "burst size exceeds the user FIFO capacity; kernels will "
-                "move " + std::to_string(plan.burst) +
+                "move at most " + std::to_string(plan.burst) +
                     " values per transaction so one burst can never "
                     "overfill a ring");
+  }
+
+  // The engine consumes each PlannedStream::burst verbatim, so the plan
+  // itself must never schedule a transaction larger than its ring — the
+  // per-edge face of the D302 clamp above.
+  for (const PlannedStream& ps : plan.streams) {
+    if (ps.burst > ps.capacity) {
+      report.error(diag::kBurstClamp, ps.consumer, ps.name,
+                   "planned per-edge burst " + std::to_string(ps.burst) +
+                       " exceeds the ring capacity " +
+                       std::to_string(ps.capacity) +
+                       "; one transaction could never complete");
+    }
   }
 
   for (const PlannedStream& ps : plan.streams) {

@@ -57,14 +57,22 @@ struct PlannedStream {
   bool to_skip_port = false;  // consumer-side port (Add nodes only)
   std::size_t capacity = 0;   // values
   int bits = 0;               // declared element width
+  /// Values the consumer moves per ring transaction on this edge. With
+  /// EngineOptions::adaptive_burst it is one row (W·C) of the map the
+  /// edge carries, clamped to the plan-wide cap and to the ring; without,
+  /// it is the plan-wide burst on every edge. Consumed by the engine's
+  /// kernel construction AND the D302/D303 capacity checks, so burst
+  /// sizing has exactly one source.
+  std::size_t burst = 0;
 };
 
 /// The complete FIFO plan of one engine instance: every stream in the
-/// order the engine creates them, plus the effective burst size.
+/// order the engine creates them, plus the effective burst cap.
 struct FifoPlan {
   std::vector<PlannedStream> streams;
-  /// Burst the kernels will actually use: EngineOptions::burst clamped to
-  /// the user FIFO capacity so a transaction can never exceed the ring.
+  /// Cap on per-edge bursts: EngineOptions::burst clamped to the user
+  /// FIFO capacity so a transaction can never exceed the ring. Each
+  /// edge's actual size is streams[i].burst.
   std::size_t burst = kDefaultBurst;
   bool burst_clamped = false;
 

@@ -166,7 +166,19 @@ TEST(Engine, RejectsWrongImageShape) {
   EXPECT_THROW((void)engine.run_one(IntTensor(Shape{8, 8, 3})), Error);
 }
 
-// Every zoo-style topology must be bit-exact in both executor modes and
+const char* kind_name(ExecutorKind kind) {
+  switch (kind) {
+    case ExecutorKind::kThreadPerKernel:
+      return "thread-per-kernel";
+    case ExecutorKind::kPooled:
+      return "pooled";
+    case ExecutorKind::kReadyQueue:
+      return "ready-queue";
+  }
+  return "?";
+}
+
+// Every zoo-style topology must be bit-exact in every executor mode and
 // at both ends of the burst spectrum (1 = scalar transport).
 TEST(EngineExecutors, BitExactAcrossExecutorAndBurstMatrix) {
   NetworkSpec res;
@@ -184,14 +196,65 @@ TEST(EngineExecutors, BitExactAcrossExecutorAndBurstMatrix) {
   std::uint64_t seed = 31;
   for (const NetworkSpec& spec : specs) {
     for (const ExecutorKind kind :
-         {ExecutorKind::kThreadPerKernel, ExecutorKind::kPooled}) {
+         {ExecutorKind::kThreadPerKernel, ExecutorKind::kPooled,
+          ExecutorKind::kReadyQueue}) {
       for (const std::size_t burst : {std::size_t{1}, std::size_t{256}}) {
         EngineOptions opt;
         opt.executor = kind;
         opt.burst = burst;
-        SCOPED_TRACE(spec.name + " burst=" + std::to_string(burst) +
-                     (kind == ExecutorKind::kPooled ? " pooled" : " thread"));
+        SCOPED_TRACE(spec.name + " burst=" + std::to_string(burst) + " " +
+                     kind_name(kind));
         expect_engine_matches_reference(spec, seed++, 2, opt);
+      }
+    }
+  }
+}
+
+// Adaptive per-edge burst sizing is a transport decision, never a
+// numerical one: the same zoo topologies must produce identical outputs
+// with row-sized per-edge bursts and with uniform scalar transport
+// (burst = 1, adaptive off), under both cooperative executors.
+TEST(EngineExecutors, AdaptiveBurstsBitExactWithScalarTransport) {
+  NetworkSpec res;
+  res.name = "res_adaptive";
+  res.input = Shape{12, 12, 3};
+  res.conv(4, 3, 1, 1);
+  res.residual(8, 2);
+  res.residual(8, 1);
+  res.avg_pool_global();
+  res.dense(4, false);
+
+  const NetworkSpec specs[] = {models::tiny(12, 4, 2), res,
+                               models::vgg_like(16, 10, 2),
+                               models::finn_cnv(10, 2)};
+  std::uint64_t seed = 71;
+  for (const NetworkSpec& spec : specs) {
+    const Pipeline p = expand(spec);
+    const NetworkParams params = NetworkParams::random(p, seed);
+    Rng rng(seed ^ 0xfeed);
+    ++seed;
+    std::vector<IntTensor> batch;
+    for (int i = 0; i < 2; ++i) {
+      batch.push_back(
+          testutil::random_codes(spec.input, spec.input_bits, rng));
+    }
+
+    EngineOptions adaptive;  // defaults: adaptive per-edge, ready queue
+    StreamEngine baseline(p, params, adaptive);
+    const auto want = baseline.run(batch);
+
+    for (const ExecutorKind kind :
+         {ExecutorKind::kPooled, ExecutorKind::kReadyQueue}) {
+      EngineOptions scalar;
+      scalar.executor = kind;
+      scalar.burst = 1;
+      scalar.adaptive_burst = false;
+      StreamEngine engine(p, params, scalar);
+      const auto got = engine.run(batch);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i], want[i])
+            << spec.name << " image " << i << " " << kind_name(kind);
       }
     }
   }
@@ -201,9 +264,10 @@ TEST(EngineExecutors, BitExactAcrossExecutorAndBurstMatrix) {
 // cancel(), which makes the feeder-side task throw) must leave the engine
 // fully reusable — the next run starts from pristine streams and kernels
 // and stays bit-exact.
-TEST(EngineRecovery, RecoversAfterCancelledRunInBothModes) {
+TEST(EngineRecovery, RecoversAfterCancelledRunInEveryMode) {
   for (const ExecutorKind kind :
-       {ExecutorKind::kThreadPerKernel, ExecutorKind::kPooled}) {
+       {ExecutorKind::kThreadPerKernel, ExecutorKind::kPooled,
+        ExecutorKind::kReadyQueue}) {
     EngineOptions opt;
     opt.executor = kind;
     const Pipeline p = expand(models::tiny(12, 4, 2));
@@ -227,9 +291,48 @@ TEST(EngineRecovery, RecoversAfterCancelledRunInBothModes) {
     stop.store(true);
     canceller.join();
 
-    EXPECT_EQ(engine.run_one(img), good)
-        << (kind == ExecutorKind::kPooled ? "pooled" : "thread-per-kernel");
+    EXPECT_EQ(engine.run_one(img), good) << kind_name(kind);
   }
+}
+
+// Satellite regression for stale stats across re-arm: RunStats of a rerun
+// after cancel() must match a clean run exactly — Stream::reset() clears
+// the pushed/transactions/stall counters along with the ring, so an
+// aborted run's traffic never inflates the next run's numbers.
+TEST(EngineRecovery, RunStatsPristineAfterCancelledRun) {
+  const Pipeline p = expand(models::tiny(12, 4, 2));
+  const NetworkParams params = NetworkParams::random(p, 33);
+  Rng rng(34);
+  const IntTensor img = testutil::random_image(12, 12, 3, rng);
+
+  // Clean engine: the expected per-run traffic.
+  StreamEngine clean(p, params);
+  StreamEngine::RunStats want;
+  (void)clean.run(std::span<const IntTensor>(&img, 1), &want);
+
+  StreamEngine engine(p, params);
+  std::vector<IntTensor> batch;
+  for (int i = 0; i < 64; ++i) batch.push_back(img);
+  std::atomic<bool> stop{false};
+  std::thread canceller([&] {
+    while (!stop.load()) {
+      engine.cancel();
+      std::this_thread::yield();
+    }
+  });
+  EXPECT_THROW((void)engine.run(batch), Error);
+  stop.store(true);
+  canceller.join();
+
+  StreamEngine::RunStats got;
+  const auto outs = engine.run(std::span<const IntTensor>(&img, 1), &got);
+  ASSERT_EQ(outs.size(), 1u);
+  // Deterministic counters must match a clean run exactly; the stall
+  // counts are scheduling-dependent and only checked for sanity.
+  EXPECT_EQ(got.values_streamed, want.values_streamed);
+  EXPECT_EQ(got.faults_injected, 0u);
+  EXPECT_GT(got.stream_transactions, 0u);
+  EXPECT_LE(got.stream_transactions, got.values_streamed);
 }
 
 TEST(Engine, KernelAndStreamCountsMatchTopology) {

@@ -270,5 +270,105 @@ TEST(StreamBurst, TwoThreadBurstStressKeepsSequence) {
   EXPECT_LT(s.transactions(), s.pushed());  // bursts actually coalesced
 }
 
+// Satellite regression: reset() must return the *counters* to the
+// freshly constructed state too, so RunStats of a rerun after cancel()
+// never report the aborted run's traffic.
+TEST(Stream, ResetClearsTrafficAndStallCounters) {
+  Stream s(4, 8, "counters");
+  std::int32_t buf[4] = {};
+  const std::int32_t vs[] = {1, 2, 3};
+  ASSERT_EQ(s.try_push_burst(vs), 3u);
+  ASSERT_EQ(s.try_pop_burst({buf, 2}), 2u);
+  s.note_push_stall();
+  s.note_pop_stall();
+  ASSERT_GT(s.pushed(), 0u);
+  ASSERT_GT(s.transactions(), 0u);
+
+  s.reset();
+  EXPECT_EQ(s.pushed(), 0u);
+  EXPECT_EQ(s.transactions(), 0u);
+  EXPECT_EQ(s.push_stalls(), 0u);
+  EXPECT_EQ(s.pop_stalls(), 0u);
+  EXPECT_FALSE(s.closed());
+}
+
+// ---- readiness seam (ReadyHook) -----------------------------------------
+
+/// Records every wake; readiness-protocol semantics (spurious tolerance,
+/// per-transaction firing) are documented on ReadyHook in stream.h.
+class RecordingHook final : public ReadyHook {
+ public:
+  void wake(int task) override { wakes_.push_back(task); }
+  [[nodiscard]] const std::vector<int>& wakes() const { return wakes_; }
+  void clear() { wakes_.clear(); }
+
+ private:
+  std::vector<int> wakes_;
+};
+
+TEST(StreamReadiness, PushWakesConsumerPopWakesProducer) {
+  Stream s(8, 8, "ready");
+  RecordingHook hook;
+  s.bind_consumer(&hook, 7);
+  s.bind_producer(&hook, 3);
+
+  // Every successful push transaction wakes the consumer — level-based,
+  // not just the empty->nonempty edge (see ReadyHook's lost-wakeup note).
+  const std::int32_t two[] = {1, 2};
+  const std::int32_t one[] = {3};
+  ASSERT_EQ(s.try_push_burst(two), 2u);
+  ASSERT_EQ(s.try_push_burst(one), 1u);
+  EXPECT_EQ(hook.wakes(), (std::vector<int>{7, 7}));
+
+  hook.clear();
+  std::int32_t buf[4] = {};
+  ASSERT_EQ(s.try_pop_burst({buf, 2}), 2u);
+  EXPECT_EQ(hook.wakes(), (std::vector<int>{3}));
+}
+
+TEST(StreamReadiness, FailedTransactionsDoNotWake) {
+  Stream s(2, 8, "ready_fail");
+  RecordingHook hook;
+  s.bind_consumer(&hook, 1);
+  s.bind_producer(&hook, 2);
+
+  const std::int32_t two[] = {1, 2};
+  const std::int32_t one[] = {3};
+  ASSERT_EQ(s.try_push_burst(two), 2u);  // fills the ring
+  hook.clear();
+  ASSERT_EQ(s.try_push_burst(one), 0u);  // full: no transaction, no wake
+  std::int32_t buf[1];
+  ASSERT_EQ(s.try_pop_burst({buf, 1}), 1u);
+  ASSERT_EQ(s.try_pop_burst({buf, 1}), 1u);
+  hook.clear();
+  ASSERT_EQ(s.try_pop_burst({buf, 1}), 0u);  // empty: no wake either
+  EXPECT_TRUE(hook.wakes().empty());
+}
+
+TEST(StreamReadiness, CloseWakesConsumerSoDrainedIsObserved) {
+  Stream s(4, 8, "ready_close");
+  RecordingHook hook;
+  s.bind_consumer(&hook, 5);
+  s.close();
+  // A consumer blocked on an empty stream learns about end-of-stream only
+  // through this wake: no further push will ever arrive.
+  EXPECT_EQ(hook.wakes(), (std::vector<int>{5}));
+}
+
+TEST(StreamReadiness, UnbindSilencesTheSeam) {
+  Stream s(4, 8, "ready_unbind");
+  RecordingHook hook;
+  s.bind_consumer(&hook, 1);
+  s.bind_producer(&hook, 2);
+  s.bind_consumer(nullptr, -1);
+  s.bind_producer(nullptr, -1);
+  const std::int32_t one[] = {1};
+  ASSERT_EQ(s.try_push_burst(one), 1u);
+  std::int32_t v = 0;
+  ASSERT_EQ(s.try_pop_burst({&v, 1}), 1u);
+  s.close();
+  EXPECT_TRUE(hook.wakes().empty());
+}
+
 }  // namespace
 }  // namespace qnn

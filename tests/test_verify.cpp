@@ -293,6 +293,47 @@ TEST(Verify, AutoSizedFifosNeverWarn) {
   EXPECT_FALSE(r.has(diag::kBurstClamp));
 }
 
+TEST(Verify, PerEdgeBurstsAreRowSizedAndCapped) {
+  const Fixture f;
+  EngineOptions options;  // adaptive_burst on by default
+  const FifoPlan plan = plan_fifos(f.pipeline, options);
+  for (const PlannedStream& ps : plan.streams) {
+    const Shape& carried = ps.producer < 0
+                               ? f.pipeline.input
+                               : f.pipeline.node(ps.producer).out;
+    const auto row = static_cast<std::size_t>(carried.w) *
+                     static_cast<std::size_t>(carried.c);
+    EXPECT_EQ(ps.burst,
+              std::max<std::size_t>(
+                  1, std::min({row, plan.burst, ps.capacity})))
+        << ps.name;
+    EXPECT_LE(ps.burst, ps.capacity) << ps.name;  // D302 invariant
+    EXPECT_GE(ps.burst, 1u) << ps.name;
+  }
+}
+
+TEST(Verify, AdaptiveBurstOffUsesThePlanWideValueEverywhere) {
+  const Fixture f;
+  EngineOptions options;
+  options.adaptive_burst = false;
+  const FifoPlan plan = plan_fifos(f.pipeline, options);
+  for (const PlannedStream& ps : plan.streams) {
+    EXPECT_EQ(ps.burst, plan.burst) << ps.name;
+  }
+}
+
+TEST(Verify, HandcraftedBurstAboveRingIsRejected) {
+  // The engine consumes PlannedStream::burst verbatim, so the analyzer
+  // must reject any plan whose per-edge burst could never complete.
+  const Fixture f;
+  FifoPlan plan = plan_fifos(f.pipeline);
+  ASSERT_FALSE(plan.streams.empty());
+  plan.streams.front().burst = plan.streams.front().capacity + 1;
+  Report r;
+  check_capacities(f.pipeline, plan, r);
+  EXPECT_TRUE(has_error(r, diag::kBurstClamp));
+}
+
 // ------------------------------------------ (d) partition feasibility
 
 TEST(Verify, OversubscribedMaxRingLinkIsD401) {

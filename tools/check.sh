@@ -9,6 +9,10 @@
 #   SANITIZE=address tools/check.sh # same, under ASan+UBSan
 #   CHAOS=1 tools/check.sh          # additionally re-run the `chaos`
 #                                   # label (seeded fault-injection soak)
+#   PERF=1 tools/check.sh           # additionally run the executor
+#                                   # ablation and fail if the ready-queue
+#                                   # shallow-chain throughput regresses
+#                                   # >10% against BENCH_executor.json
 #
 # The build directory is build-check[-$SANITIZE], separate from the
 # default build/ so a strict -Werror configure never pollutes it.
@@ -18,6 +22,7 @@ cd "$(dirname "$0")/.."
 
 SANITIZE="${SANITIZE:-}"
 CHAOS="${CHAOS:-}"
+PERF="${PERF:-}"
 BUILD_DIR="build-check${SANITIZE:+-$SANITIZE}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
@@ -40,6 +45,38 @@ fi
 if [ -n "$CHAOS" ]; then
   echo "== chaos (seeded fault-injection soak) =="
   ctest --test-dir "$BUILD_DIR" -L chaos --output-on-failure
+fi
+
+if [ -n "$PERF" ]; then
+  echo "== perf (executor ablation vs recorded baseline) =="
+  # The ablation's own exit code enforces the ready-vs-pooled bars
+  # (shallow >= 0.95x, deep >= 1.5x); the python step additionally pins
+  # the ready-queue shallow-chain throughput to the committed baseline so
+  # a scheduler regression that still clears the relative bar is caught.
+  QNN_CSV_DIR="$BUILD_DIR" \
+    "$BUILD_DIR/bench/bench_micro_kernels" --benchmark_filter=__none__
+  python3 - "$BUILD_DIR/BENCH_executor.json" BENCH_executor.json <<'EOF'
+import json, sys
+
+def ready_ips(path, chain):
+    doc = json.load(open(path))
+    for entry in doc["chains"]:
+        if entry["chain"] == chain:
+            for cfg in entry["configs"]:
+                if cfg["label"] == "ready-queue":
+                    return cfg["images_per_second"]
+    raise SystemExit(f"{path}: no ready-queue entry for chain {chain!r}")
+
+fresh = ready_ips(sys.argv[1], "shallow")
+base = ready_ips(sys.argv[2], "shallow")
+floor = 0.9 * base
+print(f"ready-queue shallow: fresh {fresh:.0f} images/s, "
+      f"baseline {base:.0f}, floor {floor:.0f} (90%)")
+if fresh < floor:
+    raise SystemExit("perf gate: ready-queue shallow-chain throughput "
+                     "regressed >10% vs BENCH_executor.json")
+print("perf gate: within 10% of recorded baseline")
+EOF
 fi
 
 echo "== lint =="
