@@ -1,13 +1,21 @@
-// Serving a DFE farm: compile one network into a pool of replicated
-// sessions, put the admission-controlled micro-batching server in front of
-// it, and drive it with an open-loop Poisson workload — the host-side
-// picture of a rack of dataflow boards behind a request queue.
+// Serving a DFE farm: compile one network into a MIXED pool of replicas —
+// fast engine boards, a deliberately slow scalar-reference tier for
+// best-effort overflow, and a cycle-simulator shadow replica that mirrors
+// a fraction of live traffic for bit-exact comparison — then put the
+// admission-controlled micro-batching server in front of it and drive it
+// with an open-loop Poisson workload.
 //
-//   admission queue -> micro-batcher -> replica pool -> metrics
+//   admission queue -> deadline-class router -> mixed replica pool
+//                                            -> shadow mirror -> metrics
+//
+// Tight requests (deadline <= tight_deadline_us) only ever run on the
+// fast tier; best-effort work may overflow onto the slow tier; the shadow
+// replica never answers a client.
 //
 // Build & run:  ./serve_farm
 #include <iostream>
 
+#include "backend/backend.h"
 #include "io/synthetic.h"
 #include "models/zoo.h"
 #include "serve/load_generator.h"
@@ -23,16 +31,25 @@ int main() {
   session_config.fast_estimate = true;
 
   ServerConfig cfg;
-  cfg.replicas = 4;            // four modeled DFE boards
-  cfg.max_batch = 8;           // micro-batch closes at 8 requests...
-  cfg.batch_timeout_us = 1000; // ...or 1 ms after it opens
-  cfg.queue_capacity = 64;     // bounded admission: reject, don't queue forever
+  cfg.pool = {{"engine", 2},      // two fast modeled DFE boards
+              {"reference", 1},   // one slow scalar tier (best-effort)
+              {"simulator", 1}};  // one shadow replica (mirror-only)
+  cfg.max_batch = 8;            // micro-batch closes at 8 requests...
+  cfg.batch_timeout_us = 1000;  // ...or 1 ms after it opens
+  cfg.queue_capacity = 64;  // bounded admission: reject, don't queue forever
   cfg.default_deadline_us = 100000;  // 100 ms per-request deadline
+  cfg.tight_deadline_us = 20000;     // <= 20 ms means fast-tier-only
+  cfg.shadow_fraction = 0.25;        // mirror 1 in 4 served requests
 
-  std::cout << "compiling " << cfg.replicas << " replicas of " << spec.name
-            << "...\n";
+  std::cout << "compiling a mixed pool of " << spec.name << " replicas...\n";
   DfeServer server(spec, params, cfg, session_config);
-  std::cout << server.replica(0).report() << "\n";
+  for (int i = 0; i < server.replicas(); ++i) {
+    const Backend& b = server.replica(i).backend();
+    std::cout << "  replica " << i << ": " << b.name() << " ("
+              << to_string(b.tier()) << " tier) — " << b.info().description
+              << "\n";
+  }
+  std::cout << "\n" << server.replica(0).report() << "\n";
 
   // One synchronous request end to end.
   const auto images = synthetic_batch(8, 12, 12, 3, 2);
@@ -47,7 +64,18 @@ int main() {
                  }
                  return best;
                }()
-            << ", " << one.total_us << " us end to end\n\n";
+            << ", " << one.total_us << " us end to end, served by replica "
+            << one.replica << " ["
+            << server.replica(one.replica).backend().name() << "]\n\n";
+
+  // A tight request: the router will only consider the fast tier.
+  const InferenceResult tight =
+      server.submit(images.front(), /*deadline_us=*/10000);
+  std::cout << "tight request (10 ms deadline): " << to_string(tight.status)
+            << ", served by replica " << tight.replica << " ["
+            << server.replica(tight.replica).backend().name() << "/"
+            << to_string(server.replica(tight.replica).backend().tier())
+            << "]\n\n";
 
   // Open-loop Poisson traffic: arrivals do not wait for completions, so
   // this measures the farm at a fixed offered rate.
@@ -56,7 +84,7 @@ int main() {
   const LoadResult burst = gen.open_loop(2000.0, 600, /*seed=*/3);
   std::cout << "  " << burst.str() << "\n\n";
 
-  server.stop();
+  server.stop();  // drains the queue and the shadow mirror
   std::cout << server.metrics_report();
   return 0;
 }

@@ -1,0 +1,110 @@
+#include "backend/backend.h"
+
+#include <sstream>
+#include <utility>
+
+#include "backend/builtin.h"
+#include "core/error.h"
+#include "io/table.h"
+#include "nn/reference.h"
+#include "nn/summary.h"
+
+namespace qnn {
+
+const char* to_string(BackendTier tier) {
+  switch (tier) {
+    case BackendTier::kFast:
+      return "fast";
+    case BackendTier::kShadow:
+      return "shadow";
+    case BackendTier::kSlow:
+      return "slow";
+  }
+  return "unknown";
+}
+
+std::string BackendSession::report() const {
+  const BackendInfo& info = backend().info();
+  std::ostringstream os;
+  os << summarize(pipeline()) << "\n";
+  os << "backend: " << info.name << " (" << to_string(info.tier)
+     << " tier, ~" << Table::num(info.relative_cost, 2)
+     << "x engine cost) — " << info.description << "\n";
+  return os.str();
+}
+
+IntTensor BackendSession::infer(const IntTensor& image) {
+  std::vector<IntTensor> out = infer_batch({&image, 1});
+  return std::move(out.front());
+}
+
+int BackendSession::classify(const IntTensor& image) {
+  return ReferenceExecutor::argmax(infer(image));
+}
+
+Backend& BackendRegistry::register_backend(std::unique_ptr<Backend> backend) {
+  QNN_CHECK(backend != nullptr, "cannot register a null backend");
+  const std::string& name = backend->name();
+  QNN_CHECK(!name.empty(), "backend name must not be empty");
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& b : backends_) {
+    QNN_CHECK(b->name() != name,
+              "backend \"" + name + "\" is already registered");
+  }
+  backends_.push_back(std::move(backend));
+  return *backends_.back();
+}
+
+Backend* BackendRegistry::find(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& b : backends_) {
+    if (b->name() == name) return b.get();
+  }
+  return nullptr;
+}
+
+Backend& BackendRegistry::at(std::string_view name) const {
+  Backend* b = find(name);
+  if (b != nullptr) return *b;
+  std::string known;
+  for (Backend* reg : all()) {
+    if (!known.empty()) known += ", ";
+    known += "\"" + reg->name() + "\"";
+  }
+  throw Error("unknown backend \"" + std::string(name) +
+              "\" (registered: " + known + ")");
+}
+
+Backend* BackendRegistry::first_of_tier(BackendTier tier) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& b : backends_) {
+    if (b->tier() == tier) return b.get();
+  }
+  return nullptr;
+}
+
+std::vector<Backend*> BackendRegistry::all() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Backend*> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) out.push_back(b.get());
+  return out;
+}
+
+int BackendRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(backends_.size());
+}
+
+BackendRegistry& backend_registry() {
+  static BackendRegistry* registry = [] {
+    auto* r = new BackendRegistry();
+    r->register_backend(make_engine_backend());
+    r->register_backend(make_sim_backend());
+    r->register_backend(make_reference_backend());
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace qnn

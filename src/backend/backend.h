@@ -1,0 +1,169 @@
+// Backend seam: pluggable execution substrates behind one serving tier.
+//
+// The paper's deployment assumes a single substrate — the threaded
+// streaming engine standing in for the DFE — but a farm serving mixed
+// traffic wants several: fast engine replicas for production inference, a
+// cycle-simulator backend for shadow what-if serving (bit-exact results
+// plus *modeled* DFE latency), and a deliberately slow scalar reference
+// backend for conformance and best-effort overflow. The seam follows the
+// ggml/QNN backend registry shape (ggml_backend_qnn_reg /
+// ggml_qnn_supports_op): a process-wide registry of named backends, each
+// exposing capability/cost descriptors, a per-node supports_op() gate that
+// runs as a QNN-D5xx check before compile (verify/backend_check.h), and a
+// compile() that lowers a verified Pipeline into an executable
+// BackendSession.
+//
+// Three builtins register on first use of backend_registry():
+//
+//   name         tier     substrate
+//   "engine"     kFast    threaded StreamEngine (the DFE stand-in)
+//   "simulator"  kShadow  cycle-sim timing + reference-path results
+//   "reference"  kSlow    scalar ReferenceExecutor, deliberately paced
+//
+// DfeSession (host/) is a thin wrapper over one BackendSession; DfeServer
+// (serve/) builds mixed replica pools across tiers and routes admissions
+// by deadline class.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dataflow/engine.h"
+#include "nn/params.h"
+#include "nn/pipeline.h"
+
+namespace qnn {
+
+/// Replica tier a backend's sessions serve in a mixed pool (serve/).
+enum class BackendTier {
+  kFast,    // production traffic; the only tier tight deadlines may use
+  kShadow,  // mirrored traffic only; results are compared, never returned
+  kSlow,    // conformance / best-effort overflow
+};
+
+[[nodiscard]] const char* to_string(BackendTier tier);
+
+/// Capability / cost descriptor of one backend.
+struct BackendInfo {
+  std::string name;
+  BackendTier tier = BackendTier::kFast;
+  std::string description;
+  /// Rough per-image cost relative to the engine backend (1.0). Used for
+  /// display and pool sizing, not for admission decisions.
+  double relative_cost = 1.0;
+  /// Devices of this kind one process may drive at once (a replica bound;
+  /// the modeled MPC-X node holds 8 DFEs).
+  int max_devices = 8;
+};
+
+class Backend;
+
+/// One compiled instance of a backend — the analog of a configured board.
+///
+/// Thread contract mirrors the old DfeSession: one session models ONE
+/// device, so concurrent infer_batch() calls on the same session are not
+/// allowed; distinct sessions share no mutable state and may run
+/// concurrently. cancel() is the exception: it may be called from another
+/// thread to abort an in-flight run (the run throws, the session stays
+/// usable and re-arms on the next run).
+class BackendSession {
+ public:
+  BackendSession() = default;
+  virtual ~BackendSession() = default;
+  BackendSession(const BackendSession&) = delete;
+  BackendSession& operator=(const BackendSession&) = delete;
+
+  /// Run a batch; returns one logits tensor per image. When `stats` is
+  /// non-null it receives wall-clock and transport statistics; backends
+  /// that model timing instead of measuring it also fill
+  /// RunStats::simulated_seconds.
+  [[nodiscard]] virtual std::vector<IntTensor> infer_batch(
+      std::span<const IntTensor> images,
+      StreamEngine::RunStats* stats = nullptr) = 0;
+
+  /// Abort an in-flight infer_batch() from another thread.
+  virtual void cancel() = 0;
+
+  [[nodiscard]] virtual const Pipeline& pipeline() const = 0;
+  [[nodiscard]] virtual const NetworkParams& params() const = 0;
+  /// The (registry-owned) backend that compiled this session.
+  [[nodiscard]] virtual const Backend& backend() const = 0;
+
+  /// Human-readable description of the compiled artifact; backends extend
+  /// the default (network summary + backend identity) with their own
+  /// placement/timing details.
+  [[nodiscard]] virtual std::string report() const;
+
+  /// Single-image convenience wrappers over infer_batch().
+  [[nodiscard]] IntTensor infer(const IntTensor& image);
+  [[nodiscard]] int classify(const IntTensor& image);
+};
+
+/// An execution substrate that can lower pipelines into sessions.
+/// Implementations are stateless after construction (compile() is const),
+/// so one registry-owned instance serves every thread.
+class Backend {
+ public:
+  Backend() = default;
+  virtual ~Backend() = default;
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  [[nodiscard]] virtual const BackendInfo& info() const = 0;
+
+  /// Devices currently available to this backend; a backend reporting 0
+  /// fails the QNN-D502 check and cannot compile.
+  [[nodiscard]] virtual int device_count() const { return info().max_devices; }
+
+  /// Can this backend execute `node` bit-exactly? Gated per node as
+  /// QNN-D501 before compile (verify/backend_check.h) — the ggml-qnn
+  /// supports_op shape.
+  [[nodiscard]] virtual bool supports_op(const Node& node) const = 0;
+
+  /// Lower a pipeline into an executable session. Implementations enforce
+  /// the D5xx support check first and copy `pipeline`/`params`, so the
+  /// session outlives both arguments. EngineOptions carries substrate
+  /// tuning (burst plan, executor, faults); non-engine backends consume
+  /// what applies (e.g. the verify flag) and ignore the rest.
+  [[nodiscard]] virtual std::unique_ptr<BackendSession> compile(
+      const Pipeline& pipeline, NetworkParams params,
+      const EngineOptions& options = {}) const = 0;
+
+  [[nodiscard]] const std::string& name() const { return info().name; }
+  [[nodiscard]] BackendTier tier() const { return info().tier; }
+};
+
+/// Name-keyed backend collection. Registration is append-only (backends
+/// are process-lifetime, like the ggml registry); lookups are by unique
+/// name. Thread-safe.
+class BackendRegistry {
+ public:
+  /// Register and take ownership; the name must be unused. Returns the
+  /// registered backend (stable for the registry's lifetime).
+  Backend& register_backend(std::unique_ptr<Backend> backend);
+
+  /// Backend by name, or nullptr.
+  [[nodiscard]] Backend* find(std::string_view name) const;
+  /// Backend by name; throws qnn::Error listing the registered names.
+  [[nodiscard]] Backend& at(std::string_view name) const;
+  /// First registered backend of `tier`, or nullptr.
+  [[nodiscard]] Backend* first_of_tier(BackendTier tier) const;
+  /// Every registered backend, in registration order.
+  [[nodiscard]] std::vector<Backend*> all() const;
+  [[nodiscard]] int size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+};
+
+/// The process-wide registry. The three builtin backends ("engine",
+/// "simulator", "reference" — see backend/builtin.h) are registered on
+/// first call; further backends may be added by anyone at any time.
+[[nodiscard]] BackendRegistry& backend_registry();
+
+}  // namespace qnn

@@ -1,0 +1,127 @@
+// "reference" backend: the scalar golden-model executor, deliberately
+// paced — the slow tier. It exists for conformance (every other backend
+// must match it bit for bit) and as best-effort overflow capacity in a
+// mixed pool; deadline-class routing keeps tight traffic off it.
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "backend/builtin.h"
+#include "core/error.h"
+#include "nn/reference.h"
+#include "verify/backend_check.h"
+#include "verify/graph_check.h"
+
+namespace qnn {
+namespace {
+
+class ReferenceSession final : public BackendSession {
+ public:
+  ReferenceSession(const Backend& owner, const Pipeline& pipeline,
+                   NetworkParams params, std::int64_t floor_us_per_image)
+      : owner_(owner),
+        pipeline_(pipeline),
+        params_(std::move(params)),
+        floor_us_(floor_us_per_image),
+        ref_(pipeline_, params_) {}
+
+  std::vector<IntTensor> infer_batch(std::span<const IntTensor> images,
+                                     StreamEngine::RunStats* stats) override {
+    abort_.store(false, std::memory_order_relaxed);  // re-arm per run
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<IntTensor> out;
+    out.reserve(images.size());
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      if (abort_.load(std::memory_order_relaxed)) {
+        throw Error("reference backend: run cancelled");
+      }
+      out.push_back(ref_.run(images[i]));
+      // Pace to the per-image floor in short slices so cancel() (the
+      // serving watchdog) still lands promptly mid-sleep.
+      const auto due =
+          start + std::chrono::microseconds(floor_us_ *
+                                            static_cast<std::int64_t>(i + 1));
+      while (floor_us_ > 0 && std::chrono::steady_clock::now() < due) {
+        if (abort_.load(std::memory_order_relaxed)) {
+          throw Error("reference backend: run cancelled");
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+    if (stats != nullptr) {
+      *stats = {};
+      stats->wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (stats->wall_seconds > 0.0) {
+        stats->images_per_second =
+            static_cast<double>(images.size()) / stats->wall_seconds;
+      }
+    }
+    return out;
+  }
+
+  void cancel() override { abort_.store(true, std::memory_order_relaxed); }
+
+  const Pipeline& pipeline() const override { return pipeline_; }
+  const NetworkParams& params() const override { return params_; }
+  const Backend& backend() const override { return owner_; }
+
+ private:
+  const Backend& owner_;
+  Pipeline pipeline_;
+  NetworkParams params_;
+  std::int64_t floor_us_;
+  ReferenceExecutor ref_;  // references the session's own copies above
+  std::atomic<bool> abort_{false};
+};
+
+class ReferenceBackend final : public Backend {
+ public:
+  ReferenceBackend(std::int64_t floor_us_per_image, std::string name)
+      : floor_us_(floor_us_per_image) {
+    info_.name = std::move(name);
+    info_.tier = BackendTier::kSlow;
+    info_.description =
+        "scalar golden-model executor, deliberately paced (conformance / "
+        "best-effort tier)";
+    info_.relative_cost = 20.0;
+    info_.max_devices = 4;
+  }
+
+  const BackendInfo& info() const override { return info_; }
+
+  bool supports_op(const Node& node) const override {
+    // The golden model executes every lowered node kind at any width the
+    // tensor representation can hold.
+    return node.in_bits >= 1 && node.in_bits <= 32 && node.out_bits >= 1 &&
+           node.out_bits <= 32;
+  }
+
+  std::unique_ptr<BackendSession> compile(
+      const Pipeline& pipeline, NetworkParams params,
+      const EngineOptions& options) const override {
+    (void)options;  // no engine-side tuning applies to the scalar path
+    enforce(verify_backend(pipeline, *this),
+            "reference backend compile(" + pipeline.name + ")");
+    return std::make_unique<ReferenceSession>(*this, pipeline,
+                                              std::move(params), floor_us_);
+  }
+
+ private:
+  BackendInfo info_;
+  std::int64_t floor_us_;
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_reference_backend(
+    std::int64_t floor_us_per_image, std::string name) {
+  return std::make_unique<ReferenceBackend>(floor_us_per_image,
+                                            std::move(name));
+}
+
+}  // namespace qnn

@@ -1,0 +1,146 @@
+// "simulator" backend: bit-exact results via the scalar reference path,
+// latency from the cycle simulator. The shadow tier of a mixed pool:
+// DfeServer mirrors a fraction of served traffic here and compares, so a
+// what-if DFE configuration (different datapath width, cuts, link rates)
+// can be evaluated against production results without serving from it.
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "backend/builtin.h"
+#include "core/error.h"
+#include "io/table.h"
+#include "nn/reference.h"
+#include "verify/backend_check.h"
+#include "verify/graph_check.h"
+
+namespace qnn {
+namespace {
+
+class SimSession final : public BackendSession {
+ public:
+  SimSession(const Backend& owner, const Pipeline& pipeline,
+             NetworkParams params, const SimConfig& sim)
+      : owner_(owner),
+        pipeline_(pipeline),
+        params_(std::move(params)),
+        sim_(sim),
+        ref_(pipeline_, params_) {
+    // Timing is data-independent (the dataflow is input-static), so one
+    // simulation at compile time prices every future batch.
+    const SimResult r = simulate(pipeline_, sim_, /*images=*/2);
+    first_image_cycles_ = r.first_image_cycles;
+    steady_interval_ = r.steady_interval;
+  }
+
+  std::vector<IntTensor> infer_batch(std::span<const IntTensor> images,
+                                     StreamEngine::RunStats* stats) override {
+    abort_.store(false, std::memory_order_relaxed);  // re-arm per run
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<IntTensor> out;
+    out.reserve(images.size());
+    for (const IntTensor& image : images) {
+      if (abort_.load(std::memory_order_relaxed)) {
+        throw Error("simulator backend: run cancelled");
+      }
+      out.push_back(ref_.run(image));
+    }
+    if (stats != nullptr) {
+      *stats = {};
+      stats->wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (stats->wall_seconds > 0.0) {
+        stats->images_per_second =
+            static_cast<double>(images.size()) / stats->wall_seconds;
+      }
+      stats->simulated_seconds = simulated_seconds(images.size());
+    }
+    return out;
+  }
+
+  void cancel() override { abort_.store(true, std::memory_order_relaxed); }
+
+  const Pipeline& pipeline() const override { return pipeline_; }
+  const NetworkParams& params() const override { return params_; }
+  const Backend& backend() const override { return owner_; }
+
+  std::string report() const override {
+    std::ostringstream os;
+    os << BackendSession::report();
+    os << "simulated timing: " << steady_interval_ << " clocks/image ("
+       << Table::num(1e6 * simulated_seconds(1), 1) << " us first image, "
+       << Table::num(sim_.clock_hz /
+                         static_cast<double>(steady_interval_),
+                     1)
+       << " fps steady state @ " << Table::num(sim_.clock_hz / 1e6, 0)
+       << " MHz)\n";
+    return os.str();
+  }
+
+ private:
+  [[nodiscard]] double simulated_seconds(std::size_t images) const {
+    if (images == 0) return 0.0;
+    const auto cycles =
+        first_image_cycles_ +
+        steady_interval_ * static_cast<std::uint64_t>(images - 1);
+    return static_cast<double>(cycles) / sim_.clock_hz;
+  }
+
+  const Backend& owner_;
+  Pipeline pipeline_;
+  NetworkParams params_;
+  SimConfig sim_;
+  ReferenceExecutor ref_;  // references the session's own copies above
+  std::uint64_t first_image_cycles_ = 0;
+  std::uint64_t steady_interval_ = 1;
+  std::atomic<bool> abort_{false};
+};
+
+class SimBackend final : public Backend {
+ public:
+  explicit SimBackend(SimConfig sim) : sim_(std::move(sim)) {
+    info_.name = "simulator";
+    info_.tier = BackendTier::kShadow;
+    info_.description =
+        "cycle-simulator timing with reference-path results (shadow "
+        "what-if serving)";
+    // The reference path is orders of magnitude slower than the engine's
+    // concurrent kernels; shadow traffic must stay a small fraction.
+    info_.relative_cost = 50.0;
+    info_.max_devices = 2;
+  }
+
+  const BackendInfo& info() const override { return info_; }
+
+  bool supports_op(const Node& node) const override {
+    // The simulator prices any node the reference path can execute.
+    return node.in_bits >= 1 && node.in_bits <= 32 && node.out_bits >= 1 &&
+           node.out_bits <= 32;
+  }
+
+  std::unique_ptr<BackendSession> compile(
+      const Pipeline& pipeline, NetworkParams params,
+      const EngineOptions& options) const override {
+    (void)options;  // the simulator takes its tuning from SimConfig
+    enforce(verify_backend(pipeline, *this),
+            "simulator backend compile(" + pipeline.name + ")");
+    return std::make_unique<SimSession>(*this, pipeline, std::move(params),
+                                        sim_);
+  }
+
+ private:
+  BackendInfo info_;
+  SimConfig sim_;
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_sim_backend(SimConfig sim) {
+  return std::make_unique<SimBackend>(std::move(sim));
+}
+
+}  // namespace qnn

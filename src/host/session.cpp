@@ -15,7 +15,7 @@ struct DfeSession::State {
   Pipeline pipeline;
   NetworkParams params;
   FpgaRunEstimate estimate;
-  std::unique_ptr<StreamEngine> engine;  // references pipeline & params
+  std::unique_ptr<BackendSession> session;  // owns its pipeline/params copy
 };
 
 DfeSession::DfeSession(std::unique_ptr<State> state)
@@ -46,19 +46,41 @@ DfeSession DfeSession::compile(const NetworkSpec& spec, NetworkParams params,
   QNN_CHECK(static_cast<int>(state->params.bnacts.size()) ==
                 state->pipeline.num_bnact_params,
             "parameters do not match the network (bnact banks)");
+  // Carry the engine's planned per-edge bursts into both link models so
+  // the sim's MaxRing serializer and the partitioner's wire pricing see
+  // the same transaction granularity the engine will actually use.
+  // Explicit user-provided bursts win.
+  if (config.sim.link_bursts.empty() ||
+      config.partition.link_bursts.empty()) {
+    const FifoPlan plan = plan_fifos(state->pipeline, config.engine);
+    std::vector<SimConfig::EdgeBurst> bursts;
+    for (const PlannedStream& ps : plan.streams) {
+      if (ps.consumer < 0 || ps.burst == 0) continue;
+      bursts.push_back(
+          SimConfig::EdgeBurst{ps.consumer, ps.to_skip_port, ps.burst});
+    }
+    if (config.sim.link_bursts.empty()) {
+      config.sim.link_bursts = bursts;
+    }
+    if (config.partition.link_bursts.empty()) {
+      config.partition.link_bursts = std::move(bursts);
+    }
+    state->config = config;
+  }
   state->estimate =
       estimate_fpga(state->pipeline, config.sim, config.partition,
                     config.board, /*run_cycle_sim=*/!config.fast_estimate);
   if (config.engine.verify) {
     // The estimator chose a placement; prove it feasible (MaxRing link
-    // rates and per-DFE resource totals) before the engine is built.
+    // rates and per-DFE resource totals) before the backend compiles.
     Report placement_report;
     check_partition(state->pipeline, state->estimate.partition,
                     config.partition, placement_report);
     enforce(placement_report, context);
   }
-  state->engine = std::make_unique<StreamEngine>(
-      state->pipeline, state->params, config.engine);
+  Backend& backend = backend_registry().at(config.backend);
+  state->session =
+      backend.compile(state->pipeline, state->params, config.engine);
   return DfeSession(std::move(state));
 }
 
@@ -68,23 +90,18 @@ DfeSession DfeSession::load(const std::string& path, SessionConfig config) {
 }
 
 IntTensor DfeSession::infer(const IntTensor& image) {
-  return state_->engine->run_one(image);
+  return state_->session->infer(image);
 }
 
 std::vector<IntTensor> DfeSession::infer_batch(
     std::span<const IntTensor> images, StreamEngine::RunStats* stats) {
-  return state_->engine->run(images, stats);
+  return state_->session->infer_batch(images, stats);
 }
 
-void DfeSession::cancel() { state_->engine->cancel(); }
+void DfeSession::cancel() { state_->session->cancel(); }
 
 int DfeSession::classify(const IntTensor& image) {
-  const IntTensor logits = infer(image);
-  int best = 0;
-  for (std::int64_t i = 1; i < logits.size(); ++i) {
-    if (logits[i] > logits[best]) best = static_cast<int>(i);
-  }
-  return best;
+  return state_->session->classify(image);
 }
 
 const NetworkSpec& DfeSession::spec() const { return state_->spec; }
@@ -96,11 +113,17 @@ const PartitionResult& DfeSession::placement() const {
 const FpgaRunEstimate& DfeSession::estimate() const {
   return state_->estimate;
 }
+BackendSession& DfeSession::session() { return *state_->session; }
+const Backend& DfeSession::backend() const {
+  return state_->session->backend();
+}
 
 std::string DfeSession::report() const {
   const State& s = *state_;
   std::ostringstream os;
   os << summarize(s.pipeline) << "\n";
+  os << "backend: " << s.session->backend().name() << " (tier "
+     << to_string(s.session->backend().tier()) << ")\n";
   os << "placement: " << s.estimate.num_dfes << " DFE(s) on "
      << s.config.board.name << "\n";
   Table t({"DFE", "kernels", "utilization"});

@@ -10,17 +10,20 @@
 //   std::cout << session.report();                      // placement, timing,
 //                                                       // power, energy
 //
-// Inference runs on the threaded streaming engine (bit-exact functional
-// model); placement, timing, power and energy come from the partitioner,
-// cycle simulator and calibrated hardware models.
+// Inference runs on a registered Backend (backend/backend.h) — by default
+// the threaded streaming engine (bit-exact functional model); placement,
+// timing, power and energy come from the partitioner, cycle simulator and
+// calibrated hardware models. DfeSession is a thin wrapper over one
+// BackendSession plus the host-side deployment analyses (verification,
+// estimate, placement feasibility, burst carry into the link models).
 //
 // Thread safety: a DfeSession models ONE board — infer()/infer_batch()/
-// classify() drive a single StreamEngine whose FIFOs are reset between
-// runs, so concurrent calls on the same session are NOT allowed. Distinct
-// sessions are fully independent: compile() copies the spec and takes its
-// own NetworkParams, and neither retains mutable state shared with other
-// sessions, so a replica pool (serve/server.h) may compile N sessions from
-// one NetworkSpec/NetworkParams pair and run them concurrently.
+// classify() drive a single BackendSession, so concurrent calls on the
+// same session are NOT allowed. Distinct sessions are fully independent:
+// compile() copies the spec and takes its own NetworkParams, and neither
+// retains mutable state shared with other sessions, so a replica pool
+// (serve/server.h) may compile N sessions from one NetworkSpec/
+// NetworkParams pair and run them concurrently.
 #pragma once
 
 #include <memory>
@@ -28,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/backend.h"
 #include "dataflow/engine.h"
 #include "perfmodel/fpga_estimate.h"
 
@@ -38,6 +42,8 @@ struct SessionConfig {
   PartitionConfig partition{};
   DfeBoard board = max4_maia();
   EngineOptions engine{};
+  /// Registered backend that executes inference (backend/backend.h).
+  std::string backend = "engine";
   /// Skip the cycle simulation at compile time (use the analytic clock
   /// model); useful when constructing many sessions in sweeps.
   bool fast_estimate = false;
@@ -81,6 +87,10 @@ class DfeSession {
   [[nodiscard]] const PartitionResult& placement() const;
   /// Modeled runtime/power/energy on the DFE platform.
   [[nodiscard]] const FpgaRunEstimate& estimate() const;
+  /// The compiled backend session inference runs on.
+  [[nodiscard]] BackendSession& session();
+  /// The registry-owned backend that compiled this session.
+  [[nodiscard]] const Backend& backend() const;
 
   /// Human-readable deployment report: summary, placement, timing, power.
   [[nodiscard]] std::string report() const;

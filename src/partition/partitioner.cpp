@@ -81,9 +81,10 @@ PartitionResult assemble(const Pipeline& pipeline,
     const double capacity_mbps = cfg.link_capacity_mbps(k);
     CutInfo cut;
     cut.after_node = segments[k].second;
-    cut.streams = crossing_streams(pipeline, cut.after_node);
+    cut.streams =
+        crossing_streams(pipeline, cut.after_node, &cfg.link_bursts);
     for (const auto& s : cut.streams) {
-      cut.required_mbps += s.mbps(fps);
+      cut.required_mbps += s.wire_mbps(fps, cfg.link_bits_per_cycle);
     }
     if (capacity_mbps <= 0.0) {
       cut.feasible = false;
@@ -107,19 +108,31 @@ double PartitionResult::max_utilization() const {
   return best;
 }
 
-std::vector<CrossingStream> crossing_streams(const Pipeline& pipeline,
-                                             int after_node) {
+std::vector<CrossingStream> crossing_streams(
+    const Pipeline& pipeline, int after_node,
+    const std::vector<SimConfig::EdgeBurst>* bursts) {
   QNN_CHECK(after_node >= 0 && after_node + 1 < pipeline.size(),
             "cut position out of range");
   std::vector<CrossingStream> out;
   for (int j = after_node + 1; j < pipeline.size(); ++j) {
     const Node& n = pipeline.node(j);
+    bool skip_port = false;  // main_from first, then skip_from
     for (int src : {n.main_from, n.skip_from}) {
+      const bool to_skip = skip_port;
+      skip_port = true;
       if (src < 0 || src > after_node) continue;
       const Node& producer = pipeline.node(src);
-      out.push_back(CrossingStream{producer.name + "->" + n.name,
-                                   producer.out.elems(),
-                                   producer.out_bits});
+      CrossingStream s{producer.name + "->" + n.name, producer.out.elems(),
+                       producer.out_bits};
+      if (bursts != nullptr) {
+        for (const SimConfig::EdgeBurst& e : *bursts) {
+          if (e.consumer == j && e.to_skip_port == to_skip) {
+            s.burst = e.values;
+            break;
+          }
+        }
+      }
+      out.push_back(std::move(s));
     }
   }
   return out;

@@ -36,6 +36,15 @@ struct PartitionConfig {
   double link_gbps = 4.0;
   /// Fabric clock used to convert cycles to seconds.
   double clock_hz = 105e6;
+  /// Link word width (bits per link clock) used to price MaxRing framing;
+  /// matches SimConfig::link_bits_per_cycle (4 Gbps / 105 MHz ~ 38).
+  int link_bits_per_cycle = 38;
+  /// Planned per-edge bursts carried across cuts (the session layer fills
+  /// this from the verify/ FIFO plan, PlannedStream::burst). A crossing
+  /// stream with a planned burst is priced as framed transfers — each
+  /// frame rounded up to whole link words — matching the sim/ MaxRing
+  /// serializer; without one the raw payload rate is used (legacy).
+  std::vector<SimConfig::EdgeBurst> link_bursts;
   /// Per-link health derating in [0, 1], indexed by MaxRing link ordinal
   /// (link k connects DFE k to k+1). Missing entries mean 1.0 (healthy);
   /// 0 marks a dead link, making any cut over it infeasible. Populated
@@ -57,10 +66,36 @@ struct CrossingStream {
   std::string name;
   std::int64_t values_per_image = 0;
   int bits = 0;
+  /// Planned burst (values per MaxRing frame) carried across the cut from
+  /// the verify/ FIFO plan; 0 = no plan (priced as raw payload).
+  std::size_t burst = 0;
 
+  /// Raw payload rate, ignoring link framing.
   [[nodiscard]] double mbps(double images_per_second) const {
     return static_cast<double>(values_per_image) * bits *
            images_per_second / 1e6;
+  }
+
+  /// Wire rate including MaxRing framing: values ship in frames of
+  /// `burst` values, each frame rounded up to whole `link_bits_per_cycle`
+  /// words (the sim/ serializer's cost). With no planned burst this
+  /// degenerates to the raw payload rate — the legacy pricing.
+  [[nodiscard]] double wire_mbps(double images_per_second,
+                                 int link_bits_per_cycle) const {
+    if (burst == 0 || link_bits_per_cycle <= 0 || values_per_image <= 0) {
+      return mbps(images_per_second);
+    }
+    const auto b = static_cast<std::int64_t>(burst);
+    const std::int64_t w = link_bits_per_cycle;
+    const std::int64_t full_frames = values_per_image / b;
+    const std::int64_t rem_values = values_per_image % b;
+    auto frame_bits = [&](std::int64_t values) {
+      return (values * bits + w - 1) / w * w;  // ceil to whole link words
+    };
+    const std::int64_t wire_bits =
+        full_frames * frame_bits(b) +
+        (rem_values > 0 ? frame_bits(rem_values) : 0);
+    return static_cast<double>(wire_bits) * images_per_second / 1e6;
   }
 };
 
@@ -101,9 +136,13 @@ struct PartitionResult {
   [[nodiscard]] double max_utilization() const;
 };
 
-/// Streams crossing a cut placed after `after_node`, with per-image volume.
+/// Streams crossing a cut placed after `after_node`, with per-image
+/// volume. When `bursts` is supplied, each stream is annotated with its
+/// planned per-edge burst (CrossingStream::burst) so link pricing can use
+/// the framed wire rate.
 [[nodiscard]] std::vector<CrossingStream> crossing_streams(
-    const Pipeline& pipeline, int after_node);
+    const Pipeline& pipeline, int after_node,
+    const std::vector<SimConfig::EdgeBurst>* bursts = nullptr);
 
 /// Greedy first-fit chain partition.
 [[nodiscard]] PartitionResult partition(const Pipeline& pipeline,

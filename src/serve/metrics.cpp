@@ -60,6 +60,13 @@ void ServerMetrics::init_replicas(int n) {
   }
 }
 
+void ServerMetrics::set_replica_backend(int replica, std::string backend,
+                                        std::string tier) {
+  ReplicaMetrics& r = *replicas_.at(static_cast<std::size_t>(replica));
+  r.backend = std::move(backend);
+  r.tier = std::move(tier);
+}
+
 void ServerMetrics::set_replica_health(int replica, ReplicaHealth health) {
   replicas_.at(static_cast<std::size_t>(replica))
       ->health.store(static_cast<int>(health), std::memory_order_relaxed);
@@ -84,6 +91,12 @@ void ServerMetrics::on_replica_cancel(int replica) {
 void ServerMetrics::on_replica_probe(int replica) {
   replicas_.at(static_cast<std::size_t>(replica))
       ->probes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerMetrics::on_replica_restart(int replica) {
+  replica_restarts_.fetch_add(1, std::memory_order_relaxed);
+  replicas_.at(static_cast<std::size_t>(replica))
+      ->restarts.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ServerMetrics::log_event(const std::string& what) {
@@ -138,6 +151,10 @@ MetricsSnapshot ServerMetrics::snapshot() const {
   s.brownout_entries = brownout_entries_.load(std::memory_order_relaxed);
   s.brownout_sheds = brownout_sheds_.load(std::memory_order_relaxed);
   s.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+  s.replica_restarts = replica_restarts_.load(std::memory_order_relaxed);
+  s.shadow_runs = shadow_runs_.load(std::memory_order_relaxed);
+  s.shadow_mismatches = shadow_mismatches_.load(std::memory_order_relaxed);
+  s.shadow_dropped = shadow_dropped_.load(std::memory_order_relaxed);
   s.brownout_active = brownout_active_.load(std::memory_order_relaxed);
   s.replicas.reserve(replicas_.size());
   for (const auto& r : replicas_) {
@@ -148,6 +165,9 @@ MetricsSnapshot ServerMetrics::snapshot() const {
     rs.runs_failed = r->runs_failed.load(std::memory_order_relaxed);
     rs.cancels = r->cancels.load(std::memory_order_relaxed);
     rs.probes = r->probes.load(std::memory_order_relaxed);
+    rs.restarts = r->restarts.load(std::memory_order_relaxed);
+    rs.backend = r->backend;
+    rs.tier = r->tier;
     s.replicas.push_back(rs);
   }
   return s;
@@ -185,11 +205,23 @@ std::string ServerMetrics::report() const {
      << s.brownout_entries << " entries, " << s.brownout_sheds
      << " requests shed\n";
   os << "  faults:   " << s.faults_injected << " injected\n";
+  os << "  restarts: " << s.replica_restarts << " replica recompiles\n";
+  if (s.shadow_runs > 0 || s.shadow_dropped > 0) {
+    os << "  shadow:   " << s.shadow_runs << " mirrored, "
+       << s.shadow_mismatches << " mismatches, " << s.shadow_dropped
+       << " dropped\n";
+  }
   for (std::size_t i = 0; i < s.replicas.size(); ++i) {
     const ReplicaStatus& r = s.replicas[i];
-    os << "  replica " << i << ": " << to_string(r.health) << " ("
-       << r.runs_ok << " runs ok, " << r.runs_failed << " failed, "
-       << r.cancels << " cancels, " << r.probes << " probes)\n";
+    os << "  replica " << i;
+    if (!r.backend.empty()) {
+      os << " [" << r.backend << "/" << r.tier << "]";
+    }
+    os << ": " << to_string(r.health) << " (" << r.runs_ok << " runs ok, "
+       << r.runs_failed << " failed, " << r.cancels << " cancels, "
+       << r.probes << " probes";
+    if (r.restarts > 0) os << ", " << r.restarts << " restarts";
+    os << ")\n";
   }
   return os.str();
 }

@@ -33,13 +33,19 @@ enum class ReplicaHealth {
 
 [[nodiscard]] const char* to_string(ReplicaHealth health);
 
+/// Event-log tag of a watchdog-triggered backend recompile of a replica.
+inline constexpr const char* kReplicaRestarted = "replica-restarted";
+
 /// Point-in-time health row of one replica.
 struct ReplicaStatus {
   ReplicaHealth health = ReplicaHealth::kHealthy;
   std::uint64_t runs_ok = 0;
   std::uint64_t runs_failed = 0;
-  std::uint64_t cancels = 0;  // watchdog-initiated session cancels
-  std::uint64_t probes = 0;   // probe runs while quarantined/probation
+  std::uint64_t cancels = 0;   // watchdog-initiated session cancels
+  std::uint64_t probes = 0;    // probe runs while quarantined/probation
+  std::uint64_t restarts = 0;  // backend recompiles after failed probes
+  std::string backend;         // registered backend that compiled it
+  std::string tier;            // replica tier ("fast" / "shadow" / "slow")
 };
 
 /// Fixed-bucket latency histogram over microseconds. Bucket 0 holds
@@ -121,6 +127,11 @@ struct MetricsSnapshot {
   std::uint64_t brownout_entries = 0;
   std::uint64_t brownout_sheds = 0;     // over-deadline requests shed early
   std::uint64_t faults_injected = 0;    // from EngineOptions::faults plans
+  std::uint64_t replica_restarts = 0;   // backend recompiles (watchdog)
+  // Shadow serving (mirrored traffic; see ServerConfig::shadow_fraction).
+  std::uint64_t shadow_runs = 0;
+  std::uint64_t shadow_mismatches = 0;  // shadow result != primary result
+  std::uint64_t shadow_dropped = 0;     // mirror queue full
   bool brownout_active = false;
   std::vector<ReplicaStatus> replicas;
 
@@ -198,16 +209,26 @@ class ServerMetrics {
   void on_faults(std::uint64_t n) {
     faults_injected_.fetch_add(n, std::memory_order_relaxed);
   }
+  void on_shadow(bool match) {
+    inc(shadow_runs_);
+    if (!match) inc(shadow_mismatches_);
+  }
+  void on_shadow_drop() { inc(shadow_dropped_); }
 
   // -- per-replica health table --------------------------------------------
 
   /// Size the replica table; call once before the workers start.
   void init_replicas(int n);
+  /// Tag a replica with the backend that compiled it. Call before the
+  /// workers start (the strings are read without synchronization after).
+  void set_replica_backend(int replica, std::string backend,
+                           std::string tier);
   void set_replica_health(int replica, ReplicaHealth health);
   [[nodiscard]] ReplicaHealth replica_health(int replica) const;
   void on_replica_run(int replica, bool ok);
   void on_replica_cancel(int replica);
   void on_replica_probe(int replica);
+  void on_replica_restart(int replica);
 
   // -- healing event log ---------------------------------------------------
 
@@ -249,6 +270,9 @@ class ServerMetrics {
     std::atomic<std::uint64_t> runs_failed{0};
     std::atomic<std::uint64_t> cancels{0};
     std::atomic<std::uint64_t> probes{0};
+    std::atomic<std::uint64_t> restarts{0};
+    std::string backend;  // written before workers start, then read-only
+    std::string tier;
   };
 
   std::atomic<std::uint64_t> submitted_{0};
@@ -276,6 +300,10 @@ class ServerMetrics {
   std::atomic<std::uint64_t> brownout_entries_{0};
   std::atomic<std::uint64_t> brownout_sheds_{0};
   std::atomic<std::uint64_t> faults_injected_{0};
+  std::atomic<std::uint64_t> replica_restarts_{0};
+  std::atomic<std::uint64_t> shadow_runs_{0};
+  std::atomic<std::uint64_t> shadow_mismatches_{0};
+  std::atomic<std::uint64_t> shadow_dropped_{0};
   std::atomic<bool> brownout_active_{false};
   std::vector<std::unique_ptr<ReplicaMetrics>> replicas_;
   LatencyHistogram queue_wait_;

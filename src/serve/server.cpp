@@ -46,6 +46,18 @@ const char* to_string(ServerStatus status) {
   return "unknown";
 }
 
+const char* to_string(DeadlineClass cls) {
+  switch (cls) {
+    case DeadlineClass::kTight:
+      return "tight";
+    case DeadlineClass::kStandard:
+      return "standard";
+    case DeadlineClass::kBestEffort:
+      return "best-effort";
+  }
+  return "unknown";
+}
+
 struct DfeServer::Impl {
   struct Request {
     IntTensor image;
@@ -56,10 +68,20 @@ struct DfeServer::Impl {
     /// Retry backoff gate: not dispatched before this (epoch = no gate).
     Clock::time_point not_before{};
     bool has_deadline = false;
+    DeadlineClass cls = DeadlineClass::kBestEffort;
     int attempt = 0;           // retries consumed so far
     int exclude_replica = -1;  // replica that failed this request last
     double queue_wait_us = 0.0;
     double batch_form_us = 0.0;
+  };
+
+  /// One mirrored request for a shadow-tier replica: the image plus the
+  /// primary's logits to compare against. Internal only — shadow results
+  /// are never returned to a client.
+  struct ShadowJob {
+    IntTensor image;
+    IntTensor primary;
+    int primary_replica = -1;
   };
 
   /// One modeled board: the session plus its healing state. Health fields
@@ -67,13 +89,23 @@ struct DfeServer::Impl {
   /// lock-free worker<->watchdog protocol (the watchdog must observe a
   /// run without taking the worker off CPU).
   struct Replica {
-    explicit Replica(DfeSession s) : session(std::move(s)) {}
+    Replica(DfeSession s, SessionConfig cfg)
+        : session(std::move(s)),
+          session_config(std::move(cfg)),
+          backend_name(session.backend().name()),
+          tier(session.backend().tier()) {}
     DfeSession session;
+    /// The exact config this replica was compiled with — a restart
+    /// recompiles through the same backend with the same options.
+    SessionConfig session_config;
+    std::string backend_name;
+    BackendTier tier;
 
     // Guarded by Impl::mu.
     ReplicaHealth health = ReplicaHealth::kHealthy;
     int consecutive_failures = 0;
     int clean_probes = 0;
+    int failed_probes = 0;  // consecutive; restart_after triggers on it
     Clock::time_point next_probe{};
 
     // Worker publishes (release), watchdog observes (acquire).
@@ -88,11 +120,19 @@ struct DfeServer::Impl {
   Shape input_shape{};
   ServerMetrics metrics;
   const Clock::time_point epoch = Clock::now();
+  /// Kept for restarts: a recompile needs the network, not just the old
+  /// session.
+  NetworkSpec spec;
+  NetworkParams params;
+  bool have_shadow = false;  // any shadow-tier replica in the pool
 
   std::mutex mu;
   std::condition_variable cv;        // work arrival / queue changes
   std::condition_variable maint_cv;  // watchdog period, probe schedule
+  std::condition_variable shadow_cv; // mirror queue arrival
   std::deque<Request> queue;
+  std::deque<ShadowJob> shadow_queue;  // guarded by mu
+  double shadow_accum = 0.0;           // fractional mirror accumulator
   bool accepting = true;
   bool stopping = false;
   bool watchdog_stop = false;
@@ -230,11 +270,35 @@ struct DfeServer::Impl {
     req.promise.set_value(std::move(res));
   }
 
-  /// Any replica other than `idx` still in traffic rotation? (mu held.)
-  [[nodiscard]] bool other_live(int idx) const {
+  /// "replica 2 [engine/fast]" — event-log label with backend identity.
+  [[nodiscard]] std::string rep_label(int idx) const {
+    const Replica& rep = *replicas[static_cast<std::size_t>(idx)];
+    return "replica " + std::to_string(idx) + " [" + rep.backend_name +
+           "/" + to_string(rep.tier) + "]";
+  }
+
+  /// May `rep` take queue traffic of class `cls`? Shadow replicas never
+  /// do; with deadline routing, tight work is fast-tier-only and slow-tier
+  /// replicas take everything else. These gates are ABSOLUTE — they hold
+  /// during drain too, so a tight request can never land on a slow
+  /// replica (the constructor guarantees a fast traffic replica exists).
+  [[nodiscard]] bool may_serve(const Replica& rep, DeadlineClass cls) const {
+    if (rep.tier == BackendTier::kShadow) return false;
+    if (!config.route_by_deadline) return true;
+    if (rep.tier == BackendTier::kFast) return true;
+    return cls != DeadlineClass::kTight;  // kSlow: standard / best-effort
+  }
+
+  /// Any replica other than `idx` still in traffic rotation that may
+  /// serve `cls`? Gates retry exclusion: a request is only skipped by the
+  /// replica that failed it when some OTHER replica could take it. (mu
+  /// held.)
+  [[nodiscard]] bool other_live(int idx, DeadlineClass cls) const {
     for (std::size_t j = 0; j < replicas.size(); ++j) {
       if (static_cast<int>(j) == idx) continue;
-      const ReplicaHealth h = replicas[j]->health;
+      const Replica& rep = *replicas[j];
+      if (!may_serve(rep, cls)) continue;
+      const ReplicaHealth h = rep.health;
       if (h == ReplicaHealth::kHealthy || h == ReplicaHealth::kDegraded) {
         return true;
       }
@@ -266,8 +330,8 @@ struct DfeServer::Impl {
   void take_ready(std::vector<Request>& batch, int replica_idx, int limit) {
     const Clock::time_point now = Clock::now();
     if (brownout_active) shed_expired(now);
+    const Replica& rep = *replicas[static_cast<std::size_t>(replica_idx)];
     const bool honor_gates = !stopping;
-    const bool can_exclude = honor_gates && other_live(replica_idx);
     for (auto it = queue.begin();
          it != queue.end() && static_cast<int>(batch.size()) < limit;) {
       if (it->has_deadline && now > it->deadline) {
@@ -276,11 +340,17 @@ struct DfeServer::Impl {
         it = queue.erase(it);
         continue;
       }
+      // Class routing is absolute (never relaxed during drain).
+      if (!may_serve(rep, it->cls)) {
+        ++it;
+        continue;
+      }
       if (honor_gates && it->not_before > now) {
         ++it;
         continue;
       }
-      if (can_exclude && it->exclude_replica == replica_idx) {
+      if (honor_gates && it->exclude_replica == replica_idx &&
+          other_live(replica_idx, it->cls)) {
         ++it;
         continue;
       }
@@ -299,11 +369,16 @@ struct DfeServer::Impl {
   /// exclusion-only gates, pass the baton so a worker that CAN take the
   /// work gets woken even if the original notify landed on us. (mu held
   /// via lock.)
-  void wait_for_gate(std::unique_lock<std::mutex>& lock) {
+  void wait_for_gate(std::unique_lock<std::mutex>& lock, int replica_idx) {
+    const Replica& rep = *replicas[static_cast<std::size_t>(replica_idx)];
     Clock::time_point earliest = Clock::time_point::max();
     bool excluded_only = false;
     const Clock::time_point now = Clock::now();
     for (const Request& r : queue) {
+      // Entries this replica may never serve (class routing) are some
+      // other worker's problem: submit wakes every worker, so whoever is
+      // entitled will pick them up — no baton needed, no timer.
+      if (!may_serve(rep, r.cls)) continue;
       if (r.not_before > now) {
         earliest = std::min(earliest, r.not_before);
       } else {
@@ -329,7 +404,7 @@ struct DfeServer::Impl {
     if (rep.health == ReplicaHealth::kDegraded) {
       rep.health = ReplicaHealth::kHealthy;
       metrics.set_replica_health(idx, ReplicaHealth::kHealthy);
-      metrics.log_event("replica " + std::to_string(idx) + " healthy again");
+      metrics.log_event(rep_label(idx) + " healthy again");
     }
     update_brownout();
   }
@@ -341,7 +416,7 @@ struct DfeServer::Impl {
     ++global_fail_streak;
     metrics.on_replica_run(idx, false);
     metrics.log_event(
-        "replica " + std::to_string(idx) + " run failed" +
+        rep_label(idx) + " run failed" +
         (reason == kCancelBudget
              ? " (budget cancel)"
              : reason == kCancelDeadline ? " (deadline cancel)" : "") +
@@ -359,7 +434,7 @@ struct DfeServer::Impl {
       ++quarantined_count;
       metrics.on_quarantine();
       metrics.set_replica_health(idx, ReplicaHealth::kQuarantined);
-      metrics.log_event("replica " + std::to_string(idx) + " quarantined");
+      metrics.log_event(rep_label(idx) + " quarantined");
     }
     update_brownout();
     cv.notify_all();
@@ -384,38 +459,85 @@ struct DfeServer::Impl {
     }
     disarm_watchdog(rep);
 
-    const std::lock_guard<std::mutex> lock(mu);
-    metrics.on_probe(ok);
-    if (!ok) {
-      rep.clean_probes = 0;
-      if (rep.health != ReplicaHealth::kQuarantined) {
-        rep.health = ReplicaHealth::kQuarantined;
-        metrics.set_replica_health(idx, ReplicaHealth::kQuarantined);
+    bool want_restart = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      metrics.on_probe(ok);
+      if (!ok) {
+        rep.clean_probes = 0;
+        ++rep.failed_probes;
+        if (rep.health != ReplicaHealth::kQuarantined) {
+          rep.health = ReplicaHealth::kQuarantined;
+          metrics.set_replica_health(idx, ReplicaHealth::kQuarantined);
+        }
+        metrics.log_event(rep_label(idx) + " probe failed");
+        rep.next_probe =
+            Clock::now() + std::chrono::microseconds(config.probe_period_us);
+        want_restart = config.restart_after > 0 &&
+                       rep.failed_probes >= config.restart_after;
+      } else {
+        rep.failed_probes = 0;
+        ++rep.clean_probes;
+        if (rep.health == ReplicaHealth::kQuarantined) {
+          rep.health = ReplicaHealth::kProbation;
+          metrics.set_replica_health(idx, ReplicaHealth::kProbation);
+          metrics.log_event(rep_label(idx) + " on probation");
+        }
+        if (rep.clean_probes >= config.probation_probes) {
+          rep.health = ReplicaHealth::kHealthy;
+          rep.consecutive_failures = 0;
+          --quarantined_count;
+          metrics.on_readmit();
+          metrics.set_replica_health(idx, ReplicaHealth::kHealthy);
+          metrics.log_event(rep_label(idx) + " readmitted");
+          update_brownout();
+          cv.notify_all();
+        } else {
+          rep.next_probe =
+              Clock::now() + std::chrono::microseconds(config.probe_period_us);
+          maint_cv.notify_all();
+        }
       }
-      metrics.log_event("replica " + std::to_string(idx) + " probe failed");
-      rep.next_probe =
-          Clock::now() + std::chrono::microseconds(config.probe_period_us);
-      return;
     }
-    ++rep.clean_probes;
-    if (rep.health == ReplicaHealth::kQuarantined) {
-      rep.health = ReplicaHealth::kProbation;
-      metrics.set_replica_health(idx, ReplicaHealth::kProbation);
-      metrics.log_event("replica " + std::to_string(idx) + " on probation");
-    }
-    if (rep.clean_probes >= config.probation_probes) {
-      rep.health = ReplicaHealth::kHealthy;
-      rep.consecutive_failures = 0;
-      --quarantined_count;
-      metrics.on_readmit();
-      metrics.set_replica_health(idx, ReplicaHealth::kHealthy);
-      metrics.log_event("replica " + std::to_string(idx) + " readmitted");
-      update_brownout();
-      cv.notify_all();
-    } else {
-      rep.next_probe =
-          Clock::now() + std::chrono::microseconds(config.probe_period_us);
+    if (want_restart) restart_replica(idx);
+  }
+
+  /// Watchdog-triggered self-heal of last resort: after `restart_after`
+  /// consecutive failed probes, recompile the replica through its backend
+  /// (the software analog of reflashing a wedged board) and swap the
+  /// fresh session in. Runs on the replica's own worker thread with mu
+  /// NOT held — only this thread runs the session, and the swap happens
+  /// under mu so the watchdog (which cancels sessions under mu) can never
+  /// observe a dangling one. The replica stays quarantined: the next
+  /// probe validates the fresh session before readmission.
+  void restart_replica(int idx) {
+    Replica& rep = *replicas[static_cast<std::size_t>(idx)];
+    metrics.log_event(rep_label(idx) + " restarting (backend recompile)");
+    try {
+      DfeSession fresh =
+          DfeSession::compile(spec, params, rep.session_config);
+      DfeSession old = [&] {
+        const std::lock_guard<std::mutex> lock(mu);
+        DfeSession prev = std::move(rep.session);
+        rep.session = std::move(fresh);
+        rep.failed_probes = 0;
+        rep.clean_probes = 0;
+        rep.consecutive_failures = 0;
+        rep.next_probe = Clock::now();  // probe the fresh session now
+        return prev;
+      }();
+      // `old` (and its engine threads) tears down here, outside mu.
+      metrics.on_replica_restart(idx);
+      metrics.log_event(std::string(kReplicaRestarted) + ": " +
+                        rep_label(idx));
       maint_cv.notify_all();
+    } catch (const std::exception& e) {
+      const std::lock_guard<std::mutex> lock(mu);
+      rep.failed_probes = 0;  // back off a full restart_after window
+      metrics.log_event(rep_label(idx) +
+                        " restart failed: " + std::string(e.what()));
+      rep.next_probe =
+          Clock::now() + std::chrono::microseconds(config.probe_period_us);
     }
   }
 
@@ -479,6 +601,11 @@ struct DfeServer::Impl {
           fulfill(req, ServerStatus::kDeadlineExceeded, done, {}, idx);
           continue;
         }
+        // Mirror a fraction of served traffic to the shadow tier. The
+        // image is dead after this loop, so a mirrored job can steal it.
+        if (have_shadow && config.shadow_fraction > 0.0) {
+          maybe_mirror(images[i], outputs[i], idx);
+        }
         InferenceResult res;
         res.status = ServerStatus::kOk;
         res.logits = std::move(outputs[i]);
@@ -513,6 +640,71 @@ struct DfeServer::Impl {
       const Clock::time_point now = Clock::now();
       for (Request& req : live) {
         handle_failure(req, idx, reason, e.what(), now);
+      }
+    }
+  }
+
+  /// Fractional mirroring: every served request adds shadow_fraction to
+  /// an accumulator; each time it crosses 1 one job is queued for the
+  /// shadow tier (so fraction 0.25 mirrors exactly every 4th request).
+  /// The image is MOVED into the job; the primary logits are copied.
+  void maybe_mirror(IntTensor& image, const IntTensor& primary, int idx) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      shadow_accum += config.shadow_fraction;
+      if (shadow_accum < 1.0) return;
+      shadow_accum -= 1.0;
+      if (shadow_queue.size() >= config.shadow_queue_capacity) {
+        metrics.on_shadow_drop();
+        return;
+      }
+      shadow_queue.push_back(ShadowJob{std::move(image), primary, idx});
+    }
+    shadow_cv.notify_one();
+  }
+
+  /// Worker loop of a shadow-tier replica: it never touches the admission
+  /// queue. It re-runs mirrored requests on its own session and compares
+  /// the result bit-exactly against the primary's logits — a cheap
+  /// continuous conformance check of the fast tier against the simulator
+  /// backend's reference path. Results are never returned to clients;
+  /// mismatches and failures are counted and logged only.
+  void shadow_worker(int idx) {
+    Replica& rep = *replicas[static_cast<std::size_t>(idx)];
+    for (;;) {
+      ShadowJob job;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        shadow_cv.wait(lock, [&] {
+          return stopping || !shadow_queue.empty();
+        });
+        if (shadow_queue.empty()) {
+          if (stopping) return;
+          continue;
+        }
+        job = std::move(shadow_queue.front());
+        shadow_queue.pop_front();
+      }
+      // Probe-style watchdog arming: a wedged shadow run is cancelled on
+      // the run budget, so it can never hold up stop().
+      arm_watchdog_probe(rep);
+      try {
+        std::vector<IntTensor> in;
+        in.push_back(std::move(job.image));
+        const std::vector<IntTensor> out = rep.session.infer_batch(in);
+        disarm_watchdog(rep);
+        const bool match = out.size() == 1 && out[0] == job.primary;
+        metrics.on_shadow(match);
+        if (!match) {
+          metrics.log_event(rep_label(idx) +
+                            " shadow MISMATCH vs replica " +
+                            std::to_string(job.primary_replica));
+        }
+      } catch (const std::exception& e) {
+        disarm_watchdog(rep);
+        metrics.on_shadow(false);
+        metrics.log_event(rep_label(idx) +
+                          " shadow run failed: " + std::string(e.what()));
       }
     }
   }
@@ -572,8 +764,17 @@ struct DfeServer::Impl {
           const int limit = effective_max_batch();
           take_ready(batch, idx, limit);
           if (batch.empty()) {
-            // Everything queued is backoff-gated or excluded from us.
-            wait_for_gate(lock);
+            if (stopping) {
+              // Drain: the rest of the queue is class-gated away from us
+              // (tight work on a slow replica stays gated even now). Poll
+              // until the entitled workers empty it — queue erasure has
+              // no dedicated notify.
+              cv.wait_for(lock, std::chrono::microseconds(200));
+            } else {
+              // Everything queued is backoff-gated, excluded from us, or
+              // class-routed to another tier.
+              wait_for_gate(lock, idx);
+            }
             continue;
           }
           const std::int64_t timeout_us = effective_batch_timeout_us();
@@ -624,7 +825,33 @@ DfeServer::DfeServer(const NetworkSpec& spec, const NetworkParams& params,
             "probe_period_us must be positive");
   QNN_CHECK(server_config.brownout_fail_streak >= 1,
             "brownout_fail_streak must be positive");
+  QNN_CHECK(server_config.restart_after >= 0,
+            "restart_after must be non-negative");
+  QNN_CHECK(server_config.tight_deadline_us >= 0,
+            "tight_deadline_us must be non-negative");
+  QNN_CHECK(server_config.shadow_fraction >= 0.0 &&
+                server_config.shadow_fraction <= 1.0,
+            "shadow_fraction must be in [0, 1]");
+  QNN_CHECK(server_config.shadow_queue_capacity >= 1,
+            "shadow_queue_capacity must be positive");
+
+  // Resolve the pool spec: every slice names a registered backend. The
+  // legacy homogeneous shape (`replicas` copies of the session backend)
+  // is just the one-entry special case.
+  std::vector<ServerConfig::PoolEntry> pool = server_config.pool;
+  if (pool.empty()) {
+    pool.push_back(ServerConfig::PoolEntry{session_config.backend,
+                                           server_config.replicas});
+  }
+  int total = 0;
+  for (const ServerConfig::PoolEntry& e : pool) {
+    QNN_CHECK(e.count >= 1, "pool entry count must be positive");
+    (void)backend_registry().at(e.backend);  // throws on unknown names
+    total += e.count;
+  }
+  server_config.replicas = total;
   impl_->config = server_config;
+
   if (session_config.engine.verify) {
     // Verify once up front so a malformed network produces one clean
     // static-analysis error instead of N identical compile failures from
@@ -633,7 +860,9 @@ DfeServer::DfeServer(const NetworkSpec& spec, const NetworkParams& params,
     enforce(verify_graph(pipeline, &params, session_config.engine),
             "DfeServer(" + pipeline.name + ")");
   }
-  impl_->replicas.reserve(static_cast<std::size_t>(server_config.replicas));
+  impl_->spec = spec;
+  impl_->params = params;
+  impl_->replicas.reserve(static_cast<std::size_t>(total));
   // Replica pools share one pinning map: each replica's engine gets a core
   // window staggered by its worker count, so with pin_threads set four
   // replicas tile the machine instead of all binding worker 0 to core 0.
@@ -641,27 +870,55 @@ DfeServer::DfeServer(const NetworkSpec& spec, const NetworkParams& params,
   const unsigned pin_stride =
       session_config.engine.pool_threads != 0
           ? session_config.engine.pool_threads
-          : std::max(1u, hw / static_cast<unsigned>(std::max(
-                              1, server_config.replicas)));
-  for (int i = 0; i < server_config.replicas; ++i) {
-    // Each replica gets its own copy of the parameters: sessions share no
-    // mutable state, so the workers may run them concurrently. The fault
-    // identity lets one FaultPlan target individual replicas.
-    SessionConfig replica_config = session_config;
-    replica_config.engine.fault_replica = i;
-    replica_config.engine.pin_offset =
-        session_config.engine.pin_offset +
-        static_cast<unsigned>(i) * pin_stride;
-    impl_->replicas.push_back(std::make_unique<Impl::Replica>(
-        DfeSession::compile(spec, params, replica_config)));
+          : std::max(1u, hw / static_cast<unsigned>(std::max(1, total)));
+  int fast_traffic = 0;
+  int traffic = 0;
+  for (const ServerConfig::PoolEntry& e : pool) {
+    for (int k = 0; k < e.count; ++k) {
+      const int i = static_cast<int>(impl_->replicas.size());
+      // Each replica gets its own copy of the parameters: sessions share
+      // no mutable state, so the workers may run them concurrently. The
+      // fault identity lets one FaultPlan target individual replicas.
+      SessionConfig replica_config = session_config;
+      replica_config.backend = e.backend;
+      replica_config.engine.fault_replica = i;
+      replica_config.engine.pin_offset =
+          session_config.engine.pin_offset +
+          static_cast<unsigned>(i) * pin_stride;
+      impl_->replicas.push_back(std::make_unique<Impl::Replica>(
+          DfeSession::compile(spec, params, replica_config),
+          replica_config));
+      const Impl::Replica& rep = *impl_->replicas.back();
+      if (rep.tier != BackendTier::kShadow) {
+        ++traffic;
+        if (rep.tier == BackendTier::kFast) ++fast_traffic;
+      } else {
+        impl_->have_shadow = true;
+      }
+    }
   }
+  QNN_CHECK(traffic >= 1,
+            "replica pool needs at least one non-shadow replica");
+  QNN_CHECK(!server_config.route_by_deadline || fast_traffic >= 1,
+            "deadline routing needs at least one fast-tier replica "
+            "(tight requests can only dispatch there)");
+  QNN_CHECK(server_config.shadow_fraction == 0.0 || impl_->have_shadow,
+            "shadow_fraction > 0 needs a shadow-tier replica in the pool");
   impl_->input_shape = impl_->replicas.front()->session.pipeline().input;
-  impl_->metrics.init_replicas(server_config.replicas);
+  impl_->metrics.init_replicas(total);
+  for (int i = 0; i < total; ++i) {
+    const Impl::Replica& rep = *impl_->replicas[static_cast<std::size_t>(i)];
+    impl_->metrics.set_replica_backend(i, rep.backend_name,
+                                       to_string(rep.tier));
+  }
   Impl* im = impl_.get();  // stable even if the DfeServer handle moves
   impl_->watchdog_thread = std::thread([im] { im->watchdog_loop(); });
   impl_->workers.reserve(impl_->replicas.size());
-  for (int i = 0; i < server_config.replicas; ++i) {
-    impl_->workers.emplace_back([im, i] { im->worker(i); });
+  for (int i = 0; i < total; ++i) {
+    const bool shadow = impl_->replicas[static_cast<std::size_t>(i)]->tier ==
+                        BackendTier::kShadow;
+    impl_->workers.emplace_back(
+        [im, i, shadow] { shadow ? im->shadow_worker(i) : im->worker(i); });
   }
 }
 
@@ -682,6 +939,10 @@ std::future<InferenceResult> DfeServer::submit_async(
   req.has_deadline = dl > 0;
   if (req.has_deadline) {
     req.deadline = req.enqueue + std::chrono::microseconds(dl);
+    req.cls = dl <= im.config.tight_deadline_us ? DeadlineClass::kTight
+                                                : DeadlineClass::kStandard;
+  } else {
+    req.cls = DeadlineClass::kBestEffort;
   }
   im.metrics.on_submit();
   {
@@ -699,7 +960,10 @@ std::future<InferenceResult> DfeServer::submit_async(
     im.queue.push_back(std::move(req));
     im.metrics.set_queue_depth(im.queue.size());
   }
-  im.cv.notify_one();
+  // Wake every worker, not one: with class routing, notify_one could land
+  // on a worker the entry is gated away from (a lost wakeup). Non-entitled
+  // workers recheck and go straight back to sleep.
+  im.cv.notify_all();
   return fut;
 }
 
@@ -719,6 +983,7 @@ void DfeServer::stop() {
   }
   im.cv.notify_all();
   im.maint_cv.notify_all();
+  im.shadow_cv.notify_all();
   // Workers drain first (the watchdog must stay alive to cancel hung
   // drain runs), then the watchdog is retired.
   for (std::thread& t : im.workers) t.join();

@@ -18,7 +18,15 @@
 //    `batch_timeout_us` after it opened, whichever comes first, so the
 //    pipeline stays full under load and latency stays bounded when idle.
 //  * Replica pool: N independently compiled DfeSessions (a farm of DFE
-//    boards), one worker thread per replica.
+//    boards), one worker thread per replica. The pool may be
+//    HETEROGENEOUS (ServerConfig::pool): each replica is compiled by a
+//    registered backend (backend/backend.h) and tagged with that
+//    backend's tier. Admission is routed by deadline class — a TIGHT
+//    request (deadline <= tight_deadline_us) only ever runs on a
+//    fast-tier replica, best-effort / standard work may overflow onto
+//    slow-tier replicas, and shadow-tier replicas never take queue
+//    traffic at all: a configurable fraction of completed requests is
+//    mirrored to them and the results compared (never returned).
 //  * Metrics: lock-cheap counters/histograms (serve/metrics.h) exposed
 //    via metrics() / metrics_report().
 //
@@ -37,6 +45,10 @@
 //  * Quarantine: `quarantine_after` consecutive failed runs park a replica;
 //    it then serves synthetic probes and is readmitted after
 //    `probation_probes` consecutive clean ones.
+//  * Restart: `restart_after` consecutive FAILED probes recompile the
+//    replica through its backend (the software analog of reflashing a
+//    wedged board); the fresh session then re-enters the probe loop so
+//    readmission still requires clean probes.
 //  * Brownout: while any replica is quarantined (or failures persist), the
 //    effective max_batch/batch_timeout shrink and already-expired queue
 //    entries are shed first — graceful degradation instead of collapse.
@@ -51,6 +63,7 @@
 #include <future>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "host/session.h"
 #include "serve/metrics.h"
@@ -67,8 +80,18 @@ enum class ServerStatus {
 
 [[nodiscard]] const char* to_string(ServerStatus status);
 
+/// Admission class of a request, derived from its deadline at submit time.
+enum class DeadlineClass {
+  kTight,       // deadline <= ServerConfig::tight_deadline_us
+  kStandard,    // any longer deadline
+  kBestEffort,  // no deadline
+};
+
+[[nodiscard]] const char* to_string(DeadlineClass cls);
+
 struct ServerConfig {
   /// Number of DfeSession replicas (modeled DFE boards); one worker each.
+  /// Ignored when `pool` is non-empty.
   int replicas = 1;
   /// Admission queue bound; submissions beyond it are rejected.
   std::size_t queue_capacity = 256;
@@ -106,6 +129,33 @@ struct ServerConfig {
   /// Global consecutive-failure streak that also triggers brownout even
   /// before anything is quarantined.
   int brownout_fail_streak = 6;
+  /// Consecutive failed probes of a quarantined replica that trigger a
+  /// restart: the replica's backend recompiles a fresh session which then
+  /// re-enters the probe loop. 0 = never restart.
+  int restart_after = 0;
+
+  // ---- mixed pool / deadline routing -------------------------------------
+  /// One slice of a heterogeneous replica pool.
+  struct PoolEntry {
+    std::string backend;  // registered backend name (backend/backend.h)
+    int count = 1;        // replicas compiled by it
+  };
+  /// Heterogeneous pool spec. Empty = `replicas` copies of
+  /// SessionConfig::backend (the homogeneous legacy shape).
+  std::vector<PoolEntry> pool;
+  /// Route admissions by deadline class: tight requests only ever dispatch
+  /// to fast-tier replicas; standard / best-effort may land on slow-tier
+  /// ones. false = naive routing — any traffic replica takes anything
+  /// (shadow replicas still never take queue traffic).
+  bool route_by_deadline = true;
+  /// A request whose deadline is at most this is "tight" (kTight).
+  std::int64_t tight_deadline_us = 20'000;
+  /// Fraction of successfully served requests mirrored to a shadow-tier
+  /// replica for comparison (0 = no shadowing). Mirrored results are
+  /// compared bit-exactly and counted (ServerMetrics), never returned.
+  double shadow_fraction = 0.0;
+  /// Bound on queued shadow jobs; overflow is dropped (and counted).
+  std::size_t shadow_queue_capacity = 64;
 };
 
 struct InferenceResult {
@@ -123,8 +173,11 @@ struct InferenceResult {
 
 class DfeServer {
  public:
-  /// Compiles `replicas` independent sessions from one network (each
-  /// replica gets its own copy of the parameters) and starts the workers.
+  /// Compiles the replica pool from one network (each replica gets its own
+  /// copy of the parameters, compiled by its pool entry's backend) and
+  /// starts the workers. Requires at least one non-shadow replica; with
+  /// route_by_deadline also at least one fast-tier one (otherwise tight
+  /// requests could never dispatch).
   DfeServer(const NetworkSpec& spec, const NetworkParams& params,
             ServerConfig server_config = {},
             SessionConfig session_config = {});

@@ -306,27 +306,35 @@ class PassSim final : public KernelSim {
   std::vector<SimFifo*> outs_;
 };
 
-/// MaxRing serializer (§III-B6): a stream crossing to the next DFE moves
-/// one pixel per ceil(pixel_bits / link_bits_per_cycle) clocks. An
-/// injected LinkFault adds outage windows (nothing moves) and CRC-style
-/// corruption: a corrupted pixel is re-serialized once before delivery.
+/// MaxRing serializer (§III-B6): a stream crossing to the next DFE is
+/// shipped in frames of up to `frame_pixels` pixels (the planned burst
+/// carried across the cut; 1 without a plan). A frame of m pixels costs
+/// ceil(m * pixel_bits / link_bits_per_cycle) clocks, so a planned burst
+/// pays the link-word rounding once per frame where per-pixel framing
+/// pays it on every pixel. An injected LinkFault adds outage windows
+/// (nothing moves) and CRC-style corruption: a corrupted frame is
+/// re-serialized once before delivery.
 class LinkSim final : public KernelSim {
  public:
-  LinkSim(std::string name, SimFifo& in, SimFifo& out, int cycles_per_pixel,
+  LinkSim(std::string name, SimFifo& in, SimFifo& out, int frame_pixels,
+          std::int64_t pixel_bits, int link_bits,
           SimConfig::LinkFault fault = {})
       : KernelSim(std::move(name)), in_(in), out_(out),
-        cpp_(cycles_per_pixel), fault_(fault), rng_(fault.seed) {
-    QNN_CHECK(cpp_ >= 1, "link serialization must take >= 1 cycle");
+        frame_pixels_(frame_pixels), pixel_bits_(pixel_bits),
+        link_bits_(link_bits), fault_(fault), rng_(fault.seed) {
+    QNN_CHECK(frame_pixels_ >= 1, "link frame must hold >= 1 pixel");
+    QNN_CHECK(pixel_bits_ >= 1 && link_bits_ >= 1,
+              "link serialization needs positive widths");
   }
 
   void step(std::uint64_t now) override {
     if (now >= fault_.down_from_cycle &&
         now - fault_.down_from_cycle < fault_.down_cycles) {
       // Outage window: the link moves nothing this cycle.
-      if (holding_ || !in_.empty()) ++st_.stall_out;
+      if (holding_ > 0 || !in_.empty()) ++st_.stall_out;
       return;
     }
-    if (holding_) {
+    if (holding_ > 0) {
       if (remaining_ > 0) {
         --remaining_;
         ++st_.busy;
@@ -339,42 +347,57 @@ class LinkSim final : public KernelSim {
       ++st_.stall_in;
       return;
     }
-    in_.pop();
+    // Open a frame from whatever is available (up to the planned burst):
+    // waiting for a full frame at a stream tail would deadlock.
+    int taken = 0;
+    while (taken < frame_pixels_ && !in_.empty()) {
+      in_.pop();
+      ++taken;
+    }
+    holding_ = taken;
+    remaining_ = serialize_cycles(taken) - 1;
     ++st_.busy;
-    remaining_ = cpp_ - 1;
-    holding_ = true;
     if (remaining_ == 0) try_deliver();
   }
 
  private:
-  /// Serialization of the held pixel is complete: draw the corruption
-  /// fault (once per pixel — a corrupted pixel re-serializes exactly
-  /// once), then land it when the far FIFO has space.
+  [[nodiscard]] int serialize_cycles(int pixels) const {
+    const std::int64_t bits = pixel_bits_ * pixels;
+    return static_cast<int>((bits + link_bits_ - 1) / link_bits_);
+  }
+
+  /// Serialization of the held frame is complete: draw the corruption
+  /// fault (once per frame — a corrupted frame re-serializes exactly
+  /// once), then land its pixels as the far FIFO accepts them.
   void try_deliver() {
     if (fault_.corrupt_per_million > 0 && !retransmitted_ &&
         rng_.next_below(1'000'000) < fault_.corrupt_per_million) {
       retransmitted_ = true;
       ++st_.retransmits;
-      remaining_ = cpp_;
+      remaining_ = serialize_cycles(holding_);
       return;
     }
-    if (out_.full()) {
-      ++st_.stall_out;
-      return;
+    while (holding_ > 0) {
+      if (out_.full()) {
+        ++st_.stall_out;
+        return;
+      }
+      out_.push();
+      ++st_.outputs;
+      --holding_;
     }
-    out_.push();
-    ++st_.outputs;
-    holding_ = false;
     retransmitted_ = false;
   }
 
   SimFifo& in_;
   SimFifo& out_;
-  int cpp_;
+  int frame_pixels_;
+  std::int64_t pixel_bits_;
+  int link_bits_;
   SimConfig::LinkFault fault_;
   Rng rng_;
   int remaining_ = 0;
-  bool holding_ = false;
+  int holding_ = 0;  // pixels of the open frame not yet delivered
   bool retransmitted_ = false;
 };
 
@@ -476,26 +499,32 @@ SimResult simulate(const Pipeline& pipeline, const SimConfig& config,
     };
     auto attach = [&](int consumer, SimFifo& upstream) {
       const Node& n = pipeline.node(consumer);
+      const bool is_main =
+          n.main_from == p &&
+          main_in[static_cast<std::size_t>(consumer)] == nullptr;
       SimFifo* f = &upstream;
       if (p >= 0 && crosses_cut(p, consumer)) {
-        // Serialize this stream over the MaxRing: one pixel per
-        // ceil(pixel_bits / link_bits) clocks.
+        // Serialize this stream over the MaxRing in frames of the planned
+        // burst (one pixel when no plan was carried across the cut).
         const Node& producer = pipeline.node(p);
         const std::int64_t pixel_bits =
             static_cast<std::int64_t>(producer.out.c) * producer.out_bits;
-        const int cpp = static_cast<int>(
-            (pixel_bits + config.link_bits_per_cycle - 1) /
-            config.link_bits_per_cycle);
+        const std::size_t burst_values =
+            config.link_burst_values(consumer, /*to_skip_port=*/!is_main);
+        const int frame_pixels = std::max<int>(
+            1, static_cast<int>(
+                   static_cast<std::int64_t>(burst_values) /
+                   std::max<std::int64_t>(1, producer.out.c)));
         SimFifo& landed =
             make_fifo(upstream.cap, pname + "~link~" + n.name);
         kernels.push_back(std::make_unique<LinkSim>(
             "link_" + pname + "_" + std::to_string(links_made), upstream,
-            landed, cpp, fault_for(links_made)));
+            landed, frame_pixels, pixel_bits, config.link_bits_per_cycle,
+            fault_for(links_made)));
         ++links_made;
         f = &landed;
       }
-      if (n.main_from == p &&
-          main_in[static_cast<std::size_t>(consumer)] == nullptr) {
+      if (is_main) {
         main_in[static_cast<std::size_t>(consumer)] = f;
       } else {
         skip_in[static_cast<std::size_t>(consumer)] = f;

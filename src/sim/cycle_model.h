@@ -65,6 +65,32 @@ struct SimConfig {
   std::vector<int> cut_after_nodes;
   int link_bits_per_cycle = 38;
 
+  /// Planned per-edge bursts carried across the cut (filled from the
+  /// verify/ FIFO plan — PlannedStream::burst — by the session layer).
+  /// The MaxRing serializer frames up to `values` stream values per
+  /// transaction instead of shipping pixel by pixel, so the ceil() waste
+  /// of narrow elements against the link word is paid once per frame. An
+  /// edge without an entry (or with values == 0) keeps the legacy
+  /// one-pixel framing.
+  struct EdgeBurst {
+    int consumer = -1;          // node index of the edge's consumer
+    bool to_skip_port = false;  // Add-node skip port vs main port
+    std::size_t values = 0;     // planned burst, in stream values
+  };
+  std::vector<EdgeBurst> link_bursts;
+
+  /// Planned burst (values) of the edge into `consumer`'s main or skip
+  /// port; 0 when no plan was carried for it.
+  [[nodiscard]] std::size_t link_burst_values(int consumer,
+                                              bool to_skip_port) const {
+    for (const EdgeBurst& e : link_bursts) {
+      if (e.consumer == consumer && e.to_skip_port == to_skip_port) {
+        return e.values;
+      }
+    }
+    return 0;
+  }
+
   /// MaxRing link fault to replay during simulation (see fault/apply.h for
   /// the FaultPlan adapter). `link` is the serializer ordinal in cut order
   /// (0 = the link after the first cut).
@@ -74,7 +100,7 @@ struct SimConfig {
     /// at `down_from_cycle` (kFaultNever start = no outage).
     std::uint64_t down_from_cycle = ~0ULL;
     std::uint64_t down_cycles = 0;
-    /// Corruption: each delivered pixel is independently corrupted with
+    /// Corruption: each delivered frame is independently corrupted with
     /// probability corrupt_per_million / 1e6 and retransmitted once (the
     /// MaxRing CRC-and-resend cost model). Capped at 250'000 (25%).
     std::uint32_t corrupt_per_million = 0;
@@ -98,7 +124,8 @@ struct KernelStats {
   std::uint64_t stall_in = 0;   // starved: waiting for input
   std::uint64_t stall_out = 0;  // blocked: waiting for output space
   std::uint64_t outputs = 0;    // output transactions (pixels) emitted
-  /// Link kernels only: pixels re-serialized after an injected corruption.
+  /// Link kernels only: frames re-serialized after an injected corruption
+  /// (a frame is one pixel unless a planned burst widens it).
   std::uint64_t retransmits = 0;
 };
 

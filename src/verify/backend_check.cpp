@@ -1,0 +1,45 @@
+#include "verify/backend_check.h"
+
+#include <string>
+
+#include "backend/backend.h"
+
+namespace qnn {
+
+void check_backend_support(const Pipeline& pipeline, const Backend& backend,
+                           Report& report) {
+  const BackendInfo& info = backend.info();
+  const int devices = backend.device_count();
+  if (devices < 1) {
+    report.error(diag::kBackendNoDevices, -1, info.name,
+                 "backend \"" + info.name + "\" exposes no devices");
+  } else {
+    report.info(diag::kBackendNoDevices, -1, info.name,
+                "backend \"" + info.name + "\" exposes " +
+                    std::to_string(devices) + " device(s)");
+  }
+  int unsupported = 0;
+  for (int i = 0; i < pipeline.size(); ++i) {
+    const Node& n = pipeline.node(i);
+    if (!backend.supports_op(n)) {
+      ++unsupported;
+      report.error(diag::kBackendUnsupportedOp, i, n.name,
+                   "backend \"" + info.name +
+                       "\" cannot execute this node (supports_op refused " +
+                       n.name + ")");
+    }
+  }
+  if (unsupported == 0) {
+    report.info(diag::kBackendUnsupportedOp, -1, info.name,
+                "backend \"" + info.name + "\" supports all " +
+                    std::to_string(pipeline.size()) + " nodes");
+  }
+}
+
+Report verify_backend(const Pipeline& pipeline, const Backend& backend) {
+  Report report;
+  check_backend_support(pipeline, backend, report);
+  return report;
+}
+
+}  // namespace qnn

@@ -1,0 +1,32 @@
+// Per-backend support checks — the QNN-D5xx analysis, run D4xx-style
+// before a backend compiles a pipeline:
+//
+//   QNN-D501  a node fails the backend's supports_op() gate
+//   QNN-D502  the backend exposes no devices
+//
+// Lives in verify/ beside the other analyses but is compiled into the
+// qnn_backend library: qnn_verify sits below the backend seam in the
+// dependency graph (the engine links it), so linking it against Backend
+// would be circular. Every Backend::compile() implementation calls
+// enforce(verify_backend(...)) first, so an unsupported pipeline fails
+// with a structured report instead of a substrate-specific crash.
+#pragma once
+
+#include "nn/pipeline.h"
+#include "verify/report.h"
+
+namespace qnn {
+
+class Backend;
+
+/// Append D5xx findings: one kBackendUnsupportedOp error per node the
+/// backend cannot execute, kBackendNoDevices when it has no device, and
+/// info-level discharge records otherwise.
+void check_backend_support(const Pipeline& pipeline, const Backend& backend,
+                           Report& report);
+
+/// Fresh report holding only the D5xx analysis.
+[[nodiscard]] Report verify_backend(const Pipeline& pipeline,
+                                    const Backend& backend);
+
+}  // namespace qnn

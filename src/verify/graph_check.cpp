@@ -658,8 +658,11 @@ void check_partition(const Pipeline& p, const PartitionResult& placement,
     const double capacity_mbps = config.link_capacity_mbps(k);
     const int after = placement.dfes[k].last_node;
     double mbps = 0.0;
-    for (const CrossingStream& s : crossing_streams(p, after)) {
-      mbps += s.mbps(fps);
+    // Same framed pricing as partition/assemble: planned bursts carried in
+    // PartitionConfig::link_bursts round each frame to whole link words.
+    for (const CrossingStream& s :
+         crossing_streams(p, after, &config.link_bursts)) {
+      mbps += s.wire_mbps(fps, config.link_bits_per_cycle);
     }
     const std::string where =
         "link after " + p.node(after).name;

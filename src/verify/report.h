@@ -9,6 +9,7 @@
 //   QNN-D2xx  parameter banks   (weight caches, thresholds, quantizers)
 //   QNN-D3xx  deadlock / FIFO capacity
 //   QNN-D4xx  multi-DFE partition feasibility (MaxRing links, resources)
+//   QNN-D5xx  backend capability (supports_op / device availability)
 //
 // Severity semantics:
 //   kError    the graph would hang, crash, or stream poisoned values at
@@ -73,6 +74,10 @@ inline constexpr const char* kLinkOversubscribed = "QNN-D401";
 inline constexpr const char* kDfeOverfill = "QNN-D402";
 inline constexpr const char* kTooManyDfes = "QNN-D403";
 inline constexpr const char* kBadSegments = "QNN-D404";
+// --- backend capability (verify/backend_check.h; compiled into
+// --- qnn_backend so qnn_verify stays below the backend seam) ------------
+inline constexpr const char* kBackendUnsupportedOp = "QNN-D501";
+inline constexpr const char* kBackendNoDevices = "QNN-D502";
 }  // namespace diag
 
 /// One analyzer finding.

@@ -37,6 +37,40 @@ TEST(CrossingStreams, PaperLinkArithmetic) {
   EXPECT_NEAR(s.mbps(1.0), 210.0, 1e-6);
 }
 
+TEST(CrossingStreams, WireRateDegeneratesToPayloadWithoutPlan) {
+  CrossingStream s{"x", 100, 2};  // burst defaults to 0: no plan carried
+  EXPECT_DOUBLE_EQ(s.wire_mbps(1e6, 38), s.mbps(1e6));
+}
+
+TEST(CrossingStreams, FramedWireRatePaysRoundingOncePerFrame) {
+  CrossingStream s{"x", 100, 2, /*burst=*/19};
+  // A 19-value frame is 38 bits = exactly one link word; 5 full frames
+  // cover 95 values and the 5-value remainder frame rounds 10 bits up to
+  // one more word: 6 * 38 = 228 wire bits for a 200-bit payload.
+  EXPECT_DOUBLE_EQ(s.mbps(1e6), 200.0);
+  EXPECT_DOUBLE_EQ(s.wire_mbps(1e6, 38), 228.0);
+  // Per-value framing (burst 1) wastes a whole word per value — exactly
+  // the serialization the FIFO plan's burst exists to amortize.
+  s.burst = 1;
+  EXPECT_DOUBLE_EQ(s.wire_mbps(1e6, 38), 3800.0);
+}
+
+TEST(CrossingStreams, AnnotatesPlannedBurstFromConfig) {
+  NetworkSpec spec;
+  spec.input = Shape{8, 8, 3};
+  spec.conv(4, 3, 1, 1).conv(4, 3, 1, 1).dense(10, false);
+  const Pipeline p = expand(spec);
+  const std::vector<SimConfig::EdgeBurst> bursts = {
+      {/*consumer=*/2, /*to_skip_port=*/false, /*values=*/64}};
+  const auto planned = crossing_streams(p, 1, &bursts);
+  ASSERT_EQ(planned.size(), 1u);
+  EXPECT_EQ(planned[0].burst, 64u);
+  // No entry for this edge: the stream stays unplanned (legacy pricing).
+  const auto unplanned = crossing_streams(p, 0, &bursts);
+  ASSERT_EQ(unplanned.size(), 1u);
+  EXPECT_EQ(unplanned[0].burst, 0u);
+}
+
 TEST(Partition, VggFitsSingleDfe) {
   for (int size : {32, 96, 144}) {
     const auto r = partition_optimal(expand(models::vgg_like(size, 10, 2)));

@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <future>
+#include <span>
 #include <thread>
 #include <vector>
 
+#include "backend/backend.h"
 #include "io/synthetic.h"
 #include "models/zoo.h"
 #include "nn/reference.h"
@@ -333,6 +337,254 @@ TEST(Serve, ServerValidatesConfigAndInput) {
   EXPECT_EQ(server.replica(0).spec().name, "tiny_12");
   EXPECT_THROW((void)server.replica(1), Error);
   EXPECT_THROW((void)server.submit(IntTensor(Shape{3, 3, 3})), Error);
+}
+
+// ---- mixed pools, deadline routing, shadow serving, restart ------------
+
+TEST(Serve, TightDeadlinesNeverLandOnSlowTier) {
+  const TinyNet net;
+  ServerConfig cfg;
+  cfg.pool = {{"engine", 2}, {"reference", 1}};
+  cfg.max_batch = 4;
+  cfg.batch_timeout_us = 200;
+  cfg.tight_deadline_us = 5'000'000;
+  DfeServer server = net.server(cfg);
+  ASSERT_EQ(server.replicas(), 3);
+  ASSERT_EQ(server.replica(2).backend().tier(), BackendTier::kSlow);
+  Rng rng(71);
+  std::vector<std::future<InferenceResult>> tight;
+  for (int i = 0; i < 24; ++i) {
+    tight.push_back(server.submit_async(testutil::random_image(12, 12, 3, rng),
+                                        /*deadline_us=*/1'000'000));
+  }
+  for (std::future<InferenceResult>& fut : tight) {
+    const InferenceResult res = fut.get();
+    ASSERT_EQ(res.status, ServerStatus::kOk) << to_string(res.status);
+    ASSERT_GE(res.replica, 0);
+    EXPECT_EQ(server.replica(res.replica).backend().tier(),
+              BackendTier::kFast)
+        << "tight request served by slow replica " << res.replica;
+  }
+  // Best-effort traffic may land anywhere, including the slow tier.
+  std::vector<std::future<InferenceResult>> loose;
+  for (int i = 0; i < 12; ++i) {
+    loose.push_back(server.submit_async(
+        testutil::random_image(12, 12, 3, rng), /*deadline_us=*/0));
+  }
+  for (std::future<InferenceResult>& fut : loose) {
+    EXPECT_EQ(fut.get().status, ServerStatus::kOk);
+  }
+  // Satellite: the health table names each replica's backend and tier.
+  const std::string report = server.metrics_report();
+  EXPECT_NE(report.find("[engine/fast]"), std::string::npos);
+  EXPECT_NE(report.find("[reference/slow]"), std::string::npos);
+}
+
+TEST(Serve, NaiveRoutingLetsAnyReplicaTakeTightWork) {
+  const TinyNet net;
+  ServerConfig cfg;
+  cfg.pool = {{"engine", 1}, {"reference", 1}};
+  cfg.route_by_deadline = false;
+  cfg.max_batch = 1;
+  cfg.batch_timeout_us = 0;
+  cfg.tight_deadline_us = 5'000'000;
+  DfeServer server = net.server(cfg);
+  Rng rng(72);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(server.submit_async(
+        testutil::random_image(12, 12, 3, rng), /*deadline_us=*/2'000'000));
+  }
+  int on_slow = 0;
+  for (std::future<InferenceResult>& fut : futures) {
+    const InferenceResult res = fut.get();
+    ASSERT_EQ(res.status, ServerStatus::kOk) << to_string(res.status);
+    on_slow += server.replica(res.replica).backend().tier() ==
+               BackendTier::kSlow;
+  }
+  // The ablation baseline: without class routing an idle slow replica
+  // pulls tight work the moment the queue backs up.
+  EXPECT_GE(on_slow, 1);
+}
+
+TEST(Serve, ShadowMirrorsAreComparedNeverReturned) {
+  const TinyNet net;
+  ServerConfig cfg;
+  cfg.pool = {{"engine", 1}, {"simulator", 1}};
+  cfg.shadow_fraction = 1.0;
+  cfg.max_batch = 4;
+  cfg.batch_timeout_us = 200;
+  DfeServer server = net.server(cfg);
+  ASSERT_EQ(server.replicas(), 2);
+  ASSERT_EQ(server.replica(1).backend().tier(), BackendTier::kShadow);
+  Rng rng(73);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(
+        server.submit_async(testutil::random_image(12, 12, 3, rng)));
+  }
+  for (std::future<InferenceResult>& fut : futures) {
+    const InferenceResult res = fut.get();
+    ASSERT_EQ(res.status, ServerStatus::kOk) << to_string(res.status);
+    EXPECT_NE(res.replica, 1) << "shadow replica returned to a client";
+  }
+  server.stop();  // drains the shadow queue before joining
+  const MetricsSnapshot s = server.metrics().snapshot();
+  EXPECT_EQ(s.shadow_runs + s.shadow_dropped, 10u);
+  EXPECT_GT(s.shadow_runs, 0u);
+  EXPECT_EQ(s.shadow_mismatches, 0u);  // engine and simulator are bit-exact
+  EXPECT_NE(server.metrics_report().find("shadow:"), std::string::npos);
+}
+
+TEST(Serve, StopDrainsMixedPoolWithClassGates) {
+  const TinyNet net;
+  ServerConfig cfg;
+  cfg.pool = {{"engine", 1}, {"reference", 1}};
+  cfg.max_batch = 2;
+  cfg.batch_timeout_us = 0;
+  cfg.tight_deadline_us = 10'000'000;
+  DfeServer server = net.server(cfg);
+  Rng rng(74);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 12; ++i) {
+    // Alternate tight and best-effort so the drain interleaves entries the
+    // slow replica may and may not take — the gate holds during shutdown,
+    // yet every future must still be fulfilled.
+    futures.push_back(server.submit_async(
+        testutil::random_image(12, 12, 3, rng),
+        i % 2 == 0 ? 5'000'000 : 0));
+  }
+  server.stop();
+  for (std::future<InferenceResult>& fut : futures) {
+    EXPECT_EQ(fut.get().status, ServerStatus::kOk);
+  }
+}
+
+TEST(Serve, MixedPoolConfigValidation) {
+  const TinyNet net;
+  ServerConfig unknown;
+  unknown.pool = {{"no-such-backend", 1}};
+  EXPECT_THROW((void)net.server(unknown), Error);
+  ServerConfig shadow_only;
+  shadow_only.pool = {{"simulator", 1}};
+  EXPECT_THROW((void)net.server(shadow_only), Error);
+  ServerConfig no_fast;
+  no_fast.pool = {{"reference", 1}};
+  EXPECT_THROW((void)net.server(no_fast), Error)
+      << "deadline routing without a fast tier strands tight requests";
+  no_fast.route_by_deadline = false;
+  DfeServer ok = net.server(no_fast);  // naive slow-only pool is legal
+  Rng rng(75);
+  EXPECT_EQ(ok.submit(testutil::random_image(12, 12, 3, rng)).status,
+            ServerStatus::kOk);
+  ServerConfig unmirrorable;
+  unmirrorable.shadow_fraction = 0.5;  // no shadow replica to mirror to
+  EXPECT_THROW((void)net.server(unmirrorable), Error);
+}
+
+// A fast-tier backend whose first kBrokenSessions compiled sessions fail
+// every run — including quarantine probes — while later sessions execute
+// the scalar reference. Healing therefore *requires* the watchdog restart
+// path: probes alone can never readmit a wedged session.
+constexpr int kBrokenSessions = 2;
+std::atomic<int> g_flaky_compiles{0};
+
+class FlakySession final : public BackendSession {
+ public:
+  FlakySession(const Backend& owner, Pipeline pipeline, NetworkParams params,
+               bool broken)
+      : owner_(owner),
+        pipeline_(std::move(pipeline)),
+        params_(std::move(params)),
+        ref_(pipeline_, params_),
+        broken_(broken) {}
+
+  [[nodiscard]] std::vector<IntTensor> infer_batch(
+      std::span<const IntTensor> images,
+      StreamEngine::RunStats* stats) override {
+    if (broken_) throw Error("flaky session: wedged board");
+    if (stats != nullptr) *stats = StreamEngine::RunStats{};
+    std::vector<IntTensor> out;
+    out.reserve(images.size());
+    for (const IntTensor& img : images) out.push_back(ref_.run(img));
+    return out;
+  }
+  void cancel() override {}
+  [[nodiscard]] const Pipeline& pipeline() const override {
+    return pipeline_;
+  }
+  [[nodiscard]] const NetworkParams& params() const override {
+    return params_;
+  }
+  [[nodiscard]] const Backend& backend() const override { return owner_; }
+
+ private:
+  const Backend& owner_;
+  Pipeline pipeline_;
+  NetworkParams params_;
+  ReferenceExecutor ref_;
+  bool broken_;
+};
+
+class FlakyBackend final : public Backend {
+ public:
+  [[nodiscard]] const BackendInfo& info() const override {
+    static const BackendInfo kInfo{"flaky", BackendTier::kFast,
+                                   "test-only: first sessions always fail",
+                                   1.0, 8};
+    return kInfo;
+  }
+  [[nodiscard]] bool supports_op(const Node&) const override { return true; }
+  [[nodiscard]] std::unique_ptr<BackendSession> compile(
+      const Pipeline& pipeline, NetworkParams params,
+      const EngineOptions&) const override {
+    const int id = g_flaky_compiles.fetch_add(1);
+    return std::make_unique<FlakySession>(*this, pipeline, std::move(params),
+                                          id < kBrokenSessions);
+  }
+};
+
+TEST(Serve, WatchdogRestartRecompilesWedgedReplica) {
+  static const Backend& flaky =
+      backend_registry().register_backend(std::make_unique<FlakyBackend>());
+  (void)flaky;
+  const TinyNet net;
+  ServerConfig cfg;
+  cfg.pool = {{"flaky", 1}};
+  cfg.max_batch = 2;
+  cfg.batch_timeout_us = 0;
+  cfg.max_retries = 4;
+  cfg.quarantine_after = 1;
+  cfg.probation_probes = 1;
+  cfg.probe_period_us = 500;
+  cfg.restart_after = 2;
+  DfeServer server = net.server(cfg);
+  const ReferenceExecutor ref = net.reference();
+  Rng rng(76);
+  std::vector<IntTensor> images;
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    images.push_back(testutil::random_image(12, 12, 3, rng));
+    futures.push_back(server.submit_async(images.back()));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(30)),
+              std::future_status::ready)
+        << "self-healing stalled on request " << i;
+    const InferenceResult res = futures[i].get();
+    ASSERT_EQ(res.status, ServerStatus::kOk) << to_string(res.status);
+    EXPECT_EQ(res.logits, ref.run(images[i]));
+  }
+  const MetricsSnapshot s = server.metrics().snapshot();
+  EXPECT_EQ(s.replica_restarts, 2u);  // both wedged sessions recompiled
+  EXPECT_GE(s.readmissions, 1u);
+  bool restart_logged = false;
+  for (const std::string& e : server.metrics().events()) {
+    restart_logged |= e.find(kReplicaRestarted) != std::string::npos;
+  }
+  EXPECT_TRUE(restart_logged);
+  EXPECT_NE(server.metrics_report().find("[flaky/fast]"), std::string::npos);
+  EXPECT_EQ(server.replica_health(0), ReplicaHealth::kHealthy);
 }
 
 TEST(Serve, LatencyHistogramPercentiles) {

@@ -79,6 +79,31 @@ TEST(SimMultiDfe, StarvedLinkThrottlesThroughput) {
   EXPECT_GE(r.steady_interval, 16u * 12 * 12);
 }
 
+TEST(SimMultiDfe, PlannedBurstAmortizesLinkWordRounding) {
+  // tiny cut after node 0: the crossing pixel is 8 ch x 14 bits = 112
+  // bits. Over a 12-bit link, per-pixel framing costs ceil(112/12) = 10
+  // clocks per pixel (1440/image — the bottleneck); a 16-pixel frame
+  // costs ceil(1792/12) = 150 clocks (9.375/pixel), so carrying the
+  // planned burst must strictly shorten the interval.
+  const Pipeline p = expand(models::tiny(12, 4, 2));
+  SimConfig narrow;
+  narrow.cut_after_nodes = {0};
+  narrow.link_bits_per_cycle = 12;
+  const std::uint64_t legacy = simulate(p, narrow, 2).steady_interval;
+  EXPECT_GE(legacy, 10u * 12 * 12);  // link-bound under per-pixel framing
+
+  SimConfig framed = narrow;
+  framed.link_bursts = {{/*consumer=*/1, /*to_skip_port=*/false,
+                         /*values=*/128}};  // 16 pixels of 8 channels
+  const std::uint64_t burst = simulate(p, framed, 2).steady_interval;
+  EXPECT_LT(burst, legacy);
+
+  // A one-pixel burst entry is the cycle-exact legacy framing.
+  SimConfig onepix = narrow;
+  onepix.link_bursts = {{1, false, 8}};
+  EXPECT_EQ(simulate(p, onepix, 2).steady_interval, legacy);
+}
+
 TEST(SimMultiDfe, WideLinkIsTransparentOnTiny) {
   const Pipeline p = expand(models::tiny(12, 4, 2));
   const std::uint64_t solo = simulate(p, {}, 2).steady_interval;

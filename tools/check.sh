@@ -10,9 +10,12 @@
 #   CHAOS=1 tools/check.sh          # additionally re-run the `chaos`
 #                                   # label (seeded fault-injection soak)
 #   PERF=1 tools/check.sh           # additionally run the executor
-#                                   # ablation and fail if the ready-queue
+#                                   # ablation (fail if the ready-queue
 #                                   # shallow-chain throughput regresses
-#                                   # >10% against BENCH_executor.json
+#                                   # >10% against BENCH_executor.json) and
+#                                   # the mixed-pool serving ablation (fail
+#                                   # unless deadline routing beats naive
+#                                   # routing >= 1.3x on tight goodput)
 #
 # The build directory is build-check[-$SANITIZE], separate from the
 # default build/ so a strict -Werror configure never pollutes it.
@@ -77,6 +80,11 @@ if fresh < floor:
                      "regressed >10% vs BENCH_executor.json")
 print("perf gate: within 10% of recorded baseline")
 EOF
+
+  echo "== perf (mixed-pool serving ablation: routing >= 1.3x naive) =="
+  # Exit code enforces the bar; the json lands next to the executor one.
+  QNN_CSV_DIR="$BUILD_DIR" \
+    "$BUILD_DIR/bench/bench_serving" --backends-only
 fi
 
 echo "== lint =="
