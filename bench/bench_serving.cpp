@@ -19,11 +19,13 @@
 //
 // Output: the usual table (CSV via QNN_CSV_DIR) plus a JSON block on
 // stdout for scripted consumption.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <thread>
 
@@ -31,6 +33,7 @@
 #include "bench_util.h"
 #include "fault/fault.h"
 #include "io/synthetic.h"
+#include "plan/autotune.h"
 #include "serve/load_generator.h"
 #include "serve/server.h"
 
@@ -201,6 +204,258 @@ int run_backends() {
     std::cout << "(json written to " << json_path << ")\n";
   }
   return ratio >= 1.3 ? 0 : 1;
+}
+
+// ---- autotuned-plan ablation --------------------------------------------
+//
+// The plan/ autotuner's payoff measured where it matters: the same
+// single-replica server is compiled twice — once against the default
+// CompiledPlan (exactly what the engine would decide on its own) and once
+// against the SLO-tuned winner — and scored three ways, every repeat
+// alternating between the two live arms so machine drift hits both:
+//
+//   * raw        -> the tuning metric itself: micro-batched infer
+//                   throughput on a bare session, repeats paired;
+//   * closed loop -> serving capacity (achieved qps at saturation);
+//   * open loop   -> p99 at a FIXED offered rate just under the default
+//                    plan's capacity, where a capacity edge amplifies
+//                    into a queueing-delay gap (wait ~ rho/(1-rho)).
+//
+// The recorded BENCH_autotune.json must show the tuned plan >= 1.15x the
+// default on a throughput metric OR <= 0.87x its p99 ("pass": true); the
+// exit code enforces the structural invariant that survives this 1-core
+// box's run-to-run mood swings — the tuned plan LOSES on no throughput
+// metric beyond the noise floor. PERF=1 tools/check.sh replays the
+// ablation and additionally pins the tuned arm's capacity to the
+// committed baseline, mirroring the executor-ablation gate.
+
+struct PlanArmResult {
+  double raw_ips = 0.0;
+  double capacity_qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t open_ok = 0;
+  std::uint64_t open_rejected = 0;
+};
+
+/// One timed pass of `chunks` through a bare session (no server in
+/// front); the best of the interleaved repeats lands in `arm.raw_ips`.
+void measure_raw(BackendSession& session,
+                 const std::vector<std::vector<IntTensor>>& chunks,
+                 std::size_t total_images, PlanArmResult& arm) {
+  const auto start = std::chrono::steady_clock::now();
+  for (const std::vector<IntTensor>& chunk : chunks) {
+    (void)session.infer_batch(chunk);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (elapsed > 0.0) {
+    arm.raw_ips =
+        std::max(arm.raw_ips, static_cast<double>(total_images) / elapsed);
+  }
+}
+
+/// Latency-oriented micro-batching: with small batches every run() pays
+/// the engine spin-up, which is exactly the cost the plan's executor
+/// choice moves — the regime where a tuned plan earns its keep.
+ServerConfig ablation_server_config() {
+  ServerConfig cfg;
+  cfg.replicas = 1;
+  cfg.max_batch = 4;
+  cfg.batch_timeout_us = 200;
+  cfg.queue_capacity = 4096;    // queueing shows as latency, not rejects
+  cfg.quarantine_after = 1000;  // keep healing out of the comparison
+  return cfg;
+}
+
+/// Closed-loop capacity, best of `repeats` (interference only ever slows
+/// a run down, so the max is the cleanest estimate on a shared box).
+void measure_capacity(LoadGenerator& gen, int repeats, PlanArmResult& arm) {
+  for (int r = 0; r < repeats; ++r) {
+    const LoadResult res = gen.closed_loop(/*clients=*/16,
+                                           /*requests_per_client=*/32);
+    arm.capacity_qps = std::max(arm.capacity_qps, res.achieved_qps);
+  }
+}
+
+/// Open-loop tail latency at `offered_qps`; keeps the lowest-p99 repeat
+/// (same best-of-repeats argument). The Poisson schedule is seeded, so
+/// both arms see the identical arrival process on each repeat.
+void measure_tail(LoadGenerator& gen, double offered_qps, int repeat,
+                  PlanArmResult& arm) {
+  const int n = std::max(256, static_cast<int>(offered_qps * 0.75));
+  const LoadResult res =
+      gen.open_loop(offered_qps, n, /*seed=*/static_cast<std::uint64_t>(
+                                        17 + repeat));
+  if (arm.p99_us == 0.0 || res.p99_us < arm.p99_us) {
+    arm.p50_us = res.p50_us;
+    arm.p99_us = res.p99_us;
+    arm.open_ok = res.ok;
+    arm.open_rejected = res.rejected_overload + res.rejected_deadline;
+  }
+}
+
+int run_autotune() {
+  bench::heading("Autotuned-plan ablation",
+                 "default CompiledPlan vs the SLO-tuned winner: paired raw "
+                 "micro-batch throughput, closed-loop capacity, and p99 at "
+                 "a fixed offered rate near the default plan's capacity");
+
+  const NetworkSpec spec = models::tiny(8, 4, 2);
+  const Pipeline pipeline = expand(spec);
+  const NetworkParams params = NetworkParams::random(pipeline, 80);
+  SessionConfig base;
+  base.fast_estimate = true;
+  const std::vector<IntTensor> images = synthetic_batch(8, 8, 8, 3, 81);
+
+  // Tune FOR the serving regime below: a latency SLO, so calibration runs
+  // micro-batches (spin-up paid per run) instead of one big batch.
+  AutotuneConfig tune;
+  tune.slo_us = 2000;
+  tune.calibration_micro_batch = 4;  // matches the server's max_batch
+  tune.time_budget_s = 20.0;
+  const AutotuneResult tuned = autotune(pipeline, params, tune);
+  std::cout << "autotune: " << tuned.evaluated << " candidates verified, "
+            << tuned.pruned << " pruned; winner "
+            << tuned.best.fingerprint() << " ("
+            << to_string(tuned.best.executor) << ", burst "
+            << tuned.best.burst
+            << (tuned.best.adaptive_burst ? ", adaptive" : ", flat")
+            << ", fifo " << tuned.best.fifo_capacity << ", pool "
+            << tuned.best.pool_threads << ") — "
+            << Table::num(tuned.best_ips, 1) << " vs "
+            << Table::num(tuned.default_ips, 1) << " fps raw\n\n";
+
+  // The default arm gets an EXPLICIT default plan (autotune candidate 0)
+  // so a warm QNN_PLAN_CACHE in the environment cannot silently replace it.
+  const auto default_plan =
+      std::make_shared<const CompiledPlan>(tuned.candidates.front().plan);
+  const auto tuned_plan = std::make_shared<const CompiledPlan>(tuned.best);
+
+  PlanArmResult def;
+  PlanArmResult tun;
+
+  // Raw paired probe: bare sessions, the tuning metric re-measured with
+  // repeats interleaved across the two arms.
+  {
+    const Backend& engine = backend_registry().at(tuned.best.backend);
+    EngineOptions def_opts;
+    default_plan->apply_engine(def_opts);
+    def_opts.plan = default_plan.get();
+    EngineOptions tun_opts;
+    tuned_plan->apply_engine(tun_opts);
+    tun_opts.plan = tuned_plan.get();
+    const auto def_session = engine.compile(pipeline, params, def_opts);
+    const auto tun_session = engine.compile(pipeline, params, tun_opts);
+    const std::vector<IntTensor> raw_images =
+        synthetic_batch(64, 8, 8, 3, 82);
+    std::vector<std::vector<IntTensor>> chunks;
+    for (std::size_t i = 0; i < raw_images.size(); i += 4) {
+      chunks.emplace_back(raw_images.begin() + static_cast<std::ptrdiff_t>(i),
+                          raw_images.begin() +
+                              static_cast<std::ptrdiff_t>(
+                                  std::min(raw_images.size(), i + 4)));
+    }
+    (void)def_session->infer(raw_images.front());  // warm-up
+    (void)tun_session->infer(raw_images.front());
+    for (int r = 0; r < 4; ++r) {
+      measure_raw(*def_session, chunks, raw_images.size(), def);
+      measure_raw(*tun_session, chunks, raw_images.size(), tun);
+    }
+  }
+
+  // Both servers live for the whole measurement and every repeat
+  // alternates between them, so drift on a shared box hits both equally.
+  SessionConfig def_sc = base;
+  def_sc.plan = default_plan;
+  SessionConfig tun_sc = base;
+  tun_sc.plan = tuned_plan;
+  const ServerConfig cfg = ablation_server_config();
+  DfeServer def_server(spec, params, cfg, def_sc);
+  DfeServer tun_server(spec, params, cfg, tun_sc);
+  LoadGenerator def_gen(def_server, images);
+  LoadGenerator tun_gen(tun_server, images);
+  (void)def_gen.closed_loop(/*clients=*/8, /*requests_per_client=*/8);
+  (void)tun_gen.closed_loop(/*clients=*/8, /*requests_per_client=*/8);
+
+  for (int r = 0; r < 3; ++r) {
+    measure_capacity(def_gen, /*repeats=*/1, def);
+    measure_capacity(tun_gen, /*repeats=*/1, tun);
+  }
+  // Shared offered rate for the tail comparison: just under the DEFAULT
+  // plan's capacity, the regime where the tuned plan's capacity edge
+  // compounds into queueing headroom.
+  const double offered = 0.92 * def.capacity_qps;
+  for (int r = 0; r < 3; ++r) {
+    measure_tail(def_gen, offered, r, def);
+    measure_tail(tun_gen, offered, r, tun);
+  }
+  def_server.stop();
+  tun_server.stop();
+
+  Table t({"plan", "raw fps", "capacity qps", "p50 us @ offered",
+           "p99 us @ offered", "open ok", "rejected"});
+  const auto row = [&](const char* label, const PlanArmResult& a) {
+    t.add_row({label, Table::num(a.raw_ips, 1), Table::num(a.capacity_qps, 1),
+               Table::num(a.p50_us, 0), Table::num(a.p99_us, 0),
+               Table::integer(a.open_ok), Table::integer(a.open_rejected)});
+  };
+  row("default", def);
+  row("autotuned", tun);
+  bench::emit(t, "bench_autotune");
+
+  const double raw_ratio = def.raw_ips > 0.0 ? tun.raw_ips / def.raw_ips : 0.0;
+  const double cap_ratio =
+      def.capacity_qps > 0.0 ? tun.capacity_qps / def.capacity_qps : 0.0;
+  const double p99_ratio = def.p99_us > 0.0 ? tun.p99_us / def.p99_us : 1.0;
+  // The recorded artifact's bar: a >= 1.15x throughput win on either
+  // throughput metric, or a <= 0.87x p99 win.
+  const bool pass =
+      raw_ratio >= 1.15 || cap_ratio >= 1.15 || p99_ratio <= 0.87;
+  // The exit-code bar: the tuned plan did not LOSE on a throughput metric
+  // (beyond the noise floor of this box). The p99 near saturation is
+  // reported but not gated — queueing amplifies noise as much as signal.
+  const bool no_loss = raw_ratio >= 0.90 && cap_ratio >= 0.90;
+  std::cout << "\ntuned/default: raw " << Table::num(raw_ratio, 3)
+            << "x, capacity " << Table::num(cap_ratio, 3) << "x, p99 @ "
+            << Table::num(offered, 0) << " qps offered "
+            << Table::num(p99_ratio, 3)
+            << "x (recorded bar: >= 1.15x throughput OR <= 0.87x p99; "
+               "exit bar: tuned loses on no throughput metric)\n";
+
+  std::ostringstream json;
+  json << "{\n  \"model\": \"" << spec.name << "\",\n"
+       << "  \"tuned_fingerprint\": \"" << tuned.best.fingerprint()
+       << "\",\n  \"autotune\": {\"evaluated\": " << tuned.evaluated
+       << ", \"pruned\": " << tuned.pruned
+       << ", \"default_ips\": " << tuned.default_ips
+       << ", \"best_ips\": " << tuned.best_ips << "},\n"
+       << "  \"offered_qps\": " << offered << ",\n";
+  const auto arm_json = [&](const char* label, const PlanArmResult& a) {
+    json << "  \"" << label << "\": {\"raw_ips\": " << a.raw_ips
+         << ", \"capacity_qps\": " << a.capacity_qps
+         << ", \"p50_us\": " << a.p50_us << ", \"p99_us\": " << a.p99_us
+         << ", \"open_ok\": " << a.open_ok
+         << ", \"open_rejected\": " << a.open_rejected << "}";
+  };
+  arm_json("default", def);
+  json << ",\n";
+  arm_json("tuned", tun);
+  json << ",\n  \"raw_ratio\": " << raw_ratio
+       << ",\n  \"throughput_ratio\": " << cap_ratio
+       << ",\n  \"p99_ratio\": " << p99_ratio
+       << ",\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+  std::cout << "\n" << json.str();
+  const char* csv_dir = std::getenv("QNN_CSV_DIR");
+  const std::string json_path =
+      (csv_dir != nullptr ? std::string(csv_dir) + "/" : std::string()) +
+      "BENCH_autotune.json";
+  std::ofstream jf(json_path);
+  if (jf && (jf << json.str())) {
+    std::cout << "(json written to " << json_path << ")\n";
+  }
+  return no_loss ? 0 : 1;
 }
 
 int run() {
@@ -381,18 +636,25 @@ int run() {
     std::cout << "(json written to " << json_path << ")\n";
   }
   const int backends_rc = run_backends();
-  return speedup >= 2.0 && ratio >= 0.70 && backends_rc == 0 ? 0 : 1;
+  const int autotune_rc = run_autotune();
+  return speedup >= 2.0 && ratio >= 0.70 && backends_rc == 0 &&
+                 autotune_rc == 0
+             ? 0
+             : 1;
 }
 
 }  // namespace
 }  // namespace qnn
 
 int main(int argc, char** argv) {
-  // --backends-only: just the mixed-pool ablation and its >= 1.3x bar —
-  // the piece tools/check.sh runs under PERF=1.
+  // --backends-only / --autotune-only: just one ablation and its bar —
+  // the pieces tools/check.sh runs under PERF=1.
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--backends-only") == 0) {
       return qnn::run_backends();
+    }
+    if (std::strcmp(argv[i], "--autotune-only") == 0) {
+      return qnn::run_autotune();
     }
   }
   return qnn::run();

@@ -13,16 +13,25 @@
 // replica never answers a client.
 //
 // Build & run:  ./serve_farm
+//               ./serve_farm --auto-pool   # derive the pool shape from
+//                                          # backend costs + the traffic
+//                                          # model (plan/pool_shape.h)
+#include <cstring>
 #include <iostream>
 
 #include "backend/backend.h"
 #include "io/synthetic.h"
 #include "models/zoo.h"
+#include "plan/pool_shape.h"
 #include "serve/load_generator.h"
 #include "serve/server.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qnn;
+  bool auto_pool = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--auto-pool") == 0) auto_pool = true;
+  }
 
   const NetworkSpec spec = models::tiny(12, 4, 2);
   const Pipeline pipeline = expand(spec);
@@ -31,9 +40,24 @@ int main() {
   session_config.fast_estimate = true;
 
   ServerConfig cfg;
-  cfg.pool = {{"engine", 2},      // two fast modeled DFE boards
-              {"reference", 1},   // one slow scalar tier (best-effort)
-              {"simulator", 1}};  // one shadow replica (mirror-only)
+  if (auto_pool) {
+    // Cost-aware sizing: derive {backend, count} from each backend's
+    // relative per-image cost and the traffic model below, instead of
+    // hand-picking the slice counts.
+    PoolShapeConfig shape;
+    shape.target_qps = 2000.0;   // the Poisson rate driven further down
+    shape.tight_fraction = 0.3;  // rough share of tight-deadline traffic
+    shape.replica_qps = 1500.0;  // one engine replica on this tiny model
+    std::cout << "auto pool (target " << shape.target_qps << " qps):\n";
+    for (const PoolSlice& s : shape_pool(shape, backend_registry())) {
+      std::cout << "  " << s.count << " x " << s.backend << "\n";
+      cfg.pool.push_back({s.backend, s.count});
+    }
+  } else {
+    cfg.pool = {{"engine", 2},      // two fast modeled DFE boards
+                {"reference", 1},   // one slow scalar tier (best-effort)
+                {"simulator", 1}};  // one shadow replica (mirror-only)
+  }
   cfg.max_batch = 8;            // micro-batch closes at 8 requests...
   cfg.batch_timeout_us = 1000;  // ...or 1 ms after it opens
   cfg.queue_capacity = 64;  // bounded admission: reject, don't queue forever

@@ -1,5 +1,7 @@
 #include "backend/backend.h"
 
+#include <algorithm>
+#include <cctype>
 #include <sstream>
 #include <utility>
 
@@ -63,16 +65,57 @@ Backend* BackendRegistry::find(std::string_view name) const {
   return nullptr;
 }
 
+namespace {
+
+std::string lowercased(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+/// Edit distance, banded: callers only care about "one typo away".
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
 Backend& BackendRegistry::at(std::string_view name) const {
   Backend* b = find(name);
   if (b != nullptr) return *b;
   std::string known;
+  std::string nearest;
+  std::size_t nearest_distance = 3;  // suggest only plausible typos
+  const std::string wanted = lowercased(name);
   for (Backend* reg : all()) {
     if (!known.empty()) known += ", ";
     known += "\"" + reg->name() + "\"";
+    const std::size_t d = edit_distance(wanted, lowercased(reg->name()));
+    if (d < nearest_distance) {
+      nearest_distance = d;
+      nearest = reg->name();
+    }
   }
-  throw Error("unknown backend \"" + std::string(name) +
-              "\" (registered: " + known + ")");
+  std::string message = "unknown backend \"" + std::string(name) +
+                        "\" (registered: " + known + ")";
+  if (!nearest.empty()) {
+    message += "; did you mean \"" + nearest + "\"?";
+  }
+  throw Error(message);
 }
 
 Backend* BackendRegistry::first_of_tier(BackendTier tier) const {

@@ -127,8 +127,11 @@ class Backend {
   /// Lower a pipeline into an executable session. Implementations enforce
   /// the D5xx support check first and copy `pipeline`/`params`, so the
   /// session outlives both arguments. EngineOptions carries substrate
-  /// tuning (burst plan, executor, faults); non-engine backends consume
-  /// what applies (e.g. the verify flag) and ignore the rest.
+  /// tuning (burst plan, executor, faults) and optionally a pre-built
+  /// CompiledPlan (EngineOptions::plan, non-owning — see
+  /// plan/compiled_plan.h) whose FIFO streams the engine backend wires
+  /// verbatim; non-engine backends consume what applies (e.g. the verify
+  /// flag) and ignore the rest.
   [[nodiscard]] virtual std::unique_ptr<BackendSession> compile(
       const Pipeline& pipeline, NetworkParams params,
       const EngineOptions& options = {}) const = 0;

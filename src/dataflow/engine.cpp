@@ -4,6 +4,7 @@
 #include <chrono>
 #include <string>
 
+#include "plan/compiled_plan.h"
 #include "verify/graph_check.h"
 
 namespace qnn {
@@ -148,12 +149,16 @@ StreamEngine::StreamEngine(const Pipeline& pipeline,
       break;
   }
 
-  // All FIFO sizing lives in plan_fifos (verify/graph_check.h) — the same
+  // All FIFO sizing lives in the plan layer (plan/fifo_plan.h) — the same
   // plan the analyzer proves deadlock-free is the one built here, stream
   // for stream, including the per-edge burst each kernel's input side
   // moves per ring transaction (adaptive row-sized by default, capped by
-  // `burst` clamped to the smallest user FIFO — QNN-D302).
-  const FifoPlan plan = plan_fifos(pipeline, options_);
+  // `burst` clamped to the smallest user FIFO — QNN-D302). A pre-built
+  // CompiledPlan supplies its streams verbatim; otherwise the plan is
+  // derived from the options on the spot.
+  const FifoPlan plan = options_.plan != nullptr
+                            ? options_.plan->fifos
+                            : plan_fifos(pipeline, options_);
 
   // Input port streams of every node, filled as edges are created, with
   // the planned burst granularity of each edge.

@@ -36,6 +36,8 @@
 
 namespace qnn {
 
+struct CompiledPlan;  // plan/compiled_plan.h
+
 /// Execution model for the kernels of one engine (see executor.h).
 enum class ExecutorKind {
   kThreadPerKernel,  // one OS thread per kernel, blocking streams
@@ -83,6 +85,14 @@ struct EngineOptions {
   /// Replica identity matched against FaultEvent::replica; DfeServer sets
   /// this to the replica index so one plan can target one replica of many.
   int fault_replica = 0;
+  /// Pre-built compile-time plan (plan/compiled_plan.h). When set, the
+  /// engine wires the plan's FIFO streams verbatim instead of re-deriving
+  /// them, and the analyzer proves those SAME streams (after a QNN-D305
+  /// fingerprint check against the pipeline). Non-owning: the pointee must
+  /// outlive engine construction — SessionConfig::plan holds it by
+  /// shared_ptr and DfeSession::compile points this at it. The engine does
+  /// not keep the pointer after its constructor returns.
+  const CompiledPlan* plan = nullptr;
 };
 
 class StreamEngine {

@@ -59,7 +59,9 @@ class WidthFirstScanner {
   /// Consecutive positions from the cursor that take real stream values
   /// (one value per position in this channel-major order); 0 when the next
   /// position is padding or the scan is done. Mirrors
-  /// WindowScanner::real_run() so both scan orders support burst ingest.
+  /// WindowScanner::real_run() so both scan orders support burst ingest at
+  /// the edge's planned granularity (plan/fifo_plan.h — the per-edge burst
+  /// the CompiledPlan freezes).
   [[nodiscard]] std::int64_t real_run() const {
     if (done() || next_is_padding()) return 0;
     return pad_ + in_.w - x_;

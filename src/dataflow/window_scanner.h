@@ -61,7 +61,11 @@ class WindowScanner {
   /// REAL stream values (no padding until at least the end of the current
   /// row's interior). Lets a burst-mode kernel ingest a row segment at a
   /// time without a per-value padding test; 0 when the next position is a
-  /// padding injection or the scan is done.
+  /// padding injection or the scan is done. The segment size a kernel asks
+  /// for is the edge's PLANNED burst (plan/fifo_plan.h, row-sized under
+  /// adaptive mode — carried through the engine from the CompiledPlan when
+  /// one is supplied), so ingest granularity is decided at plan time, not
+  /// here.
   [[nodiscard]] std::int64_t real_run() const {
     if (done() || next_is_padding()) return 0;
     return static_cast<std::int64_t>(pad_ + in_.w - x_) * in_.c - c_;

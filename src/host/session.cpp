@@ -5,6 +5,7 @@
 #include "io/table.h"
 #include "nn/serialize.h"
 #include "nn/summary.h"
+#include "plan/cache.h"
 #include "verify/graph_check.h"
 
 namespace qnn {
@@ -27,12 +28,37 @@ DfeSession::~DfeSession() = default;
 DfeSession DfeSession::compile(const NetworkSpec& spec, NetworkParams params,
                                SessionConfig config) {
   auto state = std::make_unique<State>();
-  state->config = config;
   state->spec = spec;
   state->pipeline = expand(spec);
   state->params = std::move(params);
   const std::string context =
       "DfeSession::compile(" + state->pipeline.name + ")";
+  // Plan resolution: an explicit SessionConfig::plan wins; otherwise the
+  // plan cache is consulted (keyed by model hash + machine + SLO), and a
+  // miss means the engine derives everything from the options as before.
+  if (config.plan == nullptr) {
+    const PlanCache cache(config.plan_cache_dir.empty()
+                              ? PlanCache::default_dir()
+                              : config.plan_cache_dir);
+    if (cache.enabled()) {
+      if (auto cached = cache.load(plan_key(state->pipeline, config.slo_us))) {
+        config.plan = std::make_shared<const CompiledPlan>(*std::move(cached));
+      }
+    }
+  }
+  if (config.plan != nullptr) {
+    // The plan's frozen knobs override the ad-hoc engine options, and the
+    // engine is pointed at the plan itself (non-owning; the shared_ptr in
+    // the stored config keeps the pointee alive across recompiles).
+    // pin_offset is deployment-site identity, not a plan decision:
+    // DfeServer staggers it per replica so pools tile the machine, and
+    // that stagger must survive the plan application.
+    const unsigned pin_offset = config.engine.pin_offset;
+    config.plan->apply_engine(config.engine);
+    config.engine.pin_offset = pin_offset;
+    config.engine.plan = config.plan.get();
+  }
+  state->config = config;
   if (config.engine.verify) {
     // Static verification with structured QNN-Dxxx codes before anything
     // else touches the graph: structure, shapes/bit widths, parameter
@@ -46,24 +72,21 @@ DfeSession DfeSession::compile(const NetworkSpec& spec, NetworkParams params,
   QNN_CHECK(static_cast<int>(state->params.bnacts.size()) ==
                 state->pipeline.num_bnact_params,
             "parameters do not match the network (bnact banks)");
-  // Carry the engine's planned per-edge bursts into both link models so
-  // the sim's MaxRing serializer and the partitioner's wire pricing see
-  // the same transaction granularity the engine will actually use.
-  // Explicit user-provided bursts win.
+  // Carry the compile-time plan's per-edge bursts (and cut, when it has
+  // one) into both link models so the sim's MaxRing serializer and the
+  // partitioner's wire pricing see the same transaction granularity the
+  // engine will actually use. Explicit user-provided bursts win — the
+  // apply helpers only fill empty fields.
   if (config.sim.link_bursts.empty() ||
       config.partition.link_bursts.empty()) {
-    const FifoPlan plan = plan_fifos(state->pipeline, config.engine);
-    std::vector<SimConfig::EdgeBurst> bursts;
-    for (const PlannedStream& ps : plan.streams) {
-      if (ps.consumer < 0 || ps.burst == 0) continue;
-      bursts.push_back(
-          SimConfig::EdgeBurst{ps.consumer, ps.to_skip_port, ps.burst});
-    }
-    if (config.sim.link_bursts.empty()) {
-      config.sim.link_bursts = bursts;
-    }
-    if (config.partition.link_bursts.empty()) {
-      config.partition.link_bursts = std::move(bursts);
+    if (config.plan != nullptr) {
+      config.plan->apply_sim(config.sim);
+      config.plan->apply_partition(config.partition);
+    } else {
+      const CompiledPlan derived = compile_plan(
+          state->pipeline, config.engine, config.slo_us, config.backend);
+      derived.apply_sim(config.sim);
+      derived.apply_partition(config.partition);
     }
     state->config = config;
   }

@@ -34,6 +34,7 @@
 #include "backend/backend.h"
 #include "dataflow/engine.h"
 #include "perfmodel/fpga_estimate.h"
+#include "plan/compiled_plan.h"
 
 namespace qnn {
 
@@ -47,6 +48,20 @@ struct SessionConfig {
   /// Skip the cycle simulation at compile time (use the analytic clock
   /// model); useful when constructing many sessions in sweeps.
   bool fast_estimate = false;
+
+  // ---- compile-time plan (plan/compiled_plan.h) --------------------------
+  /// Pre-built plan this session compiles against. When set, its engine
+  /// knobs override `engine`'s, its FIFO streams are wired verbatim, and
+  /// its per-edge bursts feed the sim / partition link models. The session
+  /// config owns the plan's lifetime (engine.plan is pointed at it
+  /// internally, so a stored copy of this config recompiles correctly —
+  /// restart_replica depends on that).
+  std::shared_ptr<const CompiledPlan> plan;
+  /// Plan-cache directory consulted when `plan` is unset; "" = the
+  /// QNN_PLAN_CACHE environment variable (unset env = cache disabled).
+  std::string plan_cache_dir;
+  /// SLO component of the cache fingerprint (PlanKey::slo_us).
+  std::int64_t slo_us = 0;
 };
 
 class DfeSession {

@@ -40,7 +40,7 @@ struct PartitionConfig {
   /// matches SimConfig::link_bits_per_cycle (4 Gbps / 105 MHz ~ 38).
   int link_bits_per_cycle = 38;
   /// Planned per-edge bursts carried across cuts (the session layer fills
-  /// this from the verify/ FIFO plan, PlannedStream::burst). A crossing
+  /// this from the plan/ FIFO plan, PlannedStream::burst). A crossing
   /// stream with a planned burst is priced as framed transfers — each
   /// frame rounded up to whole link words — matching the sim/ MaxRing
   /// serializer; without one the raw payload rate is used (legacy).
@@ -67,7 +67,7 @@ struct CrossingStream {
   std::int64_t values_per_image = 0;
   int bits = 0;
   /// Planned burst (values per MaxRing frame) carried across the cut from
-  /// the verify/ FIFO plan; 0 = no plan (priced as raw payload).
+  /// the plan/ FIFO plan; 0 = no plan (priced as raw payload).
   std::size_t burst = 0;
 
   /// Raw payload rate, ignoring link framing.

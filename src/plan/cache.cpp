@@ -1,0 +1,61 @@
+#include "plan/cache.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "plan/json.h"
+
+namespace qnn {
+
+namespace fs = std::filesystem;
+
+std::string PlanCache::default_dir() {
+  const char* env = std::getenv("QNN_PLAN_CACHE");
+  return env != nullptr ? env : "";
+}
+
+std::string PlanCache::path_for(const PlanKey& key) const {
+  return (fs::path(dir_) / (key.str() + ".plan.json")).string();
+}
+
+std::optional<CompiledPlan> PlanCache::load(const PlanKey& key) const {
+  if (!enabled()) return std::nullopt;
+  std::ifstream in(path_for(key));
+  if (!in) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    CompiledPlan plan = plan_from_json(text.str());
+    // A file renamed onto the wrong fingerprint must not smuggle a
+    // mismatched plan into the session.
+    if (!(plan.key == key)) return std::nullopt;
+    return plan;
+  } catch (const std::exception&) {
+    return std::nullopt;  // corrupt or old-format entry: miss, never error
+  }
+}
+
+bool PlanCache::store(const CompiledPlan& plan) const {
+  if (!enabled()) return false;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) return false;
+  const std::string path = path_for(plan.key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << to_json(plan);
+    if (!out) return false;
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace qnn

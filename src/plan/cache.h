@@ -1,0 +1,51 @@
+// PlanCache: a directory of serialized CompiledPlans keyed by fingerprint.
+//
+// One file per plan, named "<PlanKey::str()>.plan.json" (the key string is
+// filesystem-safe by construction). Lookups are forgiving: a missing file,
+// unreadable file, parse error, format-version mismatch, or a file whose
+// embedded key disagrees with the requested one all report a MISS
+// (std::nullopt) — a stale or corrupt cache must never break a cold start.
+// Stores are atomic (write to a temp file, then rename) so a crashed writer
+// cannot leave a half-written plan behind.
+//
+// The default directory comes from the QNN_PLAN_CACHE environment variable;
+// when unset the cache is disabled and every lookup misses. DfeServer logs
+// a serve::kPlanCacheHit event when a cold start loads a cached plan.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "plan/compiled_plan.h"
+
+namespace qnn {
+
+class PlanCache {
+ public:
+  /// A cache over `dir`; empty `dir` = disabled (all lookups miss,
+  /// stores are no-ops returning false).
+  explicit PlanCache(std::string dir) : dir_(std::move(dir)) {}
+  /// A cache over default_dir() (the QNN_PLAN_CACHE environment variable).
+  PlanCache() : PlanCache(default_dir()) {}
+
+  /// $QNN_PLAN_CACHE, or "" when unset.
+  [[nodiscard]] static std::string default_dir();
+
+  [[nodiscard]] bool enabled() const { return !dir_.empty(); }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Where a plan with this fingerprint lives (whether or not it exists).
+  [[nodiscard]] std::string path_for(const PlanKey& key) const;
+
+  /// Load the plan for `key`; std::nullopt on any miss (see file comment).
+  [[nodiscard]] std::optional<CompiledPlan> load(const PlanKey& key) const;
+
+  /// Persist `plan` under its own fingerprint, creating the directory if
+  /// needed. Returns false when disabled or the write failed.
+  bool store(const CompiledPlan& plan) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace qnn

@@ -1,0 +1,134 @@
+#include "plan/fifo_plan.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace qnn {
+
+std::size_t FifoPlan::total_capacity() const {
+  std::size_t total = 0;
+  for (const PlannedStream& s : streams) total += s.capacity;
+  return total;
+}
+
+const PlannedStream* FifoPlan::find_edge(int consumer,
+                                         bool to_skip_port) const {
+  for (const PlannedStream& s : streams) {
+    if (s.consumer == consumer && s.to_skip_port == to_skip_port &&
+        (s.role == PlannedStream::Role::kDirect ||
+         s.role == PlannedStream::Role::kBranch)) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t line_buffer_values(const Node& n) {
+  QNN_DCHECK(n.is_window_op(), "line buffer of a non-window kernel");
+  const std::int64_t wp = n.in.w + 2 * n.pad;
+  return static_cast<std::size_t>(static_cast<std::int64_t>(n.in.c) *
+                                  (wp * (n.k - 1) + n.k));
+}
+
+FifoPlan plan_fifos(const Pipeline& pipeline, const EngineOptions& options) {
+  FifoPlan plan;
+  plan.burst_clamped =
+      options.fifo_capacity != 0 && options.fifo_capacity < options.burst;
+  plan.burst = std::max<std::size_t>(
+      1, plan.burst_clamped ? options.fifo_capacity : options.burst);
+
+  // Default depth for edges whose consumer needs no line buffer: enough
+  // for double-buffered bursts so producer and consumer overlap.
+  const std::size_t plain_capacity =
+      options.fifo_capacity != 0
+          ? options.fifo_capacity
+          : std::max<std::size_t>(2 * options.burst, 64);
+
+  // Mirrors StreamEngine wiring: one pass per producer (-1 = pipeline
+  // input), consumers in node order with the main port attached first.
+  auto plan_producer = [&](int p, const Shape& shape, int bits) {
+    struct ConsumerPort {
+      int node;
+      bool skip;
+    };
+    std::vector<ConsumerPort> consumers;
+    for (int j = 0; j < pipeline.size(); ++j) {
+      const Node& n = pipeline.node(j);
+      if (n.main_from == p) consumers.push_back({j, false});
+      if (n.skip_from == p && p >= 0) consumers.push_back({j, true});
+    }
+    const std::string pname = p < 0 ? "input" : pipeline.node(p).name;
+
+    auto capacity_for = [&](const ConsumerPort& port) -> std::size_t {
+      const Node& n = pipeline.node(port.node);
+      if (n.kind == NodeKind::Add && port.skip && n.main_from != p) {
+        // The skip-path FIFO is sized to hold a full feature map plus
+        // slack, whatever fifo_capacity says: functionally it subsumes
+        // the delay-compensation buffer of §III-B5 (which only needs to
+        // cover the regular path's *lag*, a prefix of the map).
+        return static_cast<std::size_t>(shape.elems()) + options.skip_slack;
+      }
+      if (options.fifo_capacity != 0) return options.fifo_capacity;
+      // Auto mode: a window kernel's input FIFO is its §III-B1b line
+      // buffer; anything deeper buys nothing the scanner can use.
+      if (n.is_window_op()) {
+        return std::max(line_buffer_values(n), plain_capacity);
+      }
+      return plain_capacity;
+    };
+
+    if (consumers.empty()) {
+      plan.streams.push_back(PlannedStream{pname + "->output",
+                                           PlannedStream::Role::kOutput, p,
+                                           -1, false, plain_capacity, bits});
+      return;
+    }
+    if (consumers.size() == 1) {
+      const ConsumerPort& c = consumers.front();
+      plan.streams.push_back(PlannedStream{
+          pname + "->" + pipeline.node(c.node).name,
+          PlannedStream::Role::kDirect, p, c.node, c.skip, capacity_for(c),
+          bits});
+      return;
+    }
+    // Fan-out: producer -> fork trunk -> one branch per consumer port.
+    plan.streams.push_back(PlannedStream{pname + "->fork",
+                                         PlannedStream::Role::kTrunk, p, -1,
+                                         false, plain_capacity, bits});
+    for (const ConsumerPort& c : consumers) {
+      plan.streams.push_back(PlannedStream{
+          pname + "=>" + pipeline.node(c.node).name,
+          PlannedStream::Role::kBranch, p, c.node, c.skip, capacity_for(c),
+          bits});
+    }
+  };
+
+  plan_producer(-1, pipeline.input, pipeline.input_bits);
+  for (int i = 0; i < pipeline.size(); ++i) {
+    const Node& n = pipeline.node(i);
+    plan_producer(i, n.out, n.out_bits);
+  }
+
+  // Per-edge burst sizing. Adaptive mode matches each edge's transaction
+  // granularity to one row (W·C) of the map it carries — the §III-B1b
+  // unit the window scanners ingest — so a thin late-stage edge is not
+  // forced into one 256-value transfer per several images while a wide
+  // early edge chops its rows into fragments. The plan-wide `burst` caps
+  // every edge, and no edge may exceed its own ring.
+  for (PlannedStream& ps : plan.streams) {
+    if (!options.adaptive_burst) {
+      ps.burst = plan.burst;
+      continue;
+    }
+    const Shape& carried =
+        ps.producer < 0 ? pipeline.input : pipeline.node(ps.producer).out;
+    const auto row = static_cast<std::size_t>(carried.w) *
+                     static_cast<std::size_t>(carried.c);
+    ps.burst = std::max<std::size_t>(
+        1, std::min({row, plan.burst, ps.capacity}));
+  }
+  return plan;
+}
+
+}  // namespace qnn

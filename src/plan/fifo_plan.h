@@ -1,0 +1,84 @@
+// FIFO plan: the single source of every stream the engine will wire.
+//
+// plan_fifos() decides, for a Pipeline + EngineOptions, every FIFO the
+// StreamEngine creates — name, role, capacity, element width and per-edge
+// burst — in the exact order the engine creates them. The paper's sizing
+// rules live here and nowhere else:
+//
+//  * an edge feeding a window kernel gets the §III-B1b depth-first line
+//    buffer I*(W_p*(K-1) + K);
+//  * a skip-path edge into an adder holds one full feature map plus slack,
+//    which subsumes the §III-B5 delay-compensation buffer for any lag of
+//    the regular path;
+//  * each edge's burst is one row (W*C) of the map it carries (adaptive
+//    mode), capped by the plan-wide burst and its own ring.
+//
+// Consumers: the StreamEngine wires streams from the plan verbatim; the
+// static analyzer (verify/graph_check.h) proves the same plan deadlock-
+// free; the session layer carries the per-edge bursts into the cycle
+// simulator's MaxRing serializer and the partitioner's wire pricing; and
+// CompiledPlan (plan/compiled_plan.h) freezes the whole thing into a
+// serializable artifact.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dataflow/engine.h"
+#include "nn/pipeline.h"
+
+namespace qnn {
+
+/// One FIFO the engine will create for a given Pipeline + EngineOptions.
+struct PlannedStream {
+  enum class Role {
+    kDirect,  // producer -> single consumer port
+    kTrunk,   // producer -> fork (fan-out > 1)
+    kBranch,  // fork -> one consumer port
+    kOutput,  // terminal stream of a node without consumers
+  };
+
+  std::string name;      // identical to the engine's Stream name
+  Role role = Role::kDirect;
+  int producer = -1;     // node index; -1 = pipeline input
+  int consumer = -1;     // node index; -1 for kTrunk / kOutput
+  bool to_skip_port = false;  // consumer-side port (Add nodes only)
+  std::size_t capacity = 0;   // values
+  int bits = 0;               // declared element width
+  /// Values the consumer moves per ring transaction on this edge. With
+  /// EngineOptions::adaptive_burst it is one row (W·C) of the map the
+  /// edge carries, clamped to the plan-wide cap and to the ring; without,
+  /// it is the plan-wide burst on every edge. Consumed by the engine's
+  /// kernel construction AND the D302/D303 capacity checks, so burst
+  /// sizing has exactly one source.
+  std::size_t burst = 0;
+};
+
+/// The complete FIFO plan of one engine instance: every stream in the
+/// order the engine creates them, plus the effective burst cap.
+struct FifoPlan {
+  std::vector<PlannedStream> streams;
+  /// Cap on per-edge bursts: EngineOptions::burst clamped to the user
+  /// FIFO capacity so a transaction can never exceed the ring. Each
+  /// edge's actual size is streams[i].burst.
+  std::size_t burst = kDefaultBurst;
+  bool burst_clamped = false;
+
+  /// Sum of all planned capacities (host-memory footprint in values).
+  [[nodiscard]] std::size_t total_capacity() const;
+  /// The planned stream into `consumer`'s main or skip port, or nullptr.
+  [[nodiscard]] const PlannedStream* find_edge(int consumer,
+                                               bool to_skip_port) const;
+};
+
+/// The paper's depth-first line-buffer size (§III-B1b) for the input of a
+/// window kernel, on the padded map: I * (W_p * (K-1) + K) values.
+[[nodiscard]] std::size_t line_buffer_values(const Node& n);
+
+/// Compute the FIFO plan StreamEngine will wire for these options. This is
+/// the *only* place capacities are decided; every consumer takes the plan.
+[[nodiscard]] FifoPlan plan_fifos(const Pipeline& pipeline,
+                                  const EngineOptions& options = {});
+
+}  // namespace qnn

@@ -1,0 +1,71 @@
+#include "plan/pool_shape.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "backend/backend.h"
+#include "core/error.h"
+
+namespace qnn {
+namespace {
+
+/// Replicas needed to serve `qps` at `per_replica` qps each (>= 1 when
+/// there is any load at all).
+int replicas_for(double qps, double per_replica) {
+  if (qps <= 0) return 0;
+  return std::max(1, static_cast<int>(std::ceil(qps / per_replica)));
+}
+
+}  // namespace
+
+std::vector<PoolSlice> shape_pool(const PoolShapeConfig& config,
+                                  const BackendRegistry& registry) {
+  if (config.target_qps <= 0 || config.replica_qps <= 0) {
+    throw Error("shape_pool: target_qps and replica_qps must be positive");
+  }
+  const double headroom = std::max(1.0, config.headroom);
+  const double tight = std::clamp(config.tight_fraction, 0.0, 1.0);
+
+  const Backend* fast = registry.first_of_tier(BackendTier::kFast);
+  if (fast == nullptr) {
+    throw Error("shape_pool: registry has no kFast backend");
+  }
+  const Backend* slow = registry.first_of_tier(BackendTier::kSlow);
+  const Backend* shadow = registry.first_of_tier(BackendTier::kShadow);
+
+  const auto per_replica = [&](const Backend& b) {
+    return config.replica_qps / std::max(1e-9, b.info().relative_cost);
+  };
+
+  std::vector<PoolSlice> slices;
+  int budget = std::max(1, config.max_replicas);
+
+  // Tight traffic lives or dies on the fast tier, so the fast slice is
+  // sized for it first; loose traffic rides along on whatever fast
+  // capacity that leaves, with the remainder overflowing to the slow tier.
+  const double demand = config.target_qps * headroom;
+  const double tight_demand = demand * tight;
+  int fast_count = replicas_for(std::max(tight_demand, demand * 0.5),
+                                per_replica(*fast));
+  fast_count = std::min({fast_count, budget, fast->info().max_devices});
+  slices.push_back(PoolSlice{fast->name(), fast_count});
+  budget -= fast_count;
+
+  if (slow != nullptr && budget > 0) {
+    const double fast_capacity =
+        static_cast<double>(fast_count) * per_replica(*fast);
+    const double overflow = demand - fast_capacity;
+    int slow_count = replicas_for(overflow, per_replica(*slow));
+    slow_count = std::min({slow_count, budget, slow->info().max_devices});
+    if (slow_count > 0) {
+      slices.push_back(PoolSlice{slow->name(), slow_count});
+    }
+  }
+
+  if (config.want_shadow && shadow != nullptr) {
+    slices.push_back(PoolSlice{shadow->name(), 1});
+  }
+  return slices;
+}
+
+}  // namespace qnn

@@ -1,0 +1,56 @@
+// Cost-aware pool sizing: derive a serving pool spec from backend costs.
+//
+// DfeServer pools used to be hand-picked ("2 engine + 1 reference + 1
+// simulator"). This module derives a {backend, count} spec from what the
+// registry already knows — each backend's tier and relative per-image cost
+// (BackendInfo::relative_cost) — plus the operator's traffic model: target
+// qps, the fraction of it carrying tight deadlines (which only kFast
+// replicas may serve), and a headroom factor. serve_farm --auto-pool feeds
+// the result straight into ServerConfig.
+//
+// The slice type is plan/'s own, NOT ServerConfig::PoolEntry: plan/ sits
+// below serve/ in the layering and must not depend upward. Callers convert
+// (a one-liner — the fields match by name).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qnn {
+
+class BackendRegistry;
+
+/// One homogeneous slice of a mixed pool.
+struct PoolSlice {
+  std::string backend;
+  int count = 0;
+};
+
+struct PoolShapeConfig {
+  /// Offered load the pool must sustain.
+  double target_qps = 1000.0;
+  /// Fraction of traffic with tight deadlines; only kFast replicas count
+  /// toward serving it.
+  double tight_fraction = 0.5;
+  /// Measured (or calibrated) throughput of ONE relative_cost=1.0 replica,
+  /// in qps. A backend with relative_cost r contributes base/r qps.
+  double replica_qps = 500.0;
+  /// Capacity safety margin (>= 1).
+  double headroom = 1.25;
+  /// Add one replica of the first kShadow backend for mirrored traffic.
+  bool want_shadow = true;
+  /// Upper bound on total non-shadow replicas (and each backend is also
+  /// clamped to its own BackendInfo::max_devices).
+  int max_replicas = 8;
+};
+
+/// Derive the pool spec. kFast backends are sized to the tight slice plus
+/// their share of the rest; remaining loose traffic overflows onto kSlow
+/// backends priced by relative_cost. Returns slices in serving-priority
+/// order (fast, slow, shadow); every count >= 1 backend that appears.
+/// Throws qnn::Error when the registry has no kFast backend or the config
+/// is infeasible (non-positive qps).
+[[nodiscard]] std::vector<PoolSlice> shape_pool(const PoolShapeConfig& config,
+                                                const BackendRegistry& registry);
+
+}  // namespace qnn

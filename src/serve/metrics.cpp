@@ -67,6 +67,10 @@ void ServerMetrics::set_replica_backend(int replica, std::string backend,
   r.tier = std::move(tier);
 }
 
+void ServerMetrics::set_replica_plan(int replica, std::string plan) {
+  replicas_.at(static_cast<std::size_t>(replica))->plan = std::move(plan);
+}
+
 void ServerMetrics::set_replica_health(int replica, ReplicaHealth health) {
   replicas_.at(static_cast<std::size_t>(replica))
       ->health.store(static_cast<int>(health), std::memory_order_relaxed);
@@ -168,6 +172,7 @@ MetricsSnapshot ServerMetrics::snapshot() const {
     rs.restarts = r->restarts.load(std::memory_order_relaxed);
     rs.backend = r->backend;
     rs.tier = r->tier;
+    rs.plan = r->plan;
     s.replicas.push_back(rs);
   }
   return s;
@@ -216,6 +221,9 @@ std::string ServerMetrics::report() const {
     os << "  replica " << i;
     if (!r.backend.empty()) {
       os << " [" << r.backend << "/" << r.tier << "]";
+    }
+    if (!r.plan.empty()) {
+      os << " plan=" << r.plan;
     }
     os << ": " << to_string(r.health) << " (" << r.runs_ok << " runs ok, "
        << r.runs_failed << " failed, " << r.cancels << " cancels, "

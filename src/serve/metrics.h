@@ -35,6 +35,13 @@ enum class ReplicaHealth {
 
 /// Event-log tag of a watchdog-triggered backend recompile of a replica.
 inline constexpr const char* kReplicaRestarted = "replica-restarted";
+/// Event-log tag of a cold start that loaded a persisted CompiledPlan from
+/// the plan cache (plan/cache.h) instead of re-deriving the default.
+inline constexpr const char* kPlanCacheHit = "plan-cache-hit";
+/// Event-log tag of a primary replica quarantined because shadow
+/// comparison pinned repeated bit-exactness mismatches on it
+/// (ServerConfig::shadow_mismatch_after).
+inline constexpr const char* kShadowQuarantine = "shadow-quarantine";
 
 /// Point-in-time health row of one replica.
 struct ReplicaStatus {
@@ -46,6 +53,8 @@ struct ReplicaStatus {
   std::uint64_t restarts = 0;  // backend recompiles after failed probes
   std::string backend;         // registered backend that compiled it
   std::string tier;            // replica tier ("fast" / "shadow" / "slow")
+  std::string plan;            // fingerprint of the CompiledPlan it runs
+                               // ("" = default, engine-derived)
 };
 
 /// Fixed-bucket latency histogram over microseconds. Bucket 0 holds
@@ -223,6 +232,9 @@ class ServerMetrics {
   /// workers start (the strings are read without synchronization after).
   void set_replica_backend(int replica, std::string backend,
                            std::string tier);
+  /// Record the CompiledPlan fingerprint a replica runs. Call before the
+  /// workers start (same publication rule as set_replica_backend).
+  void set_replica_plan(int replica, std::string plan);
   void set_replica_health(int replica, ReplicaHealth health);
   [[nodiscard]] ReplicaHealth replica_health(int replica) const;
   void on_replica_run(int replica, bool ok);
@@ -273,6 +285,7 @@ class ServerMetrics {
     std::atomic<std::uint64_t> restarts{0};
     std::string backend;  // written before workers start, then read-only
     std::string tier;
+    std::string plan;  // CompiledPlan fingerprint ("" = default)
   };
 
   std::atomic<std::uint64_t> submitted_{0};

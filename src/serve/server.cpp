@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "plan/cache.h"
 #include "verify/graph_check.h"
 
 namespace qnn {
@@ -106,6 +107,9 @@ struct DfeServer::Impl {
     int consecutive_failures = 0;
     int clean_probes = 0;
     int failed_probes = 0;  // consecutive; restart_after triggers on it
+    /// Shadow-comparison mismatches pinned on this replica as primary;
+    /// reset on readmission (ServerConfig::shadow_mismatch_after).
+    int shadow_mismatches = 0;
     Clock::time_point next_probe{};
 
     // Worker publishes (release), watchdog observes (acquire).
@@ -427,18 +431,59 @@ struct DfeServer::Impl {
     }
     if (rep.health != ReplicaHealth::kQuarantined &&
         rep.consecutive_failures >= config.quarantine_after) {
-      rep.health = ReplicaHealth::kQuarantined;
-      rep.clean_probes = 0;
-      rep.next_probe =
-          Clock::now() + std::chrono::microseconds(config.probe_period_us);
-      ++quarantined_count;
-      metrics.on_quarantine();
-      metrics.set_replica_health(idx, ReplicaHealth::kQuarantined);
-      metrics.log_event(rep_label(idx) + " quarantined");
+      quarantine_locked(idx, rep, rep_label(idx) + " quarantined");
     }
     update_brownout();
     cv.notify_all();
     maint_cv.notify_all();
+  }
+
+  /// The quarantine transition itself (mu held, replica not already
+  /// quarantined): shared by the failure-streak path above and the
+  /// shadow-mismatch escalation below. The replica heals through the
+  /// normal probe/probation/readmit machinery either way.
+  void quarantine_locked(int idx, Replica& rep, const std::string& event) {
+    rep.health = ReplicaHealth::kQuarantined;
+    rep.clean_probes = 0;
+    rep.next_probe =
+        Clock::now() + std::chrono::microseconds(config.probe_period_us);
+    ++quarantined_count;
+    metrics.on_quarantine();
+    metrics.set_replica_health(idx, ReplicaHealth::kQuarantined);
+    metrics.log_event(event);
+  }
+
+  /// A shadow comparison pinned a bit-exactness mismatch on `primary`.
+  /// After shadow_mismatch_after of those, the primary is pulled from
+  /// rotation through the same quarantine/probe/readmit path a failure
+  /// streak uses — a replica that computes WRONG answers is worse than one
+  /// that crashes, but only the shadow tier can see it.
+  void escalate_shadow_mismatch(int primary) {
+    if (config.shadow_mismatch_after <= 0) return;
+    if (primary < 0 ||
+        primary >= static_cast<int>(replicas.size())) {
+      return;
+    }
+    bool escalated = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      Replica& rep = *replicas[static_cast<std::size_t>(primary)];
+      ++rep.shadow_mismatches;
+      if (rep.health != ReplicaHealth::kQuarantined &&
+          rep.shadow_mismatches >= config.shadow_mismatch_after) {
+        quarantine_locked(primary, rep,
+                          std::string(kShadowQuarantine) + ": " +
+                              rep_label(primary) + " after " +
+                              std::to_string(rep.shadow_mismatches) +
+                              " shadow mismatches");
+        update_brownout();
+        escalated = true;
+      }
+    }
+    if (escalated) {
+      cv.notify_all();
+      maint_cv.notify_all();
+    }
   }
 
   /// One synthetic inference on a quarantined replica (worker thread, mu
@@ -486,6 +531,7 @@ struct DfeServer::Impl {
         if (rep.clean_probes >= config.probation_probes) {
           rep.health = ReplicaHealth::kHealthy;
           rep.consecutive_failures = 0;
+          rep.shadow_mismatches = 0;  // readmission wipes the slate
           --quarantined_count;
           metrics.on_readmit();
           metrics.set_replica_health(idx, ReplicaHealth::kHealthy);
@@ -668,7 +714,9 @@ struct DfeServer::Impl {
   /// the result bit-exactly against the primary's logits — a cheap
   /// continuous conformance check of the fast tier against the simulator
   /// backend's reference path. Results are never returned to clients;
-  /// mismatches and failures are counted and logged only.
+  /// mismatches and failures are counted and logged, and repeated
+  /// mismatches pinned on one primary quarantine it
+  /// (ServerConfig::shadow_mismatch_after).
   void shadow_worker(int idx) {
     Replica& rep = *replicas[static_cast<std::size_t>(idx)];
     for (;;) {
@@ -699,6 +747,7 @@ struct DfeServer::Impl {
           metrics.log_event(rep_label(idx) +
                             " shadow MISMATCH vs replica " +
                             std::to_string(job.primary_replica));
+          escalate_shadow_mismatch(job.primary_replica);
         }
       } catch (const std::exception& e) {
         disarm_watchdog(rep);
@@ -834,6 +883,8 @@ DfeServer::DfeServer(const NetworkSpec& spec, const NetworkParams& params,
             "shadow_fraction must be in [0, 1]");
   QNN_CHECK(server_config.shadow_queue_capacity >= 1,
             "shadow_queue_capacity must be positive");
+  QNN_CHECK(server_config.shadow_mismatch_after >= 0,
+            "shadow_mismatch_after must be non-negative");
 
   // Resolve the pool spec: every slice names a registered backend. The
   // legacy homogeneous shape (`replicas` copies of the session backend)
@@ -852,11 +903,34 @@ DfeServer::DfeServer(const NetworkSpec& spec, const NetworkParams& params,
   server_config.replicas = total;
   impl_->config = server_config;
 
+  const Pipeline pipeline = expand(spec);
+  // Cold-start plan resolution: ONE cache lookup for the whole pool (every
+  // replica would otherwise re-read the same file). A hit is observable —
+  // the kPlanCacheHit event carries the fingerprint, and each replica's
+  // metrics row records the plan it runs.
+  if (session_config.plan == nullptr) {
+    const PlanCache cache(session_config.plan_cache_dir.empty()
+                              ? PlanCache::default_dir()
+                              : session_config.plan_cache_dir);
+    if (cache.enabled()) {
+      if (auto cached =
+              cache.load(plan_key(pipeline, session_config.slo_us))) {
+        session_config.plan =
+            std::make_shared<const CompiledPlan>(*std::move(cached));
+        impl_->metrics.log_event(std::string(kPlanCacheHit) + ": " +
+                                 session_config.plan->fingerprint());
+      }
+    }
+  }
+  if (session_config.plan != nullptr) {
+    session_config.plan->apply_engine(session_config.engine);
+    session_config.engine.plan = session_config.plan.get();
+  }
+
   if (session_config.engine.verify) {
     // Verify once up front so a malformed network produces one clean
     // static-analysis error instead of N identical compile failures from
     // the replica loop below (each compile re-checks its own placement).
-    const Pipeline pipeline = expand(spec);
     enforce(verify_graph(pipeline, &params, session_config.engine),
             "DfeServer(" + pipeline.name + ")");
   }
@@ -910,6 +984,10 @@ DfeServer::DfeServer(const NetworkSpec& spec, const NetworkParams& params,
     const Impl::Replica& rep = *impl_->replicas[static_cast<std::size_t>(i)];
     impl_->metrics.set_replica_backend(i, rep.backend_name,
                                        to_string(rep.tier));
+    if (rep.session_config.plan != nullptr) {
+      impl_->metrics.set_replica_plan(
+          i, rep.session_config.plan->fingerprint());
+    }
   }
   Impl* im = impl_.get();  // stable even if the DfeServer handle moves
   impl_->watchdog_thread = std::thread([im] { im->watchdog_loop(); });

@@ -156,6 +156,11 @@ struct ServerConfig {
   double shadow_fraction = 0.0;
   /// Bound on queued shadow jobs; overflow is dropped (and counted).
   std::size_t shadow_queue_capacity = 64;
+  /// Quarantine a primary replica after this many bit-exactness
+  /// mismatches are pinned on it by shadow comparison (it then heals
+  /// through the normal probe/readmit path, which also resets the count).
+  /// 0 = count mismatches but never escalate.
+  int shadow_mismatch_after = 0;
 };
 
 struct InferenceResult {

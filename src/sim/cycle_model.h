@@ -66,7 +66,7 @@ struct SimConfig {
   int link_bits_per_cycle = 38;
 
   /// Planned per-edge bursts carried across the cut (filled from the
-  /// verify/ FIFO plan — PlannedStream::burst — by the session layer).
+  /// plan/ FIFO plan — PlannedStream::burst — via CompiledPlan::apply_sim).
   /// The MaxRing serializer frames up to `values` stream values per
   /// transaction instead of shipping pixel by pixel, so the ceil() waste
   /// of narrow elements against the link word is paid once per frame. An

@@ -14,10 +14,10 @@
 //  (b) shape and bit-width propagation — each edge's (H, W, C, bits)
 //      recomputed from the pipeline input and checked against every
 //      kernel's declared ports, weight caches and threshold banks;
-//  (c) deadlock / capacity — the FIFO plan the engine would build
-//      (plan_fifos mirrors StreamEngine wiring exactly and is the single
-//      source of the paper's §III-B1b line-buffer and §III-B5 skip-buffer
-//      sizing) is checked edge by edge: every skip FIFO must cover the
+//  (c) deadlock / capacity — the FIFO plan the engine will wire (either
+//      the CompiledPlan supplied via EngineOptions::plan, after a
+//      QNN-D305 fingerprint check, or plan/fifo_plan.h re-derived on the
+//      spot) is checked edge by edge: every skip FIFO must cover the
 //      regular path's worst-case lag, and a burst larger than the
 //      smallest FIFO is clamped (QNN-D302) instead of live-locking;
 //  (d) partition feasibility — per-cut MaxRing bit-rates against the
@@ -37,60 +37,15 @@
 #include "nn/params.h"
 #include "nn/pipeline.h"
 #include "partition/partitioner.h"
+#include "plan/fifo_plan.h"
 #include "verify/report.h"
 
 namespace qnn {
 
-/// One FIFO the engine will create for a given Pipeline + EngineOptions.
-struct PlannedStream {
-  enum class Role {
-    kDirect,  // producer -> single consumer port
-    kTrunk,   // producer -> fork (fan-out > 1)
-    kBranch,  // fork -> one consumer port
-    kOutput,  // terminal stream of a node without consumers
-  };
-
-  std::string name;      // identical to the engine's Stream name
-  Role role = Role::kDirect;
-  int producer = -1;     // node index; -1 = pipeline input
-  int consumer = -1;     // node index; -1 for kTrunk / kOutput
-  bool to_skip_port = false;  // consumer-side port (Add nodes only)
-  std::size_t capacity = 0;   // values
-  int bits = 0;               // declared element width
-  /// Values the consumer moves per ring transaction on this edge. With
-  /// EngineOptions::adaptive_burst it is one row (W·C) of the map the
-  /// edge carries, clamped to the plan-wide cap and to the ring; without,
-  /// it is the plan-wide burst on every edge. Consumed by the engine's
-  /// kernel construction AND the D302/D303 capacity checks, so burst
-  /// sizing has exactly one source.
-  std::size_t burst = 0;
-};
-
-/// The complete FIFO plan of one engine instance: every stream in the
-/// order the engine creates them, plus the effective burst cap.
-struct FifoPlan {
-  std::vector<PlannedStream> streams;
-  /// Cap on per-edge bursts: EngineOptions::burst clamped to the user
-  /// FIFO capacity so a transaction can never exceed the ring. Each
-  /// edge's actual size is streams[i].burst.
-  std::size_t burst = kDefaultBurst;
-  bool burst_clamped = false;
-
-  /// Sum of all planned capacities (host-memory footprint in values).
-  [[nodiscard]] std::size_t total_capacity() const;
-  /// The planned stream into `consumer`'s main or skip port, or nullptr.
-  [[nodiscard]] const PlannedStream* find_edge(int consumer,
-                                               bool to_skip_port) const;
-};
-
-/// The paper's depth-first line-buffer size (§III-B1b) for the input of a
-/// window kernel, on the padded map: I * (W_p * (K-1) + K) values.
-[[nodiscard]] std::size_t line_buffer_values(const Node& n);
-
-/// Compute the FIFO plan StreamEngine will wire for these options. This is
-/// the *only* place capacities are decided; the engine consumes the plan.
-[[nodiscard]] FifoPlan plan_fifos(const Pipeline& pipeline,
-                                  const EngineOptions& options = {});
+// PlannedStream / FifoPlan / line_buffer_values / plan_fifos moved to
+// plan/fifo_plan.h — the planner is now part of the CompiledPlan artifact
+// (plan/compiled_plan.h) and verify/ is a consumer that proves the plan,
+// not the place it is decided.
 
 // ---- individual analyses (append findings into an existing report) -----
 

@@ -69,6 +69,9 @@ inline constexpr const char* kShallowFifo = "QNN-D303";   // capacity below one
                                                           // input row
 inline constexpr const char* kUnprovable = "QNN-D304";    // lag bound not
                                                           // derivable
+inline constexpr const char* kPlanMismatch = "QNN-D305";  // CompiledPlan
+                                                          // fingerprint vs
+                                                          // pipeline hash
 // --- partition feasibility ----------------------------------------------
 inline constexpr const char* kLinkOversubscribed = "QNN-D401";
 inline constexpr const char* kDfeOverfill = "QNN-D402";

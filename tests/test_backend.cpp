@@ -44,6 +44,34 @@ TEST(BackendRegistry, AtThrowsListingNames) {
   }
 }
 
+TEST(BackendRegistry, AtSuggestsTheNearMissForPlausibleTypos) {
+  // A one- or two-edit typo (case-insensitive) gets a concrete suggestion
+  // alongside the registered-names list.
+  try {
+    (void)backend_registry().at("enigne");
+    FAIL() << "at() must throw for unknown backends";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("did you mean \"engine\"?"), std::string::npos)
+        << what;
+  }
+  try {
+    (void)backend_registry().at("Simulator");
+    FAIL() << "at() is case-sensitive and must throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("did you mean \"simulator\"?"), std::string::npos)
+        << what;
+  }
+  // Nothing plausible: list the names, suggest nothing.
+  try {
+    (void)backend_registry().at("bogus");
+    FAIL() << "at() must throw for unknown backends";
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()).find("did you mean"), std::string::npos);
+  }
+}
+
 TEST(BackendRegistry, FirstOfTierFindsBuiltins) {
   BackendRegistry& reg = backend_registry();
   ASSERT_NE(reg.first_of_tier(BackendTier::kFast), nullptr);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "backend/backend.h"
+#include "fault/fault.h"
 #include "io/synthetic.h"
 #include "models/zoo.h"
 #include "nn/reference.h"
@@ -434,6 +435,72 @@ TEST(Serve, ShadowMirrorsAreComparedNeverReturned) {
   EXPECT_GT(s.shadow_runs, 0u);
   EXPECT_EQ(s.shadow_mismatches, 0u);  // engine and simulator are bit-exact
   EXPECT_NE(server.metrics_report().find("shadow:"), std::string::npos);
+}
+
+TEST(Serve, RepeatedShadowMismatchesQuarantineThePrimary) {
+  // A primary that computes WRONG answers is invisible to the failure-streak
+  // path — only the shadow tier can see it. Replica 0 silently flips one
+  // output bit on every run; the clean shadow replica pins the mismatches on
+  // it, and after shadow_mismatch_after of them it is quarantined with a
+  // kShadowQuarantine event.
+  TinyNet net;
+  FaultEvent flip = FaultPlan::bit_flip(
+      net.pipeline.node(net.pipeline.size() - 1).name + "->output",
+      /*run=*/0, /*value_index=*/0);
+  flip.last_run = kFaultNever;  // every run, not just the first
+  flip.replica = 0;
+  net.session_config.engine.faults.add(flip);
+
+  ServerConfig cfg;
+  cfg.pool = {{"engine", 1}, {"simulator", 1}};
+  cfg.shadow_fraction = 1.0;
+  cfg.shadow_mismatch_after = 3;
+  cfg.max_batch = 1;
+  cfg.batch_timeout_us = 0;
+  DfeServer server = net.server(cfg);
+  Rng rng(91);
+  for (int i = 0; i < 8; ++i) {
+    // Synchronous submits: every mirrored request is enqueued before
+    // stop() drains the shadow queue, and no client is left waiting on a
+    // quarantined primary.
+    (void)server.submit(testutil::random_image(12, 12, 3, rng));
+  }
+  server.stop();
+  const MetricsSnapshot s = server.metrics().snapshot();
+  EXPECT_GE(s.shadow_mismatches, 3u);
+  EXPECT_GE(s.quarantines, 1u);
+  bool logged = false;
+  for (const std::string& event : server.metrics().events()) {
+    logged = logged || event.find(kShadowQuarantine) != std::string::npos;
+  }
+  EXPECT_TRUE(logged) << "quarantine must be attributed to shadow evidence";
+}
+
+TEST(Serve, ShadowMismatchEscalationIsOffByDefault) {
+  // shadow_mismatch_after = 0 (the default) keeps the old behavior:
+  // mismatches are counted and logged, never escalated.
+  TinyNet net;
+  FaultEvent flip = FaultPlan::bit_flip(
+      net.pipeline.node(net.pipeline.size() - 1).name + "->output",
+      /*run=*/0, /*value_index=*/0);
+  flip.last_run = kFaultNever;
+  flip.replica = 0;
+  net.session_config.engine.faults.add(flip);
+
+  ServerConfig cfg;
+  cfg.pool = {{"engine", 1}, {"simulator", 1}};
+  cfg.shadow_fraction = 1.0;
+  cfg.max_batch = 1;
+  cfg.batch_timeout_us = 0;
+  DfeServer server = net.server(cfg);
+  Rng rng(92);
+  for (int i = 0; i < 6; ++i) {
+    (void)server.submit(testutil::random_image(12, 12, 3, rng));
+  }
+  server.stop();
+  const MetricsSnapshot s = server.metrics().snapshot();
+  EXPECT_GT(s.shadow_mismatches, 0u);
+  EXPECT_EQ(s.quarantines, 0u);
 }
 
 TEST(Serve, StopDrainsMixedPoolWithClassGates) {

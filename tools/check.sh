@@ -12,10 +12,18 @@
 #   PERF=1 tools/check.sh           # additionally run the executor
 #                                   # ablation (fail if the ready-queue
 #                                   # shallow-chain throughput regresses
-#                                   # >10% against BENCH_executor.json) and
-#                                   # the mixed-pool serving ablation (fail
+#                                   # >10% against BENCH_executor.json), the
+#                                   # mixed-pool serving ablation (fail
 #                                   # unless deadline routing beats naive
-#                                   # routing >= 1.3x on tight goodput)
+#                                   # routing >= 1.3x on tight goodput),
+#                                   # and the autotuned-plan ablation (fail
+#                                   # if the tuned plan loses on any
+#                                   # throughput metric, replaying
+#                                   # BENCH_autotune.json)
+#   TUNE=1 tools/check.sh           # additionally run a bounded qnn_tune
+#                                   # --check pass (fail if the tuned plan
+#                                   # lost to the default on the deciding
+#                                   # metric — a structural invariant)
 #
 # The build directory is build-check[-$SANITIZE], separate from the
 # default build/ so a strict -Werror configure never pollutes it.
@@ -26,6 +34,7 @@ cd "$(dirname "$0")/.."
 SANITIZE="${SANITIZE:-}"
 CHAOS="${CHAOS:-}"
 PERF="${PERF:-}"
+TUNE="${TUNE:-}"
 BUILD_DIR="build-check${SANITIZE:+-$SANITIZE}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
@@ -85,6 +94,42 @@ EOF
   # Exit code enforces the bar; the json lands next to the executor one.
   QNN_CSV_DIR="$BUILD_DIR" \
     "$BUILD_DIR/bench/bench_serving" --backends-only
+
+  echo "== perf (autotuned-plan ablation vs recorded baseline) =="
+  # The ablation's exit code enforces the noise-robust bar (the tuned plan
+  # loses on NO throughput metric: raw >= 0.90x, capacity >= 0.90x — both
+  # arms are compiled live and every repeat interleaves them, so the
+  # ratios are immune to machine mood). The python step then checks the
+  # COMMITTED artifact carries the headline win (>= 1.15x throughput or
+  # <= 0.87x p99) and that the fresh capacity ratio has not collapsed
+  # against it.
+  QNN_CSV_DIR="$BUILD_DIR" \
+    "$BUILD_DIR/bench/bench_serving" --autotune-only
+  python3 - "$BUILD_DIR/BENCH_autotune.json" BENCH_autotune.json <<'EOF'
+import json, sys
+
+fresh = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+if not base["pass"]:
+    raise SystemExit("perf gate: committed BENCH_autotune.json does not "
+                     "meet the recorded bar (pass != true) — re-record it")
+floor = 0.85 * min(base["throughput_ratio"], 1.0)
+print(f"autotune capacity ratio: fresh {fresh['throughput_ratio']:.3f}, "
+      f"baseline {base['throughput_ratio']:.3f}, floor {floor:.3f}")
+if fresh["throughput_ratio"] < floor:
+    raise SystemExit("perf gate: tuned-vs-default serving capacity "
+                     "collapsed vs BENCH_autotune.json")
+print("perf gate: autotuned plan holds its recorded margin")
+EOF
+fi
+
+if [ -n "$TUNE" ]; then
+  echo "== tune (bounded autotune run; tuned must not lose) =="
+  # --check exits 1 if the tuned plan lost to the default on the deciding
+  # metric. Structurally impossible (the default is candidate 0 and only a
+  # strict improvement replaces it), so this is a tripwire for the
+  # autotuner's core invariant. The budget keeps the whole pass < 60 s.
+  "$BUILD_DIR/examples/qnn_tune" --budget 45 --check
 fi
 
 echo "== lint =="
