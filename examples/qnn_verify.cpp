@@ -2,18 +2,25 @@
 // print the full diagnostic report — the software analog of the Maxeler
 // compile-time graph checks (see verify/graph_check.h and DESIGN.md).
 //
-//   qnn_verify [model] [input_size] [fifo_capacity]
+//   qnn_verify [--json] [model] [input_size] [fifo_capacity]
+//     --json         machine-readable report on stdout (one JSON object
+//                    with ok/errors/warnings and every diagnostic); the
+//                    human banner moves to stderr so stdout stays pure
 //     model          resnet18 | resnet34 | resnet18_noskip | alexnet |
 //                    vgg | finn | tiny                 (default resnet18)
 //     input_size     pixels per side                  (default per model)
 //     fifo_capacity  user FIFO depth in values, 0 = auto line-buffer
 //                    sizing                           (default 0)
 //
-// Exit status: 0 when the graph verifies clean (warnings allowed),
-// 1 when any error-severity diagnostic is present, 2 on bad usage.
+// Exit status (distinct, so CI can gate on warnings without parsing):
+//   0  clean — no errors, no warnings (info notes allowed)
+//   1  at least one error-severity diagnostic
+//   2  bad usage (unknown model / flag)
+//   3  warnings only — the graph runs, but something deserves a look
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "models/zoo.h"
 #include "partition/partitioner.h"
@@ -21,13 +28,27 @@
 
 int main(int argc, char** argv) {
   using namespace qnn;
-  const std::string model = argc > 1 ? argv[1] : "resnet18";
+  bool json = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag '" << arg << "' (only --json)\n";
+      return 2;
+    } else {
+      args.push_back(arg);
+    }
+  }
+  const std::string model = !args.empty() ? args[0] : "resnet18";
   const int default_size =
       model == "vgg" ? 32 : (model == "finn" ? 32 : (model == "tiny" ? 12
                                                                      : 224));
-  const int size = argc > 2 ? std::atoi(argv[2]) : default_size;
+  const int size = args.size() > 1 ? std::atoi(args[1].c_str()) : default_size;
   const std::size_t fifo_capacity =
-      argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 0;
+      args.size() > 2 ? static_cast<std::size_t>(std::atoll(args[2].c_str()))
+                      : 0;
 
   NetworkSpec spec;
   if (model == "resnet18") {
@@ -66,17 +87,23 @@ int main(int argc, char** argv) {
                                    partition_config);
 
   const FifoPlan plan = plan_fifos(pipeline, options);
-  std::cout << spec.name << ": " << pipeline.size() << " kernels, "
-            << plan.streams.size() << " streams, "
-            << plan.total_capacity() << " buffered values ("
-            << (fifo_capacity == 0 ? std::string("auto line-buffer sizing")
-                                   : "fifo_capacity = " +
-                                         std::to_string(fifo_capacity))
-            << ", burst " << plan.burst << "), " << placement.num_dfes()
-            << " DFE(s)\n\n";
+  std::ostream& banner = json ? std::cerr : std::cout;
+  banner << spec.name << ": " << pipeline.size() << " kernels, "
+         << plan.streams.size() << " streams, " << plan.total_capacity()
+         << " buffered values ("
+         << (fifo_capacity == 0
+                 ? std::string("auto line-buffer sizing")
+                 : "fifo_capacity = " + std::to_string(fifo_capacity))
+         << ", burst " << plan.burst << "), " << placement.num_dfes()
+         << " DFE(s)\n\n";
 
-  const std::string findings = report.str();
-  if (!findings.empty()) std::cout << findings << "\n";
-  std::cout << report.summary() << "\n";
-  return report.ok() ? 0 : 1;
+  if (json) {
+    std::cout << report.json();
+  } else {
+    const std::string findings = report.str();
+    if (!findings.empty()) std::cout << findings << "\n";
+    std::cout << report.summary() << "\n";
+  }
+  if (!report.ok()) return 1;
+  return report.warnings() > 0 ? 3 : 0;
 }

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "dataflow/ready_protocol.h"
+
 #if defined(__linux__)
 #include <pthread.h>
 #include <sched.h>
@@ -145,29 +147,14 @@ class PooledExecutor final : public Executor {
 /// Per-run scheduler state behind make_ready_queue_executor: the ReadyHook
 /// the streams call into, the per-worker deques, and the parking lot.
 ///
-/// Each task moves through a small state machine:
-///
-///   kReady   — sitting in exactly one deque, waiting for a worker;
-///   kRunning — a worker is stepping it (exclusive: this is what makes a
-///              kernel's non-atomic state safe to migrate across workers,
-///              with happens-before provided by the state CASes and the
-///              deque mutexes);
-///   kNotify  — kRunning plus a wake arrived mid-step: the worker must
-///              treat the next kBlocked as serviceable and step again;
-///   kIdle    — blocked with nothing queued; only a wake revives it;
-///   kDone    — finished (or poisoned by a captured exception).
-///
-/// Lost-wakeup closure. A wake fires after every successful ring
-/// transaction (see ReadyHook in stream.h), so the only gap left is
-/// *claim-time staleness*: data pushed before a worker claims the task
-/// produced a wake that no-op'd (state was kReady), yet the claimed
-/// kernel's first step may still read a stale ring index and report
-/// kBlocked. The worker therefore publishes kIdle, issues a seq_cst
-/// fence, reclaims, and re-steps ONCE per blocked episode: the fence
-/// pairs Dekker-style with the fence at the top of wake(), so either the
-/// re-step sees the data, or the waker sees kIdle and re-queues the task.
-/// Any wake arriving while the worker holds kRunning lands as kNotify and
-/// forces another step, so no transaction is ever silently dropped.
+/// The task state machine itself — kIdle/kReady/kRunning/kNotify/kDone,
+/// the wake CAS loop and the lost-wakeup closure (one fenced re-step per
+/// blocked episode, Dekker-paired with the wake fence) — lives in
+/// ready_protocol.h as ReadyProtocol<Sync>, instantiated here with
+/// RealSync. The model checker (src/mc) explores the SAME template on
+/// virtual threads; this class adds the parts the checker abstracts away:
+/// per-worker deques, work stealing, the parking lot, the awake limit and
+/// the error latch.
 ///
 /// Workers with nothing to run (own deque empty, nothing to steal) park
 /// on a condition variable with a short timeout instead of spinning; a
@@ -176,15 +163,14 @@ class PooledExecutor final : public Executor {
 /// rescue sweep that re-queues every kIdle task — the liveness backstop
 /// for kernels that bind no streams (Kernel::bind_ready default).
 class ReadyQueueScheduler final : public ReadyHook {
-  enum class State : std::uint8_t { kIdle, kReady, kRunning, kNotify, kDone };
-
  public:
   ReadyQueueScheduler(std::span<Kernel* const> tasks, std::size_t workers,
                       std::atomic<bool>& abort)
       : tasks_(tasks),
         abort_(abort),
         latch_(abort),
-        slots_(tasks.size()),
+        proto_(tasks.size()),
+        homes_(tasks.size()),
         queues_(workers),
         remaining_(tasks.size()),
         awake_limit_(static_cast<int>(
@@ -195,39 +181,14 @@ class ReadyQueueScheduler final : public ReadyHook {
     // share a deque (and, when the workers are pinned, a core).
     const std::size_t n = tasks.size();
     for (std::size_t i = 0; i < n; ++i) {
-      slots_[i].home = i * workers / n;
-      queues_[slots_[i].home].q.push_back(static_cast<int>(i));
+      homes_[i] = i * workers / n;
+      queues_[homes_[i]].q.push_back(static_cast<int>(i));
     }
     ready_.store(static_cast<int>(n), std::memory_order_relaxed);
   }
 
   void wake(int task) override {
-    // Pairs with the publish-idle fence in execute(): every data store the
-    // waker made is ordered before this fence, every state read after it.
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    auto& st = slots_[static_cast<std::size_t>(task)].state;
-    State s = st.load(std::memory_order_relaxed);
-    for (;;) {
-      switch (s) {
-        case State::kIdle:
-          if (st.compare_exchange_weak(s, State::kReady,
-                                       std::memory_order_acq_rel)) {
-            enqueue(task);
-            return;
-          }
-          break;  // s reloaded; retry
-        case State::kRunning:
-          if (st.compare_exchange_weak(s, State::kNotify,
-                                       std::memory_order_acq_rel)) {
-            return;
-          }
-          break;
-        case State::kReady:   // already queued
-        case State::kNotify:  // running worker already owes a re-step
-        case State::kDone:
-          return;
-      }
-    }
+    proto_.wake(task, [this](int t) { enqueue(t); });
   }
 
   void worker(std::size_t wid) {
@@ -285,17 +246,13 @@ class ReadyQueueScheduler final : public ReadyHook {
   void finish() { latch_.finish(); }
 
  private:
-  struct TaskSlot {
-    std::atomic<State> state{State::kReady};
-    std::size_t home = 0;
-  };
   struct WorkerQueue {
     std::mutex mu;
     std::deque<int> q;
   };
 
   void enqueue(int task) {
-    WorkerQueue& wq = queues_[slots_[static_cast<std::size_t>(task)].home];
+    WorkerQueue& wq = queues_[homes_[static_cast<std::size_t>(task)]];
     {
       const std::lock_guard<std::mutex> lock(wq.mu);
       wq.q.push_back(task);
@@ -366,10 +323,8 @@ class ReadyQueueScheduler final : public ReadyHook {
   /// reports kBlocked and the task goes idle again); missing liveness is
   /// not.
   void rescue() {
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
-      State s = State::kIdle;
-      if (slots_[i].state.compare_exchange_strong(
-              s, State::kReady, std::memory_order_acq_rel)) {
+    for (std::size_t i = 0; i < proto_.size(); ++i) {
+      if (proto_.make_ready(static_cast<int>(i))) {
         enqueue(static_cast<int>(i));
       }
     }
@@ -383,66 +338,39 @@ class ReadyQueueScheduler final : public ReadyHook {
   }
 
   void execute(int t) {
-    auto& st = slots_[static_cast<std::size_t>(t)].state;
-    State s = State::kReady;
-    if (!st.compare_exchange_strong(s, State::kRunning,
-                                    std::memory_order_acq_rel)) {
+    if (!proto_.claim(t)) {
       return;  // kDone raced in (captured error); drop the queue entry
     }
-    // One fenced re-step per blocked episode (see class comment).
-    bool fenced_recheck = false;
-    for (;;) {
-      if (abort_.load(std::memory_order_relaxed)) {
-        st.store(State::kIdle, std::memory_order_release);
-        return;
-      }
-      StepResult r;
+    const DriveResult r = proto_.drive(t, [this, t]() -> ProtoStep {
+      if (abort_.load(std::memory_order_relaxed)) return ProtoStep::kAbort;
       try {
-        r = tasks_[static_cast<std::size_t>(t)]->step_checked();
+        switch (tasks_[static_cast<std::size_t>(t)]->step_checked()) {
+          case StepResult::kDone:
+            return ProtoStep::kDone;
+          case StepResult::kProgress:
+            return ProtoStep::kProgress;
+          case StepResult::kBlocked:
+            return ProtoStep::kBlocked;
+        }
       } catch (...) {
         latch_.capture();
-        st.store(State::kDone, std::memory_order_release);
-        task_done();
-        notify_all_parked();  // abort is set; stop peers from sleeping
-        return;
       }
-      if (r == StepResult::kDone) {
-        st.store(State::kDone, std::memory_order_release);
-        task_done();
-        return;
-      }
-      if (r == StepResult::kProgress) {
-        fenced_recheck = false;
-        // Collapse a pending notify — the next step subsumes it.
-        State cur = State::kNotify;
-        st.compare_exchange_strong(cur, State::kRunning,
-                                   std::memory_order_acq_rel);
-        continue;
-      }
-      // kBlocked: try to go idle.
-      State cur = State::kRunning;
-      if (!st.compare_exchange_strong(cur, State::kIdle,
-                                      std::memory_order_acq_rel)) {
-        // kNotify: a transaction landed mid-step; consume it and re-step.
-        st.store(State::kRunning, std::memory_order_release);
-        fenced_recheck = false;
-        continue;
-      }
-      if (fenced_recheck) return;  // episode already double-checked
-      std::atomic_thread_fence(std::memory_order_seq_cst);
-      cur = State::kIdle;
-      if (!st.compare_exchange_strong(cur, State::kRunning,
-                                      std::memory_order_acq_rel)) {
-        return;  // a wake won the reclaim and queued the task
-      }
-      fenced_recheck = true;
+      return ProtoStep::kFailed;
+    });
+    if (r == DriveResult::kCompleted) {
+      task_done();
+    } else if (r == DriveResult::kFailed) {
+      task_done();
+      notify_all_parked();  // abort is set; stop peers from sleeping
     }
+    // kIdle / kRequeued / kAborted need nothing further from this worker.
   }
 
   std::span<Kernel* const> tasks_;
   std::atomic<bool>& abort_;
   ErrorLatch latch_;
-  std::vector<TaskSlot> slots_;
+  ReadyProtocol<RealSync> proto_;
+  std::vector<std::size_t> homes_;
   std::vector<WorkerQueue> queues_;
   std::atomic<std::size_t> remaining_;
   std::mutex park_mu_;

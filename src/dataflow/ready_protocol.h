@@ -1,0 +1,222 @@
+// ReadyProtocol: the ready-queue scheduler's task state machine, templated
+// on the synchronization seam (sync.h).
+//
+// Each task moves through a small state machine:
+//
+//   kReady   — sitting in exactly one deque, waiting for a worker;
+//   kRunning — a worker is stepping it (exclusive: this is what makes a
+//              kernel's non-atomic state safe to migrate across workers,
+//              with happens-before provided by the state CASes and the
+//              deque mutexes);
+//   kNotify  — kRunning plus a wake arrived mid-step: the worker must
+//              treat the next kBlocked as serviceable and step again;
+//   kIdle    — blocked with nothing queued; only a wake revives it;
+//   kDone    — finished (or poisoned by a captured exception).
+//
+// Lost-wakeup closure. A wake fires after every successful ring
+// transaction (see ReadyHook in ring_core.h), so the only gap left is
+// *claim-time staleness*: data pushed before a worker claims the task
+// produced a wake that no-op'd (state was kReady), yet the claimed
+// kernel's first step may still read a stale ring index and report
+// kBlocked. The worker therefore publishes kIdle, issues a seq_cst
+// fence, reclaims, and re-steps ONCE per blocked episode: the fence
+// pairs Dekker-style with the fence at the top of wake(), so either the
+// re-step sees the data, or the waker sees kIdle and re-queues the task.
+// Any wake arriving while the worker holds kRunning lands as kNotify and
+// forces another step, so no transaction is ever silently dropped.
+//
+// This header holds ONLY the state machine — no deques, no parking, no
+// error latch. The production scheduler (executor.cpp) instantiates it
+// with RealSync and wraps it in per-worker deques and a parking lot; the
+// model checker (src/mc) instantiates the SAME template with its
+// ModelSync policy and exhaustively explores the interleavings, including
+// the stale-read behaviours a release/acquire machine permits. The
+// Mutations parameter exists solely so the checker can demonstrate that
+// each load-bearing piece of the protocol is load-bearing: removing the
+// wake fence or the fenced re-step must be *caught* as a lost wakeup.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "dataflow/sync.h"
+
+namespace qnn {
+
+/// Compile-time protocol mutations for the model checker's broken-variant
+/// tests (src/mc). Production code always uses the default (all false);
+/// each flag deletes one ingredient of the lost-wakeup closure above.
+struct NoProtocolMutations {
+  /// Drop the seq_cst fence at the top of wake().
+  static constexpr bool kSkipWakeFence = false;
+  /// Return on the first successful kRunning -> kIdle transition instead
+  /// of fencing and re-stepping once per blocked episode.
+  static constexpr bool kSkipFencedRestep = false;
+  /// Ignore wakes that arrive while the task is kRunning (never post
+  /// kNotify).
+  static constexpr bool kDropNotify = false;
+};
+
+/// Per-task scheduler state (see the file comment for the transitions).
+enum class TaskState : std::uint8_t { kIdle, kReady, kRunning, kNotify, kDone };
+
+/// What one protocol-visible step of the task reported into drive().
+enum class ProtoStep : std::uint8_t {
+  kProgress,  // did work; step again
+  kBlocked,   // nothing serviceable; try to go idle
+  kDone,      // task finished
+  kFailed,    // task threw; poison to kDone (caller records the error)
+  kAbort,     // run-wide abort observed; stop stepping, leave kIdle
+};
+
+/// How drive() disposed of the task.
+enum class DriveResult : std::uint8_t {
+  kCompleted,  // reached kDone cleanly
+  kFailed,     // poisoned to kDone after ProtoStep::kFailed
+  kIdle,       // parked kIdle; only a wake revives it
+  kRequeued,   // a wake won the reclaim race; the task is queued again
+  kAborted,    // ProtoStep::kAbort; left kIdle for the run teardown
+};
+
+template <class Sync = RealSync, class Mutations = NoProtocolMutations>
+class ReadyProtocol {
+ public:
+  explicit ReadyProtocol(std::size_t tasks)
+      : size_(tasks), slots_(std::make_unique<Slot[]>(tasks)) {}
+
+  ReadyProtocol(const ReadyProtocol&) = delete;
+  ReadyProtocol& operator=(const ReadyProtocol&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Streams call this (through the executor's ReadyHook) after every ring
+  /// transaction. Invokes `enqueue(task)` exactly when the task made the
+  /// kIdle -> kReady transition and therefore must be queued.
+  template <class Enqueue>
+  void wake(int task, Enqueue&& enqueue) {
+    // Pairs with the publish-idle fence in drive(): every data store the
+    // waker made is ordered before this fence, every state read after it.
+    if constexpr (!Mutations::kSkipWakeFence) {
+      Sync::fence_seq_cst();
+    }
+    auto& st = state(task);
+    TaskState s = st.load(std::memory_order_relaxed);
+    for (;;) {
+      switch (s) {
+        case TaskState::kIdle:
+          if (st.compare_exchange_weak(s, TaskState::kReady,
+                                       std::memory_order_acq_rel)) {
+            enqueue(task);
+            return;
+          }
+          break;  // s reloaded; retry
+        case TaskState::kRunning:
+          if constexpr (Mutations::kDropNotify) {
+            return;
+          }
+          if (st.compare_exchange_weak(s, TaskState::kNotify,
+                                       std::memory_order_acq_rel)) {
+            return;
+          }
+          break;
+        case TaskState::kReady:   // already queued
+        case TaskState::kNotify:  // running worker already owes a re-step
+        case TaskState::kDone:
+          return;
+      }
+    }
+  }
+
+  /// Claim a dequeued task for stepping (kReady -> kRunning). False when
+  /// kDone raced in (a captured error poisoned it); drop the queue entry.
+  [[nodiscard]] bool claim(int task) {
+    TaskState s = TaskState::kReady;
+    return state(task).compare_exchange_strong(s, TaskState::kRunning,
+                                               std::memory_order_acq_rel);
+  }
+
+  /// Revive an idle task (kIdle -> kReady). True when the caller must
+  /// enqueue it — the executor's rescue sweep for streamless kernels.
+  [[nodiscard]] bool make_ready(int task) {
+    TaskState s = TaskState::kIdle;
+    return state(task).compare_exchange_strong(s, TaskState::kReady,
+                                               std::memory_order_acq_rel);
+  }
+
+  /// Step a claimed task until it finishes, fails, goes idle, or is
+  /// re-queued by a racing wake. `step` reports each step's outcome; the
+  /// one fenced re-step per blocked episode and the kNotify collapse
+  /// happen here (see the file comment).
+  template <class Step>
+  DriveResult drive(int task, Step&& step) {
+    auto& st = state(task);
+    bool fenced_recheck = false;
+    for (;;) {
+      const ProtoStep r = step();
+      if (r == ProtoStep::kAbort) {
+        st.store(TaskState::kIdle, std::memory_order_release);
+        return DriveResult::kAborted;
+      }
+      if (r == ProtoStep::kFailed) {
+        st.store(TaskState::kDone, std::memory_order_release);
+        return DriveResult::kFailed;
+      }
+      if (r == ProtoStep::kDone) {
+        st.store(TaskState::kDone, std::memory_order_release);
+        return DriveResult::kCompleted;
+      }
+      if (r == ProtoStep::kProgress) {
+        fenced_recheck = false;
+        // Collapse a pending notify — the next step subsumes it.
+        TaskState cur = TaskState::kNotify;
+        st.compare_exchange_strong(cur, TaskState::kRunning,
+                                   std::memory_order_acq_rel);
+        continue;
+      }
+      // kBlocked: try to go idle.
+      TaskState cur = TaskState::kRunning;
+      if (!st.compare_exchange_strong(cur, TaskState::kIdle,
+                                      std::memory_order_acq_rel)) {
+        // kNotify: a transaction landed mid-step; consume it and re-step.
+        st.store(TaskState::kRunning, std::memory_order_release);
+        fenced_recheck = false;
+        continue;
+      }
+      if constexpr (Mutations::kSkipFencedRestep) {
+        return DriveResult::kIdle;
+      }
+      if (fenced_recheck) return DriveResult::kIdle;  // already double-checked
+      Sync::fence_seq_cst();
+      cur = TaskState::kIdle;
+      if (!st.compare_exchange_strong(cur, TaskState::kRunning,
+                                      std::memory_order_acq_rel)) {
+        return DriveResult::kRequeued;  // a wake won the reclaim + queued it
+      }
+      fenced_recheck = true;
+    }
+  }
+
+  /// Current state (diagnostics / model-checker property checks only).
+  [[nodiscard]] TaskState peek(int task) const {
+    return state(task).load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    typename Sync::template Atomic<TaskState> state{TaskState::kReady};
+  };
+
+  [[nodiscard]] typename Sync::template Atomic<TaskState>& state(int task) {
+    return slots_[static_cast<std::size_t>(task)].state;
+  }
+  [[nodiscard]] const typename Sync::template Atomic<TaskState>& state(
+      int task) const {
+    return slots_[static_cast<std::size_t>(task)].state;
+  }
+
+  std::size_t size_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace qnn

@@ -15,6 +15,15 @@
 // push()/pop() remain as the degenerate burst of one, so capacity still
 // models the FIFO depth precisely and `pushed()` still counts values.
 //
+// The index publication protocol itself — head/tail/closed plus the
+// wake-after-transaction contract with the ready-queue scheduler — lives
+// in ring_core.h as RingCore<Sync>, templated on the synchronization seam
+// (sync.h). Stream instantiates it with RealSync (std::atomic verbatim);
+// the model checker (src/mc) explores the SAME protocol template on
+// virtual threads. Stream adds what the checker does not need: the
+// payload buffer, fault injection, abort handling and the traffic
+// counters.
+//
 // Two API layers:
 //   * blocking push/pop/push_burst/pop_burst — for thread-per-kernel
 //     execution and tests; spin briefly then yield, abort-aware.
@@ -41,43 +50,18 @@
 #include <vector>
 
 #include "core/error.h"
+#include "dataflow/ring_core.h"
 #include "fault/fault.h"
 
 namespace qnn {
 
-/// Executor-side readiness sink (the seam the ready-queue scheduler plugs
-/// into a Stream): wake(task) tells the executor that the stream activity
-/// which just happened may have unblocked `task`, so it must be (re)queued
-/// unless it is already queued or running.
-///
-/// The protocol is eventcount-shaped and deliberately *level*-based rather
-/// than strictly edge-triggered: a wake fires after EVERY successful ring
-/// transaction (push -> wake consumer, pop -> wake producer) plus close()
-/// (-> wake consumer), not only on empty->nonempty / full->nonfull
-/// transitions. A strict transition test on the producer side would read a
-/// stale tail_ and could conclude "not empty" exactly while the consumer
-/// is going idle — the classic lost wakeup. Firing per transaction keeps
-/// the check race-free at the cost of one fence + one atomic load per
-/// *burst*, which adaptive per-edge sizing amortizes over the whole row.
-/// Implementations must tolerate spurious wakes and wakes for tasks that
-/// are already queued, running, or done.
-class ReadyHook {
- public:
-  virtual ~ReadyHook() = default;
-
-  /// May be called from any worker thread, concurrently with itself.
-  virtual void wake(int task) = 0;
-};
-
 class Stream {
  public:
   Stream(std::size_t capacity, int bits, std::string name)
-      : capacity_(capacity),
-        ring_(round_up_pow2(capacity + 1)),
-        mask_(ring_ - 1),
+      : core_(capacity),
         bits_(bits),
         name_(std::move(name)),
-        buf_(ring_) {
+        buf_(core_.ring_size()) {
     QNN_CHECK(capacity >= 1, "stream capacity must be positive");
     QNN_CHECK(bits >= 1 && bits <= 32, "stream width out of range");
   }
@@ -95,23 +79,20 @@ class Stream {
 
   // ---- readiness seam (ready-queue executor) ----------------------------
   //
-  // Bound by the executor before workers start and cleared after they
-  // join, so the fields need no synchronization of their own. A null hook
-  // (thread-per-kernel / round-robin pooled execution) costs one branch
-  // per ring transaction.
+  // Forwarded to RingCore (see ReadyHook in ring_core.h for the wake
+  // contract). Bound by the executor before workers start and cleared
+  // after they join, so the binding needs no synchronization of its own.
 
   /// The task to wake when values are pushed into (or the stream is closed
   /// toward) this stream's consumer side.
   void bind_consumer(ReadyHook* hook, int task) {
-    consumer_hook_ = hook;
-    consumer_task_ = task;
+    core_.bind_consumer(hook, task);
   }
 
   /// The task to wake when values are popped out of this stream (space for
   /// its producer side).
   void bind_producer(ReadyHook* hook, int task) {
-    producer_hook_ = hook;
-    producer_task_ = task;
+    core_.bind_producer(hook, task);
   }
 
   // ---- non-blocking burst API (single producer / single consumer) -------
@@ -121,27 +102,25 @@ class Stream {
   /// call. Must only be called by the single producer.
   std::size_t try_push_burst(std::span<const std::int32_t> vs) {
     if (vs.empty()) return 0;
-    const std::size_t head = head_.load(std::memory_order_relaxed);
-    const std::size_t used =
-        (head - tail_.load(std::memory_order_acquire)) & mask_;
-    const std::size_t n = std::min(capacity_ - used, vs.size());
+    const RingWindow w = core_.push_window(vs.size());
+    const std::size_t n = w.count;
     if (n == 0) return 0;
+    const std::size_t mask = core_.mask();
     if (fault_ != nullptr && fault_->armed) {
       // Injection path: an armed stall makes the ring report "full"; an
       // armed bit flip corrupts the targeted value as it enters the ring.
       if (fault_->blocked()) return 0;
       for (std::size_t i = 0; i < n; ++i) {
-        buf_[(head + i) & mask_] = fault_->filter(vs[i]);
+        buf_[(w.start + i) & mask] = fault_->filter(vs[i]);
       }
     } else {
       for (std::size_t i = 0; i < n; ++i) {
-        buf_[(head + i) & mask_] = vs[i];
+        buf_[(w.start + i) & mask] = vs[i];
       }
     }
-    head_.store((head + n) & mask_, std::memory_order_release);
     pushed_ += n;
     ++transactions_;
-    if (consumer_hook_ != nullptr) consumer_hook_->wake(consumer_task_);
+    core_.commit_push(w, n);
     return n;
   }
 
@@ -150,30 +129,20 @@ class Stream {
   /// stream with drained()). Must only be called by the single consumer.
   std::size_t try_pop_burst(std::span<std::int32_t> out) {
     if (out.empty()) return 0;
-    const std::size_t tail = tail_.load(std::memory_order_relaxed);
-    const std::size_t avail =
-        (head_.load(std::memory_order_acquire) - tail) & mask_;
-    const std::size_t n = std::min(avail, out.size());
+    const RingWindow w = core_.pop_window(out.size());
+    const std::size_t n = w.count;
     if (n == 0) return 0;
+    const std::size_t mask = core_.mask();
     for (std::size_t i = 0; i < n; ++i) {
-      out[i] = buf_[(tail + i) & mask_];
+      out[i] = buf_[(w.start + i) & mask];
     }
-    tail_.store((tail + n) & mask_, std::memory_order_release);
-    if (producer_hook_ != nullptr) producer_hook_->wake(producer_task_);
+    core_.commit_pop(w, n);
     return n;
   }
 
   /// Closed and fully drained: no value will ever arrive again. Consumer
   /// view; pair with a try_pop_burst() that returned 0.
-  [[nodiscard]] bool drained() const {
-    // Order matters: closed must be read before emptiness, otherwise a
-    // close() racing between the two loads could report a live stream as
-    // drained while its last values are still in the ring.
-    const bool closed = closed_.load(std::memory_order_acquire);
-    const bool empty = tail_.load(std::memory_order_relaxed) ==
-                       head_.load(std::memory_order_acquire);
-    return closed && empty;
-  }
+  [[nodiscard]] bool drained() const { return core_.drained(); }
 
   /// Cooperative kernels report one blocked episode per continuous wait.
   void note_push_stall() { ++push_stalls_; }
@@ -230,30 +199,23 @@ class Stream {
 
   /// Producer signals end of data; pending values remain poppable. The
   /// consumer is woken so it can observe drained() without another push.
-  void close() {
-    closed_.store(true, std::memory_order_release);
-    if (consumer_hook_ != nullptr) consumer_hook_->wake(consumer_task_);
-  }
+  void close() { core_.close(); }
 
   /// Reset to the freshly constructed state. Only valid while no producer
   /// or consumer threads are active (the engine calls this between runs).
   /// Values left in flight by an aborted run are discarded — the ring is
   /// drained and re-armed, so a failed run() never poisons the next one.
   void reset() {
-    head_.store(0);
-    tail_.store(0);
-    closed_.store(false);
+    core_.reset();
     pushed_ = 0;
     transactions_ = 0;
     push_stalls_ = 0;
     pop_stalls_ = 0;
   }
 
-  [[nodiscard]] bool closed() const {
-    return closed_.load(std::memory_order_acquire);
-  }
+  [[nodiscard]] bool closed() const { return core_.closed(); }
   [[nodiscard]] int bits() const { return bits_; }
-  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t capacity() const { return core_.capacity(); }
   [[nodiscard]] const std::string& name() const { return name_; }
   /// Total values pushed over the stream's lifetime (producer thread view).
   [[nodiscard]] std::uint64_t pushed() const { return pushed_; }
@@ -268,12 +230,6 @@ class Stream {
   [[nodiscard]] std::uint64_t pop_stalls() const { return pop_stalls_; }
 
  private:
-  static std::size_t round_up_pow2(std::size_t n) {
-    std::size_t p = 1;
-    while (p < n) p <<= 1;
-    return p;
-  }
-
   void check_abort() const {
     if (abort_ != nullptr && abort_->load(std::memory_order_relaxed)) {
       throw Error("stream '" + name_ + "' aborted");
@@ -284,28 +240,17 @@ class Stream {
     // A short spin covers the common case (both threads active); yielding
     // keeps oversubscribed pipelines (70+ kernels) from burning cores.
     for (int i = 0; i < 64; ++i) {
-#if defined(__x86_64__)
-      __builtin_ia32_pause();
-#endif
+      RealSync::cpu_relax();
     }
     std::this_thread::yield();
   }
 
-  const std::size_t capacity_;
-  const std::size_t ring_;
-  const std::size_t mask_;
+  RingCore<RealSync> core_;
   const int bits_;
   const std::string name_;
   std::vector<std::int32_t> buf_;
-  alignas(64) std::atomic<std::size_t> head_{0};
-  alignas(64) std::atomic<std::size_t> tail_{0};
-  std::atomic<bool> closed_{false};
   const std::atomic<bool>* abort_ = nullptr;
   StreamFaultSite* fault_ = nullptr;
-  ReadyHook* consumer_hook_ = nullptr;
-  ReadyHook* producer_hook_ = nullptr;
-  int consumer_task_ = -1;
-  int producer_task_ = -1;
   std::uint64_t pushed_ = 0;
   std::uint64_t transactions_ = 0;
   std::uint64_t push_stalls_ = 0;

@@ -7,6 +7,7 @@
 #include "nn/summary.h"
 #include "plan/cache.h"
 #include "verify/graph_check.h"
+#include "verify/plan_check.h"
 
 namespace qnn {
 
@@ -42,7 +43,16 @@ DfeSession DfeSession::compile(const NetworkSpec& spec, NetworkParams params,
                               : config.plan_cache_dir);
     if (cache.enabled()) {
       if (auto cached = cache.load(plan_key(state->pipeline, config.slo_us))) {
-        config.plan = std::make_shared<const CompiledPlan>(*std::move(cached));
+        // Re-verify before arming (verify/plan_check.h): a cached file that
+        // parses but carries a stale hash, corrupt streams or burst/FIFO
+        // skew is a MISS, not a fatal error — the cache contract says a
+        // corrupt entry must never break a cold start.
+        Report lint;
+        lint_plan(state->pipeline, *cached, lint);
+        if (lint.ok()) {
+          config.plan =
+              std::make_shared<const CompiledPlan>(*std::move(cached));
+        }
       }
     }
   }

@@ -1,0 +1,89 @@
+// Scenario harness: the scheduler/stream protocol under the model checker.
+//
+// The scenario is a miniature but faithful instance of the production
+// execution stack, built from the SAME templates production runs:
+//
+//   * `pipes` producer->stream->consumer pairs, each stream a
+//     RingCore<ModelSync> (the exact index/wake protocol Stream uses,
+//     minus the payload/fault machinery);
+//   * one ReadyProtocol<ModelSync, Mutations> holding a task per kernel —
+//     the exact state machine ReadyQueueScheduler drives;
+//   * `workers` virtual worker fibers sharing one ideal task queue
+//     (pop-or-park with no lost notifies and no timeouts — see
+//     Model::create_queue). Production's per-worker deques, stealing and
+//     timed parking are performance structure on top of the same
+//     protocol; the timed park in particular would *mask* lost wakeups,
+//     which is exactly what the checker must not do.
+//
+// Checked properties, reported as QNN-D6xx through verify/Report:
+//   D601  no deadlock / lost wakeup: a quiescent state with unfinished
+//         tasks (and no livelock past the step bound);
+//   D602  no double-run: a task is never stepped by two workers at once;
+//   D603  counter linearizability: every pushed value is popped exactly
+//         once, in order, per stream;
+//   D604  (warning) exploration budget exhausted before the tree was;
+//   D605  (info) exploration statistics for the proof record.
+//
+// The Mutations parameter wires ready_protocol.h's broken variants into
+// otherwise identical scenarios: each removed ingredient (wake fence,
+// fenced re-step, mid-run notify) must be CAUGHT as a violation — the
+// checker's own regression suite.
+#pragma once
+
+#include <string>
+
+#include "dataflow/ready_protocol.h"
+#include "mc/model.h"
+#include "verify/report.h"
+
+namespace qnn::mc {
+
+/// Broken protocol variants (see NoProtocolMutations in ready_protocol.h).
+struct MutSkipWakeFence {
+  static constexpr bool kSkipWakeFence = true;
+  static constexpr bool kSkipFencedRestep = false;
+  static constexpr bool kDropNotify = false;
+};
+struct MutSkipRestep {
+  static constexpr bool kSkipWakeFence = false;
+  static constexpr bool kSkipFencedRestep = true;
+  static constexpr bool kDropNotify = false;
+};
+struct MutDropNotify {
+  static constexpr bool kSkipWakeFence = false;
+  static constexpr bool kSkipFencedRestep = false;
+  static constexpr bool kDropNotify = true;
+};
+
+struct Scenario {
+  int pipes = 1;     // producer task + stream + consumer task per pipe
+  int workers = 2;   // virtual worker fibers (tasks migrate between them)
+  int values = 2;    // values pushed per stream
+  int capacity = 1;  // ring capacity (1 forces full/empty blocking)
+  Model::Budget budget;
+};
+
+/// Explore the scenario with the production protocol (no mutations).
+[[nodiscard]] Model::Result check_protocol(const Scenario& s);
+
+/// Explore the scenario with a broken protocol variant; a sound checker
+/// must return at least one violation for each mutation.
+template <class Mutations>
+[[nodiscard]] Model::Result check_protocol_mutated(const Scenario& s);
+
+extern template Model::Result check_protocol_mutated<NoProtocolMutations>(
+    const Scenario&);
+extern template Model::Result check_protocol_mutated<MutSkipWakeFence>(
+    const Scenario&);
+extern template Model::Result check_protocol_mutated<MutSkipRestep>(
+    const Scenario&);
+extern template Model::Result check_protocol_mutated<MutDropNotify>(
+    const Scenario&);
+
+/// Map an exploration result onto the analyzer report (QNN-D601..D605).
+void to_report(const Scenario& s, const Model::Result& result, Report& report);
+
+/// One-line scenario description for logs and reports.
+[[nodiscard]] std::string describe(const Scenario& s);
+
+}  // namespace qnn::mc

@@ -1,0 +1,654 @@
+#include "mc/model.h"
+
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace qnn::mc {
+
+Model* Model::current_ = nullptr;
+
+Model* Model::current() {
+  QNN_CHECK(current_ != nullptr, "no active mc::Model");
+  return current_;
+}
+
+Model::Model() = default;
+Model::~Model() {
+  if (current_ == this) current_ = nullptr;
+}
+
+const char* op_name(OpKind k) {
+  switch (k) {
+    case OpKind::kLoad: return "load";
+    case OpKind::kStore: return "store";
+    case OpKind::kCas: return "cas";
+    case OpKind::kFetchAdd: return "fetch_add";
+    case OpKind::kFence: return "fence";
+    case OpKind::kQueuePush: return "qpush";
+    case OpKind::kQueuePop: return "qpop";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- fibers
+//
+// On x86-64 the context switch is a hand-rolled callee-saved-register
+// swap (~20 ns) — the explorer performs two switches per visible op, and
+// ucontext's swapcontext carries a sigprocmask syscall that would
+// dominate the whole search. Elsewhere we fall back to ucontext.
+
+#if defined(__x86_64__)
+extern "C" void qnn_mc_switch(void** save_sp, void* load_sp);
+// System V: rbp/rbx/r12-r15 are callee-saved; everything else is dead
+// across the call. The fiber stack is seeded so the first switch "pops"
+// six zeros and returns into the trampoline.
+asm(R"(
+.text
+.globl qnn_mc_switch
+.type qnn_mc_switch,@function
+qnn_mc_switch:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  movq %rsp, (%rdi)
+  movq %rsi, %rsp
+  popq %r15
+  popq %r14
+  popq %r13
+  popq %r12
+  popq %rbx
+  popq %rbp
+  ret
+.size qnn_mc_switch,.-qnn_mc_switch
+)");
+#endif
+
+namespace {
+constexpr std::size_t kStackSize = 256 * 1024;
+}
+
+void Model::trampoline() {
+  Model* m = current_;
+  const int tid = m->running_;
+  m->fibers_[static_cast<std::size_t>(tid)].body();
+  Fiber& f = m->fibers_[static_cast<std::size_t>(tid)];
+  f.state = FiberState::kFinished;
+  // Switch back to the scheduler; this fiber never resumes.
+#if defined(__x86_64__)
+  for (;;) qnn_mc_switch(&f.sp, m->sched_sp_);
+#else
+  for (;;) swapcontext(&f.ctx, &m->sched_ctx_);
+#endif
+}
+
+void Model::add_thread(std::function<void()> body) {
+  QNN_CHECK(fibers_.size() < static_cast<std::size_t>(kMaxThreads),
+            "mc: too many virtual threads");
+  Fiber f;
+  f.body = std::move(body);
+  // Default-init (NOT make_unique): zeroing 256 KiB per fiber per
+  // execution would dominate the whole search.
+  f.stack = std::unique_ptr<char[]>(new char[kStackSize]);
+#if defined(__x86_64__)
+  // Seed the stack: [ret -> trampoline] below an address ≡ 8 (mod 16) so
+  // the trampoline starts with the post-call alignment the ABI expects,
+  // then six zeroed callee-saved slots for the first restore.
+  auto top = reinterpret_cast<std::uintptr_t>(f.stack.get()) + kStackSize;
+  top &= ~std::uintptr_t{15};
+  top -= 8;  // ≡ 8 (mod 16)
+  auto* slots = reinterpret_cast<std::uint64_t*>(top) - 7;
+  for (int i = 0; i < 6; ++i) slots[i] = 0;
+  slots[6] = reinterpret_cast<std::uint64_t>(&Model::trampoline);
+  f.sp = slots;
+#else
+  getcontext(&f.ctx);
+  f.ctx.uc_stack.ss_sp = f.stack.get();
+  f.ctx.uc_stack.ss_size = kStackSize;
+  f.ctx.uc_link = &sched_ctx_;
+  makecontext(&f.ctx, reinterpret_cast<void (*)()>(&Model::trampoline), 0);
+#endif
+  fibers_.push_back(std::move(f));
+}
+
+// ------------------------------------------------------------- locations
+
+int Model::new_location(std::uint64_t initial) {
+  Location loc;
+  loc.name = "loc" + std::to_string(locs_.size());
+  loc.history.push_back(Store{initial, -1, 0, true, VClock{}});
+  locs_.push_back(std::move(loc));
+  return static_cast<int>(locs_.size()) - 1;
+}
+
+void Model::name_location(int loc, std::string name) {
+  locs_[static_cast<std::size_t>(loc)].name = std::move(name);
+}
+
+int Model::location_count() const { return static_cast<int>(locs_.size()); }
+
+int Model::create_queue(std::string name) {
+  const int id = new_location(0);
+  Location& loc = locs_[static_cast<std::size_t>(id)];
+  loc.is_queue = true;
+  loc.name = std::move(name);
+  return id;
+}
+
+void Model::queue_seed(int queue, std::int64_t v) {
+  locs_[static_cast<std::size_t>(queue)].q.push_back(v);
+}
+
+void Model::fail(std::string what) {
+  if (failure_.empty()) failure_ = std::move(what);
+}
+
+// ---------------------------------------------------- fiber-side op entry
+
+void Model::yield_op(const PendingOp& op) {
+  Fiber& f = fibers_[static_cast<std::size_t>(running_)];
+  f.op = op;
+#if defined(__x86_64__)
+  qnn_mc_switch(&f.sp, sched_sp_);
+#else
+  swapcontext(&f.ctx, &sched_ctx_);
+#endif
+}
+
+std::uint64_t Model::op_load(int loc, bool acquire) {
+  if (running_ < 0) {
+    // Scheduler-context read (setup or verdict closures): no fiber to
+    // yield, no interleaving to explore — return the newest store.
+    return locs_[static_cast<std::size_t>(loc)].history.back().value;
+  }
+  PendingOp op;
+  op.kind = OpKind::kLoad;
+  op.loc = loc;
+  op.ordered = acquire;
+  yield_op(op);
+  return fibers_[static_cast<std::size_t>(running_)].op.result;
+}
+
+void Model::op_store(int loc, std::uint64_t v, bool release) {
+  PendingOp op;
+  op.kind = OpKind::kStore;
+  op.loc = loc;
+  op.arg0 = v;
+  op.ordered = release;
+  yield_op(op);
+}
+
+bool Model::op_cas(int loc, std::uint64_t& expected, std::uint64_t desired) {
+  PendingOp op;
+  op.kind = OpKind::kCas;
+  op.loc = loc;
+  op.arg0 = desired;
+  op.arg1 = expected;
+  yield_op(op);
+  const PendingOp& done = fibers_[static_cast<std::size_t>(running_)].op;
+  if (!done.flag) expected = done.result;
+  return done.flag;
+}
+
+std::uint64_t Model::op_fetch_add(int loc, std::uint64_t delta) {
+  PendingOp op;
+  op.kind = OpKind::kFetchAdd;
+  op.loc = loc;
+  op.arg0 = delta;
+  yield_op(op);
+  return fibers_[static_cast<std::size_t>(running_)].op.result;
+}
+
+void Model::op_fence_seq_cst() {
+  PendingOp op;
+  op.kind = OpKind::kFence;
+  yield_op(op);
+}
+
+void Model::op_queue_push(int queue, std::int64_t v) {
+  PendingOp op;
+  op.kind = OpKind::kQueuePush;
+  op.loc = queue;
+  op.arg0 = static_cast<std::uint64_t>(v);
+  yield_op(op);
+}
+
+std::int64_t Model::op_queue_pop(int queue) {
+  PendingOp op;
+  op.kind = OpKind::kQueuePop;
+  op.loc = queue;
+  yield_op(op);
+  return static_cast<std::int64_t>(
+      fibers_[static_cast<std::size_t>(running_)].op.result);
+}
+
+// ------------------------------------------------- scheduler-side execute
+
+std::uint32_t Model::min_readable(const Fiber& f, int loc) const {
+  const Location& l = locs_[static_cast<std::size_t>(loc)];
+  std::uint32_t lo = f.coherence.size() > static_cast<std::size_t>(loc)
+                         ? f.coherence[static_cast<std::size_t>(loc)]
+                         : 0;
+  // Newest store the fiber is causally aware of: it may not read older.
+  for (std::uint32_t i = static_cast<std::uint32_t>(l.history.size()); i > lo;
+       --i) {
+    const Store& s = l.history[i - 1];
+    if (s.writer < 0 || f.clock.covers(s.writer, s.stamp)) {
+      lo = i - 1;
+      break;
+    }
+  }
+  return lo;
+}
+
+void Model::execute_pending(int tid) {
+  Fiber& f = fibers_[static_cast<std::size_t>(tid)];
+  PendingOp& op = f.op;
+  if (op.loc >= 0 && f.coherence.size() < locs_.size()) {
+    f.coherence.resize(locs_.size(), 0);
+  }
+  Location* l =
+      op.loc >= 0 ? &locs_[static_cast<std::size_t>(op.loc)] : nullptr;
+  switch (op.kind) {
+    case OpKind::kLoad: {
+      const std::uint32_t lo = min_readable(f, op.loc);
+      const std::uint32_t hi =
+          static_cast<std::uint32_t>(l->history.size()) - 1;
+      std::uint32_t pick = hi;
+      if (hi > lo) {
+        // Choice 0 reads the newest store, so the first execution is the
+        // "intuitive" one and stale reads branch off it.
+        const int idx = choose(false, static_cast<int>(hi - lo) + 1, -1);
+        pick = hi - static_cast<std::uint32_t>(idx);
+      }
+      const Store& s = l->history[pick];
+      if (f.coherence[static_cast<std::size_t>(op.loc)] < pick) {
+        f.coherence[static_cast<std::size_t>(op.loc)] = pick;
+      }
+      if (op.ordered && s.release) f.clock.join(s.clock);
+      op.result = s.value;
+      break;
+    }
+    case OpKind::kStore: {
+      f.clock.c[tid] += 1;
+      Store s;
+      s.value = op.arg0;
+      s.writer = tid;
+      s.stamp = f.clock.c[tid];
+      s.release = op.ordered;
+      s.clock = f.clock;
+      l->history.push_back(s);
+      f.coherence[static_cast<std::size_t>(op.loc)] =
+          static_cast<std::uint32_t>(l->history.size()) - 1;
+      break;
+    }
+    case OpKind::kCas:
+    case OpKind::kFetchAdd: {
+      // RMWs read the newest store (C++ atomicity) with acq_rel ordering
+      // — the only ordering the protocol templates use on RMWs.
+      const std::uint32_t last =
+          static_cast<std::uint32_t>(l->history.size()) - 1;
+      const Store& prev = l->history[last];
+      f.coherence[static_cast<std::size_t>(op.loc)] = last;
+      if (prev.release) f.clock.join(prev.clock);
+      op.result = prev.value;
+      const bool write =
+          op.kind == OpKind::kFetchAdd || prev.value == op.arg1;
+      op.flag = write && op.kind == OpKind::kCas;
+      if (write) {
+        f.clock.c[tid] += 1;
+        Store s;
+        s.value = op.kind == OpKind::kCas ? op.arg0 : prev.value + op.arg0;
+        s.writer = tid;
+        s.stamp = f.clock.c[tid];
+        s.release = true;
+        s.clock = f.clock;
+        l->history.push_back(s);
+        f.coherence[static_cast<std::size_t>(op.loc)] = last + 1;
+      }
+      break;
+    }
+    case OpKind::kFence: {
+      f.clock.join(sc_clock_);
+      sc_clock_.join(f.clock);
+      break;
+    }
+    case OpKind::kQueuePush: {
+      // Lock semantics: every queue op joins and updates the queue clock,
+      // exactly the happens-before a mutex-protected deque provides.
+      f.clock.c[tid] += 1;
+      f.clock.join(l->queue_clock);
+      l->queue_clock.join(f.clock);
+      l->q.push_back(static_cast<std::int64_t>(op.arg0));
+      for (Fiber& g : fibers_) {
+        if (g.state == FiberState::kBlocked && g.blocked_on == op.loc) {
+          g.state = FiberState::kRunnable;
+          g.blocked_on = -1;
+        }
+      }
+      break;
+    }
+    case OpKind::kQueuePop: {
+      // pick_fiber() blocks empty-queue poppers eagerly, so the queue is
+      // non-empty here.
+      f.clock.c[tid] += 1;
+      f.clock.join(l->queue_clock);
+      l->queue_clock.join(f.clock);
+      op.result = static_cast<std::uint64_t>(l->q.front());
+      l->q.pop_front();
+      break;
+    }
+  }
+  record(tid, op);
+}
+
+// --------------------------------------------------------------- explore
+
+bool Model::dependent(const PendingOp& a, const PendingOp& b) const {
+  // Fences only touch (own clock, SC clock): they commute with everything
+  // except other fences. Two loads commute; anything else on one location
+  // conflicts.
+  if (a.kind == OpKind::kFence || b.kind == OpKind::kFence) {
+    return a.kind == b.kind;
+  }
+  if (a.loc != b.loc) return false;
+  return !(a.kind == OpKind::kLoad && b.kind == OpKind::kLoad);
+}
+
+int Model::choose(bool schedule_node, int num, int chosen_thread_hint) {
+  if (deterministic_ || num <= 1) return 0;
+  if (depth_ < stack_.size()) {
+    Decision& d = stack_[depth_];
+    QNN_CHECK(d.num == num && d.schedule == schedule_node,
+              "mc: nondeterministic replay (decision shape changed)");
+    ++depth_;
+    return d.chosen;
+  }
+  Decision d;
+  d.schedule = schedule_node;
+  d.chosen = 0;
+  d.num = num;
+  d.chosen_thread = chosen_thread_hint;
+  stack_.push_back(d);
+  ++depth_;
+  return 0;
+}
+
+int Model::pick_fiber() {
+  // Eagerly park fibers whose next op cannot proceed (pop on an empty
+  // queue): scheduling one would only discover it must block.
+  for (std::size_t i = 0; i < fibers_.size(); ++i) {
+    Fiber& f = fibers_[i];
+    if (f.state == FiberState::kRunnable && f.op.kind == OpKind::kQueuePop &&
+        locs_[static_cast<std::size_t>(f.op.loc)].q.empty()) {
+      f.state = FiberState::kBlocked;
+      f.blocked_on = f.op.loc;
+    }
+  }
+
+  int runnable[kMaxThreads];
+  int n = 0;
+  const bool prev_runnable =
+      last_ran_ >= 0 &&
+      fibers_[static_cast<std::size_t>(last_ran_)].state ==
+          FiberState::kRunnable;
+  if (prev_runnable) runnable[n++] = last_ran_;  // continuation first
+  bool any_blocked = false;
+  for (int i = 0; i < static_cast<int>(fibers_.size()); ++i) {
+    const Fiber& f = fibers_[static_cast<std::size_t>(i)];
+    if (f.state == FiberState::kBlocked) any_blocked = true;
+    if (f.state != FiberState::kRunnable || i == last_ran_) continue;
+    runnable[n++] = i;
+  }
+  if (n == 0) return any_blocked ? -1 : -2;  // -1 deadlock, -2 finished
+
+  int cands[kMaxThreads];
+  int nc = 0;
+  if (prev_runnable && preemptions_ >= budget_.preemption_bound) {
+    cands[nc++] = last_ran_;  // out of preemptions: must continue
+  } else if (budget_.sleep_sets) {
+    for (int i = 0; i < n; ++i) {
+      if ((cur_sleep_ & (1u << runnable[i])) == 0) cands[nc++] = runnable[i];
+    }
+    if (nc == 0) return -3;  // everything enabled is asleep: redundant path
+  } else {
+    for (int i = 0; i < n; ++i) cands[nc++] = runnable[i];
+  }
+
+  const int idx = choose(true, nc, cands[0]);
+  const int tid = cands[idx];
+  if (!deterministic_ && nc > 1) {
+    stack_[depth_ - 1].chosen_thread = tid;
+  }
+
+  // Sleep-set maintenance: siblings explored at this node sleep in this
+  // subtree until an op dependent with theirs executes.
+  if (budget_.sleep_sets) {
+    if (!deterministic_ && nc > 1) {
+      cur_sleep_ |= stack_[depth_ - 1].explored;
+    }
+    cur_sleep_ &= ~(1u << tid);
+    const PendingOp& executed = fibers_[static_cast<std::size_t>(tid)].op;
+    for (int i = 0; i < static_cast<int>(fibers_.size()); ++i) {
+      if ((cur_sleep_ & (1u << i)) != 0 &&
+          dependent(fibers_[static_cast<std::size_t>(i)].op, executed)) {
+        cur_sleep_ &= ~(1u << i);
+      }
+    }
+  }
+
+  if (prev_runnable && tid != last_ran_) ++preemptions_;
+  return tid;
+}
+
+RunOutcome Model::run_execution() {
+  current_ = this;
+  // Start every fiber: each runs deterministic plain code up to its first
+  // visible op (or completion).
+  for (int i = 0; i < static_cast<int>(fibers_.size()); ++i) {
+    Fiber& f = fibers_[static_cast<std::size_t>(i)];
+    running_ = i;
+#if defined(__x86_64__)
+    qnn_mc_switch(&sched_sp_, f.sp);
+#else
+    swapcontext(&sched_ctx_, &f.ctx);
+#endif
+  }
+  running_ = -1;
+
+  for (;;) {
+    if (!failure_.empty()) return RunOutcome::kFailed;
+    if (steps_ >= budget_.max_steps) return RunOutcome::kStepBudget;
+    const int tid = pick_fiber();
+    if (tid == -2) return RunOutcome::kFinished;
+    if (tid == -1) return RunOutcome::kDeadlock;
+    if (tid == -3) return RunOutcome::kPruned;
+    last_ran_ = tid;
+    ++steps_;
+    execute_pending(tid);
+    Fiber& f = fibers_[static_cast<std::size_t>(tid)];
+    if (f.state != FiberState::kRunnable) continue;  // parked by its own op
+    running_ = tid;
+#if defined(__x86_64__)
+    qnn_mc_switch(&sched_sp_, f.sp);
+#else
+    swapcontext(&sched_ctx_, &f.ctx);
+#endif
+    running_ = -1;
+  }
+}
+
+void Model::reset_execution() {
+  locs_.clear();
+  fibers_.clear();
+  sc_clock_ = VClock{};
+  running_ = -1;
+  last_ran_ = -1;
+  preemptions_ = 0;
+  cur_sleep_ = 0;
+  steps_ = 0;
+  failure_.clear();
+  trace_.clear();
+}
+
+bool Model::backtrack() {
+  while (!stack_.empty()) {
+    Decision& d = stack_.back();
+    if (d.schedule && d.chosen_thread >= 0) {
+      d.explored |= 1u << d.chosen_thread;
+    }
+    if (d.chosen + 1 < d.num) {
+      ++d.chosen;
+      d.chosen_thread = -1;
+      return true;
+    }
+    stack_.pop_back();
+  }
+  return false;
+}
+
+Model::Result Model::explore(const Budget& budget,
+                             const std::function<void()>& setup,
+                             const std::function<std::string()>& verdict) {
+  Result res;
+  budget_ = budget;
+  deterministic_ = false;
+  stack_.clear();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    if (res.stats.executions + res.stats.pruned >= budget.max_executions) {
+      res.stats.budget_exhausted = true;
+      break;
+    }
+    if (budget.max_millis != 0) {
+      const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      if (static_cast<std::uint64_t>(ms) >= budget.max_millis) {
+        res.stats.budget_exhausted = true;
+        break;
+      }
+    }
+    depth_ = 0;
+    reset_execution();
+    current_ = this;
+    setup();
+    const RunOutcome out = run_execution();
+    res.stats.transitions += steps_;
+    if (stack_.size() > res.stats.max_depth) {
+      res.stats.max_depth = stack_.size();
+    }
+    if (out == RunOutcome::kPruned) {
+      ++res.stats.pruned;
+    } else {
+      ++res.stats.executions;
+      std::string what;
+      switch (out) {
+        case RunOutcome::kDeadlock: {
+          std::ostringstream os;
+          os << "deadlock (lost wakeup): no fiber runnable after " << steps_
+             << " ops;";
+          for (std::size_t i = 0; i < fibers_.size(); ++i) {
+            if (fibers_[i].state == FiberState::kBlocked) {
+              os << " t" << i << " parked on "
+                 << locs_[static_cast<std::size_t>(fibers_[i].blocked_on)]
+                        .name;
+            }
+          }
+          const std::string detail = verdict();
+          what = os.str();
+          if (!detail.empty()) what += "; " + detail;
+          break;
+        }
+        case RunOutcome::kFailed:
+          what = failure_;
+          break;
+        case RunOutcome::kStepBudget:
+          what = "step budget exceeded after " +
+                 std::to_string(steps_) + " ops (livelock suspect)";
+          break;
+        case RunOutcome::kFinished:
+          what = verdict();
+          break;
+        case RunOutcome::kPruned:
+          break;
+      }
+      if (!what.empty()) {
+        res.violations.push_back({std::move(what), format_trace()});
+        if (budget.stop_on_first) break;
+      }
+    }
+    if (!backtrack()) {
+      res.stats.complete = true;
+      break;
+    }
+  }
+  return res;
+}
+
+RunOutcome Model::run_once(const std::function<void()>& setup,
+                           std::string* trace) {
+  budget_ = Budget{};
+  deterministic_ = true;
+  depth_ = 0;
+  reset_execution();
+  current_ = this;
+  setup();
+  const RunOutcome out = run_execution();
+  if (trace != nullptr) *trace = format_trace();
+  deterministic_ = false;
+  return out;
+}
+
+// ----------------------------------------------------------------- trace
+
+void Model::record(int tid, const PendingOp& op) {
+  TraceOp t;
+  t.tid = static_cast<std::int8_t>(tid);
+  t.kind = op.kind;
+  t.loc = static_cast<std::int16_t>(op.loc);
+  t.value = op.arg0;
+  t.result = op.result;
+  t.flag = op.flag;
+  trace_.push_back(t);
+}
+
+std::string Model::format_trace() const {
+  std::ostringstream os;
+  for (const TraceOp& t : trace_) {
+    os << "  t" << static_cast<int>(t.tid) << ' ' << op_name(t.kind);
+    if (t.loc >= 0) os << ' ' << locs_[static_cast<std::size_t>(t.loc)].name;
+    switch (t.kind) {
+      case OpKind::kLoad:
+        os << " -> " << t.result;
+        break;
+      case OpKind::kStore:
+        os << " = " << t.value;
+        break;
+      case OpKind::kCas:
+        os << " ->" << t.value << (t.flag ? " ok" : " fail")
+           << " (was " << t.result << ")";
+        break;
+      case OpKind::kFetchAdd:
+        os << " +" << t.value << " (was " << t.result << ")";
+        break;
+      case OpKind::kQueuePush:
+        os << " = " << static_cast<std::int64_t>(t.value);
+        break;
+      case OpKind::kQueuePop:
+        os << " -> " << static_cast<std::int64_t>(t.result);
+        break;
+      case OpKind::kFence:
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace qnn::mc

@@ -12,6 +12,7 @@
 
 #include "plan/cache.h"
 #include "verify/graph_check.h"
+#include "verify/plan_check.h"
 
 namespace qnn {
 namespace {
@@ -915,10 +916,22 @@ DfeServer::DfeServer(const NetworkSpec& spec, const NetworkParams& params,
     if (cache.enabled()) {
       if (auto cached =
               cache.load(plan_key(pipeline, session_config.slo_us))) {
-        session_config.plan =
-            std::make_shared<const CompiledPlan>(*std::move(cached));
-        impl_->metrics.log_event(std::string(kPlanCacheHit) + ": " +
-                                 session_config.plan->fingerprint());
+        // Re-verify before arming the whole pool with it: a cached file
+        // that parses but fails the consistency lint (stale hash, corrupt
+        // streams, burst/FIFO skew — verify/plan_check.h) is a MISS, loudly
+        // logged, never a broken cold start.
+        Report lint;
+        lint_plan(pipeline, *cached, lint);
+        if (lint.ok()) {
+          session_config.plan =
+              std::make_shared<const CompiledPlan>(*std::move(cached));
+          impl_->metrics.log_event(std::string(kPlanCacheHit) + ": " +
+                                   session_config.plan->fingerprint());
+        } else {
+          impl_->metrics.log_event("plan-cache-rejected: " +
+                                   cached->fingerprint() + " (" +
+                                   lint.summary() + ")");
+        }
       }
     }
   }
@@ -969,6 +982,25 @@ DfeServer::DfeServer(const NetworkSpec& spec, const NetworkParams& params,
       } else {
         impl_->have_shadow = true;
       }
+    }
+  }
+  if (session_config.engine.pin_threads) {
+    // Lint the pool's core tiling (verify/plan_check.h): a stagger bug, an
+    // oversized plan-frozen pool_threads or simply more replicas than the
+    // machine has cores makes windows collide — correctness is unaffected,
+    // so findings are logged, not fatal.
+    std::vector<ReplicaPinWindow> windows;
+    windows.reserve(impl_->replicas.size());
+    for (std::size_t i = 0; i < impl_->replicas.size(); ++i) {
+      const Impl::Replica& rep = *impl_->replicas[i];
+      windows.push_back(ReplicaPinWindow{
+          "replica " + std::to_string(i) + " (" + rep.backend_name + ")",
+          rep.session_config.engine.pin_offset, pin_stride});
+    }
+    Report pin_report;
+    lint_pool_pinning(windows, pin_report);
+    for (const Diagnostic& d : pin_report.diagnostics()) {
+      if (d.severity != Severity::kInfo) impl_->metrics.log_event(d.str());
     }
   }
   QNN_CHECK(traffic >= 1,

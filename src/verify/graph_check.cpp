@@ -7,6 +7,8 @@
 #include "fpga/resource_model.h"
 #include "plan/compiled_plan.h"
 #include "sim/cycle_model.h"
+#include "verify/plan_check.h"
+#include "verify/token_flow.h"
 
 namespace qnn {
 namespace {
@@ -365,6 +367,15 @@ void check_capacities(const Pipeline& p, const FifoPlan& plan,
     }
   }
 
+  // Skip FIFOs below the quick whole-feature-map bound, deferred to the
+  // exact token-flow proof after the scan.
+  struct TightSkip {
+    const PlannedStream* stream;
+    std::size_t required;
+    std::string detail;
+  };
+  std::vector<TightSkip> tight_skips;
+
   for (const PlannedStream& ps : plan.streams) {
     if (ps.consumer < 0) continue;
     const Node& c = p.node(ps.consumer);
@@ -428,20 +439,77 @@ void check_capacities(const Pipeline& p, const FifoPlan& plan,
       }
       const std::size_t required =
           static_cast<std::size_t>(p.node(ps.producer).out.elems());
-      if (ps.capacity < required) {
-        report.error(diag::kSkipCapacity, ps.consumer, ps.name,
-                     "skip FIFO capacity " + std::to_string(ps.capacity) +
-                         " cannot cover the regular path's lag bound of " +
-                         std::to_string(required) + " values (" + path +
-                         "); the adder would deadlock");
-      } else {
+      if (ps.capacity >= required) {
         report.info(diag::kSkipCapacity, ps.consumer, ps.name,
                     "deadlock-free: capacity " +
                         std::to_string(ps.capacity) +
                         " covers the regular path's lag bound of " +
                         std::to_string(required) + " values (" + path +
                         ")");
+      } else {
+        // Below the whole-feature-map bound the quick argument is silent:
+        // the capacity only has to cover the regular path's TRUE lag, a
+        // property of the scan geometry and every FIFO between fork and
+        // adder. Defer to the exact token-flow proof over the whole plan.
+        tight_skips.push_back(
+            {&ps, required, std::to_string(ps.capacity) +
+                                " is below the feature-map bound of " +
+                                std::to_string(required) + " values (" +
+                                path + ")"});
       }
+    }
+  }
+
+  if (tight_skips.empty()) return;
+
+  // One self-timed simulation of the whole planned graph decides every
+  // below-bound skip FIFO at once (verify/token_flow.h): completion of the
+  // no-slack model proves deadlock freedom for every schedule; deadlock of
+  // the full-slack model refutes it; the band between is reported, not
+  // guessed.
+  TokenFlowResult proof;
+  try {
+    proof = prove_token_flow(p, plan);
+  } catch (const Error& e) {
+    for (const TightSkip& ts : tight_skips) {
+      report.warn(diag::kUnprovable, ts.stream->consumer, ts.stream->name,
+                  "skip capacity " + ts.detail +
+                      ") and the token-flow model could not be built: " +
+                      e.what());
+    }
+    return;
+  }
+  for (const TightSkip& ts : tight_skips) {
+    switch (proof.verdict) {
+      case TokenVerdict::kFeasible:
+        report.info(diag::kSkipCapacity, ts.stream->consumer, ts.stream->name,
+                    "deadlock-free (exact token-flow proof): capacity " +
+                        ts.detail +
+                        ") but the pipelined simulation completes with no "
+                        "burst slack, so the true lag is covered under "
+                        "every schedule");
+        break;
+      case TokenVerdict::kDeadlock:
+        report.error(diag::kSkipCapacity, ts.stream->consumer,
+                     ts.stream->name,
+                     "skip FIFO capacity " + ts.detail +
+                         ") and the exact token-flow simulation deadlocks "
+                         "even with full burst slack: " + proof.witness);
+        break;
+      case TokenVerdict::kMarginal:
+        report.warn(diag::kUnprovable, ts.stream->consumer, ts.stream->name,
+                    "skip capacity " + ts.detail +
+                        ") is schedule-dependent: the token-flow simulation "
+                        "completes only when burst buffers absorb the "
+                        "overhang (no-slack quiescence: " + proof.witness +
+                        "); enlarge the FIFO");
+        break;
+      case TokenVerdict::kUndecided:
+        report.warn(diag::kUnprovable, ts.stream->consumer, ts.stream->name,
+                    "skip capacity " + ts.detail +
+                        ") and the token-flow simulation exhausted its "
+                        "budget before deciding");
+        break;
     }
   }
 }
@@ -562,14 +630,14 @@ Report verify_graph(const Pipeline& pipeline, const NetworkParams* params,
   if (!edges_in_range(pipeline)) return report;
   check_shapes(pipeline, report);
   if (params != nullptr) check_params(pipeline, *params, report);
-  if (options.plan != nullptr && !options.plan->matches(pipeline)) {
-    // A stale CompiledPlan (model edited since it was tuned) must never
-    // reach the engine: its FIFO sizes were proved for a different graph.
-    report.error(diag::kPlanMismatch, -1, "pipeline",
-                 "compiled plan fingerprint " + options.plan->fingerprint() +
-                     " does not match this pipeline (stale plan cache "
-                     "entry? re-run the autotuner)");
-    return report;
+  if (options.plan != nullptr) {
+    // Re-verify the whole plan artifact (verify/plan_check.h): a stale
+    // fingerprint, corrupt stream table or burst/FIFO skew must never reach
+    // the engine — its FIFO sizes were proved for a different graph. Any
+    // error here invalidates the capacity proof below, so stop.
+    const int errors_before = report.errors();
+    lint_plan(pipeline, *options.plan, report);
+    if (report.errors() != errors_before) return report;
   }
   if (report.ok()) {
     // Prove the SAME streams the engine will wire: the supplied plan's

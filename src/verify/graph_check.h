@@ -17,9 +17,13 @@
 //  (c) deadlock / capacity — the FIFO plan the engine will wire (either
 //      the CompiledPlan supplied via EngineOptions::plan, after a
 //      QNN-D305 fingerprint check, or plan/fifo_plan.h re-derived on the
-//      spot) is checked edge by edge: every skip FIFO must cover the
-//      regular path's worst-case lag, and a burst larger than the
-//      smallest FIFO is clamped (QNN-D302) instead of live-locking;
+//      spot) is checked edge by edge: a skip FIFO at or above the
+//      whole-feature-map bound is proved safe immediately; one below it
+//      is decided *exactly* by the token-flow simulation of
+//      verify/token_flow.h (proved QNN-D301 info, refuted QNN-D301 error
+//      with the quiescent marking as witness, or QNN-D304 when liveness
+//      is schedule-dependent), and a burst larger than the smallest FIFO
+//      is clamped (QNN-D302) instead of live-locking;
 //  (d) partition feasibility — per-cut MaxRing bit-rates against the
 //      sim/ link model and per-DFE resource totals against
 //      fpga/resource_model.

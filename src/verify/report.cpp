@@ -54,6 +54,59 @@ std::string Report::str(Severity min_severity) const {
   return os.str();
 }
 
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Report::json() const {
+  std::ostringstream os;
+  os << "{\n  \"ok\": " << (ok() ? "true" : "false")
+     << ",\n  \"errors\": " << errors_ << ",\n  \"warnings\": " << warnings_
+     << ",\n  \"diagnostics\": [";
+  for (std::size_t i = 0; i < diags_.size(); ++i) {
+    const Diagnostic& d = diags_[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"code\": \"" << d.code
+       << "\", \"severity\": \"" << severity_name(d.severity)
+       << "\", \"node\": " << d.node << ", \"where\": \""
+       << json_escape(d.where) << "\", \"message\": \""
+       << json_escape(d.message) << "\"}";
+  }
+  os << (diags_.empty() ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
 std::string Report::summary() const {
   std::ostringstream os;
   os << (ok() ? "PASS" : "FAIL") << ": " << errors_ << " error(s), "

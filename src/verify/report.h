@@ -10,6 +10,7 @@
 //   QNN-D3xx  deadlock / FIFO capacity
 //   QNN-D4xx  multi-DFE partition feasibility (MaxRing links, resources)
 //   QNN-D5xx  backend capability (supports_op / device availability)
+//   QNN-D6xx  protocol model checking (src/mc) + compiled-plan consistency
 //
 // Severity semantics:
 //   kError    the graph would hang, crash, or stream poisoned values at
@@ -81,6 +82,25 @@ inline constexpr const char* kBadSegments = "QNN-D404";
 // --- qnn_backend so qnn_verify stays below the backend seam) ------------
 inline constexpr const char* kBackendUnsupportedOp = "QNN-D501";
 inline constexpr const char* kBackendNoDevices = "QNN-D502";
+// --- protocol model checking (src/mc) -----------------------------------
+inline constexpr const char* kProtoDeadlock = "QNN-D601";     // lost wakeup /
+                                                              // deadlock trace
+inline constexpr const char* kProtoDoubleRun = "QNN-D602";    // task stepped
+                                                              // concurrently
+inline constexpr const char* kProtoLinearize = "QNN-D603";    // FIFO/counter
+                                                              // integrity
+inline constexpr const char* kProtoBudget = "QNN-D604";       // exploration
+                                                              // budget exhausted
+inline constexpr const char* kProtoExplored = "QNN-D605";     // exploration
+                                                              // stats (proof
+                                                              // note)
+// --- compiled-plan consistency (verify/plan_check.h) --------------------
+inline constexpr const char* kPinOverlap = "QNN-D610";     // replica pools pin
+                                                           // onto the same core
+inline constexpr const char* kMachineDrift = "QNN-D611";   // cached plan built
+                                                           // on another machine
+inline constexpr const char* kBurstFifoSkew = "QNN-D612";  // link burst exceeds
+                                                           // planned capacity
 }  // namespace diag
 
 /// One analyzer finding.
@@ -129,6 +149,10 @@ class Report {
 
   /// Render every finding at or above `min_severity`, one per line.
   [[nodiscard]] std::string str(Severity min_severity = Severity::kInfo) const;
+  /// Machine-readable rendering of the whole report (qnn_verify --json):
+  /// {"ok": ..., "errors": N, "warnings": N, "diagnostics": [{code,
+  /// severity, node, where, message}, ...]}.
+  [[nodiscard]] std::string json() const;
   /// One-line verdict: "FAIL: 2 error(s), 1 warning(s)" / "PASS ...".
   [[nodiscard]] std::string summary() const;
 

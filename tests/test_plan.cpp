@@ -285,6 +285,45 @@ TEST(PlanCacheTest, ServerColdStartLoadsCachedPlanBitExactly) {
   }
 }
 
+TEST(PlanCacheTest, ColdStartRejectsCachedPlanThatFailsTheLint) {
+  const TinyNet net;
+  const ScratchDir dir("test_plan_cache.reject");
+  // A plan that parses and carries the RIGHT fingerprint, but whose stream
+  // table was skewed after tuning (burst above its own FIFO): the cache
+  // layer cannot see this — only the verify/plan_check.h lint can.
+  CompiledPlan skewed = compile_plan(net.pipeline);
+  skewed.fifos.streams[0].burst = skewed.fifos.streams[0].capacity + 1;
+  ASSERT_TRUE(PlanCache(dir.path.string()).store(skewed));
+
+  // A session cold start treats the rejected plan as a MISS and derives a
+  // fresh plan — it must not throw and must stay bit-exact.
+  SessionConfig warm = net.session_config;
+  warm.plan_cache_dir = dir.path.string();
+  DfeSession session = DfeSession::compile(net.spec, net.params, warm);
+  const ReferenceExecutor ref(net.pipeline, net.params);
+  for (const IntTensor& image : net.batch(3, 64)) {
+    EXPECT_EQ(session.infer(image), ref.run(image));
+  }
+
+  // A server cold start does the same, and the rejection is observable:
+  // one plan-cache-rejected event (with the lint verdict), no cache-hit
+  // event, and inference still works.
+  DfeServer server(net.spec, net.params, ServerConfig{}, warm);
+  bool rejected = false;
+  for (const std::string& event : server.metrics().events()) {
+    EXPECT_EQ(event.find(kPlanCacheHit), std::string::npos) << event;
+    if (event.find("plan-cache-rejected") != std::string::npos) {
+      EXPECT_NE(event.find(skewed.fingerprint()), std::string::npos) << event;
+      rejected = true;
+    }
+  }
+  EXPECT_TRUE(rejected) << "the lint rejection must be logged";
+  const IntTensor image = net.batch(1, 65).front();
+  const InferenceResult res = server.submit(image);
+  ASSERT_EQ(res.status, ServerStatus::kOk) << to_string(res.status);
+  EXPECT_EQ(res.logits, ref.run(image));
+}
+
 // ---- pool shaping ---------------------------------------------------------
 
 TEST(PoolShape, DerivesFastSlicesAndOneShadow) {

@@ -370,5 +370,42 @@ TEST(StreamReadiness, UnbindSilencesTheSeam) {
   EXPECT_TRUE(hook.wakes().empty());
 }
 
+// Satellite regression: the engine resets every stream between runs while
+// the ready-queue executor's hook bindings are still in place (bound once
+// before workers start, cleared after they join). reset() must neither
+// drop the binding nor leave the ring in a state where the next run's
+// first transaction fails to fire the wake — either defect turns the rerun
+// after cancel() into a lost wakeup against a parked worker.
+TEST(StreamReadiness, ResetKeepsHookBindingsAndWakeContractArmed) {
+  Stream s(4, 8, "reset_hooked");
+  RecordingHook hook;
+  s.bind_consumer(&hook, 7);
+  s.bind_producer(&hook, 3);
+
+  // Abandoned run: values stranded in flight, stream closed.
+  const std::int32_t vs[] = {1, 2, 3};
+  ASSERT_EQ(s.try_push_burst(vs), 3u);
+  s.close();
+  hook.clear();
+
+  s.reset();
+  EXPECT_FALSE(s.closed());
+  EXPECT_TRUE(hook.wakes().empty());  // reset itself is not a transaction
+
+  // Next run: the very first push still wakes the consumer task...
+  s.push(42);
+  EXPECT_EQ(hook.wakes(), (std::vector<int>{7}));
+  hook.clear();
+  // ...the stale values are gone (FIFO re-armed, not merely reopened)...
+  std::int32_t v = 0;
+  ASSERT_TRUE(s.pop(v));
+  EXPECT_EQ(v, 42);
+  // ...and the pop woke the producer side, close wakes the consumer.
+  EXPECT_EQ(hook.wakes(), (std::vector<int>{3}));
+  hook.clear();
+  s.close();
+  EXPECT_EQ(hook.wakes(), (std::vector<int>{7}));
+}
+
 }  // namespace
 }  // namespace qnn

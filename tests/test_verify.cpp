@@ -11,8 +11,11 @@
 #include "models/zoo.h"
 #include "nn/reference.h"
 #include "partition/partitioner.h"
+#include "plan/compiled_plan.h"
 #include "test_util.h"
 #include "verify/graph_check.h"
+#include "verify/plan_check.h"
+#include "verify/token_flow.h"
 
 namespace qnn {
 namespace {
@@ -334,6 +337,158 @@ TEST(Verify, HandcraftedBurstAboveRingIsRejected) {
   EXPECT_TRUE(has_error(r, diag::kBurstClamp));
 }
 
+// ------------------------------- (c) exact token-flow deadlock decisions
+
+/// True when the report carries `code` at `severity` with `fragment`
+/// somewhere in the message.
+bool has_diag(const Report& report, const char* code, Severity severity,
+              const char* fragment) {
+  return std::any_of(
+      report.diagnostics().begin(), report.diagnostics().end(),
+      [&](const Diagnostic& d) {
+        return d.code == code && d.severity == severity &&
+               d.message.find(fragment) != std::string::npos;
+      });
+}
+
+/// The default plan with the skip FIFO into `add` resized (burst clamped
+/// to the ring so the D302 invariant holds, as a real plan would).
+FifoPlan with_skip_capacity(const Pipeline& p, int add, std::size_t cap) {
+  FifoPlan plan = plan_fifos(p);
+  bool found = false;
+  for (PlannedStream& s : plan.streams) {
+    if (s.consumer == add && s.to_skip_port) {
+      s.capacity = cap;
+      s.burst = std::min(s.burst, cap);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "node " << add << " has no planned skip edge";
+  return plan;
+}
+
+/// tiny's two residual adders: add_6 takes its skip straight off the fork
+/// (the pure delay-buffer case), add_12's skip path carries its own
+/// downsampling convolution (the re-convergent case).
+constexpr int kForkFedAdd = 6;
+constexpr int kReconvergentAdd = 12;
+
+TEST(TokenFlow, BelowBoundSkipFifoIsProvedFeasibleExactly) {
+  // 160 values is far below the 288-value feature-map bound that used to
+  // be a hard D301 error, yet covers the regular path's true lag: the
+  // exact simulation proves it safe under every schedule.
+  const Fixture f;
+  Report r;
+  check_capacities(f.pipeline,
+                   with_skip_capacity(f.pipeline, kForkFedAdd, 160), r);
+  EXPECT_TRUE(r.ok()) << r.str();
+  EXPECT_EQ(r.warnings(), 0) << r.str();
+  EXPECT_TRUE(has_diag(r, diag::kSkipCapacity, Severity::kInfo,
+                       "exact token-flow proof"))
+      << r.str();
+}
+
+TEST(TokenFlow, ReconvergentSkipPathIsProvedFeasibleAtTinyCapacity) {
+  // The skip path into add_12 runs through its own 1x1 stride-2
+  // convolution, which lags the main path almost in lockstep — a 4-value
+  // skip FIFO is enough, although the feature-map bound is 144.
+  const Fixture f;
+  Report r;
+  check_capacities(f.pipeline,
+                   with_skip_capacity(f.pipeline, kReconvergentAdd, 4), r);
+  EXPECT_TRUE(r.ok()) << r.str();
+  EXPECT_EQ(r.warnings(), 0) << r.str();
+  EXPECT_TRUE(has_diag(r, diag::kSkipCapacity, Severity::kInfo,
+                       "exact token-flow proof"))
+      << r.str();
+}
+
+TEST(TokenFlow, TrulyUndersizedSkipFifoIsRefutedWithWitness) {
+  // 8 values cannot absorb even one retained scanner row of the regular
+  // path; the simulation deadlocks with full burst slack, and the error
+  // names the quiescent cycle instead of just predicting it.
+  const Fixture f;
+  Report r;
+  check_capacities(f.pipeline,
+                   with_skip_capacity(f.pipeline, kForkFedAdd, 8), r);
+  EXPECT_TRUE(has_error(r, diag::kSkipCapacity));
+  EXPECT_TRUE(has_diag(r, diag::kSkipCapacity, Severity::kError,
+                       "token-flow simulation deadlocks"))
+      << r.str();
+  EXPECT_TRUE(has_diag(r, diag::kSkipCapacity, Severity::kError, "blocked"))
+      << r.str();
+}
+
+TEST(TokenFlow, ScheduleDependentCapacityIsD304NotAGuess) {
+  // In the band where only burst buffers bridge the overhang, liveness
+  // depends on how the scheduler interleaves refills — neither provable
+  // nor refutable, and reported as exactly that.
+  const Fixture f;
+  Report r;
+  check_capacities(f.pipeline,
+                   with_skip_capacity(f.pipeline, kForkFedAdd, 64), r);
+  EXPECT_TRUE(r.ok()) << r.str();
+  EXPECT_TRUE(has_diag(r, diag::kUnprovable, Severity::kWarning,
+                       "schedule-dependent"))
+      << r.str();
+}
+
+TEST(TokenFlow, VerdictsBracketTheEngine) {
+  const Fixture f;
+  const auto verdict = [&](int add, std::size_t cap) {
+    return prove_token_flow(f.pipeline,
+                            with_skip_capacity(f.pipeline, add, cap))
+        .verdict;
+  };
+  EXPECT_EQ(verdict(kForkFedAdd, 8), TokenVerdict::kDeadlock);
+  EXPECT_EQ(verdict(kForkFedAdd, 64), TokenVerdict::kMarginal);
+  EXPECT_EQ(verdict(kForkFedAdd, 160), TokenVerdict::kFeasible);
+  EXPECT_EQ(verdict(kReconvergentAdd, 1), TokenVerdict::kFeasible);
+}
+
+TEST(TokenFlow, DeadlockWitnessNamesTheJammedSkipEdge) {
+  const Fixture f;
+  const TokenFlowResult r = prove_token_flow(
+      f.pipeline, with_skip_capacity(f.pipeline, kForkFedAdd, 8));
+  ASSERT_EQ(r.verdict, TokenVerdict::kDeadlock);
+  EXPECT_NE(r.witness.find("maxpool_2=>add_6"), std::string::npos)
+      << r.witness;
+  EXPECT_NE(r.witness.find("full"), std::string::npos) << r.witness;
+}
+
+TEST(TokenFlow, ExhaustedBudgetIsUndecidedNeverAssumedSafe) {
+  const Fixture f;
+  TokenFlowBudget budget;
+  budget.max_tokens = 100;  // far below one image of traffic
+  const TokenFlowResult r = prove_token_flow(
+      f.pipeline, with_skip_capacity(f.pipeline, kForkFedAdd, 160), budget);
+  EXPECT_EQ(r.verdict, TokenVerdict::kUndecided);
+}
+
+TEST(TokenFlow, ProvedFeasiblePlanActuallyRuns) {
+  // Close the loop on the proof: an engine wired with the below-bound
+  // skip capacity the simulation proved safe must complete and stay
+  // bit-exact against the reference executor.
+  const Fixture f;
+  CompiledPlan plan = compile_plan(f.pipeline);
+  bool shrunk = false;
+  for (PlannedStream& s : plan.fifos.streams) {
+    if (s.consumer == kForkFedAdd && s.to_skip_port) {
+      s.capacity = 160;
+      s.burst = std::min<std::size_t>(s.burst, 160);
+      shrunk = true;
+    }
+  }
+  ASSERT_TRUE(shrunk);
+  EngineOptions options;
+  options.plan = &plan;
+  StreamEngine engine(f.pipeline, f.params, options);
+  const ReferenceExecutor ref(f.pipeline, f.params);
+  Rng rng(53);
+  const IntTensor img = testutil::random_image(12, 12, 3, rng);
+  EXPECT_EQ(engine.run_one(img), ref.run(img));
+}
+
 // ------------------------------------------ (d) partition feasibility
 
 TEST(Verify, OversubscribedMaxRingLinkIsD401) {
@@ -450,6 +605,186 @@ TEST(Verify, ReportRendersCodesAndSummary) {
   // Severity filtering drops the info note but keeps the warning.
   EXPECT_EQ(r.str(Severity::kWarning).find("QNN-D301"), std::string::npos);
   EXPECT_NE(r.summary().find("FAIL"), std::string::npos);
+}
+
+TEST(Verify, ReportJsonIsMachineReadableAndEscaped) {
+  Report r;
+  r.error(diag::kDeadEnd, 3, "conv_3",
+          "output \"stream\" is never\nconsumed");
+  r.warn(diag::kShallowFifo, 4, "edge", "shallow");
+  const std::string j = r.json();
+  EXPECT_NE(j.find("\"ok\": false"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"errors\": 1"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"warnings\": 1"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"code\": \"QNN-D002\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\\\"stream\\\""), std::string::npos) << j;  // escaped
+  EXPECT_NE(j.find("never\\nconsumed"), std::string::npos) << j;
+  const Report empty;
+  EXPECT_NE(empty.json().find("\"diagnostics\": []"), std::string::npos);
+}
+
+// ---------------------- compiled-plan consistency lint (D305/D61x)
+
+TEST(PlanLint, FreshlyCompiledPlanReVerifiesWithInfoNote) {
+  const Fixture f;
+  const CompiledPlan plan = compile_plan(f.pipeline);
+  Report r;
+  lint_plan(f.pipeline, plan, r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.warnings(), 0) << r.str();
+  EXPECT_TRUE(has_diag(r, diag::kPlanMismatch, Severity::kInfo,
+                       "re-verified"))
+      << r.str();
+}
+
+TEST(PlanLint, StaleModelHashIsD305NamingTheField) {
+  const Fixture f;
+  // Tune against a structurally different network, then apply here.
+  const CompiledPlan plan = compile_plan(expand(models::tiny(16, 4, 2)));
+  Report r;
+  lint_plan(f.pipeline, plan, r);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(r, diag::kPlanMismatch, Severity::kError,
+                       "field 'key.model_hash'"))
+      << r.str();
+}
+
+TEST(PlanLint, WrongFormatVersionIsD305NamingTheField) {
+  const Fixture f;
+  CompiledPlan plan = compile_plan(f.pipeline);
+  plan.version = kPlanFormatVersion + 1;
+  Report r;
+  lint_plan(f.pipeline, plan, r);
+  EXPECT_TRUE(has_diag(r, diag::kPlanMismatch, Severity::kError,
+                       "field 'version'"))
+      << r.str();
+}
+
+TEST(PlanLint, ForeignMachineFingerprintIsD611Warning) {
+  const Fixture f;
+  CompiledPlan plan = compile_plan(f.pipeline);
+  plan.key.machine = "aarch64-64c";
+  Report r;
+  lint_plan(f.pipeline, plan, r);
+  EXPECT_TRUE(r.ok()) << r.str();  // still runs bit-exactly: warn, not error
+  EXPECT_TRUE(has_diag(r, diag::kMachineDrift, Severity::kWarning,
+                       "field 'key.machine'"))
+      << r.str();
+}
+
+TEST(PlanLint, CorruptStreamTableIsD305NamingTheField) {
+  const Fixture f;
+  CompiledPlan plan = compile_plan(f.pipeline);
+  plan.fifos.streams[0].capacity = 0;
+  plan.fifos.streams[1].consumer = 99;
+  Report r;
+  lint_plan(f.pipeline, plan, r);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(r, diag::kPlanMismatch, Severity::kError,
+                       "zero-capacity FIFO"))
+      << r.str();
+  EXPECT_TRUE(has_diag(r, diag::kPlanMismatch, Severity::kError,
+                       "outside this pipeline's"))
+      << r.str();
+  // The offending field is named in the finding's location.
+  EXPECT_NE(r.str().find(".capacity"), std::string::npos) << r.str();
+  EXPECT_NE(r.str().find(".consumer"), std::string::npos) << r.str();
+}
+
+TEST(PlanLint, MissingEdgeIsD305) {
+  const Fixture f;
+  CompiledPlan plan = compile_plan(f.pipeline);
+  plan.fifos.streams.pop_back();  // truncated file lost an edge
+  Report r;
+  lint_plan(f.pipeline, plan, r);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(r, diag::kPlanMismatch, Severity::kError,
+                       "has no planned stream"))
+      << r.str();
+}
+
+TEST(PlanLint, BurstAboveOwnFifoIsD612Error) {
+  const Fixture f;
+  CompiledPlan plan = compile_plan(f.pipeline);
+  plan.fifos.streams[0].burst = plan.fifos.streams[0].capacity + 1;
+  Report r;
+  lint_plan(f.pipeline, plan, r);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(r, diag::kBurstFifoSkew, Severity::kError,
+                       "exceeds the stream's own FIFO capacity"))
+      << r.str();
+}
+
+TEST(PlanLint, LinkBurstDisagreeingWithPlanIsD612Warning) {
+  const Fixture f;
+  CompiledPlan plan = compile_plan(f.pipeline);
+  ASSERT_FALSE(plan.link_bursts.empty());
+  plan.link_bursts[0].values += 1;
+  Report r;
+  lint_plan(f.pipeline, plan, r);
+  EXPECT_TRUE(r.ok()) << r.str();  // only the link models are mis-priced
+  EXPECT_TRUE(has_diag(r, diag::kBurstFifoSkew, Severity::kWarning,
+                       "field 'link_bursts'"))
+      << r.str();
+}
+
+TEST(PlanLint, VerifyGraphRunsTheLintOnArmedPlans) {
+  const Fixture f;
+  CompiledPlan plan = compile_plan(f.pipeline);
+  plan.fifos.streams[0].burst = plan.fifos.streams[0].capacity + 1;
+  EngineOptions options;
+  options.plan = &plan;
+  const Report r = f.verify(options);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has(diag::kBurstFifoSkew)) << r.str();
+  // And the engine refuses to arm it, with the code in the error text.
+  try {
+    StreamEngine engine(f.pipeline, f.params, options);
+    FAIL() << "engine must refuse a skewed plan";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("QNN-D612"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ------------------------------------- replica pool pinning (D610)
+
+TEST(PlanLint, OverlappingPinWindowsAreD610) {
+  Report r;
+  lint_pool_pinning({{"replica 0 (engine)", 0, 4},
+                     {"replica 1 (engine)", 2, 4}},
+                    r, /*hardware_cores=*/16);
+  EXPECT_TRUE(r.ok());  // throughput hazard, not a correctness error
+  EXPECT_TRUE(has_diag(r, diag::kPinOverlap, Severity::kWarning,
+                       "overlaps 'replica 1 (engine)' on cores [2, 4)"))
+      << r.str();
+}
+
+TEST(PlanLint, DisjointPinWindowsLintCleanWithInfoNote) {
+  Report r;
+  lint_pool_pinning({{"replica 0", 0, 4},
+                     {"replica 1", 4, 4},
+                     {"replica 2", 8, 4}},
+                    r, /*hardware_cores=*/16);
+  EXPECT_EQ(r.warnings(), 0) << r.str();
+  EXPECT_TRUE(has_diag(r, diag::kPinOverlap, Severity::kInfo,
+                       "pairwise disjoint"))
+      << r.str();
+}
+
+TEST(PlanLint, WindowPastTheLastCoreIsD610BecausePinsWrap) {
+  Report r;
+  lint_pool_pinning({{"replica 0", 14, 4}}, r, /*hardware_cores=*/16);
+  EXPECT_TRUE(has_diag(r, diag::kPinOverlap, Severity::kWarning,
+                       "wraps pins modulo the core count"))
+      << r.str();
+}
+
+TEST(PlanLint, UnpinnedWindowsAreIgnored) {
+  Report r;
+  lint_pool_pinning({{"replica 0", 0, 0}, {"replica 1", 0, 0}}, r,
+                    /*hardware_cores=*/16);
+  EXPECT_EQ(static_cast<int>(r.diagnostics().size()), 0) << r.str();
 }
 
 }  // namespace

@@ -24,6 +24,15 @@
 #                                   # --check pass (fail if the tuned plan
 #                                   # lost to the default on the deciding
 #                                   # metric — a structural invariant)
+#   MC=1 tools/check.sh             # additionally run the exhaustive
+#                                   # scheduler-protocol model checker
+#                                   # (ctest label `mc`: src/mc explores
+#                                   # every interleaving of the ReadyHook
+#                                   # publish/park protocol; < 60 s)
+#
+# The default run already includes the QNN-D6xx static gates — the
+# compiled-plan consistency lint (PlanLint suite) and the exact token-flow
+# deadlock proofs (TokenFlow suite) run inside test_verify/test_plan.
 #
 # The build directory is build-check[-$SANITIZE], separate from the
 # default build/ so a strict -Werror configure never pollutes it.
@@ -35,6 +44,7 @@ SANITIZE="${SANITIZE:-}"
 CHAOS="${CHAOS:-}"
 PERF="${PERF:-}"
 TUNE="${TUNE:-}"
+MC="${MC:-}"
 BUILD_DIR="build-check${SANITIZE:+-$SANITIZE}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
@@ -52,6 +62,16 @@ if [ -n "$SANITIZE" ]; then
   ctest --test-dir "$BUILD_DIR" -L sanitize --output-on-failure
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure
+fi
+
+if [ -n "$MC" ]; then
+  echo "== mc (exhaustive scheduler-protocol model checking) =="
+  # Explores every interleaving of the ReadyHook publish/park protocol on
+  # virtual threads (src/mc) — clean protocol proved, mutated variants
+  # (dropped fence / skipped re-step / lost notify) caught as deadlocks.
+  # Self-skips under sanitizers (fiber stacks are invisible to their
+  # shadow state); the whole label stays under a 60 s budget.
+  ctest --test-dir "$BUILD_DIR" -L mc --output-on-failure
 fi
 
 if [ -n "$CHAOS" ]; then
