@@ -33,6 +33,7 @@
 #include "bench_util.h"
 #include "fault/fault.h"
 #include "io/synthetic.h"
+#include "models/zoo.h"
 #include "plan/autotune.h"
 #include "serve/load_generator.h"
 #include "serve/server.h"
@@ -458,6 +459,154 @@ int run_autotune() {
   return no_loss ? 0 : 1;
 }
 
+// ---- link-fault ablation ------------------------------------------------
+//
+// The multi-DFE live path's robustness contract, measured end to end: the
+// same closed-loop load is served by a partitioned LinkedEngine replica
+// (4 StreamEngine segments over 3 MaxRing links) twice — once healthy,
+// once with link 1 permanently killed by fault injection a few frames
+// into the warm-up. The link watchdog escalates, the failover ladder
+// recompiles a degraded plan with the dead link derated to health 0, and
+// the measured window below runs steady state on that plan. The bar is
+// served throughput at >= 70% of the healthy baseline with ZERO request
+// errors and the failover actually observed — the farm degrades to fewer
+// segments instead of collapsing or losing work.
+
+constexpr const char* kLinkedBackend = "linked-4dfe-bench";
+
+int run_linkfault() {
+  bench::heading("Link-fault ablation",
+                 "closed-loop load at a 4-segment linked replica vs the "
+                 "same replica with MaxRing link 1 killed mid-warm-up");
+
+  // vgg_like(16, ...) expands to a purely sequential chain, so the 4-DFE
+  // cut {4, 9, 14} (one link per maxpool boundary) is always chain-valid.
+  const NetworkSpec spec = models::vgg_like(16, 4, 2);
+  const Pipeline pipeline = expand(spec);
+  const NetworkParams params = NetworkParams::random(pipeline, 77);
+  if (backend_registry().find(kLinkedBackend) == nullptr) {
+    LinkedEngineOptions defaults;
+    defaults.cut_after_nodes = {4, 9, 14};
+    // Tight watchdog so the seeded death escalates inside the warm-up.
+    defaults.ack_timeout_us = 2'000;
+    defaults.max_retransmits = 3;
+    defaults.retransmit_backoff_us = 200;
+    (void)backend_registry().register_backend(
+        make_linked_backend(defaults, kLinkedBackend));
+  }
+  SessionConfig session_config;
+  session_config.fast_estimate = true;
+  const std::vector<IntTensor> images = synthetic_batch(8, 16, 16, 3, 91);
+
+  // Both farms live for the whole measurement, windows interleaved
+  // healthy/faulted per repeat: machine drift (and a 1-core box's mood)
+  // hits both arms alike, so the throughput ratio survives run-to-run
+  // noise that would sink any sequential A-then-B comparison.
+  SessionConfig faulted_sc = session_config;
+  faulted_sc.engine.faults.add(FaultPlan::link_death(
+      /*link=*/1, /*run=*/0, /*after_frames=*/4));
+  const auto farm_config = [] {
+    ServerConfig cfg;
+    cfg.pool = {{kLinkedBackend, 1}};
+    cfg.max_batch = 8;
+    cfg.batch_timeout_us = 500;
+    cfg.queue_capacity = 1024;
+    cfg.max_retries = 3;
+    cfg.retry_backoff_us = 100;
+    return cfg;
+  }();
+  DfeServer healthy_farm(spec, params, farm_config, session_config);
+  DfeServer faulted_farm(spec, params, farm_config, faulted_sc);
+  LoadGenerator healthy_load(healthy_farm, images);
+  LoadGenerator faulted_load(faulted_farm, images);
+  // Warm-up triggers the seeded death and the degraded-plan recompile on
+  // the faulted arm, so the windows below are steady state on both plans.
+  (void)healthy_load.closed_loop(/*clients=*/4, /*requests_per_client=*/4);
+  (void)faulted_load.closed_loop(/*clients=*/4, /*requests_per_client=*/4);
+
+  struct Arm {
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;
+    double wall_s = 0.0;
+    double p50_us = 0.0;  // of the last window
+    double p99_us = 0.0;
+
+    [[nodiscard]] double qps() const {
+      return wall_s > 0.0 ? static_cast<double>(ok) / wall_s : 0.0;
+    }
+  };
+  Arm healthy;
+  Arm faulted;
+  constexpr int kRepeats = 4;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    for (const bool fault_arm : {false, true}) {
+      LoadGenerator& load = fault_arm ? faulted_load : healthy_load;
+      Arm& arm = fault_arm ? faulted : healthy;
+      const LoadResult r =
+          load.closed_loop(/*clients=*/8, /*requests_per_client=*/8);
+      arm.ok += r.ok;
+      arm.errors += r.errors;
+      arm.wall_s += r.wall_seconds;
+      arm.p50_us = r.p50_us;
+      arm.p99_us = r.p99_us;
+    }
+  }
+  healthy_farm.stop();
+  faulted_farm.stop();
+  const MetricsSnapshot hm = healthy_farm.metrics().snapshot();
+  const MetricsSnapshot fm = faulted_farm.metrics().snapshot();
+  const double healthy_qps = healthy.qps();
+  const double faulted_qps = faulted.qps();
+  const bool no_loss = healthy.errors == 0 && faulted.errors == 0 &&
+                       hm.errors == 0 && fm.errors == 0;
+  const bool failover_seen = fm.plan_failovers >= 1;
+
+  Table t({"configuration", "qps", "p50 us", "p99 us", "frames",
+           "retransmits", "failovers", "link 1"});
+  std::ostringstream json;
+  json << "{\n  \"scenarios\": [\n";
+  for (const bool fault_arm : {false, true}) {
+    const Arm& arm = fault_arm ? faulted : healthy;
+    const MetricsSnapshot& m = fault_arm ? fm : hm;
+    const double link1 = m.links > 1 ? m.link_health[1] : -1.0;
+    t.add_row({fault_arm ? "link 1 dead (failed over)" : "healthy 4-segment",
+               Table::num(arm.qps(), 1), Table::num(arm.p50_us, 0),
+               Table::num(arm.p99_us, 0), Table::integer(m.link_frames),
+               Table::integer(m.link_retransmits),
+               Table::integer(m.plan_failovers), Table::num(link1, 2)});
+    json << "    {\"label\": \""
+         << (fault_arm ? "link 1 dead (failed over)" : "healthy 4-segment")
+         << "\", \"qps\": " << arm.qps() << ", \"p50_us\": " << arm.p50_us
+         << ", \"p99_us\": " << arm.p99_us << ", \"ok\": " << arm.ok
+         << ", \"errors\": " << arm.errors
+         << ", \"link_frames\": " << m.link_frames
+         << ", \"link_retransmits\": " << m.link_retransmits
+         << ", \"plan_failovers\": " << m.plan_failovers
+         << ", \"link1_health\": " << link1 << "}" << (fault_arm ? "" : ",")
+         << "\n";
+  }
+  bench::emit(t, "bench_linkfault");
+  const double ratio = healthy_qps > 0.0 ? faulted_qps / healthy_qps : 0.0;
+  json << "  ],\n  \"degraded_over_healthy\": " << ratio
+       << ",\n  \"zero_lost\": " << (no_loss ? "true" : "false")
+       << ",\n  \"failover_observed\": " << (failover_seen ? "true" : "false")
+       << "\n}\n";
+  std::cout << "\ndegraded/healthy served throughput: "
+            << Table::num(ratio, 2)
+            << " (acceptance bar: >= 0.70, zero lost requests, failover "
+               "observed)\n\n"
+            << json.str();
+  const char* csv_dir = std::getenv("QNN_CSV_DIR");
+  const std::string json_path =
+      (csv_dir != nullptr ? std::string(csv_dir) + "/" : std::string()) +
+      "BENCH_linkfault.json";
+  std::ofstream jf(json_path);
+  if (jf && (jf << json.str())) {
+    std::cout << "(json written to " << json_path << ")\n";
+  }
+  return ratio >= 0.70 && no_loss && failover_seen ? 0 : 1;
+}
+
 int run() {
   bench::heading("Serving throughput/latency",
                  "closed-loop load vs. replica count and micro-batching; "
@@ -637,8 +786,9 @@ int run() {
   }
   const int backends_rc = run_backends();
   const int autotune_rc = run_autotune();
+  const int linkfault_rc = run_linkfault();
   return speedup >= 2.0 && ratio >= 0.70 && backends_rc == 0 &&
-                 autotune_rc == 0
+                 autotune_rc == 0 && linkfault_rc == 0
              ? 0
              : 1;
 }
@@ -655,6 +805,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--autotune-only") == 0) {
       return qnn::run_autotune();
+    }
+    if (std::strcmp(argv[i], "--link-fault-only") == 0) {
+      return qnn::run_linkfault();
     }
   }
   return qnn::run();

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "backend/backend.h"
+#include "dataflow/linked_engine.h"
 #include "sim/cycle_model.h"
 
 namespace qnn {
@@ -30,5 +31,16 @@ namespace qnn {
 /// register alongside the builtin without a name clash.
 [[nodiscard]] std::unique_ptr<Backend> make_reference_backend(
     std::int64_t floor_us_per_image = 1000, std::string name = "reference");
+
+/// "linked" (kFast, NOT a registry builtin): the partitioned LinkedEngine —
+/// N StreamEngine segments over fault-tolerant in-process MaxRing links
+/// with degraded-plan failover (dataflow/linked_engine.h). `options`
+/// carries the cut, link pacing and watchdog knobs; the per-session
+/// EngineOptions handed to compile() override options.engine wholesale
+/// (so plans, faults and replica identities flow through the normal
+/// session path). Register an instance by name to put a partitioned fast
+/// tier into a DfeServer pool.
+[[nodiscard]] std::unique_ptr<Backend> make_linked_backend(
+    LinkedEngineOptions options = {}, std::string name = "linked");
 
 }  // namespace qnn

@@ -24,6 +24,7 @@
 // executor); timing comes from the cycle simulator in sim/.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <span>
@@ -127,6 +128,15 @@ class StreamEngine {
     /// simulator backend) report the modeled batch duration here at the
     /// simulated fabric clock; 0.0 for live engine runs.
     double simulated_seconds = 0.0;
+    /// MaxRing link activity (LinkedEngine runs only; all zero for a
+    /// single-segment engine). `links` is the *physical* link count of the
+    /// original partition cut — a failed-over run keeps reporting the dead
+    /// link at health 0.0 so the serving metrics can show it.
+    std::uint64_t link_frames = 0;       // frames delivered across all links
+    std::uint64_t link_retransmits = 0;  // timeout/nack-driven resends
+    std::uint64_t link_failovers = 0;    // degraded-plan recompiles this run
+    int links = 0;
+    std::array<double, 8> link_health{};
   };
 
   /// Stream a batch of images through the pipeline; returns one output

@@ -1,0 +1,127 @@
+// Partitioned live runtime: N StreamEngine segments on N virtual DFEs,
+// daisy-chained by in-process MaxRing links (paper §III-C), with a
+// failover ladder that survives permanent link death mid-run.
+//
+// The LinkedEngine executes an explicit partition cut (a CompiledPlan's
+// `cut_after_nodes`, or one derived by partition_optimal) for real: each
+// segment is a standalone sub-pipeline with re-indexed parameter banks,
+// driven by its own thread; images pipeline through the chain (segment 0
+// computes image i+1 while segment 1 computes image i), and every
+// boundary tensor ships as checksummed, sequence-numbered MaxRing frames
+// paced by the partitioner's link_bits_per_cycle arithmetic.
+//
+// Fault tolerance (the robustness contract DfeServer builds on):
+//   * transient outages / corrupted frames are healed inside MaxRingLink
+//     (checksum-nack + bounded retransmit with jittered backoff) — the
+//     run completes bit-exact with only retransmit counters to show;
+//   * permanent link death escalates out of the link watchdog, and run()
+//     fails over: the dead link is derated to health 0 and the degraded
+//     plan ladder picks the next rung —
+//       1. repartition_optimal under the derated link health,
+//       2. the prefix of the current cuts that avoids the dead link,
+//       3. the single-DFE plan (always runnable);
+//     every rung is proved by verify/link_check.h (D420/D421/D422)
+//     before it arms, and the images the failed attempt did not finish
+//     are replayed on the new plan — zero lost work, bit-exact results.
+//
+// Thread-safety matches StreamEngine: one run() at a time; cancel() may
+// be called from any thread.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/engine.h"
+#include "dataflow/link.h"
+#include "partition/partitioner.h"
+
+namespace qnn {
+
+struct LinkedEngineOptions {
+  /// Per-segment engine tuning. `plan` and `faults` are honored: the plan
+  /// supplies the default cut (its cut_after_nodes) but is NOT handed to
+  /// the segment engines (its FIFO plan indexes the unsplit pipeline);
+  /// faults arm stream/kernel sites inside each segment and the link
+  /// sites on the MaxRing boundaries.
+  EngineOptions engine;
+  /// The partition cut: link k connects the segments on either side of
+  /// cut_after_nodes[k]. Empty = take the engine plan's cut, else derive
+  /// one with partition_optimal (which may yield a single segment).
+  std::vector<int> cut_after_nodes;
+  /// Wire pricing + failover repartitioning knobs (link_bits_per_cycle,
+  /// clock_hz, link_health, link_bursts).
+  PartitionConfig partition;
+  /// Values per MaxRing frame; 0 = the planned burst of the crossing
+  /// stream (PartitionConfig::link_bursts), falling back to 256.
+  std::size_t frame_values = 0;
+  bool pace_links = true;
+  std::int64_t ack_timeout_us = 20000;
+  int max_retransmits = 8;
+  std::int64_t retransmit_backoff_us = 200;
+  /// Seed of the links' jittered retransmit backoff.
+  std::uint64_t link_seed = 1;
+  /// D421 proof margin: wire rate must leave this fraction of capacity
+  /// free for retransmissions.
+  double retransmit_headroom = 0.10;
+  /// Target frame rate of the D421 wire-rate proof; 0 = structural
+  /// checks only (D420/D422).
+  double target_fps = 0.0;
+  /// Failover timeline callback (link death, ladder rungs, re-arms);
+  /// invoked from run()'s caller thread only.
+  std::function<void(const std::string&)> on_event;
+};
+
+/// One standalone sub-pipeline of a partition cut, with its parameter
+/// banks re-indexed so any engine can run it in isolation.
+struct PipelineSegment {
+  Pipeline pipeline;
+  NetworkParams params;
+};
+
+/// Extract nodes [first, last] of `pipeline` as a standalone pipeline:
+/// edges and parameter bank indices are re-based, and the segment input
+/// is node first-1's output (the stream a MaxRing link would carry).
+[[nodiscard]] PipelineSegment extract_segment(const Pipeline& pipeline,
+                                              const NetworkParams& params,
+                                              int first, int last);
+
+class LinkedEngine {
+ public:
+  /// `pipeline` and `params` must outlive the engine (segments copy what
+  /// they need, but the failover repartitioner re-reads the original).
+  LinkedEngine(const Pipeline& pipeline, const NetworkParams& params,
+               LinkedEngineOptions options = {});
+  ~LinkedEngine();
+
+  LinkedEngine(const LinkedEngine&) = delete;
+  LinkedEngine& operator=(const LinkedEngine&) = delete;
+
+  /// Stream a batch through the chain; survives link death by failover.
+  /// Reports link activity in the RunStats link_* fields.
+  [[nodiscard]] std::vector<IntTensor> run(
+      std::span<const IntTensor> images,
+      StreamEngine::RunStats* stats = nullptr);
+
+  [[nodiscard]] IntTensor run_one(const IntTensor& image);
+
+  /// Abort the in-flight run() from another thread; run() throws Error
+  /// (not LinkDeadError — cancellation is not a failover trigger).
+  void cancel();
+
+  /// Segments in the *current* (possibly degraded) plan.
+  [[nodiscard]] int segments() const;
+  /// Physical links of the original plan (fixed for the engine lifetime).
+  [[nodiscard]] int links() const;
+  [[nodiscard]] const std::vector<int>& cut_after_nodes() const;
+  [[nodiscard]] bool link_healthy(int link) const;
+  /// Degraded-plan recompiles since construction.
+  [[nodiscard]] std::uint64_t plan_failovers() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace qnn

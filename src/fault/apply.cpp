@@ -8,16 +8,30 @@ namespace qnn {
 void apply_link_faults(const FaultPlan& plan, SimConfig& config,
                        std::uint64_t seed) {
   for (const FaultEvent& e : plan.events) {
-    if (e.kind != FaultKind::kLinkDrop && e.kind != FaultKind::kLinkCorrupt) {
-      continue;
-    }
     SimConfig::LinkFault f;
     f.link = e.link;
-    f.down_from_cycle = (e.kind == FaultKind::kLinkDrop) ? e.down_from_cycle
-                                                         : kFaultNever;
-    f.down_cycles = (e.kind == FaultKind::kLinkDrop) ? e.down_cycles : 0;
-    f.corrupt_per_million =
-        (e.kind == FaultKind::kLinkCorrupt) ? e.corrupt_per_million : 0;
+    switch (e.kind) {
+      case FaultKind::kLinkDrop:
+        f.down_from_cycle = e.down_from_cycle;
+        f.down_cycles = e.down_cycles;
+        f.corrupt_per_million = 0;
+        break;
+      case FaultKind::kLinkCorrupt:
+      case FaultKind::kLinkFrameCorrupt:
+        f.down_from_cycle = kFaultNever;
+        f.down_cycles = 0;
+        f.corrupt_per_million = e.corrupt_per_million;
+        break;
+      case FaultKind::kLinkDeath:
+        // Permanent loss: an outage window that never closes.
+        f.down_from_cycle = e.down_from_cycle;
+        f.down_cycles = kFaultNever;
+        f.corrupt_per_million = 0;
+        break;
+      default:
+        continue;  // not a link fault (kLinkOutage is wall-clock, not
+                   // cycle-addressable; the planner adapter handles it)
+    }
     f.seed = seed ^ (0x51ed270b9f8f51edULL *
                      (static_cast<std::uint64_t>(e.link) + 1));
     config.link_faults.push_back(f);
@@ -26,7 +40,10 @@ void apply_link_faults(const FaultPlan& plan, SimConfig& config,
 
 void apply_link_faults(const FaultPlan& plan, PartitionConfig& config) {
   for (const FaultEvent& e : plan.events) {
-    if (e.kind != FaultKind::kLinkDrop && e.kind != FaultKind::kLinkCorrupt) {
+    if (e.kind != FaultKind::kLinkDrop && e.kind != FaultKind::kLinkCorrupt &&
+        e.kind != FaultKind::kLinkOutage &&
+        e.kind != FaultKind::kLinkFrameCorrupt &&
+        e.kind != FaultKind::kLinkDeath) {
       continue;
     }
     const auto link = static_cast<std::size_t>(std::max(e.link, 0));
@@ -34,9 +51,13 @@ void apply_link_faults(const FaultPlan& plan, PartitionConfig& config) {
       config.link_health.resize(link + 1, 1.0);
     }
     double health = config.link_health[link];
-    if (e.kind == FaultKind::kLinkDrop && e.down_cycles > 0) {
-      health = 0.0;  // planner view: an outage-prone link is not usable
-    } else if (e.kind == FaultKind::kLinkCorrupt) {
+    if ((e.kind == FaultKind::kLinkDrop && e.down_cycles > 0) ||
+        (e.kind == FaultKind::kLinkOutage && e.outage_us > 0) ||
+        e.kind == FaultKind::kLinkDeath) {
+      health = 0.0;  // planner view: an outage-prone or dead link is not
+                     // usable
+    } else if (e.kind == FaultKind::kLinkCorrupt ||
+               e.kind == FaultKind::kLinkFrameCorrupt) {
       // Each corrupted word is retransmitted once: capacity scales by
       // 1 / (1 + p) for corruption probability p.
       const double p = static_cast<double>(e.corrupt_per_million) * 1e-6;

@@ -5,6 +5,12 @@
 // capacity in the partitioner. These helpers translate the link events of
 // a plan into the knobs those layers expose, so one plan drives both the
 // functional run (engine) and the timing ablation (sim + partition).
+//
+// The live link kinds (kLinkOutage / kLinkFrameCorrupt / kLinkDeath)
+// execute for real inside MaxRingLink (dataflow/link.h), but they map
+// into the same planner view here: that is how the LinkedEngine's
+// failover recompiles a *degraded* plan — it derates the dead link to
+// health 0 and lets check_partition refuse any cut that still rides it.
 #pragma once
 
 #include "fault/fault.h"

@@ -22,6 +22,12 @@ const char* to_string(FaultKind kind) {
       return "link-drop";
     case FaultKind::kLinkCorrupt:
       return "link-corrupt";
+    case FaultKind::kLinkOutage:
+      return "link-outage";
+    case FaultKind::kLinkFrameCorrupt:
+      return "link-frame-corrupt";
+    case FaultKind::kLinkDeath:
+      return "link-death";
   }
   return "unknown";
 }
@@ -97,6 +103,42 @@ FaultEvent FaultPlan::link_corrupt(int link, std::uint32_t per_million) {
   return e;
 }
 
+FaultEvent FaultPlan::link_outage(int link, std::uint64_t run,
+                                  std::uint64_t after_frames,
+                                  std::int64_t outage_us) {
+  FaultEvent e;
+  e.kind = FaultKind::kLinkOutage;
+  e.link = link;
+  e.first_run = e.last_run = run;
+  e.after_values = after_frames;
+  e.outage_us = outage_us;
+  return e;
+}
+
+FaultEvent FaultPlan::link_frame_corrupt(int link, std::uint32_t per_million,
+                                         std::uint64_t first_run,
+                                         std::uint64_t last_run) {
+  FaultEvent e;
+  e.kind = FaultKind::kLinkFrameCorrupt;
+  e.link = link;
+  e.first_run = first_run;
+  e.last_run = last_run;
+  e.corrupt_per_million = per_million;
+  return e;
+}
+
+FaultEvent FaultPlan::link_death(int link, std::uint64_t run,
+                                 std::uint64_t after_frames,
+                                 std::uint64_t last_run) {
+  FaultEvent e;
+  e.kind = FaultKind::kLinkDeath;
+  e.link = link;
+  e.first_run = run;
+  e.last_run = last_run;
+  e.after_values = after_frames;
+  return e;
+}
+
 FaultPlan FaultPlan::chaos(std::uint64_t seed, const ChaosOptions& opts) {
   QNN_CHECK(opts.replicas >= 1, "FaultPlan::chaos: replicas must be >= 1");
   QNN_CHECK(opts.runs >= 1, "FaultPlan::chaos: runs must be >= 1");
@@ -104,40 +146,74 @@ FaultPlan FaultPlan::chaos(std::uint64_t seed, const ChaosOptions& opts) {
   Rng rng(seed);
   FaultPlan plan;
   plan.events.reserve(static_cast<std::size_t>(opts.events));
-  // Detectable kinds only (plus optional bit flips): the healing layer can
-  // observe and mask these, so chaos soaks can assert full recovery.
-  const int kinds = opts.include_bit_flips ? 5 : 4;
+  // Detectable kinds only (plus optional bit flips / live link faults):
+  // the healing layer can observe and mask these, so chaos soaks can
+  // assert full recovery. The draw order is append-only so a given seed
+  // under the default options keeps producing the identical plan.
+  std::vector<FaultKind> kinds = {
+      FaultKind::kKernelHang, FaultKind::kKernelException,
+      FaultKind::kReplicaCrash, FaultKind::kStreamStall};
+  if (opts.include_bit_flips) kinds.push_back(FaultKind::kStreamBitFlip);
+  if (opts.include_link_faults) {
+    QNN_CHECK(opts.links >= 1, "FaultPlan::chaos: links must be >= 1");
+    kinds.push_back(FaultKind::kLinkOutage);
+    kinds.push_back(FaultKind::kLinkFrameCorrupt);
+    kinds.push_back(FaultKind::kLinkDeath);
+  }
   for (int i = 0; i < opts.events; ++i) {
     FaultEvent e;
     e.replica = static_cast<int>(rng.next_below(
         static_cast<std::uint64_t>(opts.replicas)));
     e.first_run = rng.next_below(opts.runs);
     e.last_run = e.first_run;
-    switch (rng.next_below(static_cast<std::uint64_t>(kinds))) {
-      case 0:
+    switch (kinds[rng.next_below(kinds.size())]) {
+      case FaultKind::kKernelHang:
         e.kind = FaultKind::kKernelHang;
         e.target_index = static_cast<int>(rng.next_below(64));
         e.after_steps = rng.next_below(256);
         break;
-      case 1:
+      case FaultKind::kKernelException:
         e.kind = FaultKind::kKernelException;
         e.target_index = static_cast<int>(rng.next_below(64));
         e.after_steps = rng.next_below(256);
         break;
-      case 2:
+      case FaultKind::kReplicaCrash:
         e.kind = FaultKind::kReplicaCrash;
         break;
-      case 3:
+      case FaultKind::kStreamStall:
         e.kind = FaultKind::kStreamStall;
         e.target_index = static_cast<int>(rng.next_below(64));
         e.after_values = rng.next_below(512);
         e.stall_attempts = 64 + rng.next_below(512);
         break;
-      default:
+      case FaultKind::kStreamBitFlip:
         e.kind = FaultKind::kStreamBitFlip;
         e.target_index = static_cast<int>(rng.next_below(64));
         e.after_values = rng.next_below(512);
         e.xor_mask = static_cast<std::int32_t>(1U << rng.next_below(15));
+        break;
+      case FaultKind::kLinkOutage:
+        e.kind = FaultKind::kLinkOutage;
+        e.link = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(opts.links)));
+        e.after_values = rng.next_below(64);
+        e.outage_us = static_cast<std::int64_t>(500 + rng.next_below(2500));
+        break;
+      case FaultKind::kLinkFrameCorrupt:
+        e.kind = FaultKind::kLinkFrameCorrupt;
+        e.link = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(opts.links)));
+        e.corrupt_per_million =
+            static_cast<std::uint32_t>(10000 + rng.next_below(190000));
+        break;
+      case FaultKind::kLinkDeath:
+        e.kind = FaultKind::kLinkDeath;
+        e.link = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(opts.links)));
+        e.after_values = rng.next_below(128);
+        break;
+      default:
+        e.kind = FaultKind::kReplicaCrash;
         break;
     }
     plan.events.push_back(e);
@@ -163,6 +239,13 @@ KernelFaultSite* FaultInjector::register_kernel(const std::string& name) {
   return &kernel_sites_.back();
 }
 
+LinkFaultSite* FaultInjector::register_link(const std::string& name) {
+  link_sites_.emplace_back();
+  link_sites_.back().fired = &fired_;
+  link_names_.push_back(name);
+  return &link_sites_.back();
+}
+
 void FaultInjector::begin_run() {
   const std::uint64_t run = run_++;
   for (auto& s : stream_sites_) {
@@ -180,6 +263,17 @@ void FaultInjector::begin_run() {
     k.armed = false;
     k.steps = 0;
     k.hung = false;
+  }
+  for (auto& l : link_sites_) {
+    l.outage_from = kFaultNever;
+    l.outage_us = 0;
+    l.death_from = kFaultNever;
+    l.corrupt_per_million = 0;
+    l.armed = false;
+    l.frames = 0;
+    l.outage_open = false;
+    l.outage_fired = false;
+    l.death_fired = false;
   }
   crash_ = false;
 
@@ -251,6 +345,39 @@ void FaultInjector::begin_run() {
       case FaultKind::kReplicaCrash:
         crash_ = true;
         break;
+      case FaultKind::kLinkOutage: {
+        if (link_sites_.empty()) break;
+        LinkFaultSite& l = link_sites_[static_cast<std::size_t>(e.link) %
+                                       link_sites_.size()];
+        if (e.after_values < l.outage_from) {
+          l.outage_from = e.after_values;
+          l.outage_us = e.outage_us;
+        }
+        l.armed = true;
+        break;
+      }
+      case FaultKind::kLinkFrameCorrupt: {
+        if (link_sites_.empty()) break;
+        const std::size_t i =
+            static_cast<std::size_t>(e.link) % link_sites_.size();
+        LinkFaultSite& l = link_sites_[i];
+        if (e.corrupt_per_million > l.corrupt_per_million) {
+          l.corrupt_per_million = e.corrupt_per_million;
+        }
+        // Seed the in-transit corruption draw deterministically per
+        // (link, run) so soaks replay bit-for-bit.
+        l.rng = Rng(0x51ed270b9f8f51edULL * (i + 1) ^ run);
+        l.armed = true;
+        break;
+      }
+      case FaultKind::kLinkDeath: {
+        if (link_sites_.empty()) break;
+        LinkFaultSite& l = link_sites_[static_cast<std::size_t>(e.link) %
+                                       link_sites_.size()];
+        if (e.after_values < l.death_from) l.death_from = e.after_values;
+        l.armed = true;
+        break;
+      }
       case FaultKind::kLinkDrop:
       case FaultKind::kLinkCorrupt:
         // Timing-model faults; consumed by fault/apply.h, not the engine.

@@ -27,6 +27,16 @@
 //   * kLinkDrop /      — MaxRing outage / corruption-retransmit windows,
 //     kLinkCorrupt       consumed by sim/cycle_model and partition/ via
 //                        fault/apply.h (the timing model side).
+//   * kLinkOutage      — live MaxRing link drops every frame for a
+//                        wall-clock window (transient outage; healed by
+//                        the link's retransmit loop).
+//   * kLinkFrameCorrupt— live MaxRing frames corrupted in transit at a
+//                        seeded per-million rate (caught by the frame
+//                        checksum, healed by retransmission).
+//   * kLinkDeath       — live MaxRing link drops every frame from the
+//                        Nth transmission onward, permanently (board
+//                        lost; the LinkedEngine escalates to a degraded
+//                        plan failover).
 //
 // Targeting is deterministic without name plumbing: the engine registers
 // its streams and kernels with the injector in construction order, so an
@@ -45,6 +55,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <limits>
@@ -52,6 +63,7 @@
 #include <vector>
 
 #include "core/error.h"
+#include "core/rng.h"
 
 namespace qnn {
 
@@ -67,6 +79,9 @@ enum class FaultKind {
   kReplicaCrash,
   kLinkDrop,
   kLinkCorrupt,
+  kLinkOutage,        // live link: wall-clock outage window
+  kLinkFrameCorrupt,  // live link: seeded in-transit frame corruption
+  kLinkDeath,         // live link: permanent loss from the Nth frame
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -101,12 +116,19 @@ struct FaultEvent {
   /// Step index (per run, per kernel) the fault triggers at.
   std::uint64_t after_steps = 0;
 
-  // --- MaxRing link faults (fault/apply.h) --------------------------------
-  /// Link ordinal in cut order (LinkSim creation order in the sim).
+  // --- MaxRing link faults (fault/apply.h + dataflow/link.h) --------------
+  /// Link ordinal in cut order (LinkSim creation order in the sim; the
+  /// LinkedEngine's physical link ordinal on the live path).
   int link = 0;
   std::uint64_t down_from_cycle = 0;   // kLinkDrop: outage window start
   std::uint64_t down_cycles = 0;       // kLinkDrop: outage length
-  std::uint32_t corrupt_per_million = 0;  // kLinkCorrupt: retransmit rate
+  std::uint32_t corrupt_per_million = 0;  // kLinkCorrupt /
+                                          // kLinkFrameCorrupt: rate
+  /// kLinkOutage: wall-clock outage length. The window opens at the
+  /// transmission ordinal `after_values` (live links count frames, not
+  /// stream values) and closes after outage_us microseconds; kLinkDeath
+  /// reuses `after_values` as the first dropped frame.
+  std::int64_t outage_us = 0;
 
   [[nodiscard]] bool matches(int engine_replica, std::uint64_t run) const {
     return (replica < 0 || replica == engine_replica) && run >= first_run &&
@@ -138,6 +160,15 @@ struct FaultPlan {
   static FaultEvent link_drop(int link, std::uint64_t down_from_cycle,
                               std::uint64_t down_cycles);
   static FaultEvent link_corrupt(int link, std::uint32_t per_million);
+  static FaultEvent link_outage(int link, std::uint64_t run,
+                                std::uint64_t after_frames,
+                                std::int64_t outage_us);
+  static FaultEvent link_frame_corrupt(int link, std::uint32_t per_million,
+                                       std::uint64_t first_run = 0,
+                                       std::uint64_t last_run = kFaultNever);
+  static FaultEvent link_death(int link, std::uint64_t run,
+                               std::uint64_t after_frames,
+                               std::uint64_t last_run = kFaultNever);
 
   FaultPlan& add(FaultEvent e) {
     events.push_back(std::move(e));
@@ -155,6 +186,15 @@ struct FaultPlan {
     /// is *detectable* (hang / throw / crash / stall) and non-faulted
     /// results stay provably bit-exact against a fault-free run.
     bool include_bit_flips = false;
+    /// Also draw the live MaxRing link kinds (outage window / seeded frame
+    /// corruption / permanent death) against links [0, links). Off by
+    /// default: existing soaks run unpartitioned engines with no link
+    /// sites, and link faults only make sense on the LinkedEngine path.
+    /// All three stay *detectable* (checksums + watchdog), so bit-exact
+    /// assertions still hold when this is on.
+    bool include_link_faults = false;
+    /// Link ordinals the link-fault draws may target (uniform).
+    int links = 1;
   };
 
   /// Seeded random plan over the detectable fault kinds: same seed (and
@@ -241,6 +281,66 @@ struct KernelFaultSite {
   }
 };
 
+/// Per-link injection state, armed by FaultInjector::begin_run and
+/// consulted by MaxRingLink once per transmission attempt, on the sender
+/// thread only (retransmissions count as fresh transmissions, so an
+/// outage window keeps eating retries until the wall clock passes it).
+struct LinkFaultSite {
+  // Armed per run (single-threaded, between runs).
+  std::uint64_t outage_from = kFaultNever;  // frame ordinal opening window
+  std::int64_t outage_us = 0;               // wall-clock window length
+  std::uint64_t death_from = kFaultNever;   // frame ordinal; sticky forever
+  std::uint32_t corrupt_per_million = 0;
+  bool armed = false;
+
+  // Live state (sender thread only during a run).
+  std::uint64_t frames = 0;  // transmissions seen, retransmits included
+  bool outage_open = false;
+  bool outage_fired = false;
+  bool death_fired = false;
+  std::chrono::steady_clock::time_point outage_until{};
+  Rng rng{0};
+
+  std::atomic<std::uint64_t>* fired = nullptr;  // injector-wide counter
+
+  /// What happens to the frame this transmission attempt carries.
+  enum class Fate { kDeliver, kCorrupt, kDropOutage, kDropDead };
+
+  [[nodiscard]] Fate filter(std::chrono::steady_clock::time_point now) {
+    if (!armed) return Fate::kDeliver;
+    const std::uint64_t f = frames++;
+    if (f >= death_from) {
+      if (!death_fired) {
+        death_fired = true;
+        note_fired();
+      }
+      return Fate::kDropDead;
+    }
+    if (f >= outage_from && !outage_fired) {
+      outage_fired = true;
+      outage_open = true;
+      outage_until = now + std::chrono::microseconds(outage_us);
+      note_fired();
+    }
+    if (outage_open) {
+      if (now < outage_until) return Fate::kDropOutage;
+      outage_open = false;
+    }
+    if (corrupt_per_million > 0 &&
+        rng.next_below(1'000'000) < corrupt_per_million) {
+      note_fired();
+      return Fate::kCorrupt;
+    }
+    return Fate::kDeliver;
+  }
+
+ private:
+  /// Standalone sites (link unit tests) have no injector-wide counter.
+  void note_fired() {
+    if (fired != nullptr) fired->fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
 /// Owns the fault sites of one engine and arms them per run from the
 /// plan. Construction and begin_run() are single-threaded (the engine's
 /// caller thread); during a run only the sites themselves are touched.
@@ -252,6 +352,7 @@ class FaultInjector {
   /// returned pointers stay valid for the injector's lifetime.
   StreamFaultSite* register_stream(const std::string& name);
   KernelFaultSite* register_kernel(const std::string& name);
+  LinkFaultSite* register_link(const std::string& name);
 
   /// Arm every site for the next run (advances the run counter).
   void begin_run();
@@ -276,8 +377,10 @@ class FaultInjector {
   // deques: stable addresses across registration.
   std::deque<StreamFaultSite> stream_sites_;
   std::deque<KernelFaultSite> kernel_sites_;
+  std::deque<LinkFaultSite> link_sites_;
   std::vector<std::string> stream_names_;
   std::vector<std::string> kernel_names_;
+  std::vector<std::string> link_names_;
 };
 
 }  // namespace qnn

@@ -1,5 +1,6 @@
 #include "serve/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -107,20 +108,32 @@ void ServerMetrics::log_event(const std::string& what) {
   const double ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - epoch_)
                         .count();
+  std::string line = "+";
+  line += Table::num(ms, 1);
+  line += "ms ";
+  line += what;
   const std::lock_guard<std::mutex> lock(events_mu_);
-  if (events_.size() >= kMaxEvents) {
-    ++events_dropped_;
+  if (events_.size() < kMaxEvents) {
+    events_.push_back(std::move(line));
     return;
   }
-  events_.push_back("+" + Table::num(ms, 1) + "ms " + what);
+  // Ring: overwrite the oldest line so a long soak keeps its most recent
+  // healing timeline instead of freezing the first five minutes of it.
+  events_[events_head_] = std::move(line);
+  events_head_ = (events_head_ + 1) % kMaxEvents;
+  ++events_dropped_;
 }
 
 std::vector<std::string> ServerMetrics::events() const {
   const std::lock_guard<std::mutex> lock(events_mu_);
-  std::vector<std::string> out = events_;
+  std::vector<std::string> out;
+  out.reserve(events_.size() + 1);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(events_head_ + i) % events_.size()]);
+  }
   if (events_dropped_ > 0) {
     out.push_back("(+" + std::to_string(events_dropped_) +
-                  " events dropped)");
+                  " older events dropped)");
   }
   return out;
 }
@@ -159,6 +172,19 @@ MetricsSnapshot ServerMetrics::snapshot() const {
   s.shadow_runs = shadow_runs_.load(std::memory_order_relaxed);
   s.shadow_mismatches = shadow_mismatches_.load(std::memory_order_relaxed);
   s.shadow_dropped = shadow_dropped_.load(std::memory_order_relaxed);
+  s.link_frames = link_frames_.load(std::memory_order_relaxed);
+  s.link_retransmits = link_retransmits_.load(std::memory_order_relaxed);
+  s.plan_failovers = plan_failovers_.load(std::memory_order_relaxed);
+  s.links = std::min(links_seen_.load(std::memory_order_relaxed), kMaxLinks);
+  for (int i = 0; i < s.links; ++i) {
+    s.link_health[static_cast<std::size_t>(i)] =
+        link_health_[static_cast<std::size_t>(i)].load(
+            std::memory_order_relaxed);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(events_mu_);
+    s.events_dropped = events_dropped_;
+  }
   s.brownout_active = brownout_active_.load(std::memory_order_relaxed);
   s.replicas.reserve(replicas_.size());
   for (const auto& r : replicas_) {
@@ -215,6 +241,20 @@ std::string ServerMetrics::report() const {
     os << "  shadow:   " << s.shadow_runs << " mirrored, "
        << s.shadow_mismatches << " mismatches, " << s.shadow_dropped
        << " dropped\n";
+  }
+  if (s.links > 0) {
+    os << "  links:    " << s.links << " physical, " << s.link_frames
+       << " frames, " << s.link_retransmits << " retransmits, "
+       << s.plan_failovers << " plan failovers; health";
+    for (int i = 0; i < s.links; ++i) {
+      os << (i == 0 ? " " : "/")
+         << Table::num(s.link_health[static_cast<std::size_t>(i)], 2);
+    }
+    os << "\n";
+  }
+  if (s.events_dropped > 0) {
+    os << "  timeline: " << s.events_dropped
+       << " older events dropped by the ring\n";
   }
   for (std::size_t i = 0; i < s.replicas.size(); ++i) {
     const ReplicaStatus& r = s.replicas[i];

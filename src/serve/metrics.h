@@ -42,6 +42,12 @@ inline constexpr const char* kPlanCacheHit = "plan-cache-hit";
 /// comparison pinned repeated bit-exactness mismatches on it
 /// (ServerConfig::shadow_mismatch_after).
 inline constexpr const char* kShadowQuarantine = "shadow-quarantine";
+/// Event-log tag of a degraded MaxRing link observed on a replica's run
+/// (retransmissions, or a link reporting health < 1).
+inline constexpr const char* kLinkDegraded = "link-degraded";
+/// Event-log tag of a LinkedEngine recompiling a degraded plan after a
+/// permanent link death (dataflow/linked_engine.h failover ladder).
+inline constexpr const char* kPlanFailover = "plan-failover";
 
 /// Point-in-time health row of one replica.
 struct ReplicaStatus {
@@ -141,6 +147,13 @@ struct MetricsSnapshot {
   std::uint64_t shadow_runs = 0;
   std::uint64_t shadow_mismatches = 0;  // shadow result != primary result
   std::uint64_t shadow_dropped = 0;     // mirror queue full
+  // Live MaxRing link traffic (partitioned LinkedEngine replicas only).
+  std::uint64_t link_frames = 0;
+  std::uint64_t link_retransmits = 0;
+  std::uint64_t plan_failovers = 0;  // degraded-plan recompiles
+  std::uint64_t events_dropped = 0;  // timeline ring overwrote this many
+  int links = 0;  // physical links on the widest replica seen (0 = none)
+  std::array<double, 8> link_health{};  // last reported health per link
   bool brownout_active = false;
   std::vector<ReplicaStatus> replicas;
 
@@ -223,6 +236,27 @@ class ServerMetrics {
     if (!match) inc(shadow_mismatches_);
   }
   void on_shadow_drop() { inc(shadow_dropped_); }
+  /// Aggregate RunStats link counters from one infer_batch on a
+  /// partitioned (LinkedEngine) replica.
+  void on_link(std::uint64_t frames, std::uint64_t retransmits,
+               std::uint64_t failovers) {
+    link_frames_.fetch_add(frames, std::memory_order_relaxed);
+    link_retransmits_.fetch_add(retransmits, std::memory_order_relaxed);
+    plan_failovers_.fetch_add(failovers, std::memory_order_relaxed);
+  }
+  /// Publish the last observed health of one physical link (0.0 = dead,
+  /// 1.0 = clean). Links beyond kMaxLinks are counted but not tracked.
+  void set_link_health(int link, double health) {
+    if (link < 0) return;
+    int seen = links_seen_.load(std::memory_order_relaxed);
+    while (link + 1 > seen && !links_seen_.compare_exchange_weak(
+                                  seen, link + 1, std::memory_order_relaxed)) {
+    }
+    if (link < kMaxLinks) {
+      link_health_[static_cast<std::size_t>(link)].store(
+          health, std::memory_order_relaxed);
+    }
+  }
 
   // -- per-replica health table --------------------------------------------
 
@@ -246,8 +280,14 @@ class ServerMetrics {
 
   /// Append a timestamped line to the bounded healing timeline (the chaos
   /// example prints it). Cheap but not free: only healing transitions log.
+  /// The timeline is a fixed-capacity ring that keeps the NEWEST
+  /// kMaxEvents lines — a long soak overwrites its oldest entries rather
+  /// than going silent, and the overwrite count is surfaced in
+  /// MetricsSnapshot::events_dropped.
   void log_event(const std::string& what);
-  /// Snapshot of the timeline ("+123.4ms quarantine replica 2", ...).
+  /// Snapshot of the timeline ("+123.4ms quarantine replica 2", ...),
+  /// oldest surviving entry first; a trailing "(... events dropped)" line
+  /// reports ring overwrites.
   [[nodiscard]] std::vector<std::string> events() const;
 
   LatencyHistogram& queue_wait() { return queue_wait_; }
@@ -317,6 +357,12 @@ class ServerMetrics {
   std::atomic<std::uint64_t> shadow_runs_{0};
   std::atomic<std::uint64_t> shadow_mismatches_{0};
   std::atomic<std::uint64_t> shadow_dropped_{0};
+  static constexpr int kMaxLinks = 8;  // the modeled MPC-X daisy chain
+  std::atomic<std::uint64_t> link_frames_{0};
+  std::atomic<std::uint64_t> link_retransmits_{0};
+  std::atomic<std::uint64_t> plan_failovers_{0};
+  std::atomic<int> links_seen_{0};
+  std::array<std::atomic<double>, kMaxLinks> link_health_{};
   std::atomic<bool> brownout_active_{false};
   std::vector<std::unique_ptr<ReplicaMetrics>> replicas_;
   LatencyHistogram queue_wait_;
@@ -327,8 +373,9 @@ class ServerMetrics {
   const std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
   mutable std::mutex events_mu_;
-  std::vector<std::string> events_;
-  std::uint64_t events_dropped_ = 0;
+  std::vector<std::string> events_;   // ring once size reaches kMaxEvents
+  std::size_t events_head_ = 0;       // oldest surviving entry
+  std::uint64_t events_dropped_ = 0;  // ring overwrites
 };
 
 }  // namespace qnn

@@ -60,6 +60,17 @@ const char* to_string(DeadlineClass cls) {
   return "unknown";
 }
 
+std::int64_t retry_backoff_delay_us(const ServerConfig& config, int attempt,
+                                    Rng& rng) {
+  const int shift = attempt > 1 ? attempt - 1 : 0;
+  const std::int64_t base = config.retry_backoff_us << shift;
+  if (!config.retry_jitter || base <= 0) return base;
+  // Uniform in [base/2, 3*base/2]: full-width jitter around the
+  // exponential schedule, so a batch failed together retries spread out.
+  return base / 2 + static_cast<std::int64_t>(rng.next_below(
+                        static_cast<std::uint64_t>(base) + 1));
+}
+
 struct DfeServer::Impl {
   struct Request {
     IntTensor image;
@@ -138,6 +149,7 @@ struct DfeServer::Impl {
   std::deque<Request> queue;
   std::deque<ShadowJob> shadow_queue;  // guarded by mu
   double shadow_accum = 0.0;           // fractional mirror accumulator
+  Rng retry_rng{1};                    // retry jitter; guarded by mu
   bool accepting = true;
   bool stopping = false;
   bool watchdog_stop = false;
@@ -603,9 +615,8 @@ struct DfeServer::Impl {
       if (!stopping && req.attempt < config.max_retries) {
         ++req.attempt;
         req.exclude_replica = idx;
-        req.not_before =
-            now + std::chrono::microseconds(config.retry_backoff_us
-                                            << (req.attempt - 1));
+        req.not_before = now + std::chrono::microseconds(retry_backoff_delay_us(
+                                   config, req.attempt, retry_rng));
         metrics.on_retry();
         queue.push_front(std::move(req));
         metrics.set_queue_depth(queue.size());
@@ -636,6 +647,28 @@ struct DfeServer::Impl {
                               stats.stream_transactions, stats.push_stalls,
                               stats.pop_stalls);
       metrics.on_faults(stats.faults_injected);
+      if (stats.links > 0) {
+        // Partitioned (LinkedEngine) replica: surface its MaxRing traffic
+        // and per-link health, and log the healing transitions.
+        metrics.on_link(stats.link_frames, stats.link_retransmits,
+                        stats.link_failovers);
+        const int n = std::min<int>(stats.links,
+                                    static_cast<int>(stats.link_health.size()));
+        for (int l = 0; l < n; ++l) {
+          metrics.set_link_health(l, stats.link_health[
+                                          static_cast<std::size_t>(l)]);
+        }
+        if (stats.link_failovers > 0) {
+          metrics.log_event(std::string(kPlanFailover) + ": replica " +
+                            std::to_string(idx) + " recompiled a degraded "
+                            "plan after a link death");
+        } else if (stats.link_retransmits > 0) {
+          metrics.log_event(std::string(kLinkDegraded) + ": replica " +
+                            std::to_string(idx) + " recovered " +
+                            std::to_string(stats.link_retransmits) +
+                            " retransmit(s)");
+        }
+      }
       note_success(idx);
       const Clock::time_point done = Clock::now();
       for (std::size_t i = 0; i < live.size(); ++i) {
@@ -903,6 +936,7 @@ DfeServer::DfeServer(const NetworkSpec& spec, const NetworkParams& params,
   }
   server_config.replicas = total;
   impl_->config = server_config;
+  impl_->retry_rng = Rng(server_config.retry_jitter_seed);
 
   const Pipeline pipeline = expand(spec);
   // Cold-start plan resolution: ONE cache lookup for the whole pool (every

@@ -65,6 +65,7 @@
 #include <string>
 #include <vector>
 
+#include "core/rng.h"
 #include "host/session.h"
 #include "serve/metrics.h"
 
@@ -116,6 +117,13 @@ struct ServerConfig {
   /// Base backoff before a retried request may dispatch again; doubles
   /// per attempt (attempt k waits retry_backoff_us << (k-1)).
   std::int64_t retry_backoff_us = 200;
+  /// Jitter each retry delay uniformly within +-50% of its exponential
+  /// base, drawn from a generator seeded with retry_jitter_seed — a burst
+  /// of requests failed by one fault then spreads out instead of
+  /// re-dispatching (and possibly re-failing) in lockstep. false = the
+  /// exact base delay every time.
+  bool retry_jitter = true;
+  std::uint64_t retry_jitter_seed = 0x7e7125a5;
   /// Consecutive failed runs that quarantine a replica.
   int quarantine_after = 3;
   /// Consecutive clean probes that readmit a quarantined replica.
@@ -162,6 +170,13 @@ struct ServerConfig {
   /// 0 = count mismatches but never escalate.
   int shadow_mismatch_after = 0;
 };
+
+/// Backoff gate before retry `attempt` (1-based) may re-dispatch:
+/// exponential base retry_backoff_us << (attempt-1), jittered uniformly in
+/// [base/2, 3*base/2] from `rng` when config.retry_jitter is set. Exposed
+/// as a free function so tests can assert the spread deterministically.
+[[nodiscard]] std::int64_t retry_backoff_delay_us(const ServerConfig& config,
+                                                  int attempt, Rng& rng);
 
 struct InferenceResult {
   ServerStatus status = ServerStatus::kError;

@@ -1,0 +1,66 @@
+#include "verify/link_check.h"
+
+#include <string>
+
+#include "io/table.h"
+
+namespace qnn {
+
+void check_link_plan(const Pipeline& pipeline,
+                     const std::vector<int>& cut_after_nodes,
+                     const PartitionConfig& config, double images_per_second,
+                     double retransmit_headroom, Report& report) {
+  const int n = pipeline.size();
+  int prev = -1;
+  for (std::size_t k = 0; k < cut_after_nodes.size(); ++k) {
+    const int after = cut_after_nodes[k];
+    const std::string where = "link" + std::to_string(k);
+    if (after <= prev || after >= n - 1) {
+      report.error(diag::kBadSegments, after, where,
+                   "cut after node " + std::to_string(after) +
+                       " is out of order or out of range");
+      prev = after;
+      continue;
+    }
+    prev = after;
+    const std::vector<CrossingStream> crossing =
+        crossing_streams(pipeline, after, &config.link_bursts);
+    if (crossing.size() != 1) {
+      report.error(diag::kCutCrossesSkip, after, where,
+                   "cut after '" + pipeline.node(after).name + "' is crossed "
+                       "by " + std::to_string(crossing.size()) +
+                       " stream(s); a MaxRing link carries exactly one");
+      continue;
+    }
+    const double capacity = config.link_capacity_mbps(k);
+    if (capacity <= 0.0) {
+      report.error(diag::kDeadLinkCut, after, where,
+                   "cut after '" + pipeline.node(after).name +
+                       "' rides a dead link (health 0); the plan must be "
+                       "repartitioned around it");
+      continue;
+    }
+    report.info(diag::kDeadLinkCut, after, where,
+                "link alive: capacity " + Table::num(capacity, 1) + " Mbps");
+    if (images_per_second > 0.0) {
+      const double wire = crossing[0].wire_mbps(images_per_second,
+                                               config.link_bits_per_cycle);
+      const double needed = wire * (1.0 + retransmit_headroom);
+      if (needed > capacity) {
+        report.warn(diag::kRetransmitHeadroom, after, where,
+                    "wire rate " + Table::num(wire, 1) + " Mbps leaves less "
+                        "than " +
+                        Table::num(100.0 * retransmit_headroom, 0) +
+                        "% retransmit headroom against " +
+                        Table::num(capacity, 1) + " Mbps capacity");
+      } else {
+        report.info(diag::kRetransmitHeadroom, after, where,
+                    "retransmit headroom proved: " + Table::num(wire, 1) +
+                        " * " + Table::num(1.0 + retransmit_headroom, 2) +
+                        " <= " + Table::num(capacity, 1) + " Mbps");
+      }
+    }
+  }
+}
+
+}  // namespace qnn

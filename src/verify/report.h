@@ -78,6 +78,17 @@ inline constexpr const char* kLinkOversubscribed = "QNN-D401";
 inline constexpr const char* kDfeOverfill = "QNN-D402";
 inline constexpr const char* kTooManyDfes = "QNN-D403";
 inline constexpr const char* kBadSegments = "QNN-D404";
+// --- live link plans (verify/link_check.h): proved before a LinkedEngine
+// --- arms a (possibly degraded, post-failover) partition cut ------------
+inline constexpr const char* kDeadLinkCut = "QNN-D420";       // cut rides a
+                                                              // health-0 link
+inline constexpr const char* kRetransmitHeadroom = "QNN-D421";  // wire rate
+                                                                // too close to
+                                                                // capacity for
+                                                                // retransmits
+inline constexpr const char* kCutCrossesSkip = "QNN-D422";    // cut crossed by
+                                                              // more than the
+                                                              // one main edge
 // --- backend capability (verify/backend_check.h; compiled into
 // --- qnn_backend so qnn_verify stays below the backend seam) ------------
 inline constexpr const char* kBackendUnsupportedOp = "QNN-D501";

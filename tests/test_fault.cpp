@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "dataflow/engine.h"
+#include "dataflow/link.h"
+#include "dataflow/linked_engine.h"
 #include "fault/apply.h"
 #include "models/zoo.h"
 #include "nn/reference.h"
@@ -20,6 +22,7 @@
 #include "serve/server.h"
 #include "sim/cycle_model.h"
 #include "test_util.h"
+#include "verify/graph_check.h"
 
 namespace qnn {
 namespace {
@@ -274,6 +277,241 @@ TEST(Fault, DeadLinkMakesThePartitionInfeasible) {
   const PartitionResult r = partition_optimal(p, cfg);
   EXPECT_FALSE(r.feasible());
   EXPECT_TRUE(std::isinf(r.link_slowdown));
+}
+
+// ---- live link fault kinds ------------------------------------------------
+
+TEST(FaultLink, ChaosEmitsLinkKindsOnlyWhenAsked) {
+  // The default draw must stay byte-identical to what existing soaks
+  // replay: no link kinds unless include_link_faults is set.
+  const FaultPlan plain = FaultPlan::chaos(404);
+  for (const FaultEvent& e : plain.events) {
+    EXPECT_NE(e.kind, FaultKind::kLinkOutage);
+    EXPECT_NE(e.kind, FaultKind::kLinkFrameCorrupt);
+    EXPECT_NE(e.kind, FaultKind::kLinkDeath);
+  }
+
+  FaultPlan::ChaosOptions opts;
+  opts.events = 24;
+  opts.include_link_faults = true;
+  opts.links = 3;
+  const FaultPlan linky = FaultPlan::chaos(404, opts);
+  int link_events = 0;
+  for (const FaultEvent& e : linky.events) {
+    if (e.kind == FaultKind::kLinkOutage ||
+        e.kind == FaultKind::kLinkFrameCorrupt ||
+        e.kind == FaultKind::kLinkDeath) {
+      ++link_events;
+      EXPECT_GE(e.link, 0);
+      EXPECT_LT(e.link, opts.links);
+    }
+  }
+  EXPECT_GT(link_events, 0) << "24 draws over 7 kinds must hit a link kind";
+
+  // Seeded replay: the linky plan is reproduced event for event.
+  const FaultPlan again = FaultPlan::chaos(404, opts);
+  ASSERT_EQ(linky.events.size(), again.events.size());
+  for (std::size_t i = 0; i < linky.events.size(); ++i) {
+    EXPECT_EQ(linky.events[i].kind, again.events[i].kind);
+    EXPECT_EQ(linky.events[i].link, again.events[i].link);
+    EXPECT_EQ(linky.events[i].first_run, again.events[i].first_run);
+    EXPECT_EQ(linky.events[i].after_values, again.events[i].after_values);
+    EXPECT_EQ(linky.events[i].outage_us, again.events[i].outage_us);
+  }
+}
+
+TEST(FaultLink, ApplyDeratesPartitionForLiveLinkKinds) {
+  FaultPlan plan;
+  plan.add(FaultPlan::link_death(/*link=*/1, /*run=*/0, /*after_frames=*/8));
+  plan.add(FaultPlan::link_frame_corrupt(/*link=*/0, /*per_million=*/100'000));
+  plan.add(FaultPlan::link_outage(/*link=*/2, /*run=*/0, /*after_frames=*/0,
+                                  /*outage_us=*/2'000));
+  PartitionConfig cfg;
+  apply_link_faults(plan, cfg);
+  EXPECT_EQ(cfg.link_capacity_mbps(1), 0.0);  // death: planner sees it gone
+  EXPECT_NEAR(cfg.link_capacity_mbps(0), 4000.0 / 1.1, 1.0);
+  EXPECT_EQ(cfg.link_capacity_mbps(2), 0.0);  // outage derates like a drop
+  EXPECT_EQ(cfg.link_capacity_mbps(5), 4000.0);
+}
+
+TEST(FaultLink, DeadLinkFlipsCheckPartitionInfeasible) {
+  const Pipeline p = expand(models::resnet18(224, 1000, 2));
+  const PartitionConfig healthy_cfg;
+  const PartitionResult placement = partition_optimal(p, healthy_cfg);
+  ASSERT_TRUE(placement.feasible());
+  ASSERT_GT(placement.num_dfes(), 1);
+  Report before;
+  check_partition(p, placement, healthy_cfg, before);
+  EXPECT_TRUE(before.ok()) << before.str();
+
+  // Kill the first MaxRing hop: the same placement must now fail the
+  // wire-rate proof with the exact oversubscription code.
+  PartitionConfig derated = healthy_cfg;
+  FaultPlan plan;
+  plan.add(FaultPlan::link_death(/*link=*/0, /*run=*/0, /*after_frames=*/0));
+  apply_link_faults(plan, derated);
+  Report after;
+  check_partition(p, placement, derated, after);
+  EXPECT_FALSE(after.ok());
+  EXPECT_TRUE(after.has(diag::kLinkOversubscribed)) << after.str();
+}
+
+TEST(FaultLink, LinkCapacityClampsOutOfRangeHealth) {
+  PartitionConfig cfg;
+  cfg.link_health = {-0.5, 1.7};
+  EXPECT_EQ(cfg.link_capacity_mbps(0), 0.0);      // clamped up from negative
+  EXPECT_EQ(cfg.link_capacity_mbps(1), 4000.0);   // clamped down to 1.0
+  EXPECT_EQ(cfg.link_capacity_mbps(2), 4000.0);   // beyond the vector = 1.0
+}
+
+// ---- MaxRing link transport ------------------------------------------------
+
+namespace {
+
+/// Drive `frames` payload frames (plus close) through `link` from a sender
+/// thread while the caller receives; returns the received payloads.
+std::vector<std::vector<std::int32_t>> pump_link(MaxRingLink& link,
+                                                 int frames) {
+  std::thread sender([&] {
+    try {
+      for (int i = 0; i < frames; ++i) {
+        std::vector<std::int32_t> payload(16, i + 1);
+        payload[0] = i;  // distinguishable first word
+        link.send(payload);
+      }
+      link.close();
+    } catch (const LinkDeadError&) {
+      // The receiver-side assertions decide whether death was expected.
+    }
+  });
+  std::vector<std::vector<std::int32_t>> got;
+  try {
+    std::vector<std::int32_t> frame;
+    while (link.recv(frame)) got.push_back(frame);
+  } catch (const LinkDeadError&) {
+  }
+  sender.join();
+  return got;
+}
+
+}  // namespace
+
+TEST(FaultLink, MaxRingDeliversInOrderWithoutRetransmits) {
+  LinkConfig cfg;
+  cfg.pace = false;
+  MaxRingLink link(cfg);
+  const auto got = pump_link(link, 12);
+  ASSERT_EQ(got.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)][0], i);
+  }
+  const LinkStats s = link.stats();
+  EXPECT_EQ(s.frames_sent, 13u);  // 12 payloads + close
+  EXPECT_EQ(s.frames_delivered, 13u);
+  EXPECT_EQ(s.retransmits, 0u);
+  EXPECT_FALSE(s.dead);
+}
+
+TEST(FaultLink, MaxRingHealsSeededCorruptionBitExact) {
+  LinkConfig cfg;
+  cfg.pace = false;
+  MaxRingLink link(cfg);
+  LinkFaultSite site;
+  site.corrupt_per_million = 300'000;  // ~30% of transmissions arrive broken
+  site.rng = Rng(99);
+  site.armed = true;
+  link.set_fault(&site);
+  const auto got = pump_link(link, 24);
+  ASSERT_EQ(got.size(), 24u);
+  for (int i = 0; i < 24; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)][0], i) << "payload healed";
+    EXPECT_EQ(got[static_cast<std::size_t>(i)][8], i + 1);
+  }
+  const LinkStats s = link.stats();
+  EXPECT_GT(s.checksum_drops, 0u) << "the corruption rate must have fired";
+  EXPECT_GT(s.retransmits, 0u);
+  EXPECT_FALSE(s.dead);
+}
+
+TEST(FaultLink, MaxRingRidesOutATransientOutage) {
+  LinkConfig cfg;
+  cfg.pace = false;
+  cfg.ack_timeout_us = 2'000;
+  cfg.retransmit_backoff_us = 500;
+  MaxRingLink link(cfg);
+  LinkFaultSite site;
+  site.outage_from = 3;      // wire goes dark at the 4th transmission...
+  site.outage_us = 4'000;    // ...for 4ms — inside the retransmit budget
+  site.armed = true;
+  link.set_fault(&site);
+  const auto got = pump_link(link, 8);
+  ASSERT_EQ(got.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)][0], i);
+  }
+  const LinkStats s = link.stats();
+  EXPECT_GT(s.outage_drops, 0u);
+  EXPECT_GT(s.retransmits, 0u);
+  EXPECT_FALSE(s.dead) << "a transient outage must not escalate";
+}
+
+TEST(FaultLink, MaxRingEscalatesPermanentDeathOnBothSides) {
+  LinkConfig cfg;
+  cfg.pace = false;
+  cfg.ack_timeout_us = 1'000;
+  cfg.max_retransmits = 2;
+  cfg.retransmit_backoff_us = 100;
+  cfg.recv_patience_us = 200'000;
+  MaxRingLink link(cfg);
+  LinkFaultSite site;
+  site.death_from = 4;  // the 5th transmission and everything after is lost
+  site.armed = true;
+  link.set_fault(&site);
+  const auto got = pump_link(link, 10);
+  EXPECT_EQ(got.size(), 4u) << "frames before the death still delivered";
+  const LinkStats s = link.stats();
+  EXPECT_TRUE(s.dead);
+  EXPECT_TRUE(link.dead());
+  EXPECT_GE(s.retransmits, 2u) << "the full budget is spent before escalating";
+}
+
+TEST(FaultLink, LinkedEngineHealsSeededLinkChaosMidRunBitExact) {
+  // The partitioned soak in miniature: a two-segment chain whose only
+  // MaxRing link suffers a seeded outage window AND a seeded corruption
+  // rate mid-run. Every output must stay bit-exact against the scalar
+  // reference with no failover — transient faults heal inside the link.
+  const TinyNet net;
+  LinkedEngineOptions opts;
+  opts.cut_after_nodes = {1};
+  opts.ack_timeout_us = 10'000;
+  opts.retransmit_backoff_us = 300;
+  opts.engine.faults.add(FaultPlan::link_outage(
+      /*link=*/0, /*run=*/1, /*after_frames=*/4, /*outage_us=*/3'000));
+  opts.engine.faults.add(
+      FaultPlan::link_frame_corrupt(/*link=*/0, /*per_million=*/150'000));
+  LinkedEngine engine(net.pipeline, net.params, opts);
+  ASSERT_EQ(engine.links(), 1);
+
+  const ReferenceExecutor ref = net.reference();
+  const std::vector<IntTensor> images = net.batch(4, 17);
+  StreamEngine::RunStats total{};
+  for (int run = 0; run < 3; ++run) {
+    StreamEngine::RunStats stats;
+    const std::vector<IntTensor> out =
+        engine.run(std::span<const IntTensor>(images), &stats);
+    ASSERT_EQ(out.size(), images.size());
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      EXPECT_EQ(out[i], ref.run(images[i])) << "run " << run << " image " << i;
+    }
+    total.link_frames += stats.link_frames;
+    total.link_retransmits += stats.link_retransmits;
+    total.link_failovers += stats.link_failovers;
+  }
+  EXPECT_GT(total.link_frames, 0u);
+  EXPECT_GT(total.link_retransmits, 0u)
+      << "the corruption rate and outage must exercise the retransmit path";
+  EXPECT_EQ(total.link_failovers, 0u);
+  EXPECT_TRUE(engine.link_healthy(0));
 }
 
 // ---- serving-layer healing -----------------------------------------------

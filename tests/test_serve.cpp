@@ -667,5 +667,64 @@ TEST(Serve, LatencyHistogramPercentiles) {
   EXPECT_NE(h.summary().find("p50/p95/p99"), std::string::npos);
 }
 
+TEST(Serve, RetryBackoffJitterSpreadsUnderAFixedSeed) {
+  ServerConfig cfg;
+  cfg.retry_backoff_us = 400;
+  ASSERT_TRUE(cfg.retry_jitter);  // the default
+  Rng rng(cfg.retry_jitter_seed);
+  std::vector<std::int64_t> delays;
+  for (int draw = 0; draw < 24; ++draw) {
+    const std::int64_t d = retry_backoff_delay_us(cfg, /*attempt=*/1, rng);
+    // Every delay lands inside +-50% of the exponential base...
+    EXPECT_GE(d, 200);
+    EXPECT_LE(d, 600);
+    delays.push_back(d);
+  }
+  // ...but a burst of requests failed together does NOT retry in lockstep.
+  std::sort(delays.begin(), delays.end());
+  const std::size_t distinct = static_cast<std::size_t>(
+      std::unique(delays.begin(), delays.end()) - delays.begin());
+  EXPECT_GE(distinct, 8u) << "24 draws should spread over the jitter window";
+
+  // The exponential schedule still scales the window per attempt.
+  for (int attempt = 2; attempt <= 4; ++attempt) {
+    const std::int64_t base = cfg.retry_backoff_us << (attempt - 1);
+    const std::int64_t d = retry_backoff_delay_us(cfg, attempt, rng);
+    EXPECT_GE(d, base / 2);
+    EXPECT_LE(d, base + base / 2);
+  }
+
+  // Same seed => the same delay sequence, replayable in a regression.
+  Rng a(7);
+  Rng b(7);
+  for (int draw = 0; draw < 8; ++draw) {
+    EXPECT_EQ(retry_backoff_delay_us(cfg, 1, a),
+              retry_backoff_delay_us(cfg, 1, b));
+  }
+
+  // Jitter off: the exact legacy schedule.
+  cfg.retry_jitter = false;
+  EXPECT_EQ(retry_backoff_delay_us(cfg, 1, rng), 400);
+  EXPECT_EQ(retry_backoff_delay_us(cfg, 3, rng), 1600);
+}
+
+TEST(Serve, EventTimelineRingKeepsTheNewestEvents) {
+  ServerMetrics m;
+  for (int i = 0; i < 300; ++i) {
+    m.log_event("event " + std::to_string(i));
+  }
+  const std::vector<std::string> events = m.events();
+  // 256 ring slots plus the trailing drop marker.
+  ASSERT_EQ(events.size(), 257u);
+  // The ring overwrote the OLDEST 44 lines: the survivors are 44..299,
+  // oldest first, and the newest event is always present.
+  EXPECT_NE(events.front().find("event 44"), std::string::npos)
+      << events.front();
+  EXPECT_NE(events[255].find("event 299"), std::string::npos) << events[255];
+  EXPECT_NE(events.back().find("44 older events dropped"), std::string::npos)
+      << events.back();
+  EXPECT_EQ(m.snapshot().events_dropped, 44u);
+}
+
 }  // namespace
 }  // namespace qnn

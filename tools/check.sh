@@ -9,6 +9,10 @@
 #   SANITIZE=address tools/check.sh # same, under ASan+UBSan
 #   CHAOS=1 tools/check.sh          # additionally re-run the `chaos`
 #                                   # label (seeded fault-injection soak)
+#                                   # and the `linkchaos` label (the
+#                                   # partitioned MaxRing link soak:
+#                                   # mid-run link death, failover,
+#                                   # serving through it)
 #   PERF=1 tools/check.sh           # additionally run the executor
 #                                   # ablation (fail if the ready-queue
 #                                   # shallow-chain throughput regresses
@@ -16,10 +20,15 @@
 #                                   # mixed-pool serving ablation (fail
 #                                   # unless deadline routing beats naive
 #                                   # routing >= 1.3x on tight goodput),
-#                                   # and the autotuned-plan ablation (fail
+#                                   # the autotuned-plan ablation (fail
 #                                   # if the tuned plan loses on any
 #                                   # throughput metric, replaying
-#                                   # BENCH_autotune.json)
+#                                   # BENCH_autotune.json), and the
+#                                   # link-fault serving ablation (fail
+#                                   # unless a farm with a dead MaxRing
+#                                   # link holds >= 0.70x healthy
+#                                   # throughput with zero lost requests,
+#                                   # replaying BENCH_linkfault.json)
 #   TUNE=1 tools/check.sh           # additionally run a bounded qnn_tune
 #                                   # --check pass (fail if the tuned plan
 #                                   # lost to the default on the deciding
@@ -77,6 +86,8 @@ fi
 if [ -n "$CHAOS" ]; then
   echo "== chaos (seeded fault-injection soak) =="
   ctest --test-dir "$BUILD_DIR" -L chaos --output-on-failure
+  echo "== chaos (partitioned link soak: MaxRing faults + failover) =="
+  ctest --test-dir "$BUILD_DIR" -L linkchaos --output-on-failure
 fi
 
 if [ -n "$PERF" ]; then
@@ -140,6 +151,37 @@ if fresh["throughput_ratio"] < floor:
     raise SystemExit("perf gate: tuned-vs-default serving capacity "
                      "collapsed vs BENCH_autotune.json")
 print("perf gate: autotuned plan holds its recorded margin")
+EOF
+
+  echo "== perf (link-fault serving ablation vs recorded baseline) =="
+  # The ablation's exit code enforces the robustness bar live (a farm with
+  # a dead MaxRing link serves >= 0.70x the healthy farm's throughput,
+  # zero lost requests, failover observed — both farms run interleaved
+  # windows, so the ratio is immune to machine mood). The python step
+  # holds the COMMITTED artifact to the same structural bar, so a
+  # re-recording can never quietly lower it.
+  QNN_CSV_DIR="$BUILD_DIR" \
+    "$BUILD_DIR/bench/bench_serving" --link-fault-only
+  python3 - "$BUILD_DIR/BENCH_linkfault.json" BENCH_linkfault.json <<'EOF'
+import json, sys
+
+fresh = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+for name, doc in (("fresh", fresh), ("committed", base)):
+    if not doc["zero_lost"]:
+        raise SystemExit(f"perf gate: {name} BENCH_linkfault.json lost "
+                         "requests through the link death")
+    if not doc["failover_observed"]:
+        raise SystemExit(f"perf gate: {name} BENCH_linkfault.json never "
+                         "observed the degraded-plan failover")
+    if doc["degraded_over_healthy"] < 0.70:
+        raise SystemExit(f"perf gate: {name} degraded/healthy throughput "
+                         f"{doc['degraded_over_healthy']:.2f} below the "
+                         "0.70 bar")
+print(f"link-fault ratio: fresh {fresh['degraded_over_healthy']:.2f}, "
+      f"committed {base['degraded_over_healthy']:.2f} (bar: >= 0.70, "
+      "zero lost, failover observed)")
+print("perf gate: serving degrades through link death, never collapses")
 EOF
 fi
 
