@@ -14,15 +14,21 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/bitplanes.h"
+#include "core/simd/vec_ops.h"
 #include "dataflow/engine.h"
+#include "dataflow/kernels.h"
 #include "dataflow/window_scanner.h"
 #include "models/zoo.h"
 #include "nn/reference.h"
@@ -331,9 +337,148 @@ int run_executor_ablation() {
   return shallow_ratio >= 0.95 && deep_ratio >= 1.5 ? 0 : 1;
 }
 
+// ---- conv datapath ablation ---------------------------------------------
+
+namespace {
+
+/// Images/second through a single ConvKernel driven cooperatively on one
+/// thread (push burst / step / drain), so the measurement isolates the conv
+/// inner datapath with no executor or thread-scheduling noise.
+double conv_datapath_ips(const Node& n, const FilterBank& fb,
+                         const std::vector<std::int32_t>& img, int images) {
+  Stream sin(8192, 16, "abl_in");
+  Stream sout(8192, 32, "abl_out");
+  ConvKernel kernel(n, fb, sin, sout);
+  const std::int64_t out_per_image = n.out.elems();
+  std::vector<std::int32_t> sink(4096);
+  const auto t0 = std::chrono::steady_clock::now();
+  int fed_images = 0;
+  std::size_t fed_pos = 0;
+  std::int64_t got = 0;
+  while (got < out_per_image * images) {
+    if (fed_images < images) {
+      fed_pos += sin.try_push_burst(
+          std::span<const std::int32_t>(img).subspan(fed_pos));
+      if (fed_pos == img.size()) {
+        fed_pos = 0;
+        if (++fed_images == images) sin.close();
+      }
+    }
+    (void)kernel.step_checked();
+    got += static_cast<std::int64_t>(sout.try_pop_burst(sink));
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - t0;
+  return images / elapsed.count();
+}
+
+}  // namespace
+
+/// Three-arm ablation of the conv inner datapath — scalar per-window
+/// re-pack vs packed incremental line buffers (scalar word loop) vs packed
+/// + widest SIMD — per activation width. Writes BENCH_kernels.json and
+/// enforces the acceptance bar on the geomean packed+SIMD speedup.
+int run_conv_datapath_ablation() {
+  constexpr int kImages = 8;
+  // A mid-network conv at paper scale: 3x3x64 -> 64 puts 576 bits (9
+  // words) in each bit-plane window, enough for the word-granular inner
+  // loop to matter. Tiny-channel layers are covered by the test suite.
+  const Shape in{16, 16, 64};
+  const int out_c = 64;
+  const int bits_list[] = {1, 2, 8};
+
+  const simd::Level best = simd::available_levels().back();
+  // >= 3x with AVX2-or-wider popcount hardware; >= 2x from packing alone.
+  const double bar = best >= simd::Level::kAvx2 ? 3.0 : 2.0;
+
+  struct Arm {
+    const char* label;
+    ConvDatapath dp;
+    simd::Level level;
+  };
+  const Arm arms[] = {
+      {"scalar-pack", ConvDatapath::kScalarPack, simd::Level::kScalar},
+      {"packed", ConvDatapath::kPacked, simd::Level::kScalar},
+      {"packed+simd", ConvDatapath::kPacked, best},
+  };
+
+  std::cout << "\nconv datapath ablation (single kernel, cooperative "
+               "single-thread drive; host best simd: "
+            << simd::level_name(best) << ")\n";
+  std::ostringstream js;
+  js << "{\n  \"host_best_simd\": \"" << simd::level_name(best)
+     << "\",\n  \"bar\": " << bar << ",\n  \"cells\": [\n";
+  double log_sum = 0.0;
+  for (std::size_t b = 0; b < std::size(bits_list); ++b) {
+    const int bits = bits_list[b];
+    Node n;
+    n.kind = NodeKind::Conv;
+    n.name = "abl_conv";
+    n.in = in;
+    n.out = conv_out_shape(in, out_c, 3, 1, 1);
+    n.in_bits = bits;
+    n.out_bits = preact_bits(std::int64_t{3} * 3 * in.c, bits);
+    n.k = 3;
+    n.stride = 1;
+    n.pad = 1;
+    n.param = 0;
+    Rng rng(21 + static_cast<std::uint64_t>(bits));
+    const FilterBank fb = FilterBank::random(n.filter_shape(), rng);
+    std::vector<std::int32_t> img(static_cast<std::size_t>(in.elems()));
+    for (auto& v : img) {
+      v = static_cast<std::int32_t>(rng.next_below(std::uint64_t{1} << bits));
+    }
+    double ips[3] = {0.0, 0.0, 0.0};
+    for (std::size_t a = 0; a < std::size(arms); ++a) {
+      set_conv_datapath(arms[a].dp);
+      simd::set_level(arms[a].level);
+      (void)conv_datapath_ips(n, fb, img, 2);  // warm-up, untimed
+      ips[a] = conv_datapath_ips(n, fb, img, kImages);
+      std::cout << "  in_bits=" << bits << ", " << arms[a].label << ": "
+                << ips[a] << " images/s\n";
+    }
+    const double packed_ratio = ips[1] / ips[0];
+    const double simd_ratio = ips[2] / ips[0];
+    log_sum += std::log(simd_ratio);
+    js << "    {\"in_bits\": " << bits << ", \"scalar_pack_ips\": " << ips[0]
+       << ", \"packed_scalar_ips\": " << ips[1]
+       << ", \"packed_simd_ips\": " << ips[2]
+       << ", \"packed_vs_scalarpack\": " << packed_ratio
+       << ", \"simd_vs_scalarpack\": " << simd_ratio << "}"
+       << (b + 1 < std::size(bits_list) ? "," : "") << "\n";
+  }
+  set_conv_datapath(ConvDatapath::kPacked);
+  simd::set_level(std::nullopt);
+  const double geomean =
+      std::exp(log_sum / static_cast<double>(std::size(bits_list)));
+  const bool pass = geomean >= bar;
+  js << "  ],\n  \"geomean_simd_vs_scalarpack\": " << geomean
+     << ",\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+  std::cout << "packed+simd vs scalar-pack geomean: " << geomean
+            << "x (bar: >= " << bar << ")\n"
+            << js.str();
+  const char* csv_dir = std::getenv("QNN_CSV_DIR");
+  const std::string json_path =
+      (csv_dir != nullptr ? std::string(csv_dir) + "/" : std::string()) +
+      "BENCH_kernels.json";
+  std::ofstream jf(json_path);
+  if (jf && (jf << js.str())) {
+    std::cout << "(json written to " << json_path << ")\n";
+  }
+  return pass ? 0 : 1;
+}
+
 }  // namespace qnn
 
 int main(int argc, char** argv) {
+  // --conv-datapath-only: skip the microbenchmarks and the executor
+  // ablation, run just the conv datapath ablation (PERF=1 tools/check.sh
+  // replays its committed BENCH_kernels.json baseline against this).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--conv-datapath-only") == 0) {
+      return qnn::run_conv_datapath_ablation();
+    }
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -41,6 +41,7 @@ class BitPlaneWindow {
   /// Store unsigned code `v` at window position `i`.
   void set(std::int64_t i, std::uint32_t v) {
     QNN_DCHECK(v < (1U << planes_bits_), "code exceeds plane width");
+    counts_valid_ = false;
     for (int p = 0; p < planes_bits_; ++p) {
       planes_[static_cast<std::size_t>(p)].set(i, (v >> p) & 1U);
     }
@@ -65,17 +66,20 @@ class BitPlaneWindow {
                  "bit-plane codes must be unsigned");
       set(i, static_cast<std::uint32_t>(codes[static_cast<std::size_t>(i)]));
     }
+    refresh_counts();
   }
 
-  /// dot(w, window) for +-1 weights `w` packed as sign bits; the popcount
-  /// of each plane is cached by the caller-free per-call computation here.
+  /// dot(w, window) for +-1 weights `w` packed as sign bits. Plane popcounts
+  /// are cached once per fill, so an O-filter sweep pays one count per plane
+  /// instead of one per (plane, filter) pair.
   [[nodiscard]] std::int32_t dot(const BitVector& w) const {
     QNN_DCHECK(w.bits() == values_, "filter length mismatch");
+    if (!counts_valid_) refresh_counts();
     std::int64_t acc = 0;
     for (int p = 0; p < planes_bits_; ++p) {
       const auto& plane = planes_[static_cast<std::size_t>(p)];
       const int on = w.and_popcount(plane);
-      const int tot = plane.count();
+      const int tot = counts_[static_cast<std::size_t>(p)];
       acc += (std::int64_t{2} * on - tot) << p;
     }
     return static_cast<std::int32_t>(acc);
@@ -83,12 +87,25 @@ class BitPlaneWindow {
 
   void clear() {
     for (auto& p : planes_) p.clear();
+    counts_.assign(static_cast<std::size_t>(planes_bits_), 0);
+    counts_valid_ = true;
   }
 
  private:
+  void refresh_counts() const {
+    counts_.resize(static_cast<std::size_t>(planes_bits_));
+    for (int p = 0; p < planes_bits_; ++p) {
+      counts_[static_cast<std::size_t>(p)] =
+          planes_[static_cast<std::size_t>(p)].count();
+    }
+    counts_valid_ = true;
+  }
+
   std::int64_t values_ = 0;
   int planes_bits_ = 0;
   std::vector<BitVector> planes_;
+  mutable std::vector<int> counts_;
+  mutable bool counts_valid_ = false;
 };
 
 /// Plain integer reference of the same dot product, used by tests to pin the

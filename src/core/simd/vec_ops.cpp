@@ -1,0 +1,150 @@
+// Scalar reference implementation + runtime dispatch for the vec_ops seam.
+#include "core/simd/vec_ops.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/error.h"
+#include "core/simd/vec_ops_impl.h"
+
+namespace qnn::simd {
+namespace {
+
+// ------------------------------------------------------------------ scalar
+
+std::uint64_t popcount_scalar(const Word* a, std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::uint64_t>(qnn::popcount(a[i]));
+  }
+  return total;
+}
+
+std::uint64_t and_popcount_scalar(const Word* a, const Word* b,
+                                  std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::uint64_t>(qnn::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+void accumulate_plane_scalar(const Word* a, std::size_t n, std::int64_t pop_a,
+                             const Word* w, std::size_t stride_words,
+                             std::size_t filters, int shift,
+                             std::int64_t* acc) {
+  for (std::size_t f = 0; f < filters; ++f) {
+    const Word* wf = w + f * stride_words;
+    std::uint64_t on = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      on += static_cast<std::uint64_t>(qnn::popcount(wf[i] & a[i]));
+    }
+    acc[f] += (2 * static_cast<std::int64_t>(on) - pop_a) << shift;
+  }
+}
+
+constexpr VecOps kScalarOps{Level::kScalar, "scalar", popcount_scalar,
+                            and_popcount_scalar, accumulate_plane_scalar};
+
+// ---------------------------------------------------------------- dispatch
+
+/// Table slot per level; nullptr = compiled out or CPU-unsupported.
+const VecOps* level_table(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return &kScalarOps;
+    case Level::kAvx2:
+      return detail::cpu_has_avx2() ? detail::avx2_ops() : nullptr;
+    case Level::kAvx512:
+      return detail::cpu_has_avx512_popcnt() ? detail::avx512_ops() : nullptr;
+  }
+  return nullptr;
+}
+
+/// Widest available level <= `want`.
+const VecOps* clamp_down(Level want) {
+  for (int l = static_cast<int>(want); l >= 0; --l) {
+    if (const VecOps* ops = level_table(static_cast<Level>(l))) return ops;
+  }
+  return &kScalarOps;  // unreachable: kScalar is always present
+}
+
+/// Resolve the QNN_SIMD environment request (nullptr/"auto" = widest).
+const VecOps* env_dispatch() {
+  const char* env = std::getenv("QNN_SIMD");
+  Level want = Level::kAvx512;  // auto: widest compiled+supported
+  if (env != nullptr && *env != '\0' && std::strcmp(env, "auto") != 0) {
+    if (std::strcmp(env, "scalar") == 0) {
+      want = Level::kScalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      want = Level::kAvx2;
+    } else if (std::strcmp(env, "avx512") == 0) {
+      want = Level::kAvx512;
+    } else {
+      std::fprintf(stderr,
+                   "qnn: unknown QNN_SIMD=%s (want auto|avx512|avx2|scalar); "
+                   "using auto\n",
+                   env);
+    }
+    const VecOps* got = clamp_down(want);
+    if (got->level != want) {
+      std::fprintf(stderr,
+                   "qnn: QNN_SIMD=%s unavailable on this host/build; "
+                   "using %s\n",
+                   env, got->name);
+    }
+    return got;
+  }
+  return clamp_down(want);
+}
+
+/// Explicit override (tests/bench); nullptr = follow env/auto.
+std::atomic<const VecOps*> g_override{nullptr};
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+std::vector<Level> available_levels() {
+  std::vector<Level> out;
+  for (const Level l : {Level::kScalar, Level::kAvx2, Level::kAvx512}) {
+    if (level_table(l) != nullptr) out.push_back(l);
+  }
+  return out;
+}
+
+const VecOps& vec_ops() {
+  if (const VecOps* forced = g_override.load(std::memory_order_acquire)) {
+    return *forced;
+  }
+  // The env/CPUID resolution is stable for the process; cache it.
+  static const VecOps* const resolved = env_dispatch();
+  return *resolved;
+}
+
+const VecOps& vec_ops_at(Level level) {
+  const VecOps* ops = level_table(level);
+  QNN_CHECK(ops != nullptr,
+            std::string("SIMD level '") + level_name(level) +
+                "' is not available on this host/build");
+  return *ops;
+}
+
+void set_level(std::optional<Level> level) {
+  g_override.store(level ? &vec_ops_at(*level) : nullptr,
+                   std::memory_order_release);
+}
+
+}  // namespace qnn::simd

@@ -1,0 +1,73 @@
+// Runtime-dispatched word-vector primitives behind the packed conv datapath.
+//
+// The layering follows the vec_ops/vec_dot split used by ggml's QNN NPU
+// device code: a scalar implementation defines the semantics and stays the
+// bit-exact reference, and the wider paths (AVX2 nibble-LUT popcount,
+// AVX-512 `vpopcntdq`) are pinned against it by tests at every compiled
+// level. All paths are built with per-function target attributes, so the
+// binary itself is portable; dispatch picks an implementation at runtime:
+//
+//   1. explicit override (set_level — tests and bench ablations),
+//   2. the QNN_SIMD environment variable (auto|avx512|avx2|scalar),
+//   3. CPUID auto-detection (the widest compiled level the host supports).
+//
+// A level is only ever selected when it is both compiled in (the QNN_SIMD
+// CMake knob) and supported by the running CPU, so an AVX-512-enabled build
+// never emits illegal instructions on an older host — an unavailable
+// request clamps down to the widest available level with a one-time note.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/bitops.h"
+
+namespace qnn::simd {
+
+enum class Level { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+[[nodiscard]] const char* level_name(Level level);
+
+/// One implementation of the word-granular kernels. All functions treat
+/// their operands as plain arrays of `n` 64-bit words; tail masking is the
+/// caller's job (operands keep the BitVector tail-bits-zero invariant).
+struct VecOps {
+  Level level;
+  const char* name;
+
+  /// Total set bits over a[0..n).
+  std::uint64_t (*popcount)(const Word* a, std::size_t n);
+
+  /// popcount(a & b) over n words.
+  std::uint64_t (*and_popcount)(const Word* a, const Word* b, std::size_t n);
+
+  /// The conv inner loop: for every filter f in [0, filters), with filter
+  /// f's words at w + f*stride_words,
+  ///   acc[f] += (2*popcount(w_f & a) - pop_a) << shift
+  /// i.e. one bit-plane's +-1-weighted contribution (core/bitplanes.h) for
+  /// all filters, streaming the filter-major weight words once while the
+  /// plane words stay resident.
+  void (*accumulate_plane)(const Word* a, std::size_t n, std::int64_t pop_a,
+                           const Word* w, std::size_t stride_words,
+                           std::size_t filters, int shift,
+                           std::int64_t* acc);
+};
+
+/// Levels compiled into this binary AND usable on this CPU, ascending.
+/// Always contains kScalar.
+[[nodiscard]] std::vector<Level> available_levels();
+
+/// The dispatched implementation (override > QNN_SIMD env > CPUID auto).
+[[nodiscard]] const VecOps& vec_ops();
+
+/// The implementation of one specific level; throws when that level is not
+/// compiled in or not supported by this CPU (use available_levels()).
+[[nodiscard]] const VecOps& vec_ops_at(Level level);
+
+/// Process-wide dispatch override used by tests and the bench ablation;
+/// std::nullopt restores env/auto dispatch. Takes effect for kernels
+/// constructed afterwards — set it between engine runs, not during one.
+void set_level(std::optional<Level> level);
+
+}  // namespace qnn::simd

@@ -1,0 +1,94 @@
+// AVX2 path: 4-word AND + vpshufb nibble-LUT popcount (the classic Mula
+// kernel), horizontal-summed with vpsadbw. Built with a per-function
+// target attribute so the TU compiles under the generic -march; the
+// dispatcher only hands these functions out after a CPUID check.
+#include "core/simd/vec_ops_impl.h"
+
+#if defined(__x86_64__) && defined(QNN_SIMD_AVX2)
+
+#include <immintrin.h>
+
+namespace qnn::simd::detail {
+namespace {
+
+__attribute__((target("avx2"))) inline __m256i popcount_bytes(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t hsum_epi64(__m256i v) {
+  Word lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), v);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+__attribute__((target("avx2"))) std::uint64_t popcount_avx2(const Word* a,
+                                                            std::size_t n) {
+  __m256i total = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    total = _mm256_add_epi64(
+        total, _mm256_sad_epu8(popcount_bytes(v), _mm256_setzero_si256()));
+  }
+  std::uint64_t t = hsum_epi64(total);
+  for (; i < n; ++i) {
+    t += static_cast<std::uint64_t>(qnn::popcount(a[i]));
+  }
+  return t;
+}
+
+__attribute__((target("avx2"))) std::uint64_t and_popcount_avx2(
+    const Word* a, const Word* b, std::size_t n) {
+  __m256i total = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    total = _mm256_add_epi64(
+        total, _mm256_sad_epu8(popcount_bytes(v), _mm256_setzero_si256()));
+  }
+  std::uint64_t t = hsum_epi64(total);
+  for (; i < n; ++i) {
+    t += static_cast<std::uint64_t>(qnn::popcount(a[i] & b[i]));
+  }
+  return t;
+}
+
+__attribute__((target("avx2"))) void accumulate_plane_avx2(
+    const Word* a, std::size_t n, std::int64_t pop_a, const Word* w,
+    std::size_t stride_words, std::size_t filters, int shift,
+    std::int64_t* acc) {
+  for (std::size_t f = 0; f < filters; ++f) {
+    const std::uint64_t on = and_popcount_avx2(w + f * stride_words, a, n);
+    acc[f] += (2 * static_cast<std::int64_t>(on) - pop_a) << shift;
+  }
+}
+
+constexpr VecOps kAvx2Ops{Level::kAvx2, "avx2", popcount_avx2,
+                          and_popcount_avx2, accumulate_plane_avx2};
+
+}  // namespace
+
+const VecOps* avx2_ops() { return &kAvx2Ops; }
+
+bool cpu_has_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+}  // namespace qnn::simd::detail
+
+#else  // compiled out
+
+namespace qnn::simd::detail {
+const VecOps* avx2_ops() { return nullptr; }
+bool cpu_has_avx2() { return false; }
+}  // namespace qnn::simd::detail
+
+#endif

@@ -1,0 +1,92 @@
+// AVX-512 path: 8-word AND + vpopcntdq (the VPOPCNTDQ extension counts 64
+// bits per lane in one instruction — popcount bandwidth is the whole game
+// for binary conv, per FINN/XNORBIN). Tails use a masked load, so every
+// call is branch-light. The horizontal sum avoids _mm512_reduce_add_epi64,
+// whose gcc-12 header trips -Wuninitialized under -Werror.
+#include "core/simd/vec_ops_impl.h"
+
+#if defined(__x86_64__) && defined(QNN_SIMD_AVX512)
+
+#include <immintrin.h>
+
+namespace qnn::simd::detail {
+namespace {
+
+#define QNN_AVX512_TARGET target("avx512f,avx512vpopcntdq")
+
+__attribute__((QNN_AVX512_TARGET)) inline std::uint64_t hsum_epi64(
+    __m512i v) {
+  Word lanes[8];
+  _mm512_storeu_si512(lanes, v);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] + lanes[4] + lanes[5] +
+         lanes[6] + lanes[7];
+}
+
+__attribute__((QNN_AVX512_TARGET)) std::uint64_t popcount_avx512(
+    const Word* a, std::size_t n) {
+  __m512i total = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    total = _mm512_add_epi64(total,
+                             _mm512_popcnt_epi64(_mm512_loadu_si512(a + i)));
+  }
+  if (i < n) {
+    const __mmask8 tail = static_cast<__mmask8>((1u << (n - i)) - 1u);
+    total = _mm512_add_epi64(
+        total, _mm512_popcnt_epi64(_mm512_maskz_loadu_epi64(tail, a + i)));
+  }
+  return hsum_epi64(total);
+}
+
+__attribute__((QNN_AVX512_TARGET)) std::uint64_t and_popcount_avx512(
+    const Word* a, const Word* b, std::size_t n) {
+  __m512i total = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v =
+        _mm512_and_si512(_mm512_loadu_si512(a + i), _mm512_loadu_si512(b + i));
+    total = _mm512_add_epi64(total, _mm512_popcnt_epi64(v));
+  }
+  if (i < n) {
+    const __mmask8 tail = static_cast<__mmask8>((1u << (n - i)) - 1u);
+    const __m512i v = _mm512_and_si512(_mm512_maskz_loadu_epi64(tail, a + i),
+                                       _mm512_maskz_loadu_epi64(tail, b + i));
+    total = _mm512_add_epi64(total, _mm512_popcnt_epi64(v));
+  }
+  return hsum_epi64(total);
+}
+
+__attribute__((QNN_AVX512_TARGET)) void accumulate_plane_avx512(
+    const Word* a, std::size_t n, std::int64_t pop_a, const Word* w,
+    std::size_t stride_words, std::size_t filters, int shift,
+    std::int64_t* acc) {
+  for (std::size_t f = 0; f < filters; ++f) {
+    const std::uint64_t on = and_popcount_avx512(w + f * stride_words, a, n);
+    acc[f] += (2 * static_cast<std::int64_t>(on) - pop_a) << shift;
+  }
+}
+
+#undef QNN_AVX512_TARGET
+
+constexpr VecOps kAvx512Ops{Level::kAvx512, "avx512", popcount_avx512,
+                            and_popcount_avx512, accumulate_plane_avx512};
+
+}  // namespace
+
+const VecOps* avx512_ops() { return &kAvx512Ops; }
+
+bool cpu_has_avx512_popcnt() {
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512vpopcntdq") != 0;
+}
+
+}  // namespace qnn::simd::detail
+
+#else  // compiled out
+
+namespace qnn::simd::detail {
+const VecOps* avx512_ops() { return nullptr; }
+bool cpu_has_avx512_popcnt() { return false; }
+}  // namespace qnn::simd::detail
+
+#endif

@@ -1,6 +1,7 @@
 #include "dataflow/kernels.h"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 
 namespace qnn {
@@ -60,7 +61,6 @@ WindowKernel::WindowKernel(const Node& node, Stream& in, Stream& out,
 
 void WindowKernel::feed(std::int32_t v) {
   if (const auto completed = scanner_.advance(v)) {
-    scanner_.window(*completed, window_buf_);
     emit(*completed);
   }
 }
@@ -74,6 +74,7 @@ void WindowKernel::reset() {
   in_burst_.clear();
   stage_.clear();
   image_open_ = false;
+  rearm_image();
 }
 
 void WindowKernel::bind_ready(ReadyHook* hook, int task) {
@@ -87,10 +88,14 @@ StepResult WindowKernel::step() {
   for (int round = 0; round < kRoundsPerStep; ++round) {
     // Padding positions (including whole trailing pad rows) consume no
     // input: "the kernel stops the input stream and inputs padding values
-    // into the buffer instead" (§III-B1).
-    advance_padding();
+    // into the buffer instead" (§III-B1). Only once the image has begun,
+    // though — pre-feeding a not-yet-started image's leading pad rows
+    // would, for pad >= k, complete (and emit) windows of an image that
+    // may never arrive.
+    if (image_open_) advance_padding();
     if (scanner_.done()) {
       scanner_.reset();  // image complete; re-arm for the next one
+      rearm_image();
       image_open_ = false;
       progressed = true;
       if (!stage_.flush(out_)) return StepResult::kBlocked;
@@ -112,10 +117,13 @@ StepResult WindowKernel::step() {
       advance_padding();
       if (scanner_.done()) break;  // burst spans an image boundary
       // Ingest the row segment up to the next padding interruption in one
-      // tight loop — no per-value padding test.
+      // tight loop — no per-value padding test. The run is exposed to the
+      // subclass first (scanner cursor still at the run's first value), so
+      // the packed conv datapath bit-plane-packs it exactly once.
       const std::int64_t run = std::min<std::int64_t>(
           scanner_.real_run(),
           static_cast<std::int64_t>(in_burst_.available()));
+      ingest_run(in_burst_.view(static_cast<std::size_t>(run)));
       for (std::int64_t i = 0; i < run; ++i) feed(in_burst_.next());
     }
     progressed = true;
@@ -126,22 +134,105 @@ StepResult WindowKernel::step() {
 
 // ---------------------------------------------------------------- ConvKernel
 
+namespace {
+std::atomic<ConvDatapath> g_conv_datapath{ConvDatapath::kPacked};
+}  // namespace
+
+ConvDatapath conv_datapath() {
+  return g_conv_datapath.load(std::memory_order_relaxed);
+}
+
+void set_conv_datapath(ConvDatapath dp) {
+  g_conv_datapath.store(dp, std::memory_order_relaxed);
+}
+
 ConvKernel::ConvKernel(const Node& node, const FilterBank& weights,
                        Stream& in, Stream& out, std::size_t burst)
     : WindowKernel(node, in, out, burst),
       weights_(weights),
-      planes_(scanner().window_values(), node.in_bits) {
+      planes_(scanner().window_values(), node.in_bits),
+      packed_weights_(scanner().window_values(), node.out.c),
+      lines_(node.in_bits, node.k,
+             static_cast<std::int64_t>(scanner().padded_w()) * node.in.c),
+      window_(scanner().window_values(), node.in_bits),
+      acc_(static_cast<std::size_t>(node.out.c), 0),
+      datapath_(conv_datapath()) {
   QNN_CHECK(node.kind == NodeKind::Conv, "ConvKernel needs a Conv node");
   QNN_CHECK(weights.shape() == node.filter_shape(),
             "weight bank does not match node geometry");
+  // Re-pack the weight cache filter-major once; the BitVector tail-zero
+  // invariant carries over, so the SIMD sweep needs no weight-side masking.
+  std::vector<Word> tmp(packed_weights_.stride_words());
+  for (int o = 0; o < node.out.c; ++o) {
+    const BitVector& f = weights.filter(o);
+    for (std::int64_t w = 0; w < f.words(); ++w) {
+      tmp[static_cast<std::size_t>(w)] = f.word(w);
+    }
+    packed_weights_.set(o, tmp);
+  }
 }
 
-void ConvKernel::emit(const WindowScanner::Completed&) {
-  planes_.fill(window_buf());
+void ConvKernel::rearm_image() {
+  packed_row_ = -1;
+  datapath_ = conv_datapath();
+}
+
+void ConvKernel::ensure_row(int y) {
+  const int k = node().k;
+  for (int r = std::max(packed_row_ + 1, y - k + 1); r <= y; ++r) {
+    lines_.clear_row(r % k);
+  }
+  packed_row_ = std::max(packed_row_, y);
+}
+
+void ConvKernel::ingest_run(std::span<const std::int32_t> vals) {
+  if (datapath_ != ConvDatapath::kPacked) return;
+  const int y = scanner().cur_row();
+  ensure_row(y);
+  lines_.pack_run(y % node().k, scanner().row_value_pos(), vals);
+}
+
+void ConvKernel::emit(const WindowScanner::Completed& at) {
+  const int o_count = node().out.c;
+  if (datapath_ != ConvDatapath::kPacked) {
+    // Scalar-pack reference: gather the window out of the scanner ring and
+    // re-binarize it value by value.
+    load_window(at);
+    planes_.fill(window_buf());
+    for (int o = 0; o < o_count; ++o) {
+      stage().append(planes_.dot(weights_.filter(o)));
+    }
+    return;
+  }
+  // Packed incremental path: every activation was bit-plane-packed exactly
+  // once at ingest; a window is K contiguous bit-range splices per plane
+  // out of the line buffer (rows recycled mod K, in step with the scanner
+  // ring), then one SIMD AND-popcount sweep over all O filters.
+  const auto& ops = simd::vec_ops();
+  const int k = node().k;
+  const int stride = node().stride;
+  const std::int64_t chans = node().in.c;
+  // All-padding rows (top/bottom pad) never see an ingest_run; enter them
+  // into the ring here so their bits read as zero (= pad code 0).
+  ensure_row(at.oy * stride + k - 1);
+  const std::int64_t seg = static_cast<std::int64_t>(k) * chans;
+  const std::int64_t src_bit =
+      static_cast<std::int64_t>(at.ox) * stride * chans;
+  for (int p = 0; p < lines_.planes(); ++p) {
+    for (int dy = 0; dy < k; ++dy) {
+      window_.splice(lines_, p, (at.oy * stride + dy) % k, src_bit,
+                     static_cast<std::int64_t>(dy) * seg, seg);
+    }
+  }
+  window_.finalize(ops);
   // "One output pixel per clock cycle, until all the filters are applied
   // at this position" (§III-B1): emit all O responses.
-  for (int o = 0; o < node().out.c; ++o) {
-    stage().append(planes_.dot(weights_.filter(o)));
+  window_.dot_filters(ops, packed_weights_.data(),
+                      packed_weights_.stride_words(),
+                      static_cast<std::size_t>(o_count), acc_.data());
+  for (int o = 0; o < o_count; ++o) {
+    stage().append(
+        static_cast<std::int32_t>(acc_[static_cast<std::size_t>(o)]));
   }
 }
 
@@ -149,27 +240,44 @@ void ConvKernel::emit(const WindowScanner::Completed&) {
 
 PoolKernel::PoolKernel(const Node& node, Stream& in, Stream& out,
                        std::size_t burst)
-    : WindowKernel(node, in, out, burst) {
+    : WindowKernel(node, in, out, burst),
+      is_max_(node.kind == NodeKind::MaxPool),
+      acc_(static_cast<std::size_t>(node.in.c), 0) {
   QNN_CHECK(node.kind == NodeKind::MaxPool || node.kind == NodeKind::AvgPool,
             "PoolKernel needs a pooling node");
 }
 
-void PoolKernel::emit(const WindowScanner::Completed&) {
-  const bool is_max = node().kind == NodeKind::MaxPool;
+void PoolKernel::emit(const WindowScanner::Completed& at) {
+  load_window(at);
   const int c = node().in.c;
   const int kk = node().k * node().k;
   const auto window = window_buf();
-  // Window layout is (dy, dx, ci); reduce per channel. Padded entries
-  // hold code 0, the lowest level — identity for max and sum alike.
-  for (int ci = 0; ci < c; ++ci) {
-    std::int32_t best = 0;
-    std::int64_t sum = 0;
+  // Window layout is (dy, dx, ci): walk it channel-contiguously (stride-1
+  // inner loop over ci) with the max/sum decision hoisted out of the loops.
+  // Padded entries hold code 0, the lowest level — identity for max and
+  // sum alike, so a zero accumulator start is exact.
+  std::fill(acc_.begin(), acc_.end(), std::int64_t{0});
+  if (is_max_) {
     for (int t = 0; t < kk; ++t) {
-      const std::int32_t x = window[static_cast<std::size_t>(t) * c + ci];
-      best = std::max(best, x);
-      sum += x;
+      const auto seg = window.subspan(
+          static_cast<std::size_t>(t) * static_cast<std::size_t>(c));
+      for (int ci = 0; ci < c; ++ci) {
+        auto& a = acc_[static_cast<std::size_t>(ci)];
+        a = std::max<std::int64_t>(a, seg[static_cast<std::size_t>(ci)]);
+      }
     }
-    stage().append(is_max ? best : static_cast<std::int32_t>(sum));
+  } else {
+    for (int t = 0; t < kk; ++t) {
+      const auto seg = window.subspan(
+          static_cast<std::size_t>(t) * static_cast<std::size_t>(c));
+      for (int ci = 0; ci < c; ++ci) {
+        acc_[static_cast<std::size_t>(ci)] += seg[static_cast<std::size_t>(ci)];
+      }
+    }
+  }
+  for (int ci = 0; ci < c; ++ci) {
+    stage().append(
+        static_cast<std::int32_t>(acc_[static_cast<std::size_t>(ci)]));
   }
 }
 
@@ -186,6 +294,24 @@ BnActKernel::BnActKernel(const Node& node, const ThresholdLayer& thresholds,
   QNN_CHECK(node.kind == NodeKind::BnAct, "BnActKernel needs a BnAct node");
   QNN_CHECK(thresholds.channels() == node.in.c,
             "threshold bank channel count mismatch");
+  // Small preactivation domain: tabulate the staircase per channel once
+  // (<= 256 entries/channel) so the steady state is one indexed load per
+  // value. Built from the binary-search path itself, so it is bit-exact by
+  // construction.
+  if (node.in_bits <= 8) {
+    lut_size_ = std::int32_t{1} << node.in_bits;
+    lut_bias_ = lut_size_ / 2;
+    lut_.resize(static_cast<std::size_t>(node.in.c) *
+                static_cast<std::size_t>(lut_size_));
+    for (int c = 0; c < node.in.c; ++c) {
+      for (std::int32_t idx = 0; idx < lut_size_; ++idx) {
+        lut_[static_cast<std::size_t>(c) *
+                 static_cast<std::size_t>(lut_size_) +
+             static_cast<std::size_t>(idx)] =
+            thresholds.at(c).eval_binary_search(idx - lut_bias_);
+      }
+    }
+  }
 }
 
 void BnActKernel::reset() {
@@ -213,11 +339,28 @@ StepResult BnActKernel::step() {
       return progressed ? StepResult::kProgress : StepResult::kBlocked;
     }
     // Map the whole burst through the threshold staircase, carrying the
-    // channel phase across burst boundaries. The hardware path: binary
-    // search over the 2^n ranges (§III-B3).
-    for (std::size_t i = 0; i < n; ++i) {
-      stage_.append(thresholds_.at(ch_).eval_binary_search(in_burst_.next()));
-      ch_ = ch_ + 1 == c ? 0 : ch_ + 1;
+    // channel phase across burst boundaries. Narrow domains go through the
+    // per-channel direct table (§III-B3's BRAM LUT); anything outside the
+    // table — or a wide domain — takes the binary search over the 2^n
+    // ranges, which is bit-identical.
+    if (lut_size_ != 0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::int32_t a = in_burst_.next();
+        const std::int64_t idx = static_cast<std::int64_t>(a) + lut_bias_;
+        stage_.append(
+            idx >= 0 && idx < lut_size_
+                ? lut_[static_cast<std::size_t>(ch_) *
+                           static_cast<std::size_t>(lut_size_) +
+                       static_cast<std::size_t>(idx)]
+                : thresholds_.at(ch_).eval_binary_search(a));
+        ch_ = ch_ + 1 == c ? 0 : ch_ + 1;
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        stage_.append(
+            thresholds_.at(ch_).eval_binary_search(in_burst_.next()));
+        ch_ = ch_ + 1 == c ? 0 : ch_ + 1;
+      }
     }
     progressed = true;
     if (!stage_.flush(out_)) return StepResult::kBlocked;

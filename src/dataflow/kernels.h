@@ -33,6 +33,8 @@
 #include <vector>
 
 #include "core/bitplanes.h"
+#include "core/packed_planes.h"
+#include "core/simd/vec_ops.h"
 #include "dataflow/stream.h"
 #include "fault/fault.h"
 #include "dataflow/window_scanner.h"
@@ -128,6 +130,14 @@ class InBurst {
     return buf_[pos_++];
   }
 
+  /// Read-only view of the next `n` buffered values without consuming them
+  /// (n <= available()). Lets a kernel pre-scan a run — e.g. pack it into
+  /// bit-plane line buffers — before feeding it value by value.
+  [[nodiscard]] std::span<const std::int32_t> view(std::size_t n) const {
+    QNN_DCHECK(n <= len_ - pos_, "burst view overrun");
+    return std::span<const std::int32_t>(buf_).subspan(pos_, n);
+  }
+
   /// Discard buffered values (between engine runs / after an aborted run).
   void clear() {
     pos_ = 0;
@@ -212,9 +222,27 @@ class WindowKernel : public Kernel {
   /// Emit all outputs of the window at `at` into stage().
   virtual void emit(const WindowScanner::Completed& at) = 0;
 
+  /// Called once per contiguous run of REAL input values, just before they
+  /// are fed to the scanner — the scanner cursor (cur_row/row_value_pos)
+  /// still points at the run's first value. The packed conv datapath packs
+  /// the run into its bit-plane line buffers here; the default does nothing.
+  virtual void ingest_run(std::span<const std::int32_t> /*vals*/) {}
+
+  /// Called whenever the scan re-arms for a new image (end of image and
+  /// reset()); subclasses recycle per-image state (e.g. line-buffer rows).
+  virtual void rearm_image() {}
+
   [[nodiscard]] const Node& node() const { return node_; }
   [[nodiscard]] WindowScanner& scanner() { return scanner_; }
   [[nodiscard]] OutStage& stage() { return stage_; }
+
+  /// Copy the window at `at` out of the scanner ring into window_buf().
+  /// Only the scalar datapaths pay this gather; the packed conv datapath
+  /// never calls it.
+  void load_window(const WindowScanner::Completed& at) {
+    scanner_.window(at, window_buf_);
+  }
+
   [[nodiscard]] std::span<std::int32_t> window_buf() {
     return window_buf_;
   }
@@ -234,11 +262,25 @@ class WindowKernel : public Kernel {
   bool image_open_ = false;
 };
 
+/// Which conv inner datapath ConvKernel uses. kPacked (the default) is the
+/// word-packed incremental path: activations are decomposed into bit-plane
+/// line buffers once as rows stream in, windows are assembled by word
+/// splices, and the O-filter sweep runs through the vec_ops SIMD seam.
+/// kScalarPack is the original per-window re-pack (BitPlaneWindow::fill),
+/// kept as the bit-exact reference and as a bench ablation arm.
+enum class ConvDatapath { kScalarPack, kPacked };
+
+/// Process-wide datapath selector (atomic; read at each window emit, so
+/// tests and the bench ablation can flip it between runs).
+[[nodiscard]] ConvDatapath conv_datapath();
+void set_conv_datapath(ConvDatapath dp);
+
 /// XNOR-popcount convolution kernel (Figure 3). Consumes depth-first
 /// activation codes in row-segment bursts, injects padding locally, and on
 /// each completed window emits all O filter responses for that position.
 /// Weights live in the kernel as a packed FilterBank — the on-chip weight
-/// cache of §III-B1a.
+/// cache of §III-B1a — packed once at construction into a filter-major
+/// word array for the SIMD inner loop.
 class ConvKernel final : public WindowKernel {
  public:
   ConvKernel(const Node& node, const FilterBank& weights, Stream& in,
@@ -246,13 +288,33 @@ class ConvKernel final : public WindowKernel {
 
  private:
   void emit(const WindowScanner::Completed& at) override;
+  void ingest_run(std::span<const std::int32_t> vals) override;
+  void rearm_image() override;
+
+  /// Make line-buffer rows (.., y] valid: rows entered since the last
+  /// ensure are zero-cleared (all-padding rows never see an ingest_run, so
+  /// this is the only place they get recycled).
+  void ensure_row(int y);
 
   const FilterBank& weights_;
-  BitPlaneWindow planes_;
+  BitPlaneWindow planes_;  // scalar-pack reference datapath
+
+  // Packed incremental datapath state. The datapath choice is latched per
+  // image (rearm_image), so a mid-image selector flip can never mix a
+  // half-packed line buffer with a packed emit.
+  PackedFilters packed_weights_;
+  BitPlaneLineBuffer lines_;
+  PackedWindow window_;
+  std::vector<std::int64_t> acc_;
+  int packed_row_ = -1;  // highest padded row already entered into lines_
+  ConvDatapath datapath_;
 };
 
 /// Max / average (window-sum) pooling kernel. Parameterless; emits each
-/// output as soon as its window completes (§III-B2).
+/// output as soon as its window completes (§III-B2). The reduction walks
+/// the (dy, dx, ci) window channel-contiguously with the max/sum decision
+/// hoisted out of the loop, accumulating all C channels per window row
+/// segment.
 class PoolKernel final : public WindowKernel {
  public:
   PoolKernel(const Node& node, Stream& in, Stream& out,
@@ -260,11 +322,18 @@ class PoolKernel final : public WindowKernel {
 
  private:
   void emit(const WindowScanner::Completed& at) override;
+
+  bool is_max_;
+  std::vector<std::int64_t> acc_;  // per-channel scratch
 };
 
 /// Folded BatchNorm + n-bit activation kernel (§III-B3): maps each input
-/// burst through the per-channel threshold staircase (binary search per
-/// value), carrying the channel phase across bursts.
+/// burst through the per-channel threshold staircase, carrying the channel
+/// phase across bursts. When the preactivation domain is small
+/// (node.in_bits <= 8, i.e. <= 256 codes), the staircase is tabulated once
+/// per channel at construction and each value becomes one indexed load —
+/// the BRAM-LUT realization of §III-B3; wider domains (and out-of-table
+/// inputs) fall back to the binary search, which stays bit-identical.
 class BnActKernel final : public Kernel {
  public:
   BnActKernel(const Node& node, const ThresholdLayer& thresholds, Stream& in,
@@ -272,6 +341,9 @@ class BnActKernel final : public Kernel {
   StepResult step() override;
   void reset() override;
   void bind_ready(ReadyHook* hook, int task) override;
+
+  /// True when the direct-lookup path is active (exposed for tests).
+  [[nodiscard]] bool uses_lut() const { return lut_size_ != 0; }
 
  private:
   const Node& node_;
@@ -281,6 +353,9 @@ class BnActKernel final : public Kernel {
   InBurst in_burst_;
   OutStage stage_;
   int ch_ = 0;
+  std::int32_t lut_size_ = 0;  // 0 = binary-search path
+  std::int32_t lut_bias_ = 0;  // table index = value + bias
+  std::vector<std::int32_t> lut_;  // channel-major [ch * lut_size_ + idx]
 };
 
 /// Skip-connection adder (§III-B5, Figure 2): sums the regular path with

@@ -125,6 +125,19 @@ class WindowScanner {
   }
   [[nodiscard]] int out_h() const { return out_h_; }
   [[nodiscard]] int out_w() const { return out_w_; }
+  [[nodiscard]] int padded_w() const { return wp_; }
+
+  /// Padded row the cursor is currently on (0 <= cur_row < hp while the
+  /// scan is live). A packed line buffer mirrors the ring by recycling rows
+  /// mod K keyed on this value.
+  [[nodiscard]] int cur_row() const { return y_; }
+
+  /// Cursor position within the current padded row, in values:
+  /// (x * channels + c) over the padded width. This is the pack offset for
+  /// the run about to be ingested via real_run().
+  [[nodiscard]] std::int64_t row_value_pos() const {
+    return static_cast<std::int64_t>(x_) * in_.c + c_;
+  }
 
   /// Total padded positions scanned per image (pad injections included).
   [[nodiscard]] std::int64_t padded_values() const {

@@ -84,5 +84,33 @@ TEST(BitPlaneWindow, ClearResetsToZero) {
   for (std::int64_t i = 0; i < 16; ++i) EXPECT_EQ(w.get(i), 0u);
 }
 
+TEST(BitPlaneWindow, CachedPlaneCountsRefreshAfterSet) {
+  // dot() caches plane popcounts per fill; a point set() must invalidate
+  // the cache, and the next dot must see the updated planes.
+  const std::int64_t n = 70;  // straddles a word boundary
+  BitPlaneWindow w(n, 2);
+  BitVector weights(n);
+  std::vector<std::int8_t> w_pm1(static_cast<std::size_t>(n));
+  std::vector<std::int32_t> codes(static_cast<std::size_t>(n));
+  Rng rng(99);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const bool bit = rng.next_bool();
+    weights.set(i, bit);
+    w_pm1[static_cast<std::size_t>(i)] = bit ? 1 : -1;
+    codes[static_cast<std::size_t>(i)] =
+        static_cast<std::int32_t>(rng.next_below(4));
+  }
+  w.fill(codes);
+  ASSERT_EQ(w.dot(weights), reference_pm1_dot(w_pm1, codes));
+  // Mutate a value after the cached dot and re-check.
+  codes[65] = (codes[65] + 1) % 4;
+  w.set(65, static_cast<std::uint32_t>(codes[65]));
+  EXPECT_EQ(w.dot(weights), reference_pm1_dot(w_pm1, codes));
+  // clear() re-validates the cache at zero.
+  w.clear();
+  const std::vector<std::int32_t> zeros(static_cast<std::size_t>(n), 0);
+  EXPECT_EQ(w.dot(weights), reference_pm1_dot(w_pm1, zeros));
+}
+
 }  // namespace
 }  // namespace qnn

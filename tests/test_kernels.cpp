@@ -177,6 +177,70 @@ TEST(PoolKernelTest, MaxAndSumReductions) {
   EXPECT_EQ(sums[1], 2 + 2 + 9 + 4);
 }
 
+TEST(PoolKernelTest, AsymmetricPaddingRegression) {
+  // k=2, stride=2, pad=1 on a 3x3 map: every window sees a different
+  // amount of padding (3 pad values at the top-left corner, 2 on edges,
+  // 0 at the interior position). Pins the channel-contiguous reduction to
+  // a plain per-window reference, bit-exactly, for max and sum pooling.
+  Node n;
+  n.kind = NodeKind::MaxPool;
+  n.name = "pool_asym";
+  n.in = Shape{3, 3, 2};
+  n.out = Shape{2, 2, 2};
+  n.in_bits = n.out_bits = 6;
+  n.k = 2;
+  n.stride = 2;
+  n.pad = 1;
+
+  IntTensor img(n.in);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      for (int c = 0; c < 2; ++c) img.at(y, x, c) = y * 16 + x * 4 + c + 1;
+    }
+  }
+  // Reference: reduce each (possibly padded) window directly.
+  std::vector<std::int32_t> expect_max;
+  std::vector<std::int32_t> expect_sum;
+  for (int oy = 0; oy < 2; ++oy) {
+    for (int ox = 0; ox < 2; ++ox) {
+      for (int c = 0; c < 2; ++c) {
+        std::int32_t best = 0;
+        std::int32_t sum = 0;
+        for (int dy = 0; dy < 2; ++dy) {
+          for (int dx = 0; dx < 2; ++dx) {
+            const int y = oy * 2 + dy - 1;
+            const int x = ox * 2 + dx - 1;
+            const std::int32_t v =
+                (y >= 0 && y < 3 && x >= 0 && x < 3) ? img.at(y, x, c) : 0;
+            best = std::max(best, v);
+            sum += v;
+          }
+        }
+        expect_max.push_back(best);
+        expect_sum.push_back(sum);
+      }
+    }
+  }
+
+  Stream sin(64, 6, "in");
+  Stream sout(64, 6, "out");
+  PoolKernel max_kernel(n, sin, sout);
+  std::thread feeder([&] { feed(sin, img, true); });
+  max_kernel.run();
+  feeder.join();
+  EXPECT_EQ(drain(sout), expect_max);
+
+  n.kind = NodeKind::AvgPool;
+  n.out_bits = 8;
+  Stream sin2(64, 6, "in2");
+  Stream sout2(64, 8, "out2");
+  PoolKernel sum_kernel(n, sin2, sout2);
+  std::thread feeder2([&] { feed(sin2, img, true); });
+  sum_kernel.run();
+  feeder2.join();
+  EXPECT_EQ(drain(sout2), expect_sum);
+}
+
 TEST(BnActKernelTest, PerChannelThresholdsInDepthFirstOrder) {
   Node n;
   n.kind = NodeKind::BnAct;
@@ -212,6 +276,87 @@ TEST(BnActKernelTest, PerChannelThresholdsInDepthFirstOrder) {
   EXPECT_EQ(out[1], 2);  // -(-5)=5
   EXPECT_EQ(out[2], 0);  // 1 < 2
   EXPECT_EQ(out[3], 3);  // 7 >= 6
+}
+
+TEST(BnActKernelTest, LutPathBitExactOverAllCodesAndChannels) {
+  // in_bits = 6: the kernel tabulates the staircase (64 entries/channel).
+  // Stream every representable preactivation through every channel —
+  // including a negated-slope channel and a degenerate constant channel —
+  // and require bit-identity with the binary-search path.
+  Node n;
+  n.kind = NodeKind::BnAct;
+  n.name = "bnact_lut";
+  n.in = n.out = Shape{1, 64, 3};
+  n.in_bits = 6;
+  n.out_bits = 2;
+  n.param = 0;
+
+  BnLayerParams bn(3);
+  bn.at(1).gamma = -0.7f;  // negative slope
+  bn.at(1).beta = 1.3f;
+  bn.at(2).gamma = 0.0f;  // constant channel
+  const ActQuantizer q(2, 2.0);
+  const ThresholdLayer thresholds = ThresholdLayer::fold(bn, q);
+  ASSERT_TRUE(thresholds.at(2).is_constant());
+
+  Stream sin(512, 8, "in");
+  Stream sout(512, 2, "out");
+  BnActKernel kernel(n, thresholds, sin, sout);
+  ASSERT_TRUE(kernel.uses_lut());
+
+  std::vector<std::int32_t> expect;
+  std::thread feeder([&] {
+    for (std::int32_t a = -32; a < 32; ++a) {
+      for (int c = 0; c < 3; ++c) sin.push(a);
+    }
+    sin.close();
+  });
+  for (std::int32_t a = -32; a < 32; ++a) {
+    for (int c = 0; c < 3; ++c) {
+      expect.push_back(thresholds.at(c).eval_binary_search(a));
+    }
+  }
+  kernel.run();
+  feeder.join();
+  EXPECT_EQ(drain(sout), expect);
+}
+
+TEST(BnActKernelTest, LutFallsBackOutsideTableAndGatesOnWidth) {
+  // Out-of-table preactivations (|a| beyond the in_bits domain) must take
+  // the binary-search fallback; wide domains (> 8 bits) skip the LUT
+  // entirely. Both stay bit-identical to the search.
+  BnLayerParams bn(1);
+  const ActQuantizer q(2, 2.0);
+  const ThresholdLayer thresholds = ThresholdLayer::fold(bn, q);
+
+  Node n;
+  n.kind = NodeKind::BnAct;
+  n.name = "bnact_oob";
+  n.in = n.out = Shape{1, 3, 1};
+  n.in_bits = 4;  // table covers [-8, 8)
+  n.out_bits = 2;
+  n.param = 0;
+  Stream sin(32, 8, "in");
+  Stream sout(32, 2, "out");
+  BnActKernel kernel(n, thresholds, sin, sout);
+  ASSERT_TRUE(kernel.uses_lut());
+  std::thread feeder([&] {
+    for (std::int32_t a : {100, -100, 7}) sin.push(a);
+    sin.close();
+  });
+  kernel.run();
+  feeder.join();
+  const auto out = drain(sout);
+  const auto& t = thresholds.at(0);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{t.eval_binary_search(100),
+                                            t.eval_binary_search(-100),
+                                            t.eval_binary_search(7)}));
+
+  n.in_bits = 16;
+  Stream sin2(32, 16, "in2");
+  Stream sout2(32, 2, "out2");
+  BnActKernel wide(n, thresholds, sin2, sout2);
+  EXPECT_FALSE(wide.uses_lut());
 }
 
 TEST(AddKernelTest, SumsAndPropagatesClose) {

@@ -1,0 +1,130 @@
+// vec_ops seam: every compiled+supported SIMD level must agree bit-exactly
+// with the scalar reference on random word buffers, including lengths that
+// exercise every tail-handling path (0, sub-block, block-multiple, and
+// block+tail). Also pins the dispatch contract: kScalar is always present,
+// and set_level overrides whatever auto/env dispatch picked.
+#include "core/simd/vec_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/bitops.h"
+#include "core/rng.h"
+
+namespace qnn {
+namespace {
+
+std::vector<Word> random_words(std::size_t n, Rng& rng) {
+  std::vector<Word> v(n);
+  for (auto& w : v) w = rng.next_u64();
+  return v;
+}
+
+TEST(VecOps, ScalarAlwaysAvailable) {
+  const auto levels = simd::available_levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), simd::Level::kScalar);
+  EXPECT_STREQ(simd::vec_ops_at(simd::Level::kScalar).name, "scalar");
+  // The dispatched table is one of the available levels.
+  const auto& ops = simd::vec_ops();
+  EXPECT_TRUE(std::find(levels.begin(), levels.end(), ops.level) !=
+              levels.end());
+}
+
+TEST(VecOps, LevelNames) {
+  EXPECT_STREQ(simd::level_name(simd::Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::level_name(simd::Level::kAvx2), "avx2");
+  EXPECT_STREQ(simd::level_name(simd::Level::kAvx512), "avx512");
+}
+
+TEST(VecOps, SetLevelOverridesDispatch) {
+  for (const simd::Level level : simd::available_levels()) {
+    simd::set_level(level);
+    EXPECT_EQ(simd::vec_ops().level, level);
+  }
+  simd::set_level(std::nullopt);
+  const auto levels = simd::available_levels();
+  EXPECT_TRUE(std::find(levels.begin(), levels.end(),
+                        simd::vec_ops().level) != levels.end());
+}
+
+// Lengths covering empty, scalar tails, exact SIMD blocks (4 words for
+// AVX2, 8 for AVX-512), and block+tail combinations.
+constexpr std::size_t kLengths[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31};
+
+TEST(VecOps, PopcountMatchesScalarAtEveryLevel) {
+  const auto& scalar = simd::vec_ops_at(simd::Level::kScalar);
+  Rng rng(0xabc1);
+  for (const simd::Level level : simd::available_levels()) {
+    const auto& ops = simd::vec_ops_at(level);
+    for (const std::size_t n : kLengths) {
+      for (int trial = 0; trial < 8; ++trial) {
+        const auto a = random_words(n, rng);
+        EXPECT_EQ(ops.popcount(a.data(), n), scalar.popcount(a.data(), n))
+            << simd::level_name(level) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(VecOps, AndPopcountMatchesScalarAtEveryLevel) {
+  const auto& scalar = simd::vec_ops_at(simd::Level::kScalar);
+  Rng rng(0xabc2);
+  for (const simd::Level level : simd::available_levels()) {
+    const auto& ops = simd::vec_ops_at(level);
+    for (const std::size_t n : kLengths) {
+      for (int trial = 0; trial < 8; ++trial) {
+        const auto a = random_words(n, rng);
+        const auto b = random_words(n, rng);
+        EXPECT_EQ(ops.and_popcount(a.data(), b.data(), n),
+                  scalar.and_popcount(a.data(), b.data(), n))
+            << simd::level_name(level) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(VecOps, AccumulatePlaneMatchesScalarAtEveryLevel) {
+  const auto& scalar = simd::vec_ops_at(simd::Level::kScalar);
+  Rng rng(0xabc3);
+  for (const simd::Level level : simd::available_levels()) {
+    const auto& ops = simd::vec_ops_at(level);
+    for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{9},
+                                std::size_t{17}}) {
+      const std::size_t filters = 5;
+      const std::size_t stride = n + 1;  // gap word between filters
+      const auto a = random_words(n, rng);
+      const auto w = random_words(stride * filters, rng);
+      const auto pop_a =
+          static_cast<std::int64_t>(scalar.popcount(a.data(), n));
+      for (const int shift : {0, 1, 7}) {
+        std::vector<std::int64_t> got(filters, 1000);
+        std::vector<std::int64_t> expect(filters, 1000);
+        ops.accumulate_plane(a.data(), n, pop_a, w.data(), stride, filters,
+                             shift, got.data());
+        scalar.accumulate_plane(a.data(), n, pop_a, w.data(), stride, filters,
+                                shift, expect.data());
+        EXPECT_EQ(got, expect)
+            << simd::level_name(level) << " n=" << n << " shift=" << shift;
+      }
+    }
+  }
+}
+
+TEST(VecOps, AccumulatePlaneImplementsPm1PlaneSum) {
+  // acc[f] += (2*popcount(w_f & a) - popcount(a)) << shift, the per-plane
+  // term of the XNOR-popcount dot (§III-B1).
+  const auto& ops = simd::vec_ops();
+  const std::vector<Word> a = {0b1011, 0};
+  const std::vector<Word> w = {0b0011, 0, ~Word{0}, ~Word{0}};
+  std::int64_t acc[2] = {0, 0};
+  ops.accumulate_plane(a.data(), 2, 3, w.data(), 2, 2, 1, acc);
+  // f0: on=2 -> (4-3)<<1 = 2. f1: on=3 -> (6-3)<<1 = 6.
+  EXPECT_EQ(acc[0], 2);
+  EXPECT_EQ(acc[1], 6);
+}
+
+}  // namespace
+}  // namespace qnn

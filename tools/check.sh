@@ -17,6 +17,11 @@
 #                                   # ablation (fail if the ready-queue
 #                                   # shallow-chain throughput regresses
 #                                   # >10% against BENCH_executor.json), the
+#                                   # conv-datapath ablation (fail unless
+#                                   # packed+SIMD conv stays >= 3x the
+#                                   # scalar re-pack datapath and >= 0.8x
+#                                   # the committed BENCH_kernels.json
+#                                   # geomean), the
 #                                   # mixed-pool serving ablation (fail
 #                                   # unless deadline routing beats naive
 #                                   # routing >= 1.3x on tight goodput),
@@ -119,6 +124,32 @@ if fresh < floor:
     raise SystemExit("perf gate: ready-queue shallow-chain throughput "
                      "regressed >10% vs BENCH_executor.json")
 print("perf gate: within 10% of recorded baseline")
+EOF
+
+  echo "== perf (conv datapath ablation vs recorded baseline) =="
+  # Exit code enforces the live bar (packed + SIMD conv throughput >= 3x
+  # the per-window scalar re-pack datapath — 2x on hosts without AVX2);
+  # the python step holds the COMMITTED BENCH_kernels.json to its own
+  # recorded bar and pins the fresh geomean to >= 0.8x the committed one,
+  # so a datapath regression that still clears the relative bar is caught.
+  QNN_CSV_DIR="$BUILD_DIR" \
+    "$BUILD_DIR/bench/bench_micro_kernels" --conv-datapath-only
+  python3 - "$BUILD_DIR/BENCH_kernels.json" BENCH_kernels.json <<'EOF'
+import json, sys
+
+fresh = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+if not base["pass"]:
+    raise SystemExit("perf gate: committed BENCH_kernels.json does not "
+                     "meet its recorded bar (pass != true) — re-record it")
+floor = 0.8 * base["geomean_simd_vs_scalarpack"]
+print(f"conv datapath geomean speedup: fresh "
+      f"{fresh['geomean_simd_vs_scalarpack']:.2f}x, baseline "
+      f"{base['geomean_simd_vs_scalarpack']:.2f}x, floor {floor:.2f}x")
+if fresh["geomean_simd_vs_scalarpack"] < floor:
+    raise SystemExit("perf gate: packed+SIMD conv speedup collapsed vs "
+                     "BENCH_kernels.json")
+print("perf gate: packed conv datapath holds its recorded margin")
 EOF
 
   echo "== perf (mixed-pool serving ablation: routing >= 1.3x naive) =="
